@@ -1,0 +1,383 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation section, plus
+// ablation benches for the design decisions DESIGN.md calls out and
+// microbenchmarks of the simulator itself.
+//
+// Figure benches run a scaled-down sweep (default 1-2M instructions per
+// program; override with REPRO_INSTR) and publish the headline result via
+// b.ReportMetric — e.g. BenchmarkFig3AdaptiveMPKI reports the percent
+// reduction in average MPKI that the paper quotes as 19%. cmd/benchtables
+// regenerates the full per-benchmark tables at full scale.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchInstrs returns the per-program instruction budget (REPRO_INSTR
+// override), scaled down by div for the heavier multi-config sweeps.
+func benchInstrs(div uint64) uint64 {
+	n := uint64(2_000_000)
+	if v := os.Getenv("REPRO_INSTR"); v != "" {
+		if p, err := strconv.ParseUint(v, 10, 64); err == nil && p > 0 {
+			n = p
+		}
+	}
+	if n/div == 0 {
+		return 1
+	}
+	return n / div
+}
+
+func benchOpts(div uint64) sim.Options {
+	n := benchInstrs(div)
+	return sim.Options{Instrs: n, Warmup: n / 5}
+}
+
+// avgOf returns the "average" row (last) of a column.
+func avgOf(t *sim.Table, label string) float64 {
+	c := t.Column(label)
+	if c == nil {
+		panic(fmt.Sprintf("missing column %q", label))
+	}
+	return c.Values[len(c.Values)-1]
+}
+
+func BenchmarkFig3AdaptiveMPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.Fig3(benchOpts(1))
+		lru := avgOf(t, "LRU MPKI")
+		ad := avgOf(t, "Adaptive(LRU/LFU) MPKI")
+		b.ReportMetric(stats.PercentReduction(lru, ad), "MPKI-reduction-%")
+		b.ReportMetric(ad, "adaptive-avg-MPKI")
+		b.ReportMetric(lru, "lru-avg-MPKI")
+	}
+}
+
+func BenchmarkFig4AdaptiveCPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.Fig4(benchOpts(1))
+		lru := avgOf(t, "LRU CPI")
+		ad := avgOf(t, "Adaptive(LRU/LFU) CPI")
+		b.ReportMetric(stats.PercentReduction(lru, ad), "CPI-improvement-%")
+		b.ReportMetric(ad, "adaptive-avg-CPI")
+	}
+}
+
+func BenchmarkFig5PartialTags(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.Fig5(benchOpts(2))
+		inc := t.Column("MPKI increase %")
+		// Row 3 is the paper's recommended 8-bit configuration.
+		b.ReportMetric(inc.Values[3], "8bit-MPKI-increase-%")
+		b.ReportMetric(inc.Values[5], "4bit-MPKI-increase-%")
+	}
+}
+
+func BenchmarkFig6VsBiggerCaches(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.Fig6(benchOpts(2))
+		ad8 := avgOf(t, "Adaptive 8-bit CPI")
+		ten := avgOf(t, "LRU 640KB 10w CPI")
+		b.ReportMetric(stats.PercentReduction(ten, ad8), "adaptive-vs-10way-%")
+	}
+}
+
+func BenchmarkFig7PhaseMap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pm, err := sim.Fig7(benchOpts(1), "ammp", 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		early, late := pm.LFUShare(4, 12), pm.LFUShare(24, 32)
+		b.ReportMetric(early, "early-LFU-share")
+		b.ReportMetric(late, "late-LFU-share")
+	}
+}
+
+func BenchmarkFig8FIFOMRU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.Fig8(benchOpts(1))
+		fifo := avgOf(t, "FIFO MPKI")
+		ad := avgOf(t, "Adaptive(FIFO/MRU) MPKI")
+		b.ReportMetric(stats.PercentReduction(fifo, ad), "MPKI-reduction-vs-FIFO-%")
+	}
+}
+
+func BenchmarkFig9Associativity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.Fig9(benchOpts(4))
+		imp := t.Column("CPI improvement %")
+		b.ReportMetric(imp.Values[1], "8way-CPI-improvement-%")
+		b.ReportMetric(imp.Values[3], "32way-CPI-improvement-%")
+	}
+}
+
+func BenchmarkFig10StoreBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.Fig10(benchOpts(8))
+		imp := t.Column("CPI improvement %")
+		b.ReportMetric(imp.Values[2], "4entry-CPI-improvement-%") // Table 1 default
+		b.ReportMetric(imp.Values[len(imp.Values)-1], "256entry-CPI-improvement-%")
+	}
+}
+
+func BenchmarkExtendedSet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.ExtendedSet(benchOpts(2))
+		v := t.Column("value")
+		b.ReportMetric(v.Values[0], "avg-miss-reduction-%")
+		b.ReportMetric(v.Values[1], "avg-CPI-improvement-%")
+		b.ReportMetric(v.Values[2], "worst-miss-increase-%")
+		b.ReportMetric(v.Values[3], "worst-CPI-increase-%")
+	}
+}
+
+func BenchmarkFivePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.FivePolicy(benchOpts(2))
+		two := avgOf(t, "Adaptive(LRU/LFU) MPKI")
+		five := avgOf(t, "Adaptive(LRU/LFU/FIFO/MRU/Random) MPKI")
+		b.ReportMetric(stats.PercentChange(two, five), "five-vs-two-MPKI-%")
+	}
+}
+
+func BenchmarkL1Adaptivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.L1Adaptivity(benchOpts(2))
+		li := avgOf(t, "L1-LRU L1I-MPKI")
+		ai := avgOf(t, "L1-Adaptive L1I-MPKI")
+		lc := avgOf(t, "L1-LRU CPI")
+		ac := avgOf(t, "L1-Adaptive CPI")
+		b.ReportMetric(stats.PercentReduction(li, ai), "L1I-MPKI-reduction-%")
+		b.ReportMetric(stats.PercentReduction(lc, ac), "CPI-improvement-%")
+	}
+}
+
+func BenchmarkSBAR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.SBARTable(benchOpts(2))
+		lru := avgOf(t, "LRU CPI")
+		ad := avgOf(t, "Adaptive(LRU/LFU) CPI")
+		sb := avgOf(t, "SBAR(LRU/LFU) CPI")
+		b.ReportMetric(stats.PercentReduction(lru, ad), "adaptive-CPI-improvement-%")
+		b.ReportMetric(stats.PercentReduction(lru, sb), "sbar-CPI-improvement-%")
+	}
+}
+
+func BenchmarkPrefetchHybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.PrefetchTable(benchOpts(4))
+		none := avgOf(t, "none MPKI")
+		hybrid := avgOf(t, "Hybrid MPKI")
+		nextline := avgOf(t, "NextLine MPKI")
+		b.ReportMetric(stats.PercentReduction(none, hybrid), "hybrid-MPKI-reduction-%")
+		b.ReportMetric(stats.PercentReduction(none, nextline), "nextline-MPKI-reduction-%")
+	}
+}
+
+func BenchmarkMulticoreSharedL2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.MulticoreTable(benchOpts(2), nil)
+		lru := avgOf(t, "LRU MPKI")
+		ad := avgOf(t, "Adaptive(LRU/LFU) MPKI")
+		b.ReportMetric(stats.PercentReduction(lru, ad), "sharedL2-MPKI-reduction-%")
+	}
+}
+
+func BenchmarkStorageOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sim.OverheadTable()
+		pct := t.Column("overhead %")
+		b.ReportMetric(pct.Values[1], "adaptive-full-%")
+		b.ReportMetric(pct.Values[2], "adaptive-8bit-%")
+		b.ReportMetric(pct.Values[5], "sbar-full-%")
+	}
+}
+
+// --- Ablations (DESIGN.md Section 5) ---
+
+// ablation runs the primary set under cfg mutations and reports average
+// adaptive MPKI per variant relative to the default.
+func ablationMPKI(b *testing.B, p sim.PolicySpec, div uint64) float64 {
+	b.Helper()
+	o := benchOpts(div)
+	benches := sim.PrimaryBenches()
+	var sum float64
+	for _, spec := range benches {
+		cfg := sim.Default(p, o.Instrs)
+		cfg.Warmup = o.Warmup
+		sum += sim.RunCacheOnly(cfg, spec).MPKI
+	}
+	return sum / float64(len(benches))
+}
+
+func BenchmarkAblationHistory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		window := ablationMPKI(b, sim.AdaptiveSpec(0), 4)
+		counters := ablationMPKI(b, sim.PolicySpec{Mode: sim.Adaptive,
+			Components: []string{"LRU", "LFU"}, Counters: true}, 4)
+		b.ReportMetric(window, "window-avg-MPKI")
+		b.ReportMetric(counters, "counters-avg-MPKI")
+		b.ReportMetric(stats.PercentChange(window, counters), "counters-vs-window-%")
+	}
+}
+
+func BenchmarkAblationWindowM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range []int{4, 8, 32} {
+			p := sim.AdaptiveSpec(0)
+			p.HistoryM = m
+			b.ReportMetric(ablationMPKI(b, p, 4), fmt.Sprintf("m%d-avg-MPKI", m))
+		}
+	}
+}
+
+func BenchmarkAblationCountCurrent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on, off := true, false
+		pOn, pOff := sim.AdaptiveSpec(0), sim.AdaptiveSpec(0)
+		pOn.CountCurrent, pOff.CountCurrent = &on, &off
+		a := ablationMPKI(b, pOn, 4)
+		c := ablationMPKI(b, pOff, 4)
+		b.ReportMetric(stats.PercentChange(a, c), "uncounted-vs-counted-%")
+	}
+}
+
+func BenchmarkAblationFallback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lruFB := ablationMPKI(b, sim.AdaptiveSpec(4), 4) // 4-bit tags: aliasing frequent
+		fixed := sim.AdaptiveSpec(4)
+		fixed.FallbackFixed = true
+		fixedFB := ablationMPKI(b, fixed, 4)
+		b.ReportMetric(stats.PercentChange(lruFB, fixedFB), "fixed-vs-LRU-fallback-%")
+	}
+}
+
+func BenchmarkAblationTagHash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		low := ablationMPKI(b, sim.AdaptiveSpec(8), 4)
+		folded := sim.AdaptiveSpec(8)
+		folded.XORFold = true
+		f := ablationMPKI(b, folded, 4)
+		b.ReportMetric(stats.PercentChange(low, f), "xorfold-vs-lowbits-%")
+	}
+}
+
+// BenchmarkAblationComponentPairs evaluates the paper's Section 4.4 claim
+// that "no combination of policies outperformed the LRU+LFU adaptivity":
+// average primary-set MPKI for several adaptive pairs, including the
+// extended policies (PLRU, SLRU, Split).
+func BenchmarkAblationComponentPairs(b *testing.B) {
+	pairs := [][]string{
+		{"LRU", "LFU"},
+		{"FIFO", "MRU"},
+		{"LRU", "MRU"},
+		{"FIFO", "LFU"},
+		{"LRU", "Random"},
+		{"PLRU", "LFU"},
+		{"LRU", "SLRU"},
+		{"LRU", "Split"},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, pair := range pairs {
+			m := ablationMPKI(b, sim.AdaptiveSpec(0, pair...), 4)
+			b.ReportMetric(m, pair[0]+"+"+pair[1]+"-avg-MPKI")
+		}
+	}
+}
+
+func BenchmarkAblationLeaders(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, l := range []int{8, 16, 64} {
+			b.ReportMetric(ablationMPKI(b, sim.SBARSpec(0, l), 4),
+				fmt.Sprintf("leaders%d-avg-MPKI", l))
+		}
+	}
+}
+
+// --- Simulator microbenchmarks ---
+
+func BenchmarkCacheAccessLRU(b *testing.B) {
+	g := cache.Geometry{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8}
+	c := cache.New(g, policy.NewLRU())
+	rng := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		c.Access(cache.Addr(rng%(1<<26)), false)
+	}
+}
+
+func BenchmarkCacheAccessAdaptive(b *testing.B) {
+	g := cache.Geometry{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8}
+	ad := core.NewAdaptive([]core.ComponentFactory{
+		func() cache.Policy { return policy.NewLRU() },
+		func() cache.Policy { return policy.NewLFU(policy.DefaultLFUBits) },
+	}, core.WithShadowTagBits(8))
+	c := cache.New(g, ad)
+	rng := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		c.Access(cache.Addr(rng%(1<<26)), false)
+	}
+}
+
+func BenchmarkHistoryWindowRecord(b *testing.B) {
+	w := history.NewWindow(8)
+	w.Attach(1024, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Record(i&1023, uint64(1+(i&1)))
+	}
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	spec, err := workload.ByName("art-1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := workload.New(spec, uint64(b.N)+1)
+	b.ResetTimer()
+	var rec trace.Record
+	for i := 0; i < b.N; i++ {
+		g.Next(&rec)
+	}
+}
+
+func BenchmarkTimingSimulation(b *testing.B) {
+	spec, err := workload.ByName("lucas")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Default(sim.AdaptiveSpec(8), uint64(b.N)+1)
+	b.ResetTimer()
+	sim.Run(cfg, spec)
+}
+
+func BenchmarkCacheOnlySimulation(b *testing.B) {
+	spec, err := workload.ByName("lucas")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Default(sim.AdaptiveSpec(8), uint64(b.N)+1)
+	b.ResetTimer()
+	sim.RunCacheOnly(cfg, spec)
+}

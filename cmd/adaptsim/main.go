@@ -1,0 +1,140 @@
+// Command adaptsim runs one or more benchmarks from the synthetic suite
+// under a chosen L2 replacement configuration and prints MPKI (and CPI in
+// timing mode) per benchmark.
+//
+// Examples:
+//
+//	adaptsim -bench lucas -policy LRU
+//	adaptsim -bench primary -policy adaptive -tagbits 8 -mode timing
+//	adaptsim -bench all -policy sbar -n 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "primary", "benchmark name, 'primary', or 'all'")
+		pol     = flag.String("policy", "adaptive", "LRU|LFU|FIFO|MRU|Random|adaptive|sbar")
+		comps   = flag.String("components", "LRU,LFU", "component policies for adaptive/sbar")
+		tagBits = flag.Int("tagbits", 0, "partial shadow-tag bits (0 = full tags)")
+		leaders = flag.Int("leaders", 0, "SBAR leader sets (0 = default 16)")
+		n       = flag.Uint64("n", 1_000_000, "instructions per benchmark")
+		warm    = flag.Uint64("warmup", 0, "leading instructions excluded from MPKI (default n/5)")
+		mode    = flag.String("mode", "cache", "cache (fast, MPKI only), timing (adds CPI), or profile (workload characterization)")
+		size    = flag.Int("size", 512, "L2 size in KB")
+		ways    = flag.Int("ways", 8, "L2 associativity")
+	)
+	flag.Parse()
+	if *warm == 0 {
+		*warm = *n / 5
+	}
+	if err := run(*bench, *pol, *comps, *tagBits, *leaders, *n, *warm, *mode, *size, *ways); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, pol, comps string, tagBits, leaders int, n, warmup uint64, mode string, sizeKB, ways int) error {
+	var spec sim.PolicySpec
+	compList := strings.Split(comps, ",")
+	switch strings.ToLower(pol) {
+	case "adaptive":
+		spec = sim.AdaptiveSpec(tagBits, compList...)
+	case "sbar":
+		spec = sim.SBARSpec(tagBits, leaders, compList...)
+	default:
+		spec = sim.SingleSpec(pol)
+	}
+	for _, name := range spec.Components {
+		if _, err := policy.ByName(name); err != nil {
+			return fmt.Errorf("%w (known: %s)", err, strings.Join(policy.ExtendedNames(), ", "))
+		}
+	}
+
+	cfg := sim.Default(spec, n)
+	cfg.Warmup = warmup
+	cfg.L2Geom.SizeBytes = sizeKB << 10
+	cfg.L2Geom.Ways = ways
+	if err := cfg.L2Geom.Validate(); err != nil {
+		return err
+	}
+
+	var specs []workload.Spec
+	switch bench {
+	case "primary":
+		for _, name := range workload.PrimaryNames() {
+			s, _ := workload.ByName(name)
+			specs = append(specs, s)
+		}
+	case "all":
+		specs = workload.Suite()
+	default:
+		s, err := workload.ByName(bench)
+		if err != nil {
+			return err
+		}
+		specs = []workload.Spec{s}
+	}
+
+	if mode == "profile" {
+		return profile(cfg, specs)
+	}
+	timing := mode == "timing"
+	if timing {
+		fmt.Printf("%-14s %-22s %10s %8s\n", "benchmark", "policy", "MPKI", "CPI")
+	} else {
+		fmt.Printf("%-14s %-22s %10s\n", "benchmark", "policy", "MPKI")
+	}
+	var sumM, sumC float64
+	for _, s := range specs {
+		var r sim.Result
+		if timing {
+			r = sim.Run(cfg, s)
+			fmt.Printf("%-14s %-22s %10.3f %8.3f\n", r.Benchmark, r.Policy, r.MPKI, r.CPI)
+		} else {
+			r = sim.RunCacheOnly(cfg, s)
+			fmt.Printf("%-14s %-22s %10.3f\n", r.Benchmark, r.Policy, r.MPKI)
+		}
+		sumM += r.MPKI
+		sumC += r.CPI
+	}
+	if len(specs) > 1 {
+		fmt.Printf("%-14s %-22s %10.3f", "average", spec.Label(), sumM/float64(len(specs)))
+		if timing {
+			fmt.Printf(" %8.3f", sumC/float64(len(specs)))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// profile prints a workload-characterization row per benchmark: reference
+// rates, per-level miss behavior, and branch statistics from a timing run.
+func profile(cfg sim.Config, specs []workload.Spec) error {
+	fmt.Printf("%-14s %8s %8s %8s %8s %8s %8s %8s\n",
+		"benchmark", "refs/KI", "L1D-m%", "L1I-MPKI", "L2-APKI", "L2-MPKI", "br-mis%", "CPI")
+	for _, s := range specs {
+		r := sim.Run(cfg, s)
+		ki := float64(r.CPU.Instructions) / 1000
+		refs := float64(r.L1D.Accesses) / ki
+		l1dm := 100 * r.L1D.MissRatio()
+		l1i := float64(r.L1I.Misses) / ki
+		l2a := float64(r.L2.Accesses) / ki
+		brm := 0.0
+		if r.CPU.Branches > 0 {
+			brm = 100 * float64(r.CPU.Mispredicts) / float64(r.CPU.Branches)
+		}
+		fmt.Printf("%-14s %8.1f %8.1f %8.3f %8.1f %8.2f %8.2f %8.3f\n",
+			s.Name, refs, l1dm, l1i, l2a, r.MPKI, brm, r.CPI)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section. By default it produces all of them; -fig selects one
+// (3, 4, 5, 6, 7, 8, 9, 10, extended, five, l1, sbar, overhead).
+//
+//	benchtables -fig 3 -n 10000000
+//	benchtables -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		fig  = flag.String("fig", "all", "which figure/table to regenerate")
+		n    = flag.Uint64("n", 10_000_000, "instructions per benchmark run")
+		warm = flag.Uint64("warmup", 0, "warmup instructions excluded from MPKI (default n/5)")
+		out  = flag.String("out", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+	if *warm == 0 {
+		*warm = *n / 5
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	o := sim.Options{Instrs: *n, Warmup: *warm}
+	if err := emit(w, *fig, o); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func emit(w io.Writer, fig string, o sim.Options) error {
+	type job struct {
+		name string
+		run  func() error
+	}
+	// The multi-configuration sweeps (associativity, store buffer,
+	// extended set) divide the per-run instruction budget to keep full
+	// regeneration tractable; the divisor is reported with each table.
+	table := func(f func(sim.Options) *sim.Table, div uint64) func() error {
+		return func() error {
+			od := o
+			od.Instrs /= div
+			od.Warmup /= div
+			if div > 1 {
+				fmt.Fprintf(w, "(budget %d instructions/run)\n", od.Instrs)
+			}
+			f(od).Fprint(w)
+			return nil
+		}
+	}
+	phase := func(bench string) func() error {
+		return func() error {
+			pm, err := sim.Fig7(o, bench, 64)
+			if err != nil {
+				return err
+			}
+			pm.Render(w, 32, 64)
+			return nil
+		}
+	}
+	jobs := []job{
+		{"overhead", func() error { sim.OverheadTable().Fprint(w); return nil }},
+		{"3", table(sim.Fig3, 1)},
+		{"4", table(sim.Fig4, 1)},
+		{"5", table(sim.Fig5, 1)},
+		{"6", table(sim.Fig6, 1)},
+		{"7", func() error {
+			if err := phase("ammp")(); err != nil {
+				return err
+			}
+			return phase("mgrid")()
+		}},
+		{"8", table(sim.Fig8, 1)},
+		{"9", table(sim.Fig9, 2)},
+		{"10", table(sim.Fig10, 4)},
+		{"extended", table(sim.ExtendedSet, 2)},
+		{"five", table(sim.FivePolicy, 1)},
+		{"l1", table(sim.L1Adaptivity, 1)},
+		{"sbar", table(sim.SBARTable, 1)},
+		{"prefetch", table(sim.PrefetchTable, 2)},
+		{"multicore", func() error {
+			od := o
+			od.Instrs /= 2
+			od.Warmup /= 2
+			sim.MulticoreTable(od, nil).Fprint(w)
+			return nil
+		}},
+	}
+	found := false
+	for _, j := range jobs {
+		if fig != "all" && fig != j.name {
+			continue
+		}
+		found = true
+		start := time.Now()
+		if err := j.run(); err != nil {
+			return fmt.Errorf("figure %s: %w", j.name, err)
+		}
+		fmt.Fprintf(w, "[%s done in %v]\n\n", j.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !found {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}

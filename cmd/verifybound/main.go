@@ -1,0 +1,71 @@
+// Command verifybound model-checks the paper's worst-case guarantee (the
+// Appendix's 2x miss bound for counter-based adaptivity) by exhaustively
+// enumerating every reference trace at small bounds, or sampling random
+// traces at large ones.
+//
+//	verifybound -ways 2 -blocks 4 -len 10
+//	verifybound -ways 4 -blocks 9 -len 2000 -random 5000
+//	verifybound -a FIFO -b MRU -ways 3 -blocks 5 -len 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		ways   = flag.Int("ways", 2, "set associativity")
+		blocks = flag.Int("blocks", 4, "block universe size")
+		length = flag.Int("len", 10, "trace length")
+		a      = flag.String("a", "LRU", "first component policy")
+		b      = flag.String("b", "LFU", "second component policy")
+		random = flag.Int("random", 0, "sample this many random traces instead of exhausting")
+		seed   = flag.Uint64("seed", 1, "random sampling seed")
+	)
+	flag.Parse()
+
+	fa, err := policy.ByName(*a)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verifybound:", err)
+		os.Exit(1)
+	}
+	fb, err := policy.ByName(*b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verifybound:", err)
+		os.Exit(1)
+	}
+	cfg := verify.Config{
+		Ways: *ways, Blocks: *blocks, Length: *length,
+		Components: []core.ComponentFactory{core.ComponentFactory(fa), core.ComponentFactory(fb)},
+	}
+
+	start := time.Now()
+	var res verify.Result
+	var v *verify.Violation
+	mode := "exhaustive"
+	if *random > 0 {
+		mode = "random"
+		res, v = verify.Random(cfg, *random, *seed)
+	} else {
+		res, v = verify.Exhaustive(cfg)
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	if v != nil {
+		fmt.Printf("VIOLATION after %d traces (%v): %v\n", res.Checked, elapsed, v)
+		os.Exit(1)
+	}
+	fmt.Printf("%s check of %s/%s adaptivity: %d traces over %d blocks x length %d on a %d-way set (%v)\n",
+		mode, *a, *b, res.Checked, *blocks, *length, *ways, elapsed)
+	fmt.Printf("bound 2*best + %d misses holds on every trace\n", 2**ways)
+	if res.WorstRatio > 0 {
+		fmt.Printf("worst adaptive/best ratio observed: %.3f on trace %v\n", res.WorstRatio, res.WorstTrace)
+	}
+}

@@ -1,0 +1,137 @@
+package repro
+
+// End-to-end tests of the command-line tools: each binary is built with
+// the local toolchain and driven through a small but real invocation.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd builds ./cmd/<name> into a temp dir and returns the binary path.
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestAdaptsimEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "adaptsim")
+
+	out := runCmd(t, bin, "-bench", "lucas", "-policy", "LRU", "-n", "200000")
+	if !strings.Contains(out, "lucas") || !strings.Contains(out, "LRU") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+
+	out = runCmd(t, bin, "-bench", "art-1", "-policy", "adaptive", "-tagbits", "8",
+		"-n", "200000", "-mode", "timing")
+	if !strings.Contains(out, "Adaptive(LRU/LFU,8-bit)") || !strings.Contains(out, "CPI") {
+		t.Fatalf("timing mode output:\n%s", out)
+	}
+
+	out = runCmd(t, bin, "-bench", "gap", "-policy", "sbar", "-n", "200000")
+	if !strings.Contains(out, "SBAR(LRU/LFU)") {
+		t.Fatalf("sbar output:\n%s", out)
+	}
+
+	out = runCmd(t, bin, "-bench", "mcf", "-mode", "profile", "-n", "150000")
+	if !strings.Contains(out, "L2-APKI") || !strings.Contains(out, "mcf") {
+		t.Fatalf("profile output:\n%s", out)
+	}
+
+	// Unknown benchmark fails with a suggestion.
+	cmd := exec.Command(bin, "-bench", "lukas")
+	out2, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown benchmark accepted:\n%s", out2)
+	}
+	if !strings.Contains(string(out2), "lucas") {
+		t.Errorf("no suggestion for typo:\n%s", out2)
+	}
+}
+
+func TestTracegenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "tracegen")
+	trc := filepath.Join(t.TempDir(), "x.trc")
+
+	out := runCmd(t, bin, "-bench", "tiff2rgba", "-n", "100000", "-o", trc)
+	if !strings.Contains(out, "recorded 100000 instructions") {
+		t.Fatalf("record output:\n%s", out)
+	}
+	out = runCmd(t, bin, "-info", trc)
+	if !strings.Contains(out, `"tiff2rgba"`) || !strings.Contains(out, "Load") {
+		t.Fatalf("info output:\n%s", out)
+	}
+	out = runCmd(t, bin, "-replay", trc, "-policy", "adaptive")
+	if !strings.Contains(out, "L2 MPKI") {
+		t.Fatalf("replay output:\n%s", out)
+	}
+	out = runCmd(t, bin, "-reusedist", trc)
+	if !strings.Contains(out, "LRU miss %") || !strings.Contains(out, "512KB") {
+		t.Fatalf("reusedist output:\n%s", out)
+	}
+}
+
+func TestBenchtablesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "benchtables")
+
+	out := runCmd(t, bin, "-fig", "overhead")
+	for _, want := range []string{"544.000", "598.000", "566.000", "9.926", "4.044"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("overhead table missing %q:\n%s", want, out)
+		}
+	}
+
+	outFile := filepath.Join(t.TempDir(), "r.txt")
+	runCmd(t, bin, "-fig", "overhead", "-out", outFile)
+	data, err := os.ReadFile(outFile)
+	if err != nil || !strings.Contains(string(data), "SRAM storage") {
+		t.Fatalf("-out file: %v\n%s", err, data)
+	}
+
+	cmd := exec.Command(bin, "-fig", "999")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("unknown figure accepted:\n%s", out)
+	}
+}
+
+func TestVerifyboundEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "verifybound")
+	out := runCmd(t, bin, "-ways", "2", "-blocks", "3", "-len", "6")
+	if !strings.Contains(out, "holds on every trace") {
+		t.Fatalf("verifybound output:\n%s", out)
+	}
+	out = runCmd(t, bin, "-ways", "2", "-blocks", "5", "-len", "200", "-random", "50")
+	if !strings.Contains(out, "random check") {
+		t.Fatalf("random mode output:\n%s", out)
+	}
+}

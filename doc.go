@@ -1,0 +1,25 @@
+// Package repro is a from-scratch Go reproduction of "Adaptive Caches:
+// Effective Shaping of Cache Behavior to Workloads" (Subramanian,
+// Smaragdakis, Loh — MICRO 2006).
+//
+// The library lives under internal/:
+//
+//   - internal/core — the paper's contribution: adaptive replacement over
+//     any N component policies with parallel shadow tag arrays (full or
+//     partial tags), per-set miss history, and the SBAR set-sampling
+//     variant.
+//   - internal/cache, internal/policy, internal/history — the
+//     set-associative cache substrate and the standard policies (LRU, LFU,
+//     FIFO, MRU, Random).
+//   - internal/cpu, internal/branch, internal/mem — the out-of-order
+//     timing model standing in for the paper's SimpleScalar/MASE setup.
+//   - internal/workload, internal/trace — the 100-program synthetic
+//     benchmark suite and the binary trace format.
+//   - internal/sim — experiment wiring plus one function per paper figure
+//     and table.
+//
+// The benchmarks in bench_test.go regenerate each figure of the paper's
+// evaluation; see EXPERIMENTS.md for paper-vs-measured results and
+// DESIGN.md for the system inventory. Binaries: cmd/adaptsim,
+// cmd/benchtables, cmd/tracegen. Runnable examples live in examples/.
+package repro

@@ -1,0 +1,37 @@
+// Phasemap reproduces the paper's Figure 7 visualization for any benchmark
+// in the suite: which component policy the adaptive cache imitated, per
+// cache set, over time. Phase-switching programs such as ammp and mgrid
+// show distinct temporal bands and spatial stripes.
+//
+//	go run ./examples/phasemap -bench ammp -n 6000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "ammp", "benchmark to map")
+		n      = flag.Uint64("n", 6_000_000, "instructions to simulate")
+		quanta = flag.Int("quanta", 64, "time quanta (columns)")
+		rows   = flag.Int("rows", 32, "downsampled set rows")
+	)
+	flag.Parse()
+
+	pm, err := sim.Fig7(sim.Options{Instrs: *n}, *bench, *quanta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phasemap:", err)
+		os.Exit(1)
+	}
+	pm.Render(os.Stdout, *rows, *quanta)
+
+	early := pm.LFUShare(0, *quanta/3)
+	late := pm.LFUShare(2**quanta/3, *quanta)
+	fmt.Printf("\nLFU share of replacement decisions: first third %.0f%%, last third %.0f%%\n",
+		100*early, 100*late)
+}

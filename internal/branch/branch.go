@@ -1,0 +1,211 @@
+// Package branch implements the simulated processor's branch predictor
+// (paper Table 1): a hybrid of a 16KB gshare and a 16KB bimodal predictor
+// arbitrated by a 16KB meta chooser, plus a 4K-entry 4-way BTB. 16KB of
+// 2-bit counters is 64K entries per table.
+package branch
+
+// Config sizes the predictor tables.
+type Config struct {
+	GshareEntries  int // 2-bit counters in the gshare table
+	BimodalEntries int // 2-bit counters in the bimodal table
+	MetaEntries    int // 2-bit chooser counters
+	HistoryBits    int // global history length for gshare
+	BTBEntries     int // total BTB entries
+	BTBWays        int
+}
+
+// DefaultConfig matches paper Table 1.
+func DefaultConfig() Config {
+	return Config{
+		GshareEntries:  64 << 10,
+		BimodalEntries: 64 << 10,
+		MetaEntries:    64 << 10,
+		HistoryBits:    16,
+		BTBEntries:     4096,
+		BTBWays:        4,
+	}
+}
+
+// Prediction is the front end's guess for one branch.
+type Prediction struct {
+	Taken      bool
+	Target     uint64 // 0 if the BTB has no entry
+	BTBHit     bool
+	UsedGshare bool // which component the meta chooser selected
+}
+
+// Predictor is the hybrid branch predictor. The zero value is unusable;
+// construct with New.
+type Predictor struct {
+	cfg     Config
+	gshare  []uint8 // 2-bit saturating counters
+	bimodal []uint8
+	meta    []uint8 // >=2 selects gshare
+	ghist   uint64
+
+	btbTags  []uint64 // (set*ways + way); 0 = empty
+	btbTgts  []uint64
+	btbLRU   []uint64
+	btbClock uint64
+
+	// Statistics.
+	Branches    uint64
+	Mispredicts uint64
+	BTBMisses   uint64
+}
+
+// New builds a predictor; table entry counts must be powers of two.
+func New(cfg Config) *Predictor {
+	for _, n := range []int{cfg.GshareEntries, cfg.BimodalEntries, cfg.MetaEntries} {
+		if n <= 0 || n&(n-1) != 0 {
+			panic("branch: table sizes must be positive powers of two")
+		}
+	}
+	if cfg.BTBWays <= 0 || cfg.BTBEntries%cfg.BTBWays != 0 {
+		panic("branch: BTB entries must divide evenly into ways")
+	}
+	p := &Predictor{
+		cfg:     cfg,
+		gshare:  make([]uint8, cfg.GshareEntries),
+		bimodal: make([]uint8, cfg.BimodalEntries),
+		meta:    make([]uint8, cfg.MetaEntries),
+		btbTags: make([]uint64, cfg.BTBEntries),
+		btbTgts: make([]uint64, cfg.BTBEntries),
+		btbLRU:  make([]uint64, cfg.BTBEntries),
+	}
+	// Weakly taken start for direction tables; weakly-bimodal for meta.
+	for i := range p.gshare {
+		p.gshare[i] = 2
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+	}
+	for i := range p.meta {
+		p.meta[i] = 1
+	}
+	return p
+}
+
+func (p *Predictor) gidx(pc uint64) int {
+	return int(((pc >> 2) ^ p.ghist) & uint64(p.cfg.GshareEntries-1))
+}
+func (p *Predictor) bidx(pc uint64) int {
+	return int((pc >> 2) & uint64(p.cfg.BimodalEntries-1))
+}
+func (p *Predictor) midx(pc uint64) int {
+	return int((pc >> 2) & uint64(p.cfg.MetaEntries-1))
+}
+
+// Predict returns the front end's guess for the branch at pc.
+func (p *Predictor) Predict(pc uint64) Prediction {
+	useG := p.meta[p.midx(pc)] >= 2
+	var taken bool
+	if useG {
+		taken = p.gshare[p.gidx(pc)] >= 2
+	} else {
+		taken = p.bimodal[p.bidx(pc)] >= 2
+	}
+	pred := Prediction{Taken: taken, UsedGshare: useG}
+	if set, way := p.btbFind(pc); way >= 0 {
+		pred.BTBHit = true
+		pred.Target = p.btbTgts[set*p.cfg.BTBWays+way]
+	}
+	return pred
+}
+
+// Update trains the predictor with the resolved branch and reports whether
+// the earlier prediction pred was a misprediction (wrong direction, or
+// taken with a wrong/missing target).
+func (p *Predictor) Update(pc uint64, pred Prediction, taken bool, target uint64) bool {
+	p.Branches++
+
+	gi, bi, mi := p.gidx(pc), p.bidx(pc), p.midx(pc)
+	gCorrect := (p.gshare[gi] >= 2) == taken
+	bCorrect := (p.bimodal[bi] >= 2) == taken
+
+	bump := func(c *uint8, up bool) {
+		if up {
+			if *c < 3 {
+				*c++
+			}
+		} else if *c > 0 {
+			*c--
+		}
+	}
+	bump(&p.gshare[gi], taken)
+	bump(&p.bimodal[bi], taken)
+	if gCorrect != bCorrect {
+		bump(&p.meta[mi], gCorrect)
+	}
+	p.ghist = (p.ghist<<1 | b2u(taken)) & (1<<uint(p.cfg.HistoryBits) - 1)
+
+	mispredict := pred.Taken != taken
+	if taken {
+		if !pred.BTBHit || pred.Target != target {
+			mispredict = true
+		}
+		p.btbInsert(pc, target)
+	}
+	if mispredict {
+		p.Mispredicts++
+	}
+	if taken && !pred.BTBHit {
+		p.BTBMisses++
+	}
+	return mispredict
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (p *Predictor) btbSets() int { return p.cfg.BTBEntries / p.cfg.BTBWays }
+
+// btbKey returns (set, tag) for a pc; tag is the pc itself shifted so tag 0
+// never occurs for real instruction addresses (pc 0 is not used).
+func (p *Predictor) btbKey(pc uint64) (int, uint64) {
+	idx := pc >> 2
+	set := int(idx % uint64(p.btbSets()))
+	return set, idx/uint64(p.btbSets()) + 1
+}
+
+func (p *Predictor) btbFind(pc uint64) (set, way int) {
+	set, tag := p.btbKey(pc)
+	base := set * p.cfg.BTBWays
+	for w := 0; w < p.cfg.BTBWays; w++ {
+		if p.btbTags[base+w] == tag {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+func (p *Predictor) btbInsert(pc, target uint64) {
+	set, way := p.btbFind(pc)
+	base := set * p.cfg.BTBWays
+	if way < 0 {
+		// LRU replacement within the set (empty ways have stamp 0).
+		way = 0
+		for w := 1; w < p.cfg.BTBWays; w++ {
+			if p.btbLRU[base+w] < p.btbLRU[base+way] {
+				way = w
+			}
+		}
+		_, tag := p.btbKey(pc)
+		p.btbTags[base+way] = tag
+	}
+	p.btbTgts[base+way] = target
+	p.btbClock++
+	p.btbLRU[base+way] = p.btbClock
+}
+
+// MispredictRatio returns Mispredicts/Branches (0 before any branch).
+func (p *Predictor) MispredictRatio() float64 {
+	if p.Branches == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Branches)
+}

@@ -1,0 +1,181 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// run feeds outcomes for a single branch pc and returns the mispredict
+// ratio over the last half (after warmup).
+func run(p *Predictor, pc, target uint64, outcomes []bool) float64 {
+	misses := 0
+	half := len(outcomes) / 2
+	for i, taken := range outcomes {
+		pred := p.Predict(pc)
+		mis := p.Update(pc, pred, taken, target)
+		if i >= half && mis {
+			misses++
+		}
+	}
+	return float64(misses) / float64(len(outcomes)-half)
+}
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	outcomes := make([]bool, 1000)
+	for i := range outcomes {
+		outcomes[i] = true
+	}
+	if r := run(p, 0x400100, 0x400800, outcomes); r > 0.01 {
+		t.Fatalf("mispredict ratio %.3f on always-taken branch", r)
+	}
+}
+
+func TestAlwaysNotTakenLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	outcomes := make([]bool, 1000)
+	if r := run(p, 0x400100, 0x400800, outcomes); r > 0.01 {
+		t.Fatalf("mispredict ratio %.3f on never-taken branch", r)
+	}
+}
+
+// TestGshareLearnsPattern: a strict alternation (T,N,T,N,...) defeats a
+// bimodal predictor but is perfectly captured by global history; the meta
+// chooser must converge to gshare.
+func TestGshareLearnsPattern(t *testing.T) {
+	p := New(DefaultConfig())
+	outcomes := make([]bool, 4000)
+	for i := range outcomes {
+		outcomes[i] = i%2 == 0
+	}
+	if r := run(p, 0x400100, 0x400800, outcomes); r > 0.02 {
+		t.Fatalf("mispredict ratio %.3f on alternating branch", r)
+	}
+	pred := p.Predict(0x400100)
+	if !pred.UsedGshare {
+		t.Error("meta chooser did not select gshare for history-correlated branch")
+	}
+}
+
+// TestLoopBranchNearPerfect: a loop-back branch taken 9 of 10 times is the
+// bread-and-butter case; after warmup only the loop exits should miss.
+func TestLoopBranchNearPerfect(t *testing.T) {
+	p := New(DefaultConfig())
+	var outcomes []bool
+	for i := 0; i < 500; i++ {
+		for k := 0; k < 9; k++ {
+			outcomes = append(outcomes, true)
+		}
+		outcomes = append(outcomes, false)
+	}
+	if r := run(p, 0x400100, 0x400800, outcomes); r > 0.12 {
+		t.Fatalf("mispredict ratio %.3f on 10-iteration loop branch", r)
+	}
+}
+
+func TestRandomBranchNearHalf(t *testing.T) {
+	p := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	outcomes := make([]bool, 20000)
+	for i := range outcomes {
+		outcomes[i] = rng.Intn(2) == 0
+	}
+	r := run(p, 0x400100, 0x400800, outcomes)
+	if r < 0.35 || r > 0.65 {
+		t.Fatalf("mispredict ratio %.3f on random branch, want ~0.5", r)
+	}
+}
+
+func TestBTBTargetMissIsMispredict(t *testing.T) {
+	p := New(DefaultConfig())
+	pc, target := uint64(0x400100), uint64(0x400800)
+	pred := p.Predict(pc)
+	// First taken encounter: even if direction guessed taken, no target.
+	if !p.Update(pc, pred, true, target) {
+		t.Fatal("first taken branch with cold BTB not counted as mispredict")
+	}
+	if p.BTBMisses != 1 {
+		t.Fatalf("BTBMisses = %d", p.BTBMisses)
+	}
+	// Train direction, then the BTB supplies the target.
+	for i := 0; i < 10; i++ {
+		p.Update(pc, p.Predict(pc), true, target)
+	}
+	pred = p.Predict(pc)
+	if !pred.BTBHit || pred.Target != target {
+		t.Fatalf("BTB not trained: %+v", pred)
+	}
+	if p.Update(pc, pred, true, target) {
+		t.Fatal("trained branch mispredicted")
+	}
+	// A changed target (indirect branch) must mispredict once.
+	pred = p.Predict(pc)
+	if !p.Update(pc, pred, true, target+64) {
+		t.Fatal("target change not detected")
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BTBEntries, cfg.BTBWays = 8, 2 // 4 sets, tiny
+	p := New(cfg)
+	sets := uint64(4)
+	// Three branches in the same BTB set exceed its 2 ways.
+	pcs := []uint64{0x1000 << 2 * sets, 0, 0}
+	pcs[0] = 4 * sets * 1 // idx multiple of sets -> set 0
+	pcs[1] = 4 * sets * 2
+	pcs[2] = 4 * sets * 3
+	for _, pc := range pcs {
+		p.Update(pc, p.Predict(pc), true, pc+100)
+	}
+	// pcs[0] was LRU and must be gone.
+	if pred := p.Predict(pcs[0]); pred.BTBHit {
+		t.Fatal("LRU BTB entry survived conflict")
+	}
+	if pred := p.Predict(pcs[2]); !pred.BTBHit {
+		t.Fatal("MRU BTB entry evicted")
+	}
+}
+
+func TestDistinctBranchesDoNotDestroyEachOther(t *testing.T) {
+	p := New(DefaultConfig())
+	// Two branches with opposite biases at different PCs.
+	for i := 0; i < 2000; i++ {
+		p.Update(0x400100, p.Predict(0x400100), true, 0x400800)
+		p.Update(0x400200, p.Predict(0x400200), false, 0x400900)
+	}
+	if pred := p.Predict(0x400100); !pred.Taken {
+		t.Error("taken-biased branch predicted not-taken")
+	}
+	if pred := p.Predict(0x400200); pred.Taken {
+		t.Error("not-taken-biased branch predicted taken")
+	}
+}
+
+func TestMispredictRatio(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.MispredictRatio() != 0 {
+		t.Fatal("ratio nonzero before branches")
+	}
+	p.Update(0x400100, p.Predict(0x400100), true, 0x400800)
+	if p.Branches != 1 {
+		t.Fatalf("Branches = %d", p.Branches)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	bad := []Config{
+		{GshareEntries: 1000, BimodalEntries: 1024, MetaEntries: 1024, HistoryBits: 8, BTBEntries: 64, BTBWays: 4},
+		{GshareEntries: 1024, BimodalEntries: 1024, MetaEntries: 1024, HistoryBits: 8, BTBEntries: 63, BTBWays: 4},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

@@ -1,0 +1,257 @@
+package cache
+
+import "fmt"
+
+// Line is one cache line's bookkeeping. Data contents are never modeled;
+// only presence matters for replacement studies.
+type Line struct {
+	Tag   uint64 // stored (possibly masked) tag
+	Valid bool
+	Dirty bool
+}
+
+// Stats accumulates access statistics for one cache.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+	Writes     uint64 // write accesses (subset of Accesses)
+}
+
+// MissRatio returns Misses/Accesses, or 0 for an untouched cache.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// AccessResult describes what happened on one cache access.
+type AccessResult struct {
+	Hit        bool
+	Way        int    // way hit or filled
+	Evicted    bool   // a valid block was displaced
+	EvictedTag uint64 // its stored tag, if Evicted
+	Writeback  bool   // the displaced block was dirty
+}
+
+// FullTagMask matches tags exactly.
+const FullTagMask = ^uint64(0)
+
+// Cache is a set-associative cache (or tag-only shadow array). The zero
+// value is not usable; construct with New.
+type Cache struct {
+	geo     Geometry
+	tagMask uint64
+	pol     Policy
+	sets    [][]Line
+	stats   Stats
+
+	// Cached address decomposition (Geometry recomputes these per call).
+	shift    uint
+	numSets  uint64
+	setsPow2 bool
+}
+
+// Option configures a Cache at construction.
+type Option func(*Cache)
+
+// WithPartialTags stores and compares only the low-order bits of each tag
+// selected by mask (e.g. 0xFF for 8-bit partial tags). Partial tags model
+// the paper's shadow-array cost reduction; aliasing between distinct blocks
+// whose masked tags collide is the deliberate consequence.
+func WithPartialTags(mask uint64) Option {
+	return func(c *Cache) { c.tagMask = mask }
+}
+
+// PartialMask returns the mask selecting the low n bits, or FullTagMask for
+// n <= 0 ("full tags") and n >= 64.
+func PartialMask(n int) uint64 {
+	if n <= 0 || n >= 64 {
+		return FullTagMask
+	}
+	return (1 << uint(n)) - 1
+}
+
+// New creates a cache with the given geometry and replacement policy.
+// It panics on an invalid geometry: cache shapes are static configuration,
+// and misconfiguration is a programming error, not a runtime condition.
+func New(g Geometry, pol Policy, opts ...Option) *Cache {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{geo: g, tagMask: FullTagMask, pol: pol}
+	c.shift = g.lineShift()
+	c.numSets = uint64(g.Sets())
+	c.setsPow2 = c.numSets&(c.numSets-1) == 0
+	for _, o := range opts {
+		o(c)
+	}
+	c.Reset()
+	return c
+}
+
+// decompose splits an address into set index and full tag using the cached
+// geometry parameters.
+func (c *Cache) decompose(a Addr) (set int, tag uint64) {
+	block := uint64(a) >> c.shift
+	if c.setsPow2 {
+		return int(block & (c.numSets - 1)), block / c.numSets
+	}
+	return int(block % c.numSets), block
+}
+
+// Reset clears all lines, statistics, and policy metadata.
+func (c *Cache) Reset() {
+	sets := c.geo.Sets()
+	backing := make([]Line, sets*c.geo.Ways)
+	c.sets = make([][]Line, sets)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:c.geo.Ways], backing[c.geo.Ways:]
+	}
+	c.stats = Stats{}
+	c.pol.Attach(c.geo)
+}
+
+// Geometry returns the cache shape.
+func (c *Cache) Geometry() Geometry { return c.geo }
+
+// Policy returns the attached replacement policy.
+func (c *Cache) Policy() Policy { return c.pol }
+
+// TagMask returns the active tag mask (FullTagMask unless partial tags).
+func (c *Cache) TagMask() uint64 { return c.tagMask }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// MaskedTag returns the stored form of the full tag for address a.
+func (c *Cache) MaskedTag(a Addr) uint64 {
+	_, tag := c.decompose(a)
+	return tag & c.tagMask
+}
+
+// Set returns a read-only view of the lines in set s. The returned slice
+// aliases internal storage and must not be modified or retained across
+// accesses.
+func (c *Cache) Set(s int) []Line { return c.sets[s] }
+
+// find returns the way holding tag in set, or -1.
+func (c *Cache) find(set int, tag uint64) int {
+	for w := range c.sets[set] {
+		if c.sets[set][w].Valid && c.sets[set][w].Tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the block of address a is resident.
+func (c *Cache) Contains(a Addr) bool {
+	set, tag := c.decompose(a)
+	return c.find(set, tag&c.tagMask) >= 0
+}
+
+// ContainsMasked reports whether any line in set matches tag after applying
+// this cache's tag mask. The adaptive policy uses it to ask "is this real
+// block (apparently) in the shadow cache?".
+func (c *Cache) ContainsMasked(set int, fullTag uint64) bool {
+	return c.find(set, fullTag&c.tagMask) >= 0
+}
+
+// Access performs one reference to address a. write marks the line dirty on
+// hit or fill. The returned AccessResult reports hit/miss and any eviction.
+func (c *Cache) Access(a Addr, write bool) AccessResult {
+	set, tag := c.decompose(a)
+	return c.AccessTag(set, tag, write)
+}
+
+// AccessTag performs one reference by pre-decomposed set index and full
+// tag, applying this cache's tag mask. The adaptive policy drives its
+// shadow arrays through this entry point so that real and shadow caches
+// agree on set indexing regardless of their tag masks.
+func (c *Cache) AccessTag(set int, fullTag uint64, write bool) AccessResult {
+	tag := fullTag & c.tagMask
+
+	c.stats.Accesses++
+	if write {
+		c.stats.Writes++
+	}
+
+	way := c.find(set, tag)
+	hit := way >= 0
+	c.pol.Observe(set, tag, hit)
+
+	if hit {
+		c.stats.Hits++
+		c.pol.Touch(set, way)
+		if write {
+			c.sets[set][way].Dirty = true
+		}
+		return AccessResult{Hit: true, Way: way}
+	}
+
+	c.stats.Misses++
+	res := AccessResult{Way: -1}
+
+	// A Placer policy dictates placement outright (and may force an
+	// eviction while invalid ways remain — strict way partitioning).
+	// Otherwise prefer an invalid way, and only consult Victim when the
+	// set is full.
+	if pl, ok := c.pol.(Placer); ok {
+		res.Way = pl.Place(set, c.sets[set], tag)
+	}
+	if res.Way < 0 {
+		for w := range c.sets[set] {
+			if !c.sets[set][w].Valid {
+				res.Way = w
+				break
+			}
+		}
+	}
+	if res.Way < 0 {
+		res.Way = c.pol.Victim(set, c.sets[set], tag)
+	}
+	if res.Way < 0 || res.Way >= c.geo.Ways {
+		panic(fmt.Sprintf("cache: policy %s returned invalid victim way %d", c.pol.Name(), res.Way))
+	}
+	if v := c.sets[set][res.Way]; v.Valid {
+		res.Evicted = true
+		res.EvictedTag = v.Tag
+		res.Writeback = v.Dirty
+		c.stats.Evictions++
+		if v.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+
+	c.sets[set][res.Way] = Line{Tag: tag, Valid: true, Dirty: write}
+	c.pol.Insert(set, res.Way, tag)
+	return res
+}
+
+// Invalidate removes the block of address a if resident, returning whether
+// it was present and dirty. Policy metadata for the way is left as-is; the
+// way becomes fill-preferred by virtue of being invalid.
+func (c *Cache) Invalidate(a Addr) (present, dirty bool) {
+	set, tag := c.decompose(a)
+	if w := c.find(set, tag&c.tagMask); w >= 0 {
+		dirty = c.sets[set][w].Dirty
+		c.sets[set][w] = Line{}
+		return true, dirty
+	}
+	return false, false
+}
+
+// Occupancy returns the number of valid lines in set s.
+func (c *Cache) Occupancy(s int) int {
+	n := 0
+	for _, l := range c.sets[s] {
+		if l.Valid {
+			n++
+		}
+	}
+	return n
+}

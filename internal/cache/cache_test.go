@@ -1,0 +1,356 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// directPolicy is a trivial policy that always evicts way 0; it isolates
+// cache mechanics from replacement logic in these tests.
+type directPolicy struct{ NopObserver }
+
+func (directPolicy) Name() string                   { return "direct" }
+func (directPolicy) Attach(Geometry)                {}
+func (directPolicy) Touch(int, int)                 {}
+func (directPolicy) Insert(int, int, uint64)        {}
+func (directPolicy) Victim(int, []Line, uint64) int { return 0 }
+
+func g512k() Geometry { return Geometry{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8} }
+
+func TestGeometryValidate(t *testing.T) {
+	cases := []struct {
+		g  Geometry
+		ok bool
+	}{
+		{Geometry{512 << 10, 64, 8}, true},
+		{Geometry{576 << 10, 64, 9}, true},  // paper's 9-way 576KB
+		{Geometry{640 << 10, 64, 10}, true}, // paper's 10-way 640KB
+		{Geometry{16 << 10, 64, 4}, true},   // paper's L1
+		{Geometry{512 << 10, 63, 8}, false}, // non-power-of-two line
+		{Geometry{0, 64, 8}, false},
+		{Geometry{512 << 10, 64, 0}, false},
+		{Geometry{100, 64, 2}, false}, // not divisible
+	}
+	for _, c := range cases {
+		err := c.g.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) error = %v, want ok=%v", c.g, err, c.ok)
+		}
+	}
+}
+
+func TestGeometryShape(t *testing.T) {
+	g := g512k()
+	if got := g.Sets(); got != 1024 {
+		t.Errorf("Sets() = %d, want 1024", got)
+	}
+	if got := g.Lines(); got != 8192 {
+		t.Errorf("Lines() = %d, want 8192", got)
+	}
+	// The paper assumes 40-bit physical addresses; 512KB/64B/8-way then has
+	// 40-6-10 = 24 tag bits (Section 3.1 footnote).
+	if got := g.TagBits(40); got != 24 {
+		t.Errorf("TagBits(40) = %d, want 24", got)
+	}
+}
+
+func TestGeometryAddressDecomposition(t *testing.T) {
+	g := g512k()
+	// Two addresses within one line share block, index, and tag.
+	a1, a2 := Addr(0x12345678), Addr(0x12345678^0x3F)
+	if g.Block(a1) != g.Block(a2) || g.Index(a1) != g.Index(a2) || g.Tag(a1) != g.Tag(a2) {
+		t.Errorf("same-line addresses decompose differently")
+	}
+	// Addresses one set apart differ in index, not tag.
+	b1, b2 := Addr(0), Addr(64)
+	if g.Index(b1) == g.Index(b2) {
+		t.Errorf("adjacent lines map to the same set")
+	}
+	if g.Tag(b1) != g.Tag(b2) {
+		t.Errorf("adjacent lines within the tag stride have different tags")
+	}
+	// Round trip: (tag, index) uniquely identifies a block.
+	err := quick.Check(func(x, y uint64) bool {
+		ax, ay := Addr(x), Addr(y)
+		sameBlock := g.Block(ax) == g.Block(ay)
+		sameTI := g.Tag(ax) == g.Tag(ay) && g.Index(ax) == g.Index(ay)
+		return sameBlock == sameTI
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometryNonPowerOfTwoSets(t *testing.T) {
+	// 9-way 576KB: 1024 sets; 10-way 640KB: 1024 sets. Also test a truly
+	// odd set count.
+	for _, g := range []Geometry{
+		{576 << 10, 64, 9},
+		{640 << 10, 64, 10},
+		{3 * 64 * 4, 64, 4}, // 3 sets
+	} {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Validate(%v): %v", g, err)
+		}
+		c := New(g, directPolicy{})
+		// Distinct blocks mapping to the same set must have distinct tags.
+		seen := map[int]map[uint64]uint64{}
+		for b := 0; b < 10000; b++ {
+			a := Addr(b * g.LineBytes)
+			set, tag := g.Index(a), g.Tag(a)
+			if seen[set] == nil {
+				seen[set] = map[uint64]uint64{}
+			}
+			if prev, ok := seen[set][tag]; ok && prev != g.Block(a) {
+				t.Fatalf("%v: blocks %d and %d collide on (set=%d, tag=%#x)", g, prev, g.Block(a), set, tag)
+			}
+			seen[set][tag] = g.Block(a)
+			c.Access(a, false)
+		}
+	}
+}
+
+func TestCacheColdFillsUseInvalidWays(t *testing.T) {
+	g := Geometry{SizeBytes: 4 * 64, LineBytes: 64, Ways: 4} // 1 set, 4 ways
+	c := New(g, directPolicy{})
+	for i := 0; i < 4; i++ {
+		res := c.Access(Addr(i*64), false)
+		if res.Hit {
+			t.Fatalf("access %d: unexpected hit", i)
+		}
+		if res.Evicted {
+			t.Fatalf("access %d: eviction during cold fill", i)
+		}
+	}
+	if got := c.Occupancy(0); got != 4 {
+		t.Fatalf("Occupancy = %d, want 4", got)
+	}
+	// Fifth distinct block must evict (way 0 under directPolicy).
+	res := c.Access(Addr(4*64), false)
+	if !res.Evicted || res.Way != 0 {
+		t.Fatalf("fifth fill: got %+v, want eviction at way 0", res)
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestCacheHitAndStats(t *testing.T) {
+	c := New(g512k(), directPolicy{})
+	a := Addr(0x40000)
+	if res := c.Access(a, false); res.Hit {
+		t.Fatal("first access hit")
+	}
+	if res := c.Access(a, false); !res.Hit {
+		t.Fatal("second access missed")
+	}
+	if res := c.Access(a+63, false); !res.Hit { // same line
+		t.Fatal("same-line access missed")
+	}
+	s := c.Stats()
+	if s.Accesses != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 3/2/1", s)
+	}
+	if got := s.MissRatio(); got != 1.0/3.0 {
+		t.Fatalf("MissRatio = %v", got)
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	g := Geometry{SizeBytes: 2 * 64, LineBytes: 64, Ways: 2} // 1 set, 2 ways
+	c := New(g, directPolicy{})
+	c.Access(Addr(0), true)   // dirty fill way 0
+	c.Access(Addr(64), false) // clean fill way 1
+	res := c.Access(Addr(128), false)
+	if !res.Evicted || !res.Writeback {
+		t.Fatalf("expected dirty eviction of way 0, got %+v", res)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("Writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+	// Write hit dirties a clean line.
+	c2 := New(g, directPolicy{})
+	c2.Access(Addr(0), false)
+	c2.Access(Addr(0), true)
+	res = c2.Access(Addr(64), false)
+	if res.Evicted {
+		t.Fatal("cold way should absorb the fill")
+	}
+	res = c2.Access(Addr(128), false)
+	if !res.Writeback {
+		t.Fatal("write-hit did not mark the line dirty")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := New(g512k(), directPolicy{})
+	a := Addr(0x1000)
+	c.Access(a, true)
+	present, dirty := c.Invalidate(a)
+	if !present || !dirty {
+		t.Fatalf("Invalidate = (%v, %v), want (true, true)", present, dirty)
+	}
+	if c.Contains(a) {
+		t.Fatal("block still present after Invalidate")
+	}
+	present, _ = c.Invalidate(a)
+	if present {
+		t.Fatal("double Invalidate reported presence")
+	}
+	// The invalidated way is reused without eviction.
+	if res := c.Access(a, false); res.Evicted {
+		t.Fatal("fill after invalidate evicted")
+	}
+}
+
+func TestPartialMask(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint64
+	}{
+		{0, FullTagMask}, {-1, FullTagMask}, {64, FullTagMask},
+		{1, 0x1}, {4, 0xF}, {6, 0x3F}, {8, 0xFF}, {10, 0x3FF}, {12, 0xFFF},
+	}
+	for _, c := range cases {
+		if got := PartialMask(c.n); got != c.want {
+			t.Errorf("PartialMask(%d) = %#x, want %#x", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPartialTagAliasing(t *testing.T) {
+	// With a 4-bit partial tag, blocks whose tags differ only above bit 3
+	// alias: the second "misses" but matches the first's masked tag via
+	// ContainsMasked, and an Access to it *hits* falsely.
+	g := Geometry{SizeBytes: 4 * 64, LineBytes: 64, Ways: 4}
+	c := New(g, directPolicy{}, WithPartialTags(PartialMask(4)))
+	c.Access(Addr(0), false) // tag 0
+	alias := Addr(16 * 64)   // tag 16 -> masked 0 (1 set)
+	if !c.ContainsMasked(0, 16) {
+		t.Fatal("aliased tag not reported present")
+	}
+	if res := c.Access(alias, false); !res.Hit {
+		t.Fatal("aliased access did not false-hit")
+	}
+	// A full-tag cache keeps them distinct.
+	cf := New(g, directPolicy{})
+	cf.Access(Addr(0), false)
+	if res := cf.Access(alias, false); res.Hit {
+		t.Fatal("full tags false-hit")
+	}
+}
+
+func TestFullWidthPartialTagsEquivalent(t *testing.T) {
+	// Partial tags at least as wide as the real tag must behave exactly
+	// like full tags on any trace.
+	g := Geometry{SizeBytes: 64 * 64, LineBytes: 64, Ways: 4}
+	full := New(g, NewTestLRU())
+	wide := New(g, NewTestLRU(), WithPartialTags(PartialMask(63)))
+	rng := uint64(1)
+	for i := 0; i < 20000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		a := Addr(rng % (1 << 22))
+		r1, r2 := full.Access(a, false), wide.Access(a, false)
+		if r1.Hit != r2.Hit {
+			t.Fatalf("access %d: full hit=%v wide hit=%v", i, r1.Hit, r2.Hit)
+		}
+	}
+	if full.Stats() != wide.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", full.Stats(), wide.Stats())
+	}
+}
+
+func TestAccessTagMatchesAccess(t *testing.T) {
+	g := g512k()
+	c1 := New(g, NewTestLRU())
+	c2 := New(g, NewTestLRU())
+	rng := uint64(7)
+	for i := 0; i < 20000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		a := Addr(rng % (1 << 30))
+		r1 := c1.Access(a, i%5 == 0)
+		r2 := c2.AccessTag(g.Index(a), g.Tag(a), i%5 == 0)
+		if r1 != r2 {
+			t.Fatalf("access %d: Access=%+v AccessTag=%+v", i, r1, r2)
+		}
+	}
+}
+
+func TestSetOccupancyInvariants(t *testing.T) {
+	g := Geometry{SizeBytes: 16 * 64, LineBytes: 64, Ways: 4}
+	c := New(g, NewTestLRU())
+	rng := uint64(42)
+	for i := 0; i < 50000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		c.Access(Addr(rng%(1<<16)), false)
+	}
+	for s := 0; s < g.Sets(); s++ {
+		lines := c.Set(s)
+		if len(lines) != g.Ways {
+			t.Fatalf("set %d has %d ways", s, len(lines))
+		}
+		seen := map[uint64]bool{}
+		for _, l := range lines {
+			if !l.Valid {
+				continue
+			}
+			if seen[l.Tag] {
+				t.Fatalf("set %d holds duplicate tag %#x", s, l.Tag)
+			}
+			seen[l.Tag] = true
+		}
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	c := New(g512k(), NewTestLRU())
+	for i := 0; i < 1000; i++ {
+		c.Access(Addr(i*64), false)
+	}
+	c.Reset()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("stats not cleared: %+v", s)
+	}
+	if c.Contains(Addr(0)) {
+		t.Fatal("contents survived Reset")
+	}
+}
+
+// NewTestLRU is a minimal LRU used by this package's tests (the production
+// LRU lives in internal/policy, which depends on this package).
+type testLRU struct {
+	NopObserver
+	ways  int
+	clock uint64
+	at    []uint64
+}
+
+func NewTestLRU() *testLRU { return &testLRU{} }
+
+func (p *testLRU) Name() string { return "testLRU" }
+func (p *testLRU) Attach(g Geometry) {
+	p.ways = g.Ways
+	p.clock = 0
+	p.at = make([]uint64, g.Sets()*g.Ways)
+}
+func (p *testLRU) Touch(set, way int) {
+	p.clock++
+	p.at[set*p.ways+way] = p.clock
+}
+func (p *testLRU) Insert(set, way int, _ uint64) { p.Touch(set, way) }
+func (p *testLRU) Victim(set int, _ []Line, _ uint64) int {
+	base := set * p.ways
+	best := 0
+	for w := 1; w < p.ways; w++ {
+		if p.at[base+w] < p.at[base+best] {
+			best = w
+		}
+	}
+	return best
+}

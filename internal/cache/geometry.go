@@ -1,0 +1,98 @@
+// Package cache implements a set-associative processor cache model with
+// pluggable replacement policies, optional partial-tag matching, and
+// multi-level hierarchy composition. It is the substrate on which the
+// adaptive replacement scheme of internal/core operates.
+package cache
+
+import "fmt"
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// Geometry describes the shape of a set-associative cache.
+type Geometry struct {
+	SizeBytes int // total data capacity in bytes
+	LineBytes int // cache line (block) size in bytes
+	Ways      int // set associativity
+}
+
+// Validate reports whether the geometry is internally consistent: positive
+// sizes, power-of-two line size, and a whole, positive number of sets.
+// The number of sets need not be a power of two (the paper discusses 9- and
+// 10-way 512KB-data caches, which keep a power-of-two set count; we instead
+// support arbitrary set counts via modulo indexing so either construction
+// works).
+func (g Geometry) Validate() error {
+	if g.SizeBytes <= 0 || g.LineBytes <= 0 || g.Ways <= 0 {
+		return fmt.Errorf("cache: geometry %+v: all fields must be positive", g)
+	}
+	if g.LineBytes&(g.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d is not a power of two", g.LineBytes)
+	}
+	if g.SizeBytes%(g.LineBytes*g.Ways) != 0 {
+		return fmt.Errorf("cache: size %d is not divisible by line*ways %d", g.SizeBytes, g.LineBytes*g.Ways)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (g Geometry) Sets() int {
+	return g.SizeBytes / (g.LineBytes * g.Ways)
+}
+
+// Lines returns the total number of cache lines.
+func (g Geometry) Lines() int {
+	return g.SizeBytes / g.LineBytes
+}
+
+// lineShift returns log2(LineBytes).
+func (g Geometry) lineShift() uint {
+	s := uint(0)
+	for 1<<s < g.LineBytes {
+		s++
+	}
+	return s
+}
+
+// Block returns the block (line) number of an address: the address with the
+// intra-line offset stripped.
+func (g Geometry) Block(a Addr) uint64 {
+	return uint64(a) >> g.lineShift()
+}
+
+// Index returns the set index for an address.
+func (g Geometry) Index(a Addr) int {
+	return int(g.Block(a) % uint64(g.Sets()))
+}
+
+// Tag returns the full tag for an address: the block number with the set
+// index stripped. For non-power-of-two set counts the full block number is
+// used as the tag (a strict superset of the information a hardware tag
+// holds, but exact for simulation purposes).
+func (g Geometry) Tag(a Addr) uint64 {
+	sets := uint64(g.Sets())
+	b := g.Block(a)
+	if sets&(sets-1) == 0 {
+		return b / sets
+	}
+	return b
+}
+
+// TagBits returns the number of significant tag bits assuming physical
+// addresses of physBits bits. Used by the storage model.
+func (g Geometry) TagBits(physBits int) int {
+	bits := physBits - int(g.lineShift())
+	sets := g.Sets()
+	for sets > 1 {
+		sets >>= 1
+		bits--
+	}
+	if bits < 0 {
+		bits = 0
+	}
+	return bits
+}
+
+func (g Geometry) String() string {
+	return fmt.Sprintf("%dKB/%dB/%d-way", g.SizeBytes/1024, g.LineBytes, g.Ways)
+}

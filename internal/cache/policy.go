@@ -1,0 +1,57 @@
+package cache
+
+// Policy is a cache replacement policy. A Policy owns whatever per-set,
+// per-way metadata it needs (recency order, frequency counters, insertion
+// order, ...). The Cache drives the policy through the hooks below.
+//
+// Hook call order for one access:
+//
+//	Observe(set, tag, hit)        — every access, before any state change
+//	hit:  Touch(set, way)
+//	miss: Victim(set, lines, tag) — only if the set is full
+//	      Insert(set, way, tag)   — after the fill
+//
+// Policies must be deterministic given their construction parameters (the
+// Random policy takes an explicit seed).
+type Policy interface {
+	// Name identifies the policy in reports ("LRU", "LFU", ...).
+	Name() string
+
+	// Attach (re)binds the policy to a cache shape, resetting all metadata.
+	// It is called once by New and again by Cache.Reset.
+	Attach(g Geometry)
+
+	// Observe is called for every access before the cache state changes.
+	// Most simple policies ignore it; the adaptive policy uses it to update
+	// its shadow tag arrays and miss history.
+	Observe(set int, tag uint64, hit bool)
+
+	// Touch is called when an access hits way in set.
+	Touch(set, way int)
+
+	// Victim selects the way to evict in a full set. lines is the current
+	// content of the set (read-only view); tag is the (masked) tag of the
+	// incoming block.
+	Victim(set int, lines []Line, tag uint64) int
+
+	// Insert is called after a new block with the given (masked) tag has
+	// been filled into way.
+	Insert(set, way int, tag uint64)
+}
+
+// Placer is an optional Policy extension for policies that partition the
+// ways of a set (e.g. split-associativity management): on every fill the
+// cache asks the Placer where the incoming block must live. If the
+// returned way holds a valid line, that line is evicted — even if other
+// ways are invalid, which is exactly what strict partitioning requires.
+// Returning -1 accepts the cache's default placement (first invalid way,
+// else Victim).
+type Placer interface {
+	Place(set int, lines []Line, tag uint64) int
+}
+
+// NopObserver may be embedded by policies that do not care about Observe.
+type NopObserver struct{}
+
+// Observe implements Policy with no action.
+func (NopObserver) Observe(int, uint64, bool) {}

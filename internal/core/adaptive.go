@@ -1,0 +1,318 @@
+// Package core implements the paper's primary contribution: adaptive cache
+// replacement (Subramanian, Smaragdakis, Loh, MICRO 2006). An Adaptive
+// policy combines any N >= 2 component replacement policies, maintains a
+// parallel (shadow) tag array per component plus a per-set miss history
+// buffer, and on every real-cache miss imitates the component with the
+// fewest recorded misses (paper Algorithm 1). Shadow arrays may use partial
+// tags to cut hardware cost (paper Section 3.1); the SBAR type provides the
+// set-sampling variant of Section 4.7.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/history"
+	"repro/internal/policy"
+)
+
+// ComponentFactory constructs a fresh instance of a component replacement
+// policy. Factories rather than instances are required because the adaptive
+// scheme needs an independent policy instance per shadow tag array.
+type ComponentFactory func() cache.Policy
+
+// DefaultComponents returns the paper's default LRU/LFU component pair.
+func DefaultComponents() []ComponentFactory {
+	return []ComponentFactory{
+		func() cache.Policy { return policy.NewLRU() },
+		func() cache.Policy { return policy.NewLFU(policy.DefaultLFUBits) },
+	}
+}
+
+// Fallback selects the behavior when no resident block lies outside the
+// imitated component's cache — possible only with partial tags, where
+// aliasing can make every resident block appear present (paper Section 3.1:
+// "the adaptive cache simply picks an arbitrary block to evict").
+type Fallback int
+
+const (
+	// FallbackLRU evicts the real array's least recently used block.
+	FallbackLRU Fallback = iota
+	// FallbackFixed evicts way 0 — the cheapest possible hardware choice.
+	FallbackFixed
+)
+
+// TagHash optionally folds a full tag before the partial-tag mask is
+// applied (the paper mentions "XOR of bit groups" as an alternative to
+// low-order bits).
+type TagHash func(tag uint64) uint64
+
+// XORFold16 folds the tag by XORing 16-bit groups — one of the paper's
+// suggested partial-tag constructions.
+func XORFold16(tag uint64) uint64 {
+	return tag ^ (tag >> 16) ^ (tag >> 32) ^ (tag >> 48)
+}
+
+// Adaptive is the adaptive replacement policy. It implements cache.Policy
+// and is attached to the "real" cache like any other policy; internally it
+// simulates each component policy on its own shadow tag array.
+type Adaptive struct {
+	factories []ComponentFactory
+	hist      history.Buffer
+	histOwned bool // hist was defaulted; recreate on Attach
+	tagMask   uint64
+	tagHash   TagHash
+	countCur  bool
+	fallback  Fallback
+
+	onDecision func(set, comp int)
+	onSample   func(set int, missMask uint64)
+
+	geo     cache.Geometry
+	shadows []*cache.Cache
+	realRec *realRecency
+
+	// Per-access scratch, valid between Observe and Victim of one access.
+	lastSet  int
+	lastBest int
+	lastRes  []cache.AccessResult
+	counts   []int
+}
+
+// Option configures an Adaptive policy.
+type Option func(*Adaptive)
+
+// WithHistory sets the miss-history buffer. The default is the paper's
+// windowed bit-vector with m equal to the cache associativity.
+func WithHistory(h history.Buffer) Option {
+	return func(a *Adaptive) { a.hist, a.histOwned = h, false }
+}
+
+// WithShadowTagBits makes the shadow arrays store only the low n bits of
+// each tag (after the optional TagHash). n <= 0 selects full tags.
+func WithShadowTagBits(n int) Option {
+	return func(a *Adaptive) { a.tagMask = cache.PartialMask(n) }
+}
+
+// WithTagHash sets the partial-tag fold function.
+func WithTagHash(h TagHash) Option {
+	return func(a *Adaptive) { a.tagHash = h }
+}
+
+// WithCountCurrentMiss controls whether the differential miss of the
+// current access is recorded before or after the imitation decision. The
+// paper's worked example counts it (the default); a pipelined hardware
+// implementation might not.
+func WithCountCurrentMiss(on bool) Option {
+	return func(a *Adaptive) { a.countCur = on }
+}
+
+// WithFallback sets the arbitrary-eviction strategy under partial-tag
+// aliasing.
+func WithFallback(f Fallback) Option {
+	return func(a *Adaptive) { a.fallback = f }
+}
+
+// WithDecisionHook registers a callback invoked on every replacement
+// decision with the set and the imitated component index. The phase maps of
+// paper Figure 7 are built from this stream.
+func WithDecisionHook(fn func(set, comp int)) Option {
+	return func(a *Adaptive) { a.onDecision = fn }
+}
+
+// WithSampleHook registers a callback invoked on every access with the
+// component miss mask (bit i set = component i missed). The SBAR global
+// selector consumes this stream.
+func WithSampleHook(fn func(set int, missMask uint64)) Option {
+	return func(a *Adaptive) { a.onSample = fn }
+}
+
+// NewAdaptive builds an adaptive policy over the given component policies
+// (at least two).
+func NewAdaptive(comps []ComponentFactory, opts ...Option) *Adaptive {
+	if len(comps) < 2 {
+		panic("core: adaptive policy needs at least two component policies")
+	}
+	a := &Adaptive{
+		factories: comps,
+		histOwned: true,
+		tagMask:   cache.FullTagMask,
+		countCur:  true,
+		fallback:  FallbackLRU,
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Name implements cache.Policy, e.g. "Adaptive(LRU,LFU)".
+func (a *Adaptive) Name() string {
+	if a.shadows == nil {
+		names := make([]string, len(a.factories))
+		for i, f := range a.factories {
+			names[i] = f().Name()
+		}
+		return "Adaptive(" + strings.Join(names, ",") + ")"
+	}
+	names := make([]string, len(a.shadows))
+	for i, s := range a.shadows {
+		names[i] = s.Policy().Name()
+	}
+	return "Adaptive(" + strings.Join(names, ",") + ")"
+}
+
+// Components returns the number of component policies.
+func (a *Adaptive) Components() int { return len(a.factories) }
+
+// Shadow returns component i's shadow tag array; tests and examples use it
+// to compare shadow contents against standalone caches.
+func (a *Adaptive) Shadow(i int) *cache.Cache { return a.shadows[i] }
+
+// History returns the attached miss-history buffer.
+func (a *Adaptive) History() history.Buffer { return a.hist }
+
+// Attach implements cache.Policy.
+func (a *Adaptive) Attach(g cache.Geometry) {
+	a.geo = g
+	a.shadows = make([]*cache.Cache, len(a.factories))
+	for i, f := range a.factories {
+		a.shadows[i] = cache.New(g, f(), cache.WithPartialTags(a.tagMask))
+	}
+	if a.histOwned || a.hist == nil {
+		a.hist = history.NewWindow(g.Ways)
+		a.histOwned = true
+	}
+	a.hist.Attach(g.Sets(), len(a.factories))
+	a.realRec = newRealRecency(g)
+	a.lastSet = -1
+	a.lastRes = make([]cache.AccessResult, len(a.factories))
+	a.counts = make([]int, len(a.factories))
+}
+
+// shadowTag applies the optional hash before the shadow's own masking.
+func (a *Adaptive) shadowTag(tag uint64) uint64 {
+	if a.tagHash != nil {
+		return a.tagHash(tag)
+	}
+	return tag
+}
+
+// Observe implements cache.Policy: emulate every component on its shadow
+// array, update the miss history, and pre-compute the imitation choice for
+// a possible Victim call on this same access.
+func (a *Adaptive) Observe(set int, tag uint64, hit bool) {
+	st := a.shadowTag(tag)
+	var missMask uint64
+	for i, s := range a.shadows {
+		a.lastRes[i] = s.AccessTag(set, st, false)
+		if !a.lastRes[i].Hit {
+			missMask |= 1 << uint(i)
+		}
+	}
+	if a.onSample != nil {
+		a.onSample(set, missMask)
+	}
+	if a.countCur {
+		a.hist.Record(set, missMask)
+		a.lastBest = history.Best(a.hist.Counts(set, a.counts))
+	} else {
+		a.lastBest = history.Best(a.hist.Counts(set, a.counts))
+		a.hist.Record(set, missMask)
+	}
+	a.lastSet = set
+}
+
+// Touch implements cache.Policy: track real-array recency for tie-breaking
+// and fallback eviction.
+func (a *Adaptive) Touch(set, way int) { a.realRec.touch(set, way) }
+
+// Insert implements cache.Policy.
+func (a *Adaptive) Insert(set, way int, _ uint64) { a.realRec.touch(set, way) }
+
+// Victim implements cache.Policy — paper Algorithm 1. lines hold the real
+// array's full tags; membership checks against the imitated component use
+// the shadow's masked comparison.
+func (a *Adaptive) Victim(set int, lines []cache.Line, tag uint64) int {
+	if set != a.lastSet {
+		panic(fmt.Sprintf("core: Victim(set=%d) without matching Observe(set=%d)", set, a.lastSet))
+	}
+	best := a.lastBest
+	if a.onDecision != nil {
+		a.onDecision(set, best)
+	}
+	shadow := a.shadows[best]
+	res := a.lastRes[best]
+
+	// "if (best missed AND the block it evicts is in the adaptive cache)
+	//  then evict the same block."
+	if !res.Hit && res.Evicted {
+		if w := a.findMasked(set, lines, shadow, res.EvictedTag); w >= 0 {
+			return w
+		}
+	}
+
+	// "else evict any block not in best's cache" — choose the least
+	// recently used such block so the real array converges predictably.
+	bestWay, bestAt := -1, uint64(0)
+	for w := range lines {
+		if shadow.ContainsMasked(set, a.shadowTag(lines[w].Tag)) {
+			continue
+		}
+		if at := a.realRec.at(set, w); bestWay < 0 || at < bestAt {
+			bestWay, bestAt = w, at
+		}
+	}
+	if bestWay >= 0 {
+		return bestWay
+	}
+
+	// Partial-tag aliasing: every resident block appears present in the
+	// shadow. "The adaptive cache simply picks an arbitrary block."
+	if a.fallback == FallbackFixed {
+		return 0
+	}
+	return a.realRec.oldest(set)
+}
+
+// findMasked returns the real way whose tag maps to shadowTagVal under the
+// shadow's masking, or -1.
+func (a *Adaptive) findMasked(set int, lines []cache.Line, shadow *cache.Cache, shadowTagVal uint64) int {
+	mask := shadow.TagMask()
+	for w := range lines {
+		if lines[w].Valid && a.shadowTag(lines[w].Tag)&mask == shadowTagVal {
+			return w
+		}
+	}
+	return -1
+}
+
+// realRecency is minimal per-way recency bookkeeping for the real array.
+type realRecency struct {
+	ways  int
+	clock uint64
+	marks []uint64
+}
+
+func newRealRecency(g cache.Geometry) *realRecency {
+	return &realRecency{ways: g.Ways, marks: make([]uint64, g.Sets()*g.Ways)}
+}
+
+func (r *realRecency) touch(set, way int) {
+	r.clock++
+	r.marks[set*r.ways+way] = r.clock
+}
+
+func (r *realRecency) at(set, way int) uint64 { return r.marks[set*r.ways+way] }
+
+func (r *realRecency) oldest(set int) int {
+	base := set * r.ways
+	best := 0
+	for w := 1; w < r.ways; w++ {
+		if r.marks[base+w] < r.marks[base+best] {
+			best = w
+		}
+	}
+	return best
+}

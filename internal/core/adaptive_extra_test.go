@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/history"
+	"repro/internal/policy"
+)
+
+// TestAdaptiveNonPowerOfTwoGeometry runs the adaptive policy on the
+// paper's 9-way 576KB configuration (non-power-of-two per-set layout).
+func TestAdaptiveNonPowerOfTwoGeometry(t *testing.T) {
+	g := cache.Geometry{SizeBytes: 576 << 10, LineBytes: 64, Ways: 9}
+	c := cache.New(g, NewAdaptive([]ComponentFactory{lruf, lfuf}, WithShadowTagBits(8)))
+	rng := uint64(3)
+	for i := 0; i < 60000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		c.Access(cache.Addr(rng%(1<<24)), false)
+	}
+	s := c.Stats()
+	if s.Accesses != 60000 || s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("implausible stats %+v", s)
+	}
+}
+
+// TestDefaultHistoryWindowMatchesAssociativity: the paper sets m to the
+// cache associativity by default.
+func TestDefaultHistoryWindowMatchesAssociativity(t *testing.T) {
+	ad := NewAdaptive([]ComponentFactory{lruf, lfuf})
+	oneSet(8, ad)
+	w, ok := ad.History().(*history.Window)
+	if !ok {
+		t.Fatalf("default history is %T, want *history.Window", ad.History())
+	}
+	if w.Len() != 8 {
+		t.Fatalf("default window m = %d, want 8 (the associativity)", w.Len())
+	}
+}
+
+// TestExplicitHistorySurvivesAttach: a user-provided buffer must not be
+// replaced by the default on Attach.
+func TestExplicitHistorySurvivesAttach(t *testing.T) {
+	h := history.NewSaturating(6)
+	ad := NewAdaptive([]ComponentFactory{lruf, lfuf}, WithHistory(h))
+	oneSet(4, ad)
+	if ad.History() != history.Buffer(h) {
+		t.Fatal("explicit history buffer replaced on Attach")
+	}
+}
+
+// TestCacheResetReattachesAdaptive: Reset must clear shadow arrays and
+// history so a second run reproduces the first exactly.
+func TestCacheResetReattachesAdaptive(t *testing.T) {
+	ad := NewAdaptive([]ComponentFactory{lruf, lfuf})
+	c := oneSet(4, ad)
+	run := func() cache.Stats {
+		rng := uint64(5)
+		for i := 0; i < 20000; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			c.Access(blk(int(rng%13)), false)
+		}
+		return c.Stats()
+	}
+	s1 := run()
+	c.Reset()
+	s2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats after Reset differ: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestShadowStoresMaskedTags: with k-bit shadow tags, every tag stored in
+// a shadow array must fit in k bits.
+func TestShadowStoresMaskedTags(t *testing.T) {
+	ad := NewAdaptive([]ComponentFactory{lruf, lfuf}, WithShadowTagBits(8))
+	g := cache.Geometry{SizeBytes: 16 * 64 * 4, LineBytes: 64, Ways: 4}
+	c := cache.New(g, ad)
+	for i := 0; i < 5000; i++ {
+		c.Access(cache.Addr(i*64*17), false)
+	}
+	for k := 0; k < 2; k++ {
+		sh := ad.Shadow(k)
+		for s := 0; s < g.Sets(); s++ {
+			for _, l := range sh.Set(s) {
+				if l.Valid && l.Tag > 0xFF {
+					t.Fatalf("shadow %d holds %d-bit tag %#x", k, 8, l.Tag)
+				}
+			}
+		}
+	}
+	// The real array keeps full tags.
+	fullSeen := false
+	for s := 0; s < g.Sets(); s++ {
+		for _, l := range c.Set(s) {
+			if l.Valid && l.Tag > 0xFF {
+				fullSeen = true
+			}
+		}
+	}
+	if !fullSeen {
+		t.Fatal("real array never held a full-width tag (trace too small?)")
+	}
+}
+
+// TestInvalidateDoesNotDesyncAdaptive: the paper notes shadow arrays need
+// not observe coherence invalidations; the adaptive cache must keep
+// operating correctly when real lines are invalidated underneath it.
+func TestInvalidateDoesNotDesyncAdaptive(t *testing.T) {
+	ad := NewAdaptive([]ComponentFactory{lruf, lfuf})
+	c := oneSet(4, ad)
+	rng := uint64(7)
+	for i := 0; i < 30000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		a := blk(int(rng % 11))
+		c.Access(a, false)
+		if i%97 == 0 {
+			c.Invalidate(a) // snoop-style invalidation the shadows never see
+		}
+	}
+	if occ := c.Occupancy(0); occ > 4 {
+		t.Fatalf("occupancy %d exceeds ways", occ)
+	}
+	// Shadows deliberately diverge from the real array here; the policy
+	// must still produce legal victims (the cache panics otherwise).
+	if c.Stats().Accesses != 30000 {
+		t.Fatal("simulation incomplete")
+	}
+}
+
+// TestTwoXBoundWithThreeComponents: the formal proof covers two
+// components, but the generalized argmin rule should stay within the same
+// empirical envelope for three.
+func TestTwoXBoundWithThreeComponents(t *testing.T) {
+	const ways = 4
+	ad := NewAdaptive([]ComponentFactory{lruf, lfuf, fifof},
+		WithHistory(history.NewCounters()))
+	real := oneSet(ways, ad)
+	rng := uint64(123)
+	for i := 0; i < 30000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		real.Access(blk(int(rng%11)), false)
+	}
+	best := ad.Shadow(0).Stats().Misses
+	for k := 1; k < 3; k++ {
+		if m := ad.Shadow(k).Stats().Misses; m < best {
+			best = m
+		}
+	}
+	if am := real.Stats().Misses; am > 2*best+2*ways {
+		t.Errorf("three-component adaptive misses %d exceed 2x best %d", am, best)
+	}
+}
+
+// TestAdaptiveWritesPropagateDirtyState: dirty bits live in the real
+// array; adaptivity must not disturb writeback accounting.
+func TestAdaptiveWritesPropagateDirtyState(t *testing.T) {
+	ad := NewAdaptive([]ComponentFactory{lruf, lfuf})
+	c := oneSet(2, ad)
+	c.Access(blk(0), true)
+	c.Access(blk(1), false)
+	c.Access(blk(2), false) // evicts one of the two
+	c.Access(blk(3), false)
+	if c.Stats().Writebacks == 0 {
+		t.Fatal("dirty eviction not recorded under adaptive policy")
+	}
+}
+
+// TestSBARWithFivePolicies: the set-sampling variant generalizes to N
+// components like the full scheme.
+func TestSBARWithFivePolicies(t *testing.T) {
+	s := NewSBAR([]ComponentFactory{lruf, lfuf, fifof, mruf, randf}, WithLeaderSets(4))
+	c := newSBARCache(16, 4, s)
+	rng := uint64(17)
+	for i := 0; i < 40000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		c.Access(cache.Addr(rng%(1<<16)), false)
+	}
+	if w := s.Winner(); w < 0 || w >= 5 {
+		t.Fatalf("winner %d out of range", w)
+	}
+	if c.Stats().Accesses != 40000 {
+		t.Fatal("simulation incomplete")
+	}
+}
+
+// TestDecisionsFollowHistory: after a long streak of one component
+// missing, the decision hook must report imitation of the other.
+func TestDecisionsFollowHistory(t *testing.T) {
+	var last int
+	ad := NewAdaptive(
+		[]ComponentFactory{func() cache.Policy { return policy.NewLRU() }, mruf},
+		WithDecisionHook(func(_, comp int) { last = comp }))
+	c := oneSet(4, ad)
+	// Loop of 5 blocks: LRU misses everything, MRU settles. After
+	// convergence every decision must imitate MRU (component 1).
+	for r := 0; r < 500; r++ {
+		for b := 0; b < 5; b++ {
+			c.Access(blk(b), false)
+		}
+	}
+	if last != 1 {
+		t.Fatalf("final decision imitates component %d, want 1 (MRU)", last)
+	}
+}

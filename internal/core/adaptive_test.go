@@ -1,0 +1,594 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/history"
+	"repro/internal/policy"
+)
+
+func lruf() cache.Policy  { return policy.NewLRU() }
+func lfuf() cache.Policy  { return policy.NewLFU(policy.DefaultLFUBits) }
+func fifof() cache.Policy { return policy.NewFIFO() }
+func mruf() cache.Policy  { return policy.NewMRU() }
+func randf() cache.Policy { return policy.NewRandom(7) }
+
+func oneSet(ways int, p cache.Policy) *cache.Cache {
+	g := cache.Geometry{SizeBytes: ways * 64, LineBytes: 64, Ways: ways}
+	return cache.New(g, p)
+}
+
+func blk(i int) cache.Addr { return cache.Addr(i * 64) }
+
+// scripted is a component policy that evicts a predetermined sequence of
+// tags; it lets tests pin down exact paper scenarios such as Figure 2.
+type scripted struct {
+	cache.NopObserver
+	name   string
+	script []uint64
+	i      int
+	t      *testing.T
+}
+
+func (s *scripted) Name() string            { return s.name }
+func (s *scripted) Attach(cache.Geometry)   {}
+func (s *scripted) Touch(int, int)          {}
+func (s *scripted) Insert(int, int, uint64) {}
+func (s *scripted) Victim(_ int, lines []cache.Line, _ uint64) int {
+	if s.i >= len(s.script) {
+		s.t.Fatalf("policy %s: script exhausted", s.name)
+	}
+	want := s.script[s.i]
+	s.i++
+	for w := range lines {
+		if lines[w].Valid && lines[w].Tag == want {
+			return w
+		}
+	}
+	s.t.Fatalf("policy %s: scripted victim %d not resident", s.name, want)
+	return -1
+}
+
+// contents returns the sorted tags resident in set 0.
+func contents(c *cache.Cache) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, l := range c.Set(0) {
+		if l.Valid {
+			out[l.Tag] = true
+		}
+	}
+	return out
+}
+
+func wantContents(t *testing.T, c *cache.Cache, tags ...uint64) {
+	t.Helper()
+	got := contents(c)
+	if len(got) != len(tags) {
+		t.Fatalf("contents %v, want %v", got, tags)
+	}
+	for _, tag := range tags {
+		if !got[tag] {
+			t.Fatalf("contents %v missing tag %d (want %v)", got, tag, tags)
+		}
+	}
+}
+
+// TestPaperFigure2Example replays the worked example of paper Figure 2:
+// references C A B F D B C G against component policies whose evictions are
+// scripted to the figure, with full miss counters. Block letters map to
+// tags A=0 B=1 C=2 D=3 F=5 G=6.
+func TestPaperFigure2Example(t *testing.T) {
+	const (
+		A, B, C, D, F, G = 0, 1, 2, 3, 5, 6
+	)
+	polA := &scripted{name: "polA", script: []uint64{B, C, D, C}, t: t}
+	polB := &scripted{name: "polB", script: []uint64{A, F}, t: t}
+	ad := NewAdaptive(
+		[]ComponentFactory{func() cache.Policy { return polA }, func() cache.Policy { return polB }},
+		WithHistory(history.NewCounters()),
+	)
+	real := oneSet(4, ad)
+
+	refs := []int{C, A, B, F, D, B, C, G}
+	type step struct {
+		hit        bool
+		evicted    int64 // -1 = no eviction
+		afterTags  []uint64
+		afterPolA  []uint64
+		afterPolB  []uint64
+		missCounts [2]int
+	}
+	want := []step{
+		{false, -1, []uint64{C}, nil, nil, [2]int{1, 1}},
+		{false, -1, []uint64{C, A}, nil, nil, [2]int{2, 2}},
+		{false, -1, []uint64{C, A, B}, nil, nil, [2]int{3, 3}},
+		{false, -1, []uint64{A, B, C, F}, []uint64{A, B, C, F}, []uint64{A, B, C, F}, [2]int{4, 4}},
+		// D: tie -> imitate polA, which evicted B.
+		{false, B, []uint64{A, C, D, F}, []uint64{A, C, D, F}, []uint64{B, C, D, F}, [2]int{5, 5}},
+		// B: misses only polA -> imitate polB; evict the block outside polB (A).
+		{false, A, []uint64{B, C, D, F}, []uint64{A, B, D, F}, []uint64{B, C, D, F}, [2]int{6, 5}},
+		// C: hits the adaptive cache; polA misses again.
+		{true, -1, []uint64{B, C, D, F}, []uint64{A, B, C, F}, []uint64{B, C, D, F}, [2]int{7, 5}},
+		// G: both miss; polB still best; polB evicted F, resident -> evict F.
+		{false, F, []uint64{B, C, D, G}, []uint64{A, B, F, G}, []uint64{B, C, D, G}, [2]int{8, 6}},
+	}
+	for i, r := range refs {
+		res := real.Access(blk(r), false)
+		w := want[i]
+		if res.Hit != w.hit {
+			t.Fatalf("ref %d (block %d): hit=%v, want %v", i, r, res.Hit, w.hit)
+		}
+		gotEv := int64(-1)
+		if res.Evicted {
+			gotEv = int64(res.EvictedTag)
+		}
+		if gotEv != w.evicted {
+			t.Fatalf("ref %d (block %d): evicted %d, want %d", i, r, gotEv, w.evicted)
+		}
+		wantContents(t, real, w.afterTags...)
+		if w.afterPolA != nil {
+			wantContents(t, ad.Shadow(0), w.afterPolA...)
+			wantContents(t, ad.Shadow(1), w.afterPolB...)
+		}
+		counts := ad.History().Counts(0, make([]int, 2))
+		if counts[0] != w.missCounts[0] || counts[1] != w.missCounts[1] {
+			t.Fatalf("ref %d: miss counts %v, want %v", i, counts, w.missCounts)
+		}
+	}
+}
+
+// TestShadowMatchesStandalone: each shadow tag array must track exactly
+// what a standalone cache under the same component policy would contain —
+// the defining property of the parallel tag structures (paper Section 2.2).
+func TestShadowMatchesStandalone(t *testing.T) {
+	pairs := [][2]ComponentFactory{
+		{lruf, lfuf}, {fifof, mruf}, {lruf, randf},
+	}
+	g := cache.Geometry{SizeBytes: 32 * 64 * 4, LineBytes: 64, Ways: 4} // 32 sets
+	for _, pair := range pairs {
+		ad := NewAdaptive(pair[:])
+		real := cache.New(g, ad)
+		standalone := [2]*cache.Cache{
+			cache.New(g, pair[0]()),
+			cache.New(g, pair[1]()),
+		}
+		rng := uint64(11)
+		for i := 0; i < 60000; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			a := cache.Addr(rng % (1 << 20))
+			real.Access(a, false)
+			for k := 0; k < 2; k++ {
+				standalone[k].Access(a, false)
+			}
+		}
+		for k := 0; k < 2; k++ {
+			sh, st := ad.Shadow(k).Stats(), standalone[k].Stats()
+			if sh.Hits != st.Hits || sh.Misses != st.Misses {
+				t.Fatalf("%s shadow stats %+v != standalone %+v",
+					standalone[k].Policy().Name(), sh, st)
+			}
+			for s := 0; s < g.Sets(); s++ {
+				shSet, stSet := ad.Shadow(k).Set(s), standalone[k].Set(s)
+				for w := range shSet {
+					if shSet[w].Valid != stSet[w].Valid || shSet[w].Tag != stSet[w].Tag {
+						t.Fatalf("%s shadow set %d way %d differs", standalone[k].Policy().Name(), s, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveTracksBetterComponent builds one LRU-friendly and one
+// LFU-friendly trace and demands the adaptive cache land within 10%% of the
+// better component's misses on each — the paper's headline behavior
+// (Figures 3 and 4: lucas tracks LRU, art tracks LFU).
+func TestAdaptiveTracksBetterComponent(t *testing.T) {
+	const ways = 8
+	mk := func() (*cache.Cache, *cache.Cache, *cache.Cache) {
+		return oneSet(ways, policy.NewLRU()),
+			oneSet(ways, policy.NewLFU(policy.DefaultLFUBits)),
+			oneSet(ways, NewAdaptive([]ComponentFactory{lruf, lfuf}))
+	}
+
+	// LRU-friendly: working set of `ways` blocks with recency-skewed reuse,
+	// drifting slowly so LFU's stale counts mislead it.
+	lru1, lfu1, ad1 := mk()
+	rng := uint64(3)
+	base := 0
+	for i := 0; i < 60000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		b := base + int(rng%ways)
+		if i%200 == 199 {
+			base++ // drift
+		}
+		for _, c := range []*cache.Cache{lru1, lfu1, ad1} {
+			c.Access(blk(b), false)
+		}
+	}
+
+	// LFU-friendly: four hot blocks (double-touched so their frequency
+	// counts build) amid a heavy once-through scan. LRU loses the hot
+	// blocks to scan pressure; LFU keeps them.
+	lru2, lfu2, ad2 := mk()
+	access2 := func(b int) {
+		for _, c := range []*cache.Cache{lru2, lfu2, ad2} {
+			c.Access(blk(b), false)
+		}
+	}
+	scan := 1000
+	for r := 0; r < 6000; r++ {
+		for k := 0; k < 7; k++ {
+			scan++
+			access2(scan) // streaming blocks, never reused
+		}
+		h := r % 4
+		access2(h)
+		access2(h)
+	}
+
+	check := func(name string, winner, loser, ad *cache.Cache) {
+		t.Helper()
+		wm, lm, am := winner.Stats().Misses, loser.Stats().Misses, ad.Stats().Misses
+		if wm >= lm {
+			t.Fatalf("%s: trace premise broken: winner %d >= loser %d misses", name, wm, lm)
+		}
+		if float64(am) > 1.10*float64(wm) {
+			t.Errorf("%s: adaptive misses %d exceed 1.10x winner %d (loser %d)", name, am, wm, lm)
+		}
+	}
+	check("LRU-friendly", lru1, lfu1, ad1)
+	check("LFU-friendly", lfu2, lru2, ad2)
+}
+
+// TestTheoremTwoXBound empirically checks the paper's worst-case guarantee
+// (Appendix): with integer miss counters and full tags, the adaptive policy
+// suffers at most twice the misses of the better component policy, modulo
+// an additive term for cold starts. Random traces over several policy
+// pairs.
+func TestTheoremTwoXBound(t *testing.T) {
+	const ways = 4
+	pairs := [][2]ComponentFactory{
+		{lruf, lfuf}, {lruf, mruf}, {fifof, lfuf}, {fifof, randf}, {mruf, lfuf},
+	}
+	f := func(seedRaw uint32, universeRaw uint8) bool {
+		seed := uint64(seedRaw) | 1
+		universe := int(universeRaw%12) + ways + 1
+		for _, pair := range pairs {
+			ad := NewAdaptive(pair[:], WithHistory(history.NewCounters()))
+			real := oneSet(ways, ad)
+			rng := seed
+			for i := 0; i < 4000; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				real.Access(blk(int(rng%uint64(universe))), false)
+			}
+			am := real.Stats().Misses
+			m0 := ad.Shadow(0).Stats().Misses
+			m1 := ad.Shadow(1).Stats().Misses
+			best := m0
+			if m1 < best {
+				best = m1
+			}
+			if am > 2*best+2*ways {
+				t.Logf("seed %d universe %d pair %s/%s: adaptive %d > 2*%d+%d",
+					seed, universe, ad.Shadow(0).Policy().Name(), ad.Shadow(1).Policy().Name(),
+					am, best, 2*ways)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIdenticalComponentsDegenerate: adapting between two copies of the
+// same policy must reproduce that policy's miss count exactly.
+func TestIdenticalComponentsDegenerate(t *testing.T) {
+	g := cache.Geometry{SizeBytes: 16 * 64 * 4, LineBytes: 64, Ways: 4}
+	ad := NewAdaptive([]ComponentFactory{lruf, lruf})
+	real := cache.New(g, ad)
+	ref := cache.New(g, policy.NewLRU())
+	rng := uint64(5)
+	for i := 0; i < 50000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		a := cache.Addr(rng % (1 << 18))
+		real.Access(a, false)
+		ref.Access(a, false)
+	}
+	if real.Stats().Misses != ref.Stats().Misses {
+		t.Fatalf("adaptive(LRU,LRU) misses %d != LRU %d", real.Stats().Misses, ref.Stats().Misses)
+	}
+}
+
+func TestAdaptiveName(t *testing.T) {
+	ad := NewAdaptive([]ComponentFactory{lruf, lfuf})
+	if got := ad.Name(); got != "Adaptive(LRU,LFU)" {
+		t.Fatalf("Name = %q", got)
+	}
+	oneSet(4, ad) // attach
+	if got := ad.Name(); got != "Adaptive(LRU,LFU)" {
+		t.Fatalf("Name after attach = %q", got)
+	}
+}
+
+func TestAdaptiveNeedsTwoComponents(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAdaptive with one component did not panic")
+		}
+	}()
+	NewAdaptive([]ComponentFactory{lruf})
+}
+
+func TestVictimWithoutObservePanics(t *testing.T) {
+	ad := NewAdaptive([]ComponentFactory{lruf, lfuf})
+	ad.Attach(cache.Geometry{SizeBytes: 4 * 64, LineBytes: 64, Ways: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Victim without Observe did not panic")
+		}
+	}()
+	ad.Victim(0, make([]cache.Line, 4), 0)
+}
+
+func TestDecisionHookSeesEveryReplacement(t *testing.T) {
+	var decisions []int
+	ad := NewAdaptive([]ComponentFactory{lruf, lfuf},
+		WithDecisionHook(func(set, comp int) {
+			if set != 0 {
+				t.Errorf("decision in set %d, want 0", set)
+			}
+			decisions = append(decisions, comp)
+		}))
+	real := oneSet(2, ad)
+	for i := 0; i < 100; i++ {
+		real.Access(blk(i), false)
+	}
+	evictions := real.Stats().Evictions
+	if uint64(len(decisions)) != evictions {
+		t.Fatalf("%d decisions for %d evictions", len(decisions), evictions)
+	}
+	for _, d := range decisions {
+		if d != 0 && d != 1 {
+			t.Fatalf("decision %d out of range", d)
+		}
+	}
+}
+
+func TestSampleHookSeesEveryAccess(t *testing.T) {
+	n := 0
+	ad := NewAdaptive([]ComponentFactory{lruf, lfuf},
+		WithSampleHook(func(int, uint64) { n++ }))
+	real := oneSet(2, ad)
+	for i := 0; i < 500; i++ {
+		real.Access(blk(i%7), false)
+	}
+	if n != 500 {
+		t.Fatalf("sample hook fired %d times, want 500", n)
+	}
+}
+
+// TestPartialTagsWideBehavesLikeFull: shadow partial tags wider than the
+// real tags in play must produce exactly the full-tag behavior.
+func TestPartialTagsWideBehavesLikeFull(t *testing.T) {
+	g := cache.Geometry{SizeBytes: 8 * 64 * 4, LineBytes: 64, Ways: 4}
+	full := cache.New(g, NewAdaptive([]ComponentFactory{lruf, lfuf}))
+	wide := cache.New(g, NewAdaptive([]ComponentFactory{lruf, lfuf}, WithShadowTagBits(40)))
+	rng := uint64(17)
+	for i := 0; i < 40000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		a := cache.Addr(rng % (1 << 20)) // tags fit well inside 40 bits
+		r1, r2 := full.Access(a, false), wide.Access(a, false)
+		if r1 != r2 {
+			t.Fatalf("access %d: full %+v, wide-partial %+v", i, r1, r2)
+		}
+	}
+}
+
+// TestNarrowPartialTagsStayClose: with 8-bit partial tags the adaptive miss
+// count should stay within a few percent of full tags (paper Figure 5:
+// under 1%% at the whole-suite level; allow 5%% on this small synthetic).
+func TestNarrowPartialTagsStayClose(t *testing.T) {
+	g := cache.Geometry{SizeBytes: 64 * 64 * 8, LineBytes: 64, Ways: 8}
+	run := func(bits int) uint64 {
+		var opts []Option
+		if bits > 0 {
+			opts = append(opts, WithShadowTagBits(bits))
+		}
+		c := cache.New(g, NewAdaptive([]ComponentFactory{lruf, lfuf}, opts...))
+		rng := uint64(23)
+		scan := 100000
+		for i := 0; i < 120000; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			var b int
+			if i%3 == 0 {
+				scan++
+				b = scan
+			} else {
+				b = int(rng % 256)
+			}
+			c.Access(blk(b), false)
+		}
+		return c.Stats().Misses
+	}
+	fullM, partM := run(0), run(8)
+	diff := float64(partM) - float64(fullM)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff/float64(fullM) > 0.05 {
+		t.Fatalf("8-bit partial misses %d vs full %d: drift > 5%%", partM, fullM)
+	}
+}
+
+func TestXORFold16(t *testing.T) {
+	if XORFold16(0) != 0 {
+		t.Fatal("fold of zero not zero")
+	}
+	// Folding must mix high bits into the low 16.
+	a, b := uint64(0x0001_0000), uint64(0x0002_0000)
+	if XORFold16(a)&0xFFFF == XORFold16(b)&0xFFFF {
+		t.Fatal("fold failed to separate high-bit-only tags")
+	}
+	// With XOR folding, tags differing only in bit 16 no longer alias in
+	// the low 16 bits.
+	ad := NewAdaptive([]ComponentFactory{lruf, lfuf},
+		WithShadowTagBits(16), WithTagHash(XORFold16))
+	real := oneSet(4, ad)
+	real.Access(blk(0), false)
+	real.Access(blk(1<<16), false)
+	if ad.Shadow(0).Stats().Misses != 2 {
+		t.Fatalf("hashed shadow misses = %d, want 2 (no aliasing)", ad.Shadow(0).Stats().Misses)
+	}
+}
+
+func TestFallbackModes(t *testing.T) {
+	// Force total aliasing with 1-bit shadow tags over blocks with
+	// even tags: every resident block appears present in the shadows, so
+	// the fallback path must fire and stay in range.
+	for _, fb := range []Fallback{FallbackLRU, FallbackFixed} {
+		ad := NewAdaptive([]ComponentFactory{lruf, lfuf},
+			WithShadowTagBits(1), WithFallback(fb))
+		real := oneSet(4, ad)
+		for i := 0; i < 2000; i++ {
+			real.Access(blk(2*(i%13)), false)
+		}
+		if real.Stats().Accesses != 2000 {
+			t.Fatalf("fallback %v: simulation incomplete", fb)
+		}
+	}
+}
+
+// TestCountCurrentMissChangesTieBehavior: on the Figure 2 prefix the
+// decision at block D differs depending on whether the current miss is
+// counted; both settings must run to completion and stay deterministic.
+func TestCountCurrentMissChangesTieBehavior(t *testing.T) {
+	run := func(countCur bool) uint64 {
+		ad := NewAdaptive([]ComponentFactory{lruf, mruf}, WithCountCurrentMiss(countCur))
+		real := oneSet(4, ad)
+		for r := 0; r < 300; r++ {
+			for b := 0; b < 5; b++ { // MRU-friendly loop
+				real.Access(blk(b), false)
+			}
+		}
+		return real.Stats().Misses
+	}
+	m1, m2 := run(true), run(false)
+	if m1 == 0 || m2 == 0 {
+		t.Fatal("degenerate run")
+	}
+	// Both must track MRU's behavior well enough to beat LRU's 100% miss
+	// rate on this loop.
+	if m1 >= 1400 || m2 >= 1400 {
+		t.Fatalf("adaptive failed to exploit MRU on linear loop: %d / %d misses of 1500", m1, m2)
+	}
+}
+
+func TestAdaptiveDeterminism(t *testing.T) {
+	g := cache.Geometry{SizeBytes: 32 * 64 * 8, LineBytes: 64, Ways: 8}
+	run := func() cache.Stats {
+		c := cache.New(g, NewAdaptive([]ComponentFactory{lruf, lfuf}, WithShadowTagBits(8)))
+		rng := uint64(31)
+		for i := 0; i < 50000; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			c.Access(cache.Addr(rng%(1<<22)), false)
+		}
+		return c.Stats()
+	}
+	if s1, s2 := run(), run(); s1 != s2 {
+		t.Fatalf("runs diverged: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestFivePolicyAdaptive exercises the generalized N-component mode the
+// paper evaluates in Section 4.4.
+func TestFivePolicyAdaptive(t *testing.T) {
+	comps := []ComponentFactory{lruf, lfuf, fifof, mruf, randf}
+	ad := NewAdaptive(comps)
+	real := oneSet(8, ad)
+	if ad.Components() != 5 {
+		t.Fatalf("Components = %d", ad.Components())
+	}
+	// MRU-friendly loop: the five-way adaptive should still beat LRU.
+	for r := 0; r < 500; r++ {
+		for b := 0; b < 9; b++ {
+			real.Access(blk(b), false)
+		}
+	}
+	am := real.Stats().Misses
+	mm := ad.Shadow(3).Stats().Misses // MRU shadow
+	lm := ad.Shadow(0).Stats().Misses // LRU shadow
+	if lm != 4500 {
+		t.Fatalf("LRU shadow misses %d, want 4500 (full thrash)", lm)
+	}
+	if float64(am) > 1.2*float64(mm)+float64(2*8) {
+		t.Errorf("five-policy adaptive %d misses vs MRU %d: not tracking", am, mm)
+	}
+	for i := 0; i < 5; i++ {
+		if ad.Shadow(i).Stats().Accesses != real.Stats().Accesses {
+			t.Errorf("shadow %d accesses %d != real %d", i, ad.Shadow(i).Stats().Accesses, real.Stats().Accesses)
+		}
+	}
+}
+
+// TestPerSetIndependence: the decision in one set must not be influenced
+// by history in another (the paper's per-set bound depends on this).
+func TestPerSetIndependence(t *testing.T) {
+	g := cache.Geometry{SizeBytes: 2 * 64 * 4, LineBytes: 64, Ways: 4} // 2 sets
+	ad := NewAdaptive([]ComponentFactory{lruf, mruf})
+	real := cache.New(g, ad)
+	// Set 0: MRU-friendly loop. Set 1: LRU-friendly reuse.
+	addr := func(set, b int) cache.Addr { return cache.Addr((b*2 + set) * 64) }
+	rng := uint64(9)
+	for i := 0; i < 30000; i++ {
+		real.Access(addr(0, i%5), false)
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		real.Access(addr(1, int(rng%4)), false)
+	}
+	counts0 := ad.History().Counts(0, make([]int, 2))
+	counts1 := ad.History().Counts(1, make([]int, 2))
+	if history.Best(counts0) != 1 {
+		t.Errorf("set 0 should favor MRU, counts %v", counts0)
+	}
+	if history.Best(counts1) != 0 {
+		t.Errorf("set 1 should favor LRU, counts %v", counts1)
+	}
+}
+
+func ExampleNewAdaptive() {
+	ad := NewAdaptive(
+		[]ComponentFactory{
+			func() cache.Policy { return policy.NewLRU() },
+			func() cache.Policy { return policy.NewLFU(policy.DefaultLFUBits) },
+		},
+		WithShadowTagBits(8),
+	)
+	g := cache.Geometry{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8}
+	c := cache.New(g, ad)
+	for i := 0; i < 4; i++ {
+		c.Access(cache.Addr(i*64), false)
+	}
+	fmt.Println(ad.Name(), c.Stats().Misses)
+	// Output: Adaptive(LRU,LFU) 4
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/history"
+)
+
+// FuzzAdaptiveInvariants drives a small adaptive cache with an arbitrary
+// byte-derived access sequence and checks structural invariants: no
+// panics, no duplicate tags per set, occupancy bounds, and the 2x counter
+// bound.
+func FuzzAdaptiveInvariants(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 7, 7, 4}, uint8(0))
+	f.Add([]byte{255, 0, 255, 0, 128}, uint8(1))
+	f.Fuzz(func(t *testing.T, accesses []byte, mode uint8) {
+		if len(accesses) > 4096 {
+			accesses = accesses[:4096]
+		}
+		var opts []Option
+		switch mode % 3 {
+		case 1:
+			opts = append(opts, WithShadowTagBits(3)) // heavy aliasing
+		case 2:
+			opts = append(opts, WithHistory(history.NewCounters()))
+		}
+		ad := NewAdaptive([]ComponentFactory{lruf, lfuf}, opts...)
+		g := cache.Geometry{SizeBytes: 2 * 4 * 64, LineBytes: 64, Ways: 4} // 2 sets
+		c := cache.New(g, ad)
+		for i, b := range accesses {
+			c.Access(cache.Addr(uint64(b)*64), i%7 == 0)
+		}
+		for s := 0; s < g.Sets(); s++ {
+			if c.Occupancy(s) > g.Ways {
+				t.Fatalf("set %d over-full", s)
+			}
+			seen := map[uint64]bool{}
+			for _, l := range c.Set(s) {
+				if !l.Valid {
+					continue
+				}
+				if seen[l.Tag] {
+					t.Fatalf("duplicate tag %#x in set %d", l.Tag, s)
+				}
+				seen[l.Tag] = true
+			}
+		}
+		if mode%3 == 2 { // counter history: the theorem applies
+			best := ad.Shadow(0).Stats().Misses
+			if m := ad.Shadow(1).Stats().Misses; m < best {
+				best = m
+			}
+			if am := c.Stats().Misses; am > 2*best+2*uint64(g.Ways) {
+				t.Fatalf("2x bound violated: adaptive %d, best %d", am, best)
+			}
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+func newSBARCache(sets, ways int, s *SBAR) *cache.Cache {
+	g := cache.Geometry{SizeBytes: sets * ways * 64, LineBytes: 64, Ways: ways}
+	return cache.New(g, s)
+}
+
+func TestSBARLeaderPlacement(t *testing.T) {
+	s := NewSBAR([]ComponentFactory{lruf, lfuf}, WithLeaderSets(16))
+	newSBARCache(1024, 8, s)
+	n, stride := 0, 1024/16
+	for set := 0; set < 1024; set++ {
+		if s.Leader(set) {
+			n++
+			if set%stride != 0 {
+				t.Errorf("leader at set %d, want multiples of %d", set, stride)
+			}
+		}
+	}
+	if n != 16 {
+		t.Fatalf("%d leader sets, want 16", n)
+	}
+}
+
+func TestSBARMoreLeadersThanSets(t *testing.T) {
+	s := NewSBAR([]ComponentFactory{lruf, lfuf}, WithLeaderSets(64))
+	newSBARCache(4, 4, s)
+	n := 0
+	for set := 0; set < 4; set++ {
+		if s.Leader(set) {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Fatalf("%d leaders, want all 4 sets", n)
+	}
+}
+
+func TestSBARName(t *testing.T) {
+	s := NewSBAR([]ComponentFactory{lruf, lfuf})
+	if got := s.Name(); got != "SBAR(LRU,LFU)" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestSBARNeedsTwoComponents(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSBAR with one component did not panic")
+		}
+	}()
+	NewSBAR([]ComponentFactory{lruf})
+}
+
+func TestSBARBadLeaderCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithLeaderSets(0) did not panic")
+		}
+	}()
+	WithLeaderSets(0)
+}
+
+// TestSBARGlobalSwitch: a workload that is uniformly MRU-friendly must
+// swing the global selector to MRU and let follower sets exploit it.
+func TestSBARGlobalSwitch(t *testing.T) {
+	s := NewSBAR([]ComponentFactory{lruf, mruf}, WithLeaderSets(4))
+	c := newSBARCache(16, 4, s)
+	g := c.Geometry()
+	// Linear loop of ways+1 blocks in every set: LRU thrashes, MRU wins.
+	for r := 0; r < 2000; r++ {
+		for b := 0; b < 5; b++ {
+			for set := 0; set < g.Sets(); set++ {
+				c.Access(cache.Addr((b*g.Sets()+set)*64), false)
+			}
+		}
+	}
+	if got := s.Winner(); got != 1 {
+		t.Fatalf("Winner = %d, want 1 (MRU)", got)
+	}
+	// LRU alone would miss every access after warmup (100% of 5-block loop
+	// in a 4-way set); SBAR must do far better.
+	missRatio := c.Stats().MissRatio()
+	if missRatio > 0.6 {
+		t.Fatalf("SBAR miss ratio %.2f on MRU-friendly loop, want < 0.6", missRatio)
+	}
+}
+
+// TestSBARTracksAdaptive: on a policy-divergent workload SBAR should land
+// near the full adaptive scheme (paper: 12.5% vs 12.9% average CPI gain)
+// and never be dramatically worse than the better component.
+func TestSBARTracksAdaptive(t *testing.T) {
+	const sets, ways = 64, 8
+	g := cache.Geometry{SizeBytes: sets * ways * 64, LineBytes: 64, Ways: ways}
+	run := func(p cache.Policy) uint64 {
+		c := cache.New(g, p)
+		scan := 100000
+		for r := 0; r < 4000; r++ {
+			for k := 0; k < 7; k++ {
+				scan++
+				c.Access(cache.Addr(scan*64), false)
+			}
+			h := r % 16
+			c.Access(cache.Addr(h*64), false)
+			c.Access(cache.Addr(h*64), false)
+		}
+		return c.Stats().Misses
+	}
+	lruM := run(policy.NewLRU())
+	lfuM := run(policy.NewLFU(policy.DefaultLFUBits))
+	adM := run(NewAdaptive([]ComponentFactory{lruf, lfuf}))
+	sbM := run(NewSBAR([]ComponentFactory{lruf, lfuf}, WithLeaderSets(8)))
+
+	best := lruM
+	if lfuM < best {
+		best = lfuM
+	}
+	if float64(adM) > 1.1*float64(best) {
+		t.Fatalf("adaptive %d misses vs best component %d", adM, best)
+	}
+	if float64(sbM) > 1.25*float64(best) {
+		t.Fatalf("SBAR %d misses vs best component %d (LRU %d, LFU %d)", sbM, best, lruM, lfuM)
+	}
+}
+
+func TestSBARDeterminism(t *testing.T) {
+	run := func() cache.Stats {
+		s := NewSBAR([]ComponentFactory{lruf, lfuf}, WithLeaderSets(8))
+		c := newSBARCache(64, 8, s)
+		rng := uint64(77)
+		for i := 0; i < 50000; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			c.Access(cache.Addr(rng%(1<<22)), false)
+		}
+		return c.Stats()
+	}
+	if s1, s2 := run(), run(); s1 != s2 {
+		t.Fatalf("runs diverged: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestSBARLeaderPartialTags: the combined set-sampling + partial-tag
+// configuration of Section 4.7 (0.09% overhead) must run and stay close to
+// the full-tag SBAR.
+func TestSBARLeaderPartialTags(t *testing.T) {
+	mk := func(opts ...Option) *cache.Cache {
+		s := NewSBAR([]ComponentFactory{lruf, lfuf},
+			WithLeaderSets(8), WithLeaderOptions(opts...))
+		return newSBARCache(64, 8, s)
+	}
+	full, part := mk(), mk(WithShadowTagBits(8))
+	rng := uint64(13)
+	scan := 1 << 20
+	for i := 0; i < 80000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		var a cache.Addr
+		if i%3 == 0 {
+			scan++
+			a = cache.Addr(scan * 64)
+		} else {
+			a = cache.Addr((rng % 512) * 64)
+		}
+		full.Access(a, false)
+		part.Access(a, false)
+	}
+	fm, pm := float64(full.Stats().Misses), float64(part.Stats().Misses)
+	drift := (pm - fm) / fm
+	if drift < 0 {
+		drift = -drift
+	}
+	if drift > 0.05 {
+		t.Fatalf("partial-tag SBAR drift %.1f%% (full %v, partial %v)", drift*100, fm, pm)
+	}
+}

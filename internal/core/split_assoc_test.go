@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+// TestAdaptiveOverAssociativity pairs full-associativity LRU with the
+// Split policy under the adaptive scheme — the Section 5 generality
+// construction ("policy A uses all n ways, policy B manages its lines as
+// two separate sets of n/2 ways") — and checks it tracks whichever
+// associativity regime suits the workload.
+func TestAdaptiveOverAssociativity(t *testing.T) {
+	split := func() cache.Policy { return policy.NewSplit() }
+	ad := NewAdaptive([]ComponentFactory{lruf, split})
+	real := oneSet(8, ad)
+
+	// Six even-tag and two odd-tag blocks: they all fit 8 ways under full
+	// LRU, but the six evens overflow Split's 4-way partition and thrash.
+	for r := 0; r < 2000; r++ {
+		for b := 0; b < 6; b++ {
+			real.Access(blk(2*b), false)
+		}
+		real.Access(blk(1), false)
+		real.Access(blk(3), false)
+	}
+	am := real.Stats().Misses
+	lm := ad.Shadow(0).Stats().Misses
+	sm := ad.Shadow(1).Stats().Misses
+	if lm >= sm {
+		t.Fatalf("test premise broken: LRU %d >= Split %d misses", lm, sm)
+	}
+	if float64(am) > 1.2*float64(lm)+16 {
+		t.Errorf("adaptive(LRU,Split) misses %d vs LRU %d: not tracking", am, lm)
+	}
+}

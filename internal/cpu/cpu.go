@@ -1,0 +1,321 @@
+// Package cpu implements the trace-driven out-of-order processor timing
+// model that stands in for the paper's MASE/SimpleScalar simulator. It is a
+// ROB-dataflow model: each dynamic instruction's dispatch, issue, and
+// retirement cycles are computed from its data dependences and the
+// machine's structural limits (fetch width, ROB and RS capacity, functional
+// units, memory ports, store-buffer entries, branch mispredictions),
+// yielding cycle counts that reproduce the first-order interactions the
+// paper's CPI results depend on: exposed L2 miss latency, limited miss
+// overlap, and store-buffer back-pressure (paper Section 4.5.2).
+package cpu
+
+import (
+	"repro/internal/branch"
+	"repro/internal/trace"
+)
+
+// MemSystem is the timing interface to the cache hierarchy (implemented by
+// mem.Hierarchy). Each call performs the functional access and returns its
+// latency in cycles as seen by the requester at cycle now.
+type MemSystem interface {
+	Load(now uint64, addr uint64) uint64
+	Store(now uint64, addr uint64) uint64
+	Ifetch(now uint64, pc uint64) uint64
+	L1Latency() uint64
+}
+
+// Config describes the processor core (paper Table 1).
+type Config struct {
+	FetchWidth  int // instructions fetched per cycle (8)
+	RetireWidth int // instructions retired per cycle (8)
+	ROBSize     int // reorder buffer entries (64)
+	RSSize      int // reservation station entries (32)
+
+	IntALUs    int // 4
+	IntMulDivs int // 4
+	FPALUs     int // 4
+	FPMulDivs  int // 4
+	MemPorts   int // 2
+
+	LatIntALU uint64 // 1
+	LatIntMul uint64 // 8 (IMULT/IDIV)
+	LatIntDiv uint64 // 8
+	LatFPAdd  uint64 // 4
+	LatFPMul  uint64 // 4
+	LatFPDiv  uint64 // 16
+
+	StoreBuffer       int    // store buffer entries (4)
+	MispredictPenalty uint64 // front-end refill cycles after a mispredict
+
+	Branch branch.Config
+}
+
+// DefaultConfig matches paper Table 1.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  8,
+		RetireWidth: 8,
+		ROBSize:     64,
+		RSSize:      32,
+
+		IntALUs:    4,
+		IntMulDivs: 4,
+		FPALUs:     4,
+		FPMulDivs:  4,
+		MemPorts:   2,
+
+		LatIntALU: 1,
+		LatIntMul: 8,
+		LatIntDiv: 8,
+		LatFPAdd:  4,
+		LatFPMul:  4,
+		LatFPDiv:  16,
+
+		StoreBuffer:       4,
+		MispredictPenalty: 12,
+
+		Branch: branch.DefaultConfig(),
+	}
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Instructions uint64
+	Cycles       uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Mispredicts  uint64
+	StoreStalls  uint64 // retirements delayed by a full store buffer
+}
+
+// CPI returns cycles per instruction.
+func (r Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// fuPool models a group of identical functional units. Pipelined units are
+// busy for one cycle per operation; unpipelined ones (divides) for their
+// full latency.
+type fuPool struct {
+	free []uint64
+}
+
+func newPool(n int) *fuPool { return &fuPool{free: make([]uint64, n)} }
+
+// acquire returns the earliest cycle at or after ready when a unit is
+// available and books it for occ cycles.
+func (p *fuPool) acquire(ready, occ uint64) uint64 {
+	best := 0
+	for i := 1; i < len(p.free); i++ {
+		if p.free[i] < p.free[best] {
+			best = i
+		}
+	}
+	start := ready
+	if p.free[best] > start {
+		start = p.free[best]
+	}
+	p.free[best] = start + occ
+	return start
+}
+
+// CPU runs traces against a memory system. Construct with New; a CPU is
+// single-use per Run (Run resets all internal state).
+type CPU struct {
+	cfg Config
+	bp  *branch.Predictor
+	mem MemSystem
+}
+
+// New builds a CPU model.
+func New(cfg Config, mem MemSystem) *CPU {
+	if cfg.FetchWidth <= 0 || cfg.RetireWidth <= 0 || cfg.ROBSize <= 0 ||
+		cfg.RSSize <= 0 || cfg.MemPorts <= 0 || cfg.StoreBuffer <= 0 {
+		panic("cpu: all widths and capacities must be positive")
+	}
+	if mem == nil {
+		panic("cpu: nil memory system")
+	}
+	return &CPU{cfg: cfg, mem: mem}
+}
+
+// Predictor returns the branch predictor of the last Run (for statistics).
+func (c *CPU) Predictor() *branch.Predictor { return c.bp }
+
+// Run simulates the source to completion and returns timing results.
+func (c *CPU) Run(src trace.Source) Result {
+	cfg := c.cfg
+	c.bp = branch.New(cfg.Branch)
+
+	intALU := newPool(cfg.IntALUs)
+	intMul := newPool(cfg.IntMulDivs)
+	fpALU := newPool(cfg.FPALUs)
+	fpMul := newPool(cfg.FPMulDivs)
+	memPorts := newPool(cfg.MemPorts)
+
+	var (
+		res Result
+
+		regReady [trace.NumRegs]uint64
+
+		rob    = make([]uint64, cfg.ROBSize) // retire time per slot
+		rs     = make([]uint64, cfg.RSSize)  // issue time per slot
+		sbFree = make([]uint64, cfg.StoreBuffer)
+
+		fetchCycle   uint64 // cycle the current fetch group arrives
+		fetchInGroup int
+		fetchBlock   = ^uint64(0) // current I-cache line
+		redirect     uint64       // earliest fetch after last mispredict
+
+		lastRetire uint64
+		retireRing = make([]uint64, cfg.RetireWidth)
+
+		lastDrain uint64 // store buffer drains serially
+		nStores   uint64
+
+		rec trace.Record
+		i   uint64
+	)
+
+	l1 := c.mem.L1Latency()
+
+	for src.Next(&rec) {
+		// --- Fetch: width-limited, I-cache misses stall the front end.
+		if fetchInGroup == cfg.FetchWidth {
+			fetchInGroup = 0
+			fetchCycle++
+		}
+		if fetchCycle < redirect {
+			fetchCycle = redirect
+			fetchInGroup = 0
+		}
+		if blockOf(rec.PC) != fetchBlock {
+			fetchBlock = blockOf(rec.PC)
+			if lat := c.mem.Ifetch(fetchCycle, rec.PC); lat > l1 {
+				fetchCycle += lat - l1
+				fetchInGroup = 0
+			}
+		}
+		fetchInGroup++
+
+		// --- Dispatch: needs a free ROB entry and RS slot.
+		dispatch := fetchCycle
+		if t := rob[i%uint64(cfg.ROBSize)]; t > dispatch {
+			dispatch = t // ROB full: wait for the oldest to retire
+		}
+		if t := rs[i%uint64(cfg.RSSize)]; t > dispatch {
+			dispatch = t // RS full: wait for an older instruction to issue
+		}
+
+		// --- Issue: operands plus a functional unit.
+		ready := dispatch + 1
+		if rec.Src1 != trace.NoReg && regReady[rec.Src1] > ready {
+			ready = regReady[rec.Src1]
+		}
+		if rec.Src2 != trace.NoReg && regReady[rec.Src2] > ready {
+			ready = regReady[rec.Src2]
+		}
+
+		var issue, complete uint64
+		switch rec.Kind {
+		case trace.IntALU:
+			issue = intALU.acquire(ready, 1)
+			complete = issue + cfg.LatIntALU
+		case trace.IntMul:
+			issue = intMul.acquire(ready, 1)
+			complete = issue + cfg.LatIntMul
+		case trace.IntDiv:
+			issue = intMul.acquire(ready, cfg.LatIntDiv) // unpipelined
+			complete = issue + cfg.LatIntDiv
+		case trace.FPAdd:
+			issue = fpALU.acquire(ready, 1)
+			complete = issue + cfg.LatFPAdd
+		case trace.FPMul:
+			issue = fpMul.acquire(ready, 1)
+			complete = issue + cfg.LatFPMul
+		case trace.FPDiv:
+			issue = fpMul.acquire(ready, cfg.LatFPDiv) // unpipelined
+			complete = issue + cfg.LatFPDiv
+		case trace.Load:
+			issue = memPorts.acquire(ready, 1)
+			complete = issue + c.mem.Load(issue, rec.Addr)
+			res.Loads++
+		case trace.Store:
+			// Address generation and store-queue entry; the data write
+			// happens post-retirement via the store buffer.
+			issue = memPorts.acquire(ready, 1)
+			complete = issue + 1
+			res.Stores++
+		case trace.Branch:
+			issue = intALU.acquire(ready, 1)
+			complete = issue + cfg.LatIntALU
+			res.Branches++
+			pred := c.bp.Predict(rec.PC)
+			if c.bp.Update(rec.PC, pred, rec.Taken, rec.Target) {
+				res.Mispredicts++
+				if r := complete + cfg.MispredictPenalty; r > redirect {
+					redirect = r
+				}
+			}
+		default:
+			issue = intALU.acquire(ready, 1)
+			complete = issue + 1
+		}
+
+		rs[i%uint64(cfg.RSSize)] = issue
+		if rec.Dst != trace.NoReg {
+			regReady[rec.Dst] = complete
+		}
+
+		// --- Retire: in order, width-limited; stores additionally need a
+		// free store-buffer entry.
+		retire := complete
+		if lastRetire > retire {
+			retire = lastRetire
+		}
+		if t := retireRing[i%uint64(cfg.RetireWidth)] + 1; t > retire {
+			retire = t
+		}
+		if rec.Kind == trace.Store {
+			if free := sbFree[nStores%uint64(cfg.StoreBuffer)]; free > retire {
+				retire = free
+				res.StoreStalls++
+			}
+			drainStart := retire
+			if lastDrain > drainStart {
+				drainStart = lastDrain
+			}
+			drainDone := drainStart + c.mem.Store(drainStart, rec.Addr)
+			lastDrain = drainDone
+			sbFree[nStores%uint64(cfg.StoreBuffer)] = drainDone
+			nStores++
+		}
+		retireRing[i%uint64(cfg.RetireWidth)] = retire
+		rob[i%uint64(cfg.ROBSize)] = retire
+		lastRetire = retire
+
+		i++
+	}
+
+	res.Instructions = i
+	res.Cycles = lastRetire
+	if lastDrain > res.Cycles {
+		res.Cycles = lastDrain // wait for the store buffer to empty
+	}
+	return res
+}
+
+// blockOf groups PCs into 64-byte I-cache lines for front-end accounting.
+func blockOf(pc uint64) uint64 { return pc >> 6 }

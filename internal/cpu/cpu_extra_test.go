@@ -1,0 +1,120 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestRSLimitsDispatch: a long-latency producer followed by a dependent
+// consumer and many independent ops. With a tiny RS, the independents
+// behind the stalled consumer cannot all dispatch; a large RS lets them.
+func TestRSLimitsDispatch(t *testing.T) {
+	m := &fakeMem{loadLat: 2000, storeLat: 1}
+	recs := []trace.Record{
+		{PC: 0x400000, Kind: trace.Load, Addr: 64, Src1: trace.NoReg, Src2: trace.NoReg, Dst: 1},
+		{PC: 0x400004, Kind: trace.IntALU, Src1: 1, Src2: trace.NoReg, Dst: 1}, // waits 2000
+	}
+	recs = append(recs, alu(200, false)...)
+
+	small, big := DefaultConfig(), DefaultConfig()
+	small.RSSize, big.RSSize = 2, 512
+	small.ROBSize, big.ROBSize = 512, 512
+	rSmall := runRecs(t, small, m, recs)
+	rBig := runRecs(t, big, m, recs)
+	if rBig.Cycles >= rSmall.Cycles {
+		t.Fatalf("large RS not faster: %d vs %d cycles", rBig.Cycles, rSmall.Cycles)
+	}
+}
+
+// TestFetchWidthBoundsIPC: with ideal everything, IPC cannot exceed the
+// fetch width.
+func TestFetchWidthBoundsIPC(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IntALUs = 64
+	cfg.FetchWidth = 2
+	res := runRecs(t, cfg, fastMem(), alu(10000, false))
+	if ipc := res.IPC(); ipc > 2.05 {
+		t.Fatalf("IPC %.2f exceeds fetch width 2", ipc)
+	}
+}
+
+// TestRetireWidthBoundsIPC: likewise for the retirement end.
+func TestRetireWidthBoundsIPC(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IntALUs = 64
+	cfg.RetireWidth = 3
+	res := runRecs(t, cfg, fastMem(), alu(9000, false))
+	if ipc := res.IPC(); ipc > 3.05 {
+		t.Fatalf("IPC %.2f exceeds retire width 3", ipc)
+	}
+}
+
+// TestMemPortsLimitLoadThroughput: independent L1-hit loads saturate the
+// two memory ports at ~2 loads/cycle; quadrupling the ports raises it.
+func TestMemPortsLimitLoadThroughput(t *testing.T) {
+	recs := make([]trace.Record, 8000)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 0x400000, Kind: trace.Load, Addr: uint64(i % 64 * 64),
+			Src1: trace.NoReg, Src2: trace.NoReg, Dst: int8(i % 30)}
+	}
+	two, eight := DefaultConfig(), DefaultConfig()
+	eight.MemPorts = 8
+	r2 := runRecs(t, two, fastMem(), recs)
+	r8 := runRecs(t, eight, fastMem(), recs)
+	if ipc := r2.IPC(); ipc > 2.1 {
+		t.Fatalf("2-port load IPC %.2f exceeds port limit", ipc)
+	}
+	if r8.IPC() <= r2.IPC() {
+		t.Fatalf("8 ports no faster: %.2f vs %.2f IPC", r8.IPC(), r2.IPC())
+	}
+}
+
+// TestStoreBufferDrainOrder: the drain is serial, so total run time of a
+// pure store stream is bounded below by stores x drain latency.
+func TestStoreBufferDrainOrder(t *testing.T) {
+	m := &fakeMem{loadLat: 2, storeLat: 50}
+	recs := make([]trace.Record, 100)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 0x400000, Kind: trace.Store, Addr: uint64(i * 64),
+			Src1: 1, Src2: trace.NoReg, Dst: trace.NoReg}
+	}
+	res := runRecs(t, DefaultConfig(), m, recs)
+	if res.Cycles < 100*50 {
+		t.Fatalf("run finished in %d cycles; drains (%d) cannot overlap", res.Cycles, 100*50)
+	}
+	if res.Stores != 100 {
+		t.Fatalf("Stores = %d", res.Stores)
+	}
+}
+
+// TestBranchPredictorIsFreshPerRun: a second Run must not inherit trained
+// predictor state.
+func TestBranchPredictorIsFreshPerRun(t *testing.T) {
+	recs := make([]trace.Record, 500)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 0x400100, Kind: trace.Branch, Taken: true,
+			Target: 0x400800, Src1: trace.NoReg, Src2: trace.NoReg, Dst: trace.NoReg}
+	}
+	c := New(DefaultConfig(), fastMem())
+	r1 := c.Run(&trace.SliceSource{Recs: recs})
+	src := &trace.SliceSource{Recs: recs}
+	r2 := c.Run(src)
+	if r1 != r2 {
+		t.Fatalf("second Run differs: %+v vs %+v (stale predictor state?)", r1, r2)
+	}
+	if c.Predictor() == nil || c.Predictor().Branches != 500 {
+		t.Fatal("predictor statistics not exposed")
+	}
+}
+
+// TestCyclesIncludeFinalDrain: outstanding store drains extend the run.
+func TestCyclesIncludeFinalDrain(t *testing.T) {
+	m := &fakeMem{loadLat: 2, storeLat: 5000}
+	recs := []trace.Record{{PC: 0x400000, Kind: trace.Store, Addr: 64,
+		Src1: 1, Src2: trace.NoReg, Dst: trace.NoReg}}
+	res := runRecs(t, DefaultConfig(), m, recs)
+	if res.Cycles < 5000 {
+		t.Fatalf("cycles %d do not cover the trailing drain", res.Cycles)
+	}
+}

@@ -1,0 +1,284 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// fakeMem returns fixed latencies and counts calls; it isolates core
+// timing behavior from the cache hierarchy.
+type fakeMem struct {
+	loadLat, storeLat, ifetchLat uint64
+	loads, stores, ifetches      int
+}
+
+func (m *fakeMem) Load(_ uint64, _ uint64) uint64  { m.loads++; return m.loadLat }
+func (m *fakeMem) Store(_ uint64, _ uint64) uint64 { m.stores++; return m.storeLat }
+func (m *fakeMem) Ifetch(_ uint64, _ uint64) uint64 {
+	m.ifetches++
+	if m.ifetchLat == 0 {
+		return 2
+	}
+	return m.ifetchLat
+}
+func (m *fakeMem) L1Latency() uint64 { return 2 }
+
+func fastMem() *fakeMem { return &fakeMem{loadLat: 2, storeLat: 1} }
+
+// alu builds n IntALU instructions; dependent chains share registers.
+func alu(n int, dependent bool) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		r := trace.Record{PC: 0x400000 + uint64(4*i), Kind: trace.IntALU,
+			Src1: trace.NoReg, Src2: trace.NoReg, Dst: trace.NoReg}
+		if dependent {
+			r.Src1, r.Dst = 1, 1
+		} else {
+			r.Dst = int8(2 + i%32)
+		}
+		recs[i] = r
+	}
+	return recs
+}
+
+func runRecs(t *testing.T, cfg Config, m MemSystem, recs []trace.Record) Result {
+	t.Helper()
+	c := New(cfg, m)
+	return c.Run(&trace.SliceSource{Recs: recs})
+}
+
+func TestDependentChainSerializes(t *testing.T) {
+	res := runRecs(t, DefaultConfig(), fastMem(), alu(1000, true))
+	if res.Instructions != 1000 {
+		t.Fatalf("Instructions = %d", res.Instructions)
+	}
+	// One-cycle ALU ops in a dependence chain: ~1 cycle each.
+	if cpi := res.CPI(); cpi < 0.95 || cpi > 1.3 {
+		t.Fatalf("dependent-chain CPI = %.2f, want ~1", cpi)
+	}
+}
+
+func TestIndependentALUsBoundByUnits(t *testing.T) {
+	cfg := DefaultConfig()
+	res := runRecs(t, cfg, fastMem(), alu(4000, false))
+	// 4 integer ALUs: IPC should approach 4.
+	if ipc := res.IPC(); ipc < 3.0 || ipc > 4.5 {
+		t.Fatalf("independent-ALU IPC = %.2f, want ~4", ipc)
+	}
+	// Halving the ALUs should roughly halve throughput.
+	cfg.IntALUs = 2
+	res2 := runRecs(t, cfg, fastMem(), alu(4000, false))
+	if ipc := res2.IPC(); ipc > 2.5 {
+		t.Fatalf("2-ALU IPC = %.2f, want ~2", ipc)
+	}
+}
+
+func TestDependentLoadsExposeLatency(t *testing.T) {
+	m := &fakeMem{loadLat: 100, storeLat: 1}
+	recs := make([]trace.Record, 200)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 0x400000, Kind: trace.Load, Addr: uint64(i * 64),
+			Src1: 1, Src2: trace.NoReg, Dst: 1} // pointer chase
+	}
+	res := runRecs(t, DefaultConfig(), m, recs)
+	// Each load waits for the previous: >= 100 cycles each.
+	if cpi := res.CPI(); cpi < 100 {
+		t.Fatalf("pointer-chase CPI = %.1f, want >= 100", cpi)
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	m := &fakeMem{loadLat: 100, storeLat: 1}
+	recs := make([]trace.Record, 2000)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 0x400000, Kind: trace.Load, Addr: uint64(i * 64),
+			Src1: trace.NoReg, Src2: trace.NoReg, Dst: int8(i % 32)}
+	}
+	res := runRecs(t, DefaultConfig(), m, recs)
+	// Two memory ports, no dependences: far better than serialized.
+	if cpi := res.CPI(); cpi > 10 {
+		t.Fatalf("independent-load CPI = %.1f, want small (MLP)", cpi)
+	}
+}
+
+func TestROBLimitsRunahead(t *testing.T) {
+	// A very slow load, then many independent ALUs. With a 64-entry ROB
+	// the ALUs beyond the window must wait for the load to retire.
+	mSlow := &fakeMem{loadLat: 10000, storeLat: 1}
+	recs := []trace.Record{{PC: 0x400000, Kind: trace.Load, Addr: 64,
+		Src1: trace.NoReg, Src2: trace.NoReg, Dst: 1}}
+	recs = append(recs, alu(1000, false)...)
+
+	small, big := DefaultConfig(), DefaultConfig()
+	small.ROBSize, big.ROBSize = 64, 4096
+	resSmall := runRecs(t, small, mSlow, recs)
+	resBig := runRecs(t, big, mSlow, recs)
+	if resBig.Cycles >= resSmall.Cycles {
+		t.Fatalf("bigger ROB not faster: %d vs %d cycles", resBig.Cycles, resSmall.Cycles)
+	}
+	// The small-ROB run is dominated by the load latency plus the post-
+	// window ALUs; it must take at least the load's 10000 cycles.
+	if resSmall.Cycles < 10000 {
+		t.Fatalf("small-ROB run finished in %d cycles, impossible", resSmall.Cycles)
+	}
+}
+
+func TestStoreBufferBackPressure(t *testing.T) {
+	// Stores that miss (slow drain) with a tiny store buffer stall
+	// retirement; enlarging the buffer relieves it (paper Figure 10).
+	// Bursts of 4 missing stores followed by a long stretch of compute:
+	// with a 1-entry buffer each burst serializes behind its drains and
+	// the in-order retire + finite ROB stall the compute; a large buffer
+	// absorbs the burst and hides the drains under the compute.
+	m := &fakeMem{loadLat: 2, storeLat: 200}
+	var recs []trace.Record
+	for round := 0; round < 20; round++ {
+		for s := 0; s < 4; s++ {
+			recs = append(recs, trace.Record{PC: 0x400000, Kind: trace.Store,
+				Addr: uint64((round*4 + s) * 64), Src1: 1, Src2: trace.NoReg, Dst: trace.NoReg})
+		}
+		recs = append(recs, alu(8000, false)...)
+	}
+	cfgSmall, cfgBig := DefaultConfig(), DefaultConfig()
+	cfgSmall.StoreBuffer, cfgBig.StoreBuffer = 1, 64
+	resSmall := runRecs(t, cfgSmall, m, recs)
+	resBig := runRecs(t, cfgBig, m, recs)
+	if resSmall.StoreStalls == 0 {
+		t.Fatal("1-entry store buffer produced no stalls")
+	}
+	if resBig.StoreStalls >= resSmall.StoreStalls {
+		t.Fatalf("stalls: big %d >= small %d", resBig.StoreStalls, resSmall.StoreStalls)
+	}
+	if float64(resSmall.Cycles) < 1.10*float64(resBig.Cycles) {
+		t.Fatalf("small buffer barely slower: %d vs %d cycles", resSmall.Cycles, resBig.Cycles)
+	}
+}
+
+func TestMispredictsCostCycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mkBranches := func(random bool) []trace.Record {
+		recs := make([]trace.Record, 4000)
+		for i := range recs {
+			taken := true
+			if random {
+				taken = rng.Intn(2) == 0
+			}
+			recs[i] = trace.Record{PC: 0x400100, Kind: trace.Branch,
+				Taken: taken, Target: 0x400800,
+				Src1: trace.NoReg, Src2: trace.NoReg, Dst: trace.NoReg}
+		}
+		return recs
+	}
+	biased := runRecs(t, DefaultConfig(), fastMem(), mkBranches(false))
+	random := runRecs(t, DefaultConfig(), fastMem(), mkBranches(true))
+	if biased.Mispredicts >= random.Mispredicts {
+		t.Fatalf("mispredicts: biased %d >= random %d", biased.Mispredicts, random.Mispredicts)
+	}
+	if biased.CPI() >= random.CPI() {
+		t.Fatalf("CPI: biased %.2f >= random %.2f", biased.CPI(), random.CPI())
+	}
+	if random.Branches != 4000 {
+		t.Fatalf("Branches = %d", random.Branches)
+	}
+}
+
+func TestIfetchMissesStallFrontEnd(t *testing.T) {
+	// Jump across many I-cache lines with a slow ifetch path.
+	slow := &fakeMem{loadLat: 2, storeLat: 1, ifetchLat: 50}
+	fast := fastMem()
+	recs := make([]trace.Record, 2000)
+	for i := range recs {
+		recs[i] = trace.Record{PC: uint64(0x400000 + i*64), Kind: trace.IntALU,
+			Src1: trace.NoReg, Src2: trace.NoReg, Dst: trace.NoReg}
+	}
+	resSlow := runRecs(t, DefaultConfig(), slow, recs)
+	resFast := runRecs(t, DefaultConfig(), fast, recs)
+	if resSlow.Cycles <= resFast.Cycles*10 {
+		t.Fatalf("slow ifetch barely visible: %d vs %d cycles", resSlow.Cycles, resFast.Cycles)
+	}
+}
+
+func TestUnpipelinedDivides(t *testing.T) {
+	// Independent FP divides on 4 unpipelined units: throughput is bounded
+	// by latency/units = 16/4 = 4 cycles per divide.
+	recs := make([]trace.Record, 1000)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 0x400000, Kind: trace.FPDiv,
+			Src1: trace.NoReg, Src2: trace.NoReg, Dst: int8(i % 32)}
+	}
+	res := runRecs(t, DefaultConfig(), fastMem(), recs)
+	if cpi := res.CPI(); cpi < 3.5 {
+		t.Fatalf("FPDiv CPI = %.2f, want >= ~4 (unpipelined)", cpi)
+	}
+	// FP adds are pipelined: much higher throughput.
+	for i := range recs {
+		recs[i].Kind = trace.FPAdd
+	}
+	res2 := runRecs(t, DefaultConfig(), fastMem(), recs)
+	if res2.CPI() >= res.CPI() {
+		t.Fatalf("pipelined FPAdd CPI %.2f not below FPDiv %.2f", res2.CPI(), res.CPI())
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	r := Result{Instructions: 1000, Cycles: 2000}
+	if r.CPI() != 2 || r.IPC() != 0.5 {
+		t.Fatalf("CPI %.1f IPC %.2f", r.CPI(), r.IPC())
+	}
+	var zero Result
+	if zero.CPI() != 0 || zero.IPC() != 0 {
+		t.Fatal("zero Result metrics not zero")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	res := runRecs(t, DefaultConfig(), fastMem(), nil)
+	if res.Instructions != 0 || res.Cycles != 0 {
+		t.Fatalf("empty trace result %+v", res)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ROBSize = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero ROB accepted")
+		}
+	}()
+	New(cfg, fastMem())
+}
+
+func TestNilMemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil mem accepted")
+		}
+	}()
+	New(DefaultConfig(), nil)
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	recs := make([]trace.Record, 20000)
+	for i := range recs {
+		k := trace.Kind(rng.Intn(9))
+		recs[i] = trace.Record{PC: uint64(0x400000 + (i%512)*4), Kind: k,
+			Src1: int8(rng.Intn(32)), Src2: trace.NoReg, Dst: int8(rng.Intn(32))}
+		if k.IsMem() {
+			recs[i].Addr = uint64(rng.Intn(1 << 20))
+		}
+		if k == trace.Branch {
+			recs[i].Taken = rng.Intn(2) == 0
+			recs[i].Target = 0x400000
+			recs[i].Dst = trace.NoReg
+		}
+	}
+	r1 := runRecs(t, DefaultConfig(), fastMem(), recs)
+	r2 := runRecs(t, DefaultConfig(), fastMem(), recs)
+	if r1 != r2 {
+		t.Fatalf("runs diverged: %+v vs %+v", r1, r2)
+	}
+}

@@ -1,0 +1,101 @@
+package history
+
+import "fmt"
+
+// Counters keeps unbounded per-set, per-component miss counts "since the
+// beginning of time" — the easiest variant to reason about and the one the
+// paper's 2x worst-case bound is proved against. Unlike the Window it
+// records every miss, including events where all components missed.
+type Counters struct {
+	comps int
+	n     []uint64
+}
+
+// NewCounters returns an unbounded-counter buffer.
+func NewCounters() *Counters { return &Counters{} }
+
+// Name implements Buffer.
+func (c *Counters) Name() string { return "counters" }
+
+// Attach implements Buffer.
+func (c *Counters) Attach(sets, comps int) {
+	c.comps = comps
+	c.n = make([]uint64, sets*comps)
+}
+
+// Record implements Buffer.
+func (c *Counters) Record(set int, missMask uint64) {
+	base := set * c.comps
+	for i := 0; i < c.comps; i++ {
+		if missMask&(1<<uint(i)) != 0 {
+			c.n[base+i]++
+		}
+	}
+}
+
+// Counts implements Buffer. Counts saturate at MaxInt on 32-bit platforms
+// in principle; in practice traces are far shorter.
+func (c *Counters) Counts(set int, counts []int) []int {
+	base := set * c.comps
+	for i := range counts {
+		counts[i] = int(c.n[base+i])
+	}
+	return counts
+}
+
+// Saturating keeps per-set, per-component k-bit saturating miss counters,
+// the approximation the paper mentions between full counters and the
+// windowed bit-vector. Like the Window, it only accumulates differential
+// events, and it halves all of a set's counters when any one saturates so
+// that relative order keeps adapting.
+type Saturating struct {
+	bits  int
+	max   uint32
+	comps int
+	n     []uint32
+}
+
+// NewSaturating returns a saturating-counter buffer of the given width.
+func NewSaturating(bits int) *Saturating {
+	if bits < 1 || bits > 31 {
+		panic("history: saturating counter bits out of range")
+	}
+	return &Saturating{bits: bits, max: 1<<uint(bits) - 1}
+}
+
+// Name implements Buffer.
+func (s *Saturating) Name() string { return fmt.Sprintf("saturating(%d)", s.bits) }
+
+// Attach implements Buffer.
+func (s *Saturating) Attach(sets, comps int) {
+	s.comps = comps
+	s.n = make([]uint32, sets*comps)
+}
+
+// Record implements Buffer.
+func (s *Saturating) Record(set int, missMask uint64) {
+	if allOrNone(missMask, s.comps) {
+		return
+	}
+	base := set * s.comps
+	for i := 0; i < s.comps; i++ {
+		if missMask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if s.n[base+i] >= s.max {
+			for j := 0; j < s.comps; j++ {
+				s.n[base+j] >>= 1
+			}
+		}
+		s.n[base+i]++
+	}
+}
+
+// Counts implements Buffer.
+func (s *Saturating) Counts(set int, counts []int) []int {
+	base := set * s.comps
+	for i := range counts {
+		counts[i] = int(s.n[base+i])
+	}
+	return counts
+}

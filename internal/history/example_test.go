@@ -1,0 +1,20 @@
+package history_test
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+)
+
+func ExampleWindow() {
+	// An 8-entry window over two component policies (A=0, B=1).
+	w := history.NewWindow(8)
+	w.Attach(1, 2)
+	w.Record(0, 0b01) // A missed, B hit
+	w.Record(0, 0b01)
+	w.Record(0, 0b10) // B missed, A hit
+	w.Record(0, 0b11) // both missed: not recorded
+	counts := w.Counts(0, make([]int, 2))
+	fmt.Println(counts, "best:", history.Best(counts))
+	// Output: [2 1] best: 1
+}

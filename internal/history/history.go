@@ -1,0 +1,58 @@
+// Package history implements the per-set miss-history buffers that drive
+// the adaptive replacement decision (paper Section 2.2). Three variants are
+// provided:
+//
+//   - Window: the paper's implementation — a ring of the last m
+//     "differential" miss events per set (events where at least one but not
+//     every component missed), recording which components missed.
+//   - Saturating: per-set, per-component k-bit saturating miss counters.
+//   - Counters: unbounded per-set, per-component miss counters — the
+//     variant used by the paper's theoretical 2x bound.
+//
+// All variants generalize from two components to N via miss bitmasks.
+package history
+
+// Buffer records component-policy misses per cache set and answers "how
+// many recorded misses does each component have in this set?".
+type Buffer interface {
+	// Name identifies the buffer variant in reports.
+	Name() string
+
+	// Attach (re)binds the buffer to sets x comps and clears it.
+	Attach(sets, comps int)
+
+	// Record notes the outcome of one access in set: bit i of missMask is
+	// set if component i missed. Implementations decide which events are
+	// worth recording (the Window drops all-hit and all-miss events, as the
+	// paper specifies).
+	Record(set int, missMask uint64)
+
+	// Counts fills counts (len == comps) with each component's recorded
+	// miss tally for set and returns it; the caller owns the slice and
+	// passes it back in to avoid allocation.
+	Counts(set int, counts []int) []int
+}
+
+// Best returns the index of the component with the fewest recorded misses,
+// preferring the lowest index on ties (component order is therefore a
+// priority order, matching the paper's example where policy A wins ties).
+func Best(counts []int) int {
+	best := 0
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// allOrNone reports whether missMask over comps components records either
+// no miss or a miss by every component — events carrying no preference
+// signal.
+func allOrNone(missMask uint64, comps int) bool {
+	if missMask == 0 {
+		return true
+	}
+	full := uint64(1)<<uint(comps) - 1
+	return missMask&full == full
+}

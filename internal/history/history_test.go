@@ -1,0 +1,207 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const (
+	missA = 1 << 0
+	missB = 1 << 1
+	both  = missA | missB
+	none  = 0
+)
+
+func counts2(b Buffer, set int) (int, int) {
+	c := b.Counts(set, make([]int, 2))
+	return c[0], c[1]
+}
+
+func TestWindowRecordsDifferentialOnly(t *testing.T) {
+	w := NewWindow(8)
+	w.Attach(4, 2)
+	w.Record(1, both) // ignored
+	w.Record(1, none) // ignored
+	w.Record(1, missA)
+	w.Record(1, missB)
+	w.Record(1, missA)
+	a, b := counts2(w, 1)
+	if a != 2 || b != 1 {
+		t.Fatalf("counts = (%d,%d), want (2,1)", a, b)
+	}
+	// Other sets untouched.
+	if a, b := counts2(w, 0); a != 0 || b != 0 {
+		t.Fatalf("set 0 contaminated: (%d,%d)", a, b)
+	}
+}
+
+func TestWindowEvictsOldEvents(t *testing.T) {
+	w := NewWindow(4)
+	w.Attach(1, 2)
+	for i := 0; i < 4; i++ {
+		w.Record(0, missA)
+	}
+	if a, _ := counts2(w, 0); a != 4 {
+		t.Fatalf("count = %d, want 4", a)
+	}
+	// Four B-misses push all A-misses out of the m=4 window.
+	for i := 0; i < 4; i++ {
+		w.Record(0, missB)
+	}
+	a, b := counts2(w, 0)
+	if a != 0 || b != 4 {
+		t.Fatalf("counts = (%d,%d), want (0,4)", a, b)
+	}
+}
+
+func TestWindowAdaptsWithinM(t *testing.T) {
+	// The window exists for quick adaptation: after m differential events
+	// favoring B, B must be preferred regardless of ancient history.
+	w := NewWindow(8)
+	w.Attach(1, 2)
+	for i := 0; i < 1000; i++ {
+		w.Record(0, missB) // long stretch where B misses
+	}
+	for i := 0; i < 8; i++ {
+		w.Record(0, missA)
+	}
+	c := w.Counts(0, make([]int, 2))
+	if Best(c) != 1 {
+		t.Fatalf("after 8 A-misses, Best = %d, want 1 (B); counts=%v", Best(c), c)
+	}
+}
+
+func TestWindowLenAndName(t *testing.T) {
+	w := NewWindow(16)
+	if w.Len() != 16 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if w.Name() != "window(16)" {
+		t.Fatalf("Name = %q", w.Name())
+	}
+}
+
+func TestWindowBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWindow(0) did not panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+func TestCountersRecordEverything(t *testing.T) {
+	c := NewCounters()
+	c.Attach(2, 2)
+	c.Record(0, both) // counters count all misses, unlike the window
+	c.Record(0, missA)
+	c.Record(0, none)
+	a, b := counts2(c, 0)
+	if a != 2 || b != 1 {
+		t.Fatalf("counts = (%d,%d), want (2,1)", a, b)
+	}
+}
+
+func TestCountersNeverForget(t *testing.T) {
+	c := NewCounters()
+	c.Attach(1, 2)
+	for i := 0; i < 100000; i++ {
+		c.Record(0, missA)
+	}
+	if a, _ := counts2(c, 0); a != 100000 {
+		t.Fatalf("count = %d, want 100000", a)
+	}
+}
+
+func TestSaturatingHalvesOnSaturation(t *testing.T) {
+	s := NewSaturating(3) // max 7
+	s.Attach(1, 2)
+	for i := 0; i < 7; i++ {
+		s.Record(0, missA)
+	}
+	s.Record(0, missB)
+	a, b := counts2(s, 0)
+	if a != 7 || b != 1 {
+		t.Fatalf("pre-saturation counts = (%d,%d), want (7,1)", a, b)
+	}
+	s.Record(0, missA) // A at max: both halve (3, 0), then A increments
+	a, b = counts2(s, 0)
+	if a != 4 || b != 0 {
+		t.Fatalf("post-halving counts = (%d,%d), want (4,0)", a, b)
+	}
+}
+
+func TestSaturatingIgnoresNonDifferential(t *testing.T) {
+	s := NewSaturating(4)
+	s.Attach(1, 2)
+	s.Record(0, both)
+	s.Record(0, none)
+	if a, b := counts2(s, 0); a != 0 || b != 0 {
+		t.Fatalf("counts = (%d,%d), want zeros", a, b)
+	}
+}
+
+func TestBestPrefersLowestIndexOnTies(t *testing.T) {
+	cases := []struct {
+		counts []int
+		want   int
+	}{
+		{[]int{0, 0}, 0},
+		{[]int{5, 5}, 0},
+		{[]int{3, 2}, 1},
+		{[]int{2, 3}, 0},
+		{[]int{4, 1, 1, 9}, 1},
+		{[]int{9, 8, 7, 7}, 2},
+	}
+	for _, c := range cases {
+		if got := Best(c.counts); got != c.want {
+			t.Errorf("Best(%v) = %d, want %d", c.counts, got, c.want)
+		}
+	}
+}
+
+func TestThreeComponentMasks(t *testing.T) {
+	w := NewWindow(8)
+	w.Attach(1, 3)
+	w.Record(0, 0b011) // A and B miss, C hits: differential
+	w.Record(0, 0b111) // all miss: dropped
+	w.Record(0, 0b100) // only C
+	c := w.Counts(0, make([]int, 3))
+	if c[0] != 1 || c[1] != 1 || c[2] != 1 {
+		t.Fatalf("counts = %v, want [1 1 1]", c)
+	}
+}
+
+// TestWindowMatchesReferenceModel cross-checks the ring-buffer Window
+// against a straightforward slice model over random event streams.
+func TestWindowMatchesReferenceModel(t *testing.T) {
+	f := func(events []byte, mRaw uint8) bool {
+		m := int(mRaw%15) + 1
+		w := NewWindow(m)
+		w.Attach(1, 2)
+		var ref []uint64
+		for _, e := range events {
+			mask := uint64(e % 4)
+			w.Record(0, mask)
+			if mask == missA || mask == missB {
+				ref = append(ref, mask)
+				if len(ref) > m {
+					ref = ref[1:]
+				}
+			}
+		}
+		wantA, wantB := 0, 0
+		for _, mask := range ref {
+			if mask == missA {
+				wantA++
+			} else {
+				wantB++
+			}
+		}
+		a, b := counts2(w, 0)
+		return a == wantA && b == wantB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package history
+
+import "fmt"
+
+// Window is the paper's miss-history buffer: per set, a ring of the latest
+// m differential-miss events. For two components this is exactly the
+// paper's m-bit vector ("recording the latest m misses when only one of the
+// two component policies misses"); for N components each slot holds the
+// miss bitmask of a differential event (some but not all components
+// missed). Per-component tallies are maintained incrementally so Counts is
+// O(components) rather than O(m).
+type Window struct {
+	m     int
+	comps int
+	// ring[set*m+i] holds a recorded missMask; live[set] slots are valid,
+	// next[set] is the ring write cursor.
+	ring []uint64
+	live []int
+	next []int
+	// tally[set*comps+c] is component c's miss count within the window.
+	tally []int32
+}
+
+// NewWindow returns a Window of m entries per set. The paper sets m to the
+// associativity or a small multiple of it.
+func NewWindow(m int) *Window {
+	if m < 1 {
+		panic("history: window length must be >= 1")
+	}
+	return &Window{m: m}
+}
+
+// Name implements Buffer.
+func (w *Window) Name() string { return fmt.Sprintf("window(%d)", w.m) }
+
+// Len returns m.
+func (w *Window) Len() int { return w.m }
+
+// Attach implements Buffer.
+func (w *Window) Attach(sets, comps int) {
+	w.comps = comps
+	w.ring = make([]uint64, sets*w.m)
+	w.live = make([]int, sets)
+	w.next = make([]int, sets)
+	w.tally = make([]int32, sets*comps)
+}
+
+func (w *Window) applyMask(set int, mask uint64, delta int32) {
+	base := set * w.comps
+	for c := 0; c < w.comps; c++ {
+		if mask&(1<<uint(c)) != 0 {
+			w.tally[base+c] += delta
+		}
+	}
+}
+
+// Record implements Buffer: differential events only.
+func (w *Window) Record(set int, missMask uint64) {
+	if allOrNone(missMask, w.comps) {
+		return
+	}
+	slot := set*w.m + w.next[set]
+	if w.live[set] == w.m {
+		w.applyMask(set, w.ring[slot], -1) // evict the oldest event
+	} else {
+		w.live[set]++
+	}
+	w.ring[slot] = missMask
+	w.applyMask(set, missMask, +1)
+	w.next[set] = (w.next[set] + 1) % w.m
+}
+
+// Counts implements Buffer.
+func (w *Window) Counts(set int, counts []int) []int {
+	base := set * w.comps
+	for i := range counts {
+		counts[i] = int(w.tally[base+i])
+	}
+	return counts
+}

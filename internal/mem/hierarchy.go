@@ -1,0 +1,174 @@
+package mem
+
+import "repro/internal/cache"
+
+// HierarchyConfig carries the latency parameters of paper Table 1.
+type HierarchyConfig struct {
+	L1Latency uint64 // L1 hit latency (Table 1: 2 cycles)
+	L2Latency uint64 // L2 hit latency (Table 1: 15 cycles)
+	MSHRs     int    // outstanding L2 misses allowed to overlap
+}
+
+// DefaultHierarchyConfig matches paper Table 1 with a typical MSHR count.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{L1Latency: 2, L2Latency: 15, MSHRs: 8}
+}
+
+// Hierarchy wires L1I, L1D, a unified L2, and main memory into the memory
+// system the CPU model drives. All caches are functional cache.Cache
+// instances — the replacement policy under study is whatever policy the L2
+// (or the L1s, for the Section 4.6 experiment) was built with.
+//
+// Latency accounting is additive and request-based: a load that misses
+// everywhere pays L1 + L2 lookup latencies plus the DRAM+bus time, with L2
+// miss overlap bounded by the MSHR count and bus contention serialized by
+// the Bus. Writebacks consume bus bandwidth but do not stall the
+// requesting access.
+type Hierarchy struct {
+	cfg HierarchyConfig
+
+	L1I, L1D, L2 *cache.Cache
+	Mem          *Memory
+
+	mshr []uint64 // per-slot next-free cycle
+
+	// DemandMisses counts L2 misses as the paper's simulator reports them
+	// (the MPKI numerator): all program-induced L2 misses, including
+	// write-allocate misses from L1 writebacks, but never prefetch fills.
+	DemandMisses uint64
+
+	// OnL2Demand, if set, observes every first-level demand access that
+	// reaches the L2 (I-fetch, loads, store drains — not writebacks, not
+	// prefetches) with its block address and outcome. Prefetchers train on
+	// this stream.
+	OnL2Demand func(addr cache.Addr, miss bool)
+}
+
+// NewHierarchy builds the memory system. Any of l1i/l1d may be nil for
+// cache-only experiments that drive the L2 directly.
+func NewHierarchy(cfg HierarchyConfig, l1i, l1d, l2 *cache.Cache, m *Memory) *Hierarchy {
+	if l2 == nil || m == nil {
+		panic("mem: hierarchy requires an L2 and a memory")
+	}
+	if cfg.MSHRs <= 0 {
+		panic("mem: hierarchy requires at least one MSHR")
+	}
+	return &Hierarchy{cfg: cfg, L1I: l1i, L1D: l1d, L2: l2, Mem: m,
+		mshr: make([]uint64, cfg.MSHRs)}
+}
+
+// l2FillKind handles an L2 access for a line requested at cycle now,
+// returning the completion cycle. On a miss it allocates an MSHR slot
+// (possibly waiting for one), reads memory, and posts any dirty writeback.
+// firstLevelDemand marks accesses that feed OnL2Demand — writebacks and
+// prefetch fills are not.
+func (h *Hierarchy) l2FillKind(now uint64, addr cache.Addr, write, firstLevelDemand bool) uint64 {
+	res := h.L2.Access(addr, write)
+	if firstLevelDemand && h.OnL2Demand != nil {
+		h.OnL2Demand(addr, !res.Hit)
+	}
+	lookupDone := now + h.cfg.L2Latency
+	if res.Hit {
+		return lookupDone
+	}
+	h.DemandMisses++
+
+	// Claim the earliest-free MSHR slot.
+	slot := 0
+	for i := 1; i < len(h.mshr); i++ {
+		if h.mshr[i] < h.mshr[slot] {
+			slot = i
+		}
+	}
+	start := lookupDone
+	if h.mshr[slot] > start {
+		start = h.mshr[slot]
+	}
+	done := h.Mem.Read(start)
+	h.mshr[slot] = done
+
+	if res.Writeback {
+		h.Mem.Write(done) // posted writeback; occupies the bus afterwards
+	}
+	return done
+}
+
+// access runs one data reference through L1D (if present) and below,
+// returning total latency in cycles as seen by the requester.
+func (h *Hierarchy) access(now uint64, addr cache.Addr, write bool) uint64 {
+	if h.L1D == nil {
+		return h.l2FillKind(now, addr, write, true) - now
+	}
+	res := h.L1D.Access(addr, write)
+	if res.Hit {
+		return h.cfg.L1Latency
+	}
+	// L1 miss: the fill request reads the line from L2 (dirtiness lives in
+	// L1 until eviction); a dirty L1 victim is then written back into L2 —
+	// an L2 access that can itself miss, consuming bandwidth but not
+	// stalling this request.
+	done := h.l2FillKind(now+h.cfg.L1Latency, addr, false, true)
+	if res.Writeback {
+		victim := h.victimAddr(h.L1D, res.EvictedTag, addr)
+		h.l2FillKind(done, victim, true, false)
+	}
+	return done - now
+}
+
+// victimAddr reconstructs a representative address for an evicted line
+// from its stored tag and the set of the access that displaced it.
+func (h *Hierarchy) victimAddr(c *cache.Cache, tag uint64, cause cache.Addr) cache.Addr {
+	g := c.Geometry()
+	set := uint64(g.Index(cause))
+	sets := uint64(g.Sets())
+	var block uint64
+	if sets&(sets-1) == 0 {
+		block = tag*sets + set
+	} else {
+		block = tag // non-power-of-two geometries store the block as tag
+	}
+	return cache.Addr(block * uint64(g.LineBytes))
+}
+
+// Load returns the latency of a data read issued at cycle now.
+func (h *Hierarchy) Load(now uint64, addr uint64) uint64 {
+	return h.access(now, cache.Addr(addr), false)
+}
+
+// Store returns the occupancy of a store-buffer drain issued at cycle now.
+func (h *Hierarchy) Store(now uint64, addr uint64) uint64 {
+	return h.access(now, cache.Addr(addr), true)
+}
+
+// Ifetch returns the latency of an instruction fetch issued at cycle now.
+func (h *Hierarchy) Ifetch(now uint64, pc uint64) uint64 {
+	if h.L1I == nil {
+		return h.cfg.L1Latency
+	}
+	res := h.L1I.Access(cache.Addr(pc), false)
+	if res.Hit {
+		return h.cfg.L1Latency
+	}
+	return h.l2FillKind(now+h.cfg.L1Latency, cache.Addr(pc), false, true) - now
+}
+
+// L1Latency exposes the configured L1 hit latency (the CPU model treats it
+// as the pipelined baseline that costs nothing extra).
+func (h *Hierarchy) L1Latency() uint64 { return h.cfg.L1Latency }
+
+// Prefetch installs a line into the L2 without demand accounting: it does
+// not count toward DemandMisses and does not feed OnL2Demand, but it does
+// consume memory bandwidth and can evict useful lines — the real costs of
+// a bad prefetcher.
+func (h *Hierarchy) Prefetch(now uint64, addr cache.Addr) {
+	if h.L2.Contains(addr) {
+		return
+	}
+	res := h.L2.Access(addr, false)
+	if !res.Hit { // always true given the Contains check; kept for clarity
+		h.Mem.Read(now + h.cfg.L2Latency)
+		if res.Writeback {
+			h.Mem.Write(now)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+func TestBusTransferCycles(t *testing.T) {
+	b := DefaultBus()
+	// 64B line / 8B beats * ratio 8 = 64 CPU cycles.
+	if got := b.TransferCycles(64); got != 64 {
+		t.Fatalf("TransferCycles(64) = %d, want 64", got)
+	}
+	if got := b.TransferCycles(128); got != 128 {
+		t.Fatalf("TransferCycles(128) = %d, want 128", got)
+	}
+	// Partial beats round up.
+	if got := b.TransferCycles(9); got != 16 {
+		t.Fatalf("TransferCycles(9) = %d, want 16", got)
+	}
+}
+
+func TestBusSerializesOverlappingRequests(t *testing.T) {
+	bus := NewBus(DefaultBus(), 64)
+	d1 := bus.Acquire(100)
+	if d1 != 164 {
+		t.Fatalf("first transfer done at %d, want 164", d1)
+	}
+	// Requested while the first is in flight: queues.
+	d2 := bus.Acquire(110)
+	if d2 != 164+64 {
+		t.Fatalf("second transfer done at %d, want 228", d2)
+	}
+	if bus.QueueDelay != 54 {
+		t.Fatalf("QueueDelay = %d, want 54", bus.QueueDelay)
+	}
+	// A request after the bus drains sees no queueing.
+	d3 := bus.Acquire(1000)
+	if d3 != 1064 {
+		t.Fatalf("third transfer done at %d, want 1064", d3)
+	}
+	if bus.Transfers != 3 || bus.BusyCycles != 3*64 {
+		t.Fatalf("stats: %d transfers, %d busy", bus.Transfers, bus.BusyCycles)
+	}
+}
+
+func TestMemoryReadLatency(t *testing.T) {
+	bus := NewBus(DefaultBus(), 64)
+	m := NewMemory(120, bus)
+	// 120 DRAM + 64 bus = 184 cycles end to end.
+	if done := m.Read(0); done != 184 {
+		t.Fatalf("read done at %d, want 184", done)
+	}
+	if m.Reads != 1 {
+		t.Fatalf("Reads = %d", m.Reads)
+	}
+}
+
+func TestBadConstructionPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewBus(BusConfig{WidthBytes: 0, Ratio: 8}, 64) },
+		func() { NewMemory(120, nil) },
+		func() {
+			NewHierarchy(DefaultHierarchyConfig(), nil, nil, nil, nil)
+		},
+		func() {
+			cfg := DefaultHierarchyConfig()
+			cfg.MSHRs = 0
+			l2, m := testL2(), testMem()
+			NewHierarchy(cfg, nil, nil, l2, m)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func testL2() *cache.Cache {
+	return cache.New(cache.Geometry{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8}, policy.NewLRU())
+}
+
+func testL1() *cache.Cache {
+	return cache.New(cache.Geometry{SizeBytes: 1 << 10, LineBytes: 64, Ways: 4}, policy.NewLRU())
+}
+
+func testMem() *Memory {
+	return NewMemory(DefaultMemoryLatency, NewBus(DefaultBus(), 64))
+}
+
+func newHier() *Hierarchy {
+	return NewHierarchy(DefaultHierarchyConfig(), testL1(), testL1(), testL2(), testMem())
+}
+
+func TestHierarchyLoadLatencies(t *testing.T) {
+	h := newHier()
+	// Cold load: L1 miss, L2 miss -> L1 + L2 + 120 + 64 = 201 cycles.
+	if lat := h.Load(0, 0x10000); lat != 2+15+120+64 {
+		t.Fatalf("cold load latency %d, want 201", lat)
+	}
+	// Immediate reuse: L1 hit.
+	if lat := h.Load(300, 0x10000); lat != 2 {
+		t.Fatalf("L1 hit latency %d, want 2", lat)
+	}
+	if h.DemandMisses != 1 {
+		t.Fatalf("DemandMisses = %d", h.DemandMisses)
+	}
+}
+
+func TestHierarchyL2HitLatency(t *testing.T) {
+	h := newHier()
+	h.Load(0, 0x10000) // install in both levels
+	// Evict from tiny L1 with conflicting lines, keeping L2 resident.
+	for i := 1; i <= 8; i++ {
+		h.Load(uint64(i*1000), uint64(0x10000+i*1024))
+	}
+	lat := h.Load(5000, 0x10000)
+	if lat != 2+15 {
+		t.Fatalf("L2 hit latency %d, want 17", lat)
+	}
+}
+
+func TestHierarchyMSHRLimitsOverlap(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.MSHRs = 1
+	// No L1s: drive L2 directly. Wide bus so transfer time is negligible
+	// and serialization comes from the single MSHR.
+	l2 := testL2()
+	m := NewMemory(100, NewBus(BusConfig{WidthBytes: 64, Ratio: 1}, 64))
+	h := NewHierarchy(cfg, nil, nil, l2, m)
+	lat1 := h.Load(0, 0x00000)
+	lat2 := h.Load(0, 0x40000) // issued same cycle, different line
+	if lat2 <= lat1 {
+		t.Fatalf("second concurrent miss (%d) not serialized behind first (%d)", lat2, lat1)
+	}
+
+	// With 2 MSHRs the two misses overlap (bus still serializes the data
+	// transfers, so allow that much skew but not full serialization).
+	cfg.MSHRs = 2
+	h2 := NewHierarchy(cfg, nil, nil, testL2(), testMem())
+	a1 := h2.Load(0, 0x00000)
+	a2 := h2.Load(0, 0x40000)
+	if a2 >= a1*2 {
+		t.Fatalf("2-MSHR misses fully serialized: %d then %d", a1, a2)
+	}
+}
+
+func TestHierarchyDirtyEvictionsReachMemory(t *testing.T) {
+	// 1-set L2, no L1: write two lines dirty, then force eviction.
+	g := cache.Geometry{SizeBytes: 2 * 64, LineBytes: 64, Ways: 2}
+	l2 := cache.New(g, policy.NewLRU())
+	m := testMem()
+	h := NewHierarchy(DefaultHierarchyConfig(), nil, nil, l2, m)
+	h.Store(0, 0)
+	h.Store(1000, 128)
+	h.Store(2000, 256) // evicts dirty line 0
+	if m.Writes != 1 {
+		t.Fatalf("memory Writes = %d, want 1 (dirty writeback)", m.Writes)
+	}
+}
+
+func TestHierarchyIfetch(t *testing.T) {
+	h := newHier()
+	lat := h.Ifetch(0, 0x400000)
+	if lat != 2+15+120+64 {
+		t.Fatalf("cold ifetch latency %d", lat)
+	}
+	if lat := h.Ifetch(300, 0x400000); lat != 2 {
+		t.Fatalf("warm ifetch latency %d, want 2", lat)
+	}
+	// Without an L1I the model charges the pipelined L1 latency only.
+	h2 := NewHierarchy(DefaultHierarchyConfig(), nil, nil, testL2(), testMem())
+	if lat := h2.Ifetch(0, 0x400000); lat != 2 {
+		t.Fatalf("no-L1I ifetch latency %d, want 2", lat)
+	}
+}
+
+func TestVictimAddrRoundTrip(t *testing.T) {
+	h := newHier()
+	g := h.L1D.Geometry()
+	// For any address, reconstructing from (tag, set-of-cause) must map
+	// back to the same set and tag.
+	for _, a := range []cache.Addr{0, 64, 0x12345, 0xFFFFF, 1 << 30} {
+		v := h.victimAddr(h.L1D, g.Tag(a), a)
+		if g.Index(v) != g.Index(a) || g.Tag(v) != g.Tag(a) {
+			t.Fatalf("victimAddr(%#x) = %#x: set/tag mismatch", a, v)
+		}
+	}
+}
+
+func TestHierarchyPrefetchPath(t *testing.T) {
+	h := newHier()
+	if got := h.L1Latency(); got != 2 {
+		t.Fatalf("L1Latency = %d", got)
+	}
+	demandEvents := 0
+	h.OnL2Demand = func(_ cache.Addr, _ bool) { demandEvents++ }
+	// A prefetch fills the L2 but produces no demand miss or demand event.
+	h.Prefetch(0, 0x20000)
+	if h.DemandMisses != 0 || demandEvents != 0 {
+		t.Fatalf("prefetch counted as demand: misses=%d events=%d", h.DemandMisses, demandEvents)
+	}
+	if !h.L2.Contains(0x20000) {
+		t.Fatal("prefetched line not resident")
+	}
+	// A duplicate prefetch is a no-op (no extra memory traffic).
+	reads := h.Mem.Reads
+	h.Prefetch(0, 0x20000)
+	if h.Mem.Reads != reads {
+		t.Fatal("duplicate prefetch re-read memory")
+	}
+	// The later demand access hits and fires the hook.
+	lat := h.Load(0, 0x20000)
+	if lat != 2+15 {
+		t.Fatalf("prefetched load latency %d, want L1 miss + L2 hit = 17", lat)
+	}
+	if demandEvents != 1 || h.DemandMisses != 0 {
+		t.Fatalf("demand accounting after prefetch hit: events=%d misses=%d", demandEvents, h.DemandMisses)
+	}
+}
+
+func TestOnL2DemandSeesMissesNotWritebacks(t *testing.T) {
+	h := newHier()
+	var events []bool
+	h.OnL2Demand = func(_ cache.Addr, miss bool) { events = append(events, miss) }
+	h.Load(0, 0x30000) // cold: one demand event, miss=true
+	h.Load(100, 0x30000)
+	// second load hits L1 entirely: no L2 demand event
+	if len(events) != 1 || !events[0] {
+		t.Fatalf("events = %v, want [true]", events)
+	}
+}

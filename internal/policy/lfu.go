@@ -1,0 +1,77 @@
+package policy
+
+import "repro/internal/cache"
+
+// DefaultLFUBits is the paper's LFU counter width (Table 1: "5-bit LFU
+// counters").
+const DefaultLFUBits = 5
+
+// LFU evicts the least frequently used line, counting uses with per-way
+// saturating counters of configurable width. Ties are broken toward the
+// least recently used of the tied ways, which keeps the policy deterministic
+// and sensible when many counters saturate or a set is full of singletons.
+type LFU struct {
+	cache.NopObserver
+	bits  int
+	max   uint32
+	ways  int
+	count []uint32
+	rec   stamps
+}
+
+// NewLFU returns an LFU policy with saturating counters of the given bit
+// width (1..31). Width DefaultLFUBits matches the paper's configuration.
+func NewLFU(bits int) *LFU {
+	if bits < 1 || bits > 31 {
+		panic("policy: LFU counter bits out of range")
+	}
+	return &LFU{bits: bits, max: 1<<uint(bits) - 1}
+}
+
+// Name implements cache.Policy.
+func (*LFU) Name() string { return "LFU" }
+
+// Bits returns the counter width.
+func (p *LFU) Bits() int { return p.bits }
+
+// Attach implements cache.Policy.
+func (p *LFU) Attach(g cache.Geometry) {
+	p.ways = g.Ways
+	p.count = make([]uint32, g.Sets()*g.Ways)
+	p.rec.attach(g)
+}
+
+// Touch implements cache.Policy: saturating increment plus recency stamp.
+func (p *LFU) Touch(set, way int) {
+	i := set*p.ways + way
+	if p.count[i] < p.max {
+		p.count[i]++
+	}
+	p.rec.stamp(set, way)
+}
+
+// Insert implements cache.Policy: a fresh block starts at count 1.
+func (p *LFU) Insert(set, way int, _ uint64) {
+	p.count[set*p.ways+way] = 1
+	p.rec.stamp(set, way)
+}
+
+// Victim implements cache.Policy: minimum count, LRU among ties.
+func (p *LFU) Victim(set int, _ []cache.Line, _ uint64) int {
+	base := set * p.ways
+	best := 0
+	for w := 1; w < p.ways; w++ {
+		switch {
+		case p.count[base+w] < p.count[base+best]:
+			best = w
+		case p.count[base+w] == p.count[base+best] &&
+			p.rec.at[base+w] < p.rec.at[base+best]:
+			best = w
+		}
+	}
+	return best
+}
+
+// Count returns the current saturating counter for (set, way); used by
+// tests and the SBAR variant's metadata checks.
+func (p *LFU) Count(set, way int) uint32 { return p.count[set*p.ways+way] }

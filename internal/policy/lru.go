@@ -1,0 +1,78 @@
+package policy
+
+import "repro/internal/cache"
+
+// LRU evicts the least recently used line. Hits and fills both refresh
+// recency.
+type LRU struct {
+	cache.NopObserver
+	stamps
+}
+
+// NewLRU returns a fresh LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements cache.Policy.
+func (*LRU) Name() string { return "LRU" }
+
+// Attach implements cache.Policy.
+func (p *LRU) Attach(g cache.Geometry) { p.attach(g) }
+
+// Touch implements cache.Policy.
+func (p *LRU) Touch(set, way int) { p.stamp(set, way) }
+
+// Insert implements cache.Policy.
+func (p *LRU) Insert(set, way int, _ uint64) { p.stamp(set, way) }
+
+// Victim implements cache.Policy: the least recently touched way.
+func (p *LRU) Victim(set int, _ []cache.Line, _ uint64) int { return p.oldest(set) }
+
+// MRU evicts the most recently used line. Usually a terrible policy, but
+// optimal for linear loops slightly larger than the cache — exactly the
+// behavior Figure 8 of the paper exploits by adapting FIFO/MRU.
+type MRU struct {
+	cache.NopObserver
+	stamps
+}
+
+// NewMRU returns a fresh MRU policy.
+func NewMRU() *MRU { return &MRU{} }
+
+// Name implements cache.Policy.
+func (*MRU) Name() string { return "MRU" }
+
+// Attach implements cache.Policy.
+func (p *MRU) Attach(g cache.Geometry) { p.attach(g) }
+
+// Touch implements cache.Policy.
+func (p *MRU) Touch(set, way int) { p.stamp(set, way) }
+
+// Insert implements cache.Policy.
+func (p *MRU) Insert(set, way int, _ uint64) { p.stamp(set, way) }
+
+// Victim implements cache.Policy: the most recently touched way.
+func (p *MRU) Victim(set int, _ []cache.Line, _ uint64) int { return p.newest(set) }
+
+// FIFO evicts the line that was filled earliest; hits do not refresh.
+type FIFO struct {
+	cache.NopObserver
+	stamps
+}
+
+// NewFIFO returns a fresh FIFO policy.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements cache.Policy.
+func (*FIFO) Name() string { return "FIFO" }
+
+// Attach implements cache.Policy.
+func (p *FIFO) Attach(g cache.Geometry) { p.attach(g) }
+
+// Touch implements cache.Policy: FIFO ignores hits.
+func (p *FIFO) Touch(int, int) {}
+
+// Insert implements cache.Policy.
+func (p *FIFO) Insert(set, way int, _ uint64) { p.stamp(set, way) }
+
+// Victim implements cache.Policy: the earliest-filled way.
+func (p *FIFO) Victim(set int, _ []cache.Line, _ uint64) int { return p.oldest(set) }

@@ -1,0 +1,170 @@
+package policy
+
+import "repro/internal/cache"
+
+// PLRU is tree-based pseudo-LRU — the approximation real set-associative
+// hardware of the paper's era used instead of true LRU (true LRU ordering
+// for 8 ways needs log2(8!) ≈ 16 bits per set; the PLRU tree needs 7).
+// Each set keeps ways-1 tree bits; a touch flips the path bits away from
+// the touched way, and the victim walk follows the bits. Ways must be a
+// power of two.
+//
+// As an adaptive component it demonstrates that the scheme composes with
+// hardware-realistic approximations, and it gives the storage model a
+// cheaper metadata point.
+type PLRU struct {
+	cache.NopObserver
+	ways int
+	bits []bool // (ways-1) tree bits per set: false = left subtree is colder
+}
+
+// NewPLRU returns a fresh tree pseudo-LRU policy.
+func NewPLRU() *PLRU { return &PLRU{} }
+
+// Name implements cache.Policy.
+func (*PLRU) Name() string { return "PLRU" }
+
+// Attach implements cache.Policy.
+func (p *PLRU) Attach(g cache.Geometry) {
+	if g.Ways&(g.Ways-1) != 0 {
+		panic("policy: PLRU requires power-of-two ways")
+	}
+	p.ways = g.Ways
+	p.bits = make([]bool, g.Sets()*(g.Ways-1))
+}
+
+// touch walks from the root to the leaf of `way`, pointing every tree bit
+// AWAY from the path (so the victim walk avoids the recently used way).
+func (p *PLRU) touch(set, way int) {
+	base := set * (p.ways - 1)
+	node, lo, hi := 0, 0, p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		right := way >= mid
+		p.bits[base+node] = !right // point at the other subtree
+		if right {
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+}
+
+// Touch implements cache.Policy.
+func (p *PLRU) Touch(set, way int) { p.touch(set, way) }
+
+// Insert implements cache.Policy.
+func (p *PLRU) Insert(set, way int, _ uint64) { p.touch(set, way) }
+
+// Victim implements cache.Policy: follow the tree bits to the
+// pseudo-least-recently-used way.
+func (p *PLRU) Victim(set int, _ []cache.Line, _ uint64) int {
+	base := set * (p.ways - 1)
+	node, lo, hi := 0, 0, p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.bits[base+node] {
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SLRU is segmented LRU: each set is split into a probationary and a
+// protected segment (sizes ways-Protected and Protected). Fills enter the
+// probationary segment; a hit promotes the line to protected, demoting the
+// protected LRU back to probationary. Victims come from the probationary
+// LRU. SLRU approximates frequency-awareness with pure recency machinery —
+// a natural third component for the adaptive scheme, between LRU and LFU.
+type SLRU struct {
+	cache.NopObserver
+	protected int
+	ways      int
+	clock     uint64
+	at        []uint64
+	prot      []bool
+}
+
+// NewSLRU returns an SLRU with the given protected-segment size (clamped
+// to 1..ways-1 at Attach; the conventional choice is ways/2).
+func NewSLRU(protected int) *SLRU { return &SLRU{protected: protected} }
+
+// Name implements cache.Policy.
+func (*SLRU) Name() string { return "SLRU" }
+
+// Attach implements cache.Policy.
+func (p *SLRU) Attach(g cache.Geometry) {
+	p.ways = g.Ways
+	if p.protected < 1 {
+		p.protected = g.Ways / 2
+	}
+	if p.protected >= g.Ways {
+		p.protected = g.Ways - 1
+	}
+	p.clock = 0
+	p.at = make([]uint64, g.Sets()*g.Ways)
+	p.prot = make([]bool, g.Sets()*g.Ways)
+}
+
+func (p *SLRU) stamp(set, way int) {
+	p.clock++
+	p.at[set*p.ways+way] = p.clock
+}
+
+// Touch implements cache.Policy: promote to the protected segment,
+// demoting its LRU member if the segment is full.
+func (p *SLRU) Touch(set, way int) {
+	base := set * p.ways
+	i := base + way
+	p.stamp(set, way)
+	if p.prot[i] {
+		return
+	}
+	n, lruProt, lruAt := 0, -1, uint64(0)
+	for w := 0; w < p.ways; w++ {
+		if p.prot[base+w] {
+			n++
+			if lruProt < 0 || p.at[base+w] < lruAt {
+				lruProt, lruAt = w, p.at[base+w]
+			}
+		}
+	}
+	if n >= p.protected && lruProt >= 0 {
+		p.prot[base+lruProt] = false // demote
+	}
+	p.prot[i] = true
+}
+
+// Insert implements cache.Policy: new lines are probationary.
+func (p *SLRU) Insert(set, way int, _ uint64) {
+	p.prot[set*p.ways+way] = false
+	p.stamp(set, way)
+}
+
+// Victim implements cache.Policy: the probationary LRU, or the overall
+// LRU if everything is protected (possible transiently after Attach).
+func (p *SLRU) Victim(set int, _ []cache.Line, _ uint64) int {
+	base := set * p.ways
+	best, bestAt := -1, uint64(0)
+	for w := 0; w < p.ways; w++ {
+		if !p.prot[base+w] && (best < 0 || p.at[base+w] < bestAt) {
+			best, bestAt = w, p.at[base+w]
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	best, bestAt = 0, p.at[base]
+	for w := 1; w < p.ways; w++ {
+		if p.at[base+w] < bestAt {
+			best, bestAt = w, p.at[base+w]
+		}
+	}
+	return best
+}

@@ -1,0 +1,160 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestPLRURequiresPowerOfTwoWays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("6-way PLRU accepted")
+		}
+	}()
+	g := cache.Geometry{SizeBytes: 6 * 64, LineBytes: 64, Ways: 6}
+	cache.New(g, NewPLRU())
+}
+
+func TestPLRUVictimAvoidsRecentlyTouched(t *testing.T) {
+	c := oneSet(4, NewPLRU())
+	evictions(c, []int{0, 1, 2, 3})
+	// Touch 0 and 2; the next victim must be 1 or 3.
+	c.Access(blk(0), false)
+	c.Access(blk(2), false)
+	res := c.Access(blk(9), false)
+	if !res.Evicted || (res.EvictedTag != 1 && res.EvictedTag != 3) {
+		t.Fatalf("PLRU evicted %d, want 1 or 3", res.EvictedTag)
+	}
+}
+
+func TestPLRUNeverEvictsMostRecent(t *testing.T) {
+	c := oneSet(8, NewPLRU())
+	rng := uint64(5)
+	last := -1
+	for i := 0; i < 30000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		b := int(rng % 24)
+		res := c.Access(blk(b), false)
+		if res.Evicted && last >= 0 && res.EvictedTag == uint64(last) {
+			t.Fatalf("access %d evicted the immediately preceding block %d", i, last)
+		}
+		last = b
+	}
+}
+
+// TestPLRUApproximatesLRU: on a recency-friendly stream, PLRU's miss count
+// should land within ~15% of true LRU — the whole point of the tree
+// approximation.
+func TestPLRUApproximatesLRU(t *testing.T) {
+	run := func(p cache.Policy) uint64 {
+		c := oneSet(8, p)
+		rng := uint64(9)
+		base := 0
+		for i := 0; i < 100000; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			if i%100 == 99 {
+				base++
+			}
+			c.Access(blk(base+int(rng%10)), false)
+		}
+		return c.Stats().Misses
+	}
+	lru, plru := run(NewLRU()), run(NewPLRU())
+	ratio := float64(plru) / float64(lru)
+	if ratio < 0.85 || ratio > 1.2 {
+		t.Fatalf("PLRU/LRU miss ratio %.2f, want ~1", ratio)
+	}
+}
+
+func TestSLRUPromotionProtectsReusedLines(t *testing.T) {
+	// 4 ways, 2 protected. Blocks 0,1 get hits (promoted); a scan of
+	// singletons then churns only the probationary half.
+	c := oneSet(4, NewSLRU(2))
+	c.Access(blk(0), false)
+	c.Access(blk(1), false)
+	c.Access(blk(0), false) // promote 0
+	c.Access(blk(1), false) // promote 1
+	for b := 10; b < 30; b++ {
+		c.Access(blk(b), false)
+	}
+	if !c.Contains(blk(0)) || !c.Contains(blk(1)) {
+		t.Fatal("protected lines lost to a scan")
+	}
+	// LRU on the same stream loses them immediately.
+	c2 := oneSet(4, NewLRU())
+	for _, b := range []int{0, 1, 0, 1, 10, 11, 12, 13} {
+		c2.Access(blk(b), false)
+	}
+	if c2.Contains(blk(0)) {
+		t.Fatal("premise broken: LRU kept the reused block")
+	}
+}
+
+func TestSLRUDemotionBoundsProtectedSegment(t *testing.T) {
+	p := NewSLRU(2)
+	c := oneSet(4, p)
+	// Promote three blocks; only two can stay protected.
+	for _, b := range []int{0, 1, 2, 0, 1, 2} {
+		c.Access(blk(b), false)
+	}
+	prot := 0
+	for w := 0; w < 4; w++ {
+		if p.prot[w] {
+			prot++
+		}
+	}
+	if prot > 2 {
+		t.Fatalf("%d protected lines, segment size 2", prot)
+	}
+}
+
+func TestSLRUDefaultSegment(t *testing.T) {
+	p := NewSLRU(0)
+	g := cache.Geometry{SizeBytes: 8 * 64, LineBytes: 64, Ways: 8}
+	p.Attach(g)
+	if p.protected != 4 {
+		t.Fatalf("default protected = %d, want ways/2", p.protected)
+	}
+	p2 := NewSLRU(99)
+	p2.Attach(g)
+	if p2.protected != 7 {
+		t.Fatalf("clamped protected = %d, want ways-1", p2.protected)
+	}
+}
+
+func TestExtendedNamesResolve(t *testing.T) {
+	for _, name := range ExtendedNames() {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if got := f().Name(); got != name {
+			t.Errorf("%q builds %q", name, got)
+		}
+	}
+}
+
+// TestExtendedPoliciesRunUnderAdaptiveGeometry: every extended policy must
+// drive a full-size cache without panicking and with sane stats.
+func TestExtendedPoliciesDriveFullCache(t *testing.T) {
+	g := cache.Geometry{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8}
+	for _, name := range ExtendedNames() {
+		c := cache.New(g, MustByName(name)())
+		rng := uint64(77)
+		for i := 0; i < 50000; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			c.Access(cache.Addr(rng%(1<<22)), false)
+		}
+		s := c.Stats()
+		if s.Accesses != 50000 || s.Hits+s.Misses != s.Accesses {
+			t.Errorf("%s: inconsistent stats %+v", name, s)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package policy provides the standard cache replacement policies the paper
+// adapts over: LRU, LFU, FIFO, MRU, and Random. Each implements
+// cache.Policy and owns deterministic per-set, per-way metadata.
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Factory constructs a fresh, unattached policy instance. The adaptive
+// scheme needs independent policy instances for the real array and each
+// shadow array, so policies are passed around as factories.
+type Factory func() cache.Policy
+
+// ByName returns a factory for a named standard policy. Recognized names:
+// "LRU", "LFU", "FIFO", "MRU", "Random". LFU uses the paper's 5-bit
+// saturating counters; Random uses a fixed default seed.
+func ByName(name string) (Factory, error) {
+	switch name {
+	case "LRU":
+		return func() cache.Policy { return NewLRU() }, nil
+	case "LFU":
+		return func() cache.Policy { return NewLFU(DefaultLFUBits) }, nil
+	case "FIFO":
+		return func() cache.Policy { return NewFIFO() }, nil
+	case "MRU":
+		return func() cache.Policy { return NewMRU() }, nil
+	case "Random":
+		return func() cache.Policy { return NewRandom(DefaultRandomSeed) }, nil
+	case "PLRU":
+		return func() cache.Policy { return NewPLRU() }, nil
+	case "SLRU":
+		return func() cache.Policy { return NewSLRU(0) }, nil
+	case "Split":
+		return func() cache.Policy { return NewSplit() }, nil
+	default:
+		return nil, fmt.Errorf("policy: unknown policy %q", name)
+	}
+}
+
+// MustByName is ByName for statically known names; it panics on error.
+func MustByName(name string) Factory {
+	f, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Names lists the paper's five standard policy names; ByName additionally
+// accepts the extended policies "PLRU", "SLRU", and "Split".
+func Names() []string { return []string{"LRU", "LFU", "FIFO", "MRU", "Random"} }
+
+// ExtendedNames lists every policy ByName accepts.
+func ExtendedNames() []string {
+	return []string{"LRU", "LFU", "FIFO", "MRU", "Random", "PLRU", "SLRU", "Split"}
+}
+
+// stamps is the shared recency/insertion bookkeeping used by LRU, MRU and
+// FIFO: one monotonically increasing stamp per (set, way).
+type stamps struct {
+	ways  int
+	clock uint64
+	at    []uint64 // set*ways + way
+}
+
+func (s *stamps) attach(g cache.Geometry) {
+	s.ways = g.Ways
+	s.clock = 0
+	s.at = make([]uint64, g.Sets()*g.Ways)
+}
+
+func (s *stamps) stamp(set, way int) {
+	s.clock++
+	s.at[set*s.ways+way] = s.clock
+}
+
+func (s *stamps) oldest(set int) int {
+	base := set * s.ways
+	best, bestAt := 0, s.at[base]
+	for w := 1; w < s.ways; w++ {
+		if s.at[base+w] < bestAt {
+			best, bestAt = w, s.at[base+w]
+		}
+	}
+	return best
+}
+
+func (s *stamps) newest(set int) int {
+	base := set * s.ways
+	best, bestAt := 0, s.at[base]
+	for w := 1; w < s.ways; w++ {
+		if s.at[base+w] > bestAt {
+			best, bestAt = w, s.at[base+w]
+		}
+	}
+	return best
+}

@@ -1,0 +1,281 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// oneSet returns a single-set cache of the given associativity, which makes
+// eviction order directly observable.
+func oneSet(ways int, p cache.Policy) *cache.Cache {
+	g := cache.Geometry{SizeBytes: ways * 64, LineBytes: 64, Ways: ways}
+	return cache.New(g, p)
+}
+
+// blk returns the address of block i within set 0 of a single-set cache.
+func blk(i int) cache.Addr { return cache.Addr(i * 64) }
+
+// evictions feeds the block sequence and returns, per access, the evicted
+// tag or -1.
+func evictions(c *cache.Cache, seq []int) []int64 {
+	out := make([]int64, len(seq))
+	for i, b := range seq {
+		res := c.Access(blk(b), false)
+		if res.Evicted {
+			out[i] = int64(res.EvictedTag)
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if got := f().Name(); got != name {
+			t.Errorf("factory for %q builds policy named %q", name, got)
+		}
+	}
+	if _, err := ByName("ARC"); err == nil {
+		t.Error("ByName accepted an unknown policy")
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName did not panic on unknown policy")
+		}
+	}()
+	MustByName("nope")
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := oneSet(4, NewLRU())
+	// Fill 0,1,2,3; touch 0; insert 4 -> evicts 1 (LRU), then 5 -> evicts 2.
+	got := evictions(c, []int{0, 1, 2, 3, 0, 4, 5})
+	want := []int64{-1, -1, -1, -1, -1, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: evicted %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestLRUHitRefreshes(t *testing.T) {
+	c := oneSet(2, NewLRU())
+	evictions(c, []int{0, 1, 0}) // 0 is now MRU
+	res := c.Access(blk(2), false)
+	if !res.Evicted || res.EvictedTag != 1 {
+		t.Fatalf("want eviction of 1, got %+v", res)
+	}
+}
+
+func TestMRUEvictionOrder(t *testing.T) {
+	c := oneSet(4, NewMRU())
+	// Fill 0..3 (3 is MRU); 4 evicts 3; 5 evicts 4.
+	got := evictions(c, []int{0, 1, 2, 3, 4, 5})
+	want := []int64{-1, -1, -1, -1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: evicted %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMRUKeepsLinearLoopResident(t *testing.T) {
+	// A loop of ways+1 blocks under MRU keeps ways-1 blocks permanently
+	// resident: the defining advantage the paper exploits (Section 2.1,
+	// Figure 8). LRU misses on every single access of the same loop.
+	const ways, loop, rounds = 4, 5, 50
+	mru := oneSet(ways, NewMRU())
+	lru := oneSet(ways, NewLRU())
+	seq := make([]int, 0, loop*rounds)
+	for r := 0; r < rounds; r++ {
+		for b := 0; b < loop; b++ {
+			seq = append(seq, b)
+		}
+	}
+	evictions(mru, seq)
+	evictions(lru, seq)
+	if lruHits := lru.Stats().Hits; lruHits != 0 {
+		t.Fatalf("LRU got %d hits on a thrashing loop, want 0", lruHits)
+	}
+	mruHitRatio := float64(mru.Stats().Hits) / float64(mru.Stats().Accesses)
+	if mruHitRatio < 0.5 {
+		t.Fatalf("MRU hit ratio %.2f on linear loop, want >= 0.5", mruHitRatio)
+	}
+}
+
+func TestFIFOIgnoresHits(t *testing.T) {
+	c := oneSet(2, NewFIFO())
+	evictions(c, []int{0, 1, 0, 0, 0}) // hits on 0 must not refresh
+	res := c.Access(blk(2), false)
+	if !res.Evicted || res.EvictedTag != 0 {
+		t.Fatalf("FIFO should evict first-in block 0, got %+v", res)
+	}
+}
+
+func TestLFUProtectsHotBlocks(t *testing.T) {
+	c := oneSet(2, NewLFU(DefaultLFUBits))
+	// Make block 0 hot, then stream blocks 1..10: the hot block survives.
+	seq := []int{0, 0, 0, 0}
+	for b := 1; b <= 10; b++ {
+		seq = append(seq, b)
+	}
+	evictions(c, seq)
+	if !c.Contains(blk(0)) {
+		t.Fatal("LFU evicted the hot block")
+	}
+	// LRU on the same trace evicts the hot block immediately.
+	c2 := oneSet(2, NewLRU())
+	evictions(c2, seq)
+	if c2.Contains(blk(0)) {
+		t.Fatal("LRU kept the hot block (test premise broken)")
+	}
+}
+
+func TestLFUCounterSaturation(t *testing.T) {
+	p := NewLFU(2) // saturates at 3
+	c := oneSet(2, p)
+	c.Access(blk(0), false)
+	for i := 0; i < 10; i++ {
+		c.Access(blk(0), false)
+	}
+	if got := p.Count(0, 0); got != 3 {
+		t.Fatalf("saturating count = %d, want 3", got)
+	}
+	if got := p.Bits(); got != 2 {
+		t.Fatalf("Bits = %d, want 2", got)
+	}
+}
+
+func TestLFUTieBreaksTowardLRU(t *testing.T) {
+	c := oneSet(3, NewLFU(DefaultLFUBits))
+	// All three blocks have count 1; 0 is least recent.
+	evictions(c, []int{0, 1, 2})
+	res := c.Access(blk(3), false)
+	if !res.Evicted || res.EvictedTag != 0 {
+		t.Fatalf("LFU tie-break evicted %d, want 0", res.EvictedTag)
+	}
+}
+
+func TestLFUBadBitsPanics(t *testing.T) {
+	for _, bits := range []int{0, -1, 32} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLFU(%d) did not panic", bits)
+				}
+			}()
+			NewLFU(bits)
+		}()
+	}
+}
+
+func TestRandomDeterministicAndInRange(t *testing.T) {
+	mk := func() *cache.Cache { return oneSet(8, NewRandom(12345)) }
+	c1, c2 := mk(), mk()
+	seq := make([]int, 5000)
+	for i := range seq {
+		seq[i] = i % 20
+	}
+	e1, e2 := evictions(c1, seq), evictions(c2, seq)
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("same seed diverged at access %d: %d vs %d", i, e1[i], e2[i])
+		}
+	}
+	if c1.Stats() != c2.Stats() {
+		t.Fatal("same seed produced different stats")
+	}
+}
+
+func TestRandomSpreadsVictims(t *testing.T) {
+	p := NewRandom(99)
+	g := cache.Geometry{SizeBytes: 8 * 64, LineBytes: 64, Ways: 8}
+	p.Attach(g)
+	seen := map[int]int{}
+	for i := 0; i < 8000; i++ {
+		w := p.Victim(0, nil, 0)
+		if w < 0 || w >= 8 {
+			t.Fatalf("victim %d out of range", w)
+		}
+		seen[w]++
+	}
+	for w := 0; w < 8; w++ {
+		if seen[w] < 500 { // expectation 1000
+			t.Fatalf("way %d chosen only %d times; generator badly skewed", w, seen[w])
+		}
+	}
+}
+
+func TestRandomZeroSeedDefaults(t *testing.T) {
+	if NewRandom(0).seed != DefaultRandomSeed {
+		t.Fatal("zero seed not replaced with default")
+	}
+}
+
+// TestPolicyDeterminism replays a pseudo-random trace twice through every
+// standard policy and demands identical statistics — the whole simulation
+// stack depends on this reproducibility.
+func TestPolicyDeterminism(t *testing.T) {
+	g := cache.Geometry{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8}
+	trace := make([]cache.Addr, 100000)
+	rng := uint64(2024)
+	for i := range trace {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		trace[i] = cache.Addr(rng % (1 << 22))
+	}
+	for _, name := range Names() {
+		f := MustByName(name)
+		run := func() cache.Stats {
+			c := cache.New(g, f())
+			for _, a := range trace {
+				c.Access(a, false)
+			}
+			return c.Stats()
+		}
+		if s1, s2 := run(), run(); s1 != s2 {
+			t.Errorf("%s: runs diverged: %+v vs %+v", name, s1, s2)
+		}
+	}
+}
+
+// TestPoliciesDifferOnConflictTrace guards against accidentally wiring two
+// names to the same behavior: on a mixed trace the five policies should
+// produce at least four distinct miss counts.
+func TestPoliciesDifferOnConflictTrace(t *testing.T) {
+	g := cache.Geometry{SizeBytes: 8 * 64, LineBytes: 64, Ways: 8}
+	// Hot block (three touches per round, so its LFU count builds) plus a
+	// thrashing loop: separates LFU, MRU, and Random from LRU/FIFO.
+	var trace []cache.Addr
+	for r := 0; r < 200; r++ {
+		trace = append(trace, blk(0), blk(0), blk(0))
+		for b := 1; b <= 9; b++ {
+			trace = append(trace, blk(b))
+		}
+	}
+	misses := map[string]uint64{}
+	for _, name := range Names() {
+		c := cache.New(g, MustByName(name)())
+		for _, a := range trace {
+			c.Access(a, false)
+		}
+		misses[name] = c.Stats().Misses
+	}
+	distinct := map[uint64]bool{}
+	for _, m := range misses {
+		distinct[m] = true
+	}
+	if len(distinct) < 4 {
+		t.Errorf("only %d distinct miss counts across policies: %v", len(distinct), misses)
+	}
+}

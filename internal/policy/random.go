@@ -1,0 +1,50 @@
+package policy
+
+import "repro/internal/cache"
+
+// DefaultRandomSeed seeds Random policies created via ByName. Any nonzero
+// value works; fixing one keeps whole-suite runs reproducible.
+const DefaultRandomSeed = 0x9E3779B97F4A7C15
+
+// Random evicts a uniformly pseudo-random way. The generator is a
+// deterministic xorshift64* stream seeded at construction, so identical
+// traces produce identical behavior.
+type Random struct {
+	cache.NopObserver
+	seed  uint64
+	state uint64
+	ways  int
+}
+
+// NewRandom returns a Random policy with the given nonzero seed.
+func NewRandom(seed uint64) *Random {
+	if seed == 0 {
+		seed = DefaultRandomSeed
+	}
+	return &Random{seed: seed}
+}
+
+// Name implements cache.Policy.
+func (*Random) Name() string { return "Random" }
+
+// Attach implements cache.Policy.
+func (p *Random) Attach(g cache.Geometry) {
+	p.state = p.seed
+	p.ways = g.Ways
+}
+
+// Touch implements cache.Policy: no state.
+func (p *Random) Touch(int, int) {}
+
+// Insert implements cache.Policy: no state.
+func (p *Random) Insert(int, int, uint64) {}
+
+// Victim implements cache.Policy: a pseudo-random way.
+func (p *Random) Victim(int, []cache.Line, uint64) int {
+	// xorshift64* (Vigna); high bits are well mixed.
+	p.state ^= p.state >> 12
+	p.state ^= p.state << 25
+	p.state ^= p.state >> 27
+	x := p.state * 0x2545F4914F6CDD1D
+	return int((x >> 33) % uint64(p.ways))
+}

@@ -1,0 +1,89 @@
+package policy
+
+import "repro/internal/cache"
+
+// Split demonstrates the paper's generality claim (Section 5): "our
+// adaptive caching technique is sufficiently general that it can simulate
+// adapting between two different set associativities, where policy A uses
+// all n ways, and policy B effectively manages its cache lines as two
+// separate sets of n/2 ways."
+//
+// Split is that policy B: it hashes each block (by tag parity) into one
+// half of the ways and runs LRU within the half. Paired with a plain LRU
+// under the adaptive scheme, the cache effectively adapts between n-way
+// and 2x(n/2)-way associativity per set.
+type Split struct {
+	cache.NopObserver
+	ways  int
+	half  int
+	clock uint64
+	at    []uint64
+}
+
+// NewSplit returns a fresh split-associativity policy. The attached cache
+// must have an even number of ways.
+func NewSplit() *Split { return &Split{} }
+
+// Name implements cache.Policy.
+func (*Split) Name() string { return "Split" }
+
+// Attach implements cache.Policy.
+func (p *Split) Attach(g cache.Geometry) {
+	if g.Ways%2 != 0 {
+		panic("policy: Split requires an even number of ways")
+	}
+	p.ways = g.Ways
+	p.half = g.Ways / 2
+	p.clock = 0
+	p.at = make([]uint64, g.Sets()*g.Ways)
+}
+
+// Touch implements cache.Policy.
+func (p *Split) Touch(set, way int) {
+	p.clock++
+	p.at[set*p.ways+way] = p.clock
+}
+
+// Insert implements cache.Policy.
+func (p *Split) Insert(set, way int, _ uint64) { p.Touch(set, way) }
+
+// halfOf maps a tag to its way partition.
+func halfOf(tag uint64) int { return int(tag & 1) }
+
+// Place implements cache.Placer: a block may only live in its own half.
+// An invalid way there is used first; otherwise the half's LRU line is
+// evicted, even if the other half has free ways — strict partitioning.
+func (p *Split) Place(set int, lines []cache.Line, tag uint64) int {
+	h := halfOf(tag)
+	lo, hi := h*p.half, h*p.half+p.half
+	for w := lo; w < hi; w++ {
+		if !lines[w].Valid {
+			return w
+		}
+	}
+	return p.Victim(set, lines, tag)
+}
+
+// Victim implements cache.Policy: LRU restricted to the incoming block's
+// half of the ways. If the half still has a line belonging to the other
+// partition (possible because fills may land on any invalid way), that
+// misplaced line is evicted first.
+func (p *Split) Victim(set int, lines []cache.Line, tag uint64) int {
+	h := halfOf(tag)
+	lo, hi := h*p.half, h*p.half+p.half
+	base := set * p.ways
+
+	// Prefer evicting a line that does not belong in this half.
+	for w := lo; w < hi; w++ {
+		if lines[w].Valid && halfOf(lines[w].Tag) != h {
+			return w
+		}
+	}
+	best := lo
+	for w := lo + 1; w < hi; w++ {
+		if p.at[base+w] < p.at[base+best] {
+			best = w
+		}
+	}
+	return best
+}

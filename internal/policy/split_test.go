@@ -1,0 +1,84 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestSplitRequiresEvenWays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd ways accepted")
+		}
+	}()
+	g := cache.Geometry{SizeBytes: 3 * 64, LineBytes: 64, Ways: 3}
+	cache.New(g, NewSplit())
+}
+
+func TestSplitPartitionsByTagParity(t *testing.T) {
+	c := oneSet(4, NewSplit())
+	// Four even-tag blocks into a 4-way set: only the low half (2 ways)
+	// is available to them once full, so they thrash among 2 slots while
+	// odd tags keep the other half.
+	evens := []int{0, 2, 4, 6}
+	odds := []int{1, 3}
+	for _, b := range odds {
+		c.Access(blk(b), false)
+	}
+	for _, b := range evens {
+		c.Access(blk(b), false)
+	}
+	// Odd blocks must still be resident: the even traffic was confined to
+	// its own half.
+	for _, b := range odds {
+		if !c.Contains(blk(b)) {
+			t.Fatalf("odd block %d displaced by even traffic", b)
+		}
+	}
+	// At most 2 of the 4 even blocks fit.
+	resident := 0
+	for _, b := range evens {
+		if c.Contains(blk(b)) {
+			resident++
+		}
+	}
+	if resident != 2 {
+		t.Fatalf("%d even blocks resident, want 2 (half the ways)", resident)
+	}
+}
+
+func TestSplitStrictPlacement(t *testing.T) {
+	// A block may only live in its own half: with 2 ways, the second even
+	// block evicts the first even though way 1 is still invalid.
+	c := oneSet(2, NewSplit())
+	c.Access(blk(0), false) // even -> way 0
+	res := c.Access(blk(2), false)
+	if !res.Evicted || res.EvictedTag != 0 || res.Way != 0 {
+		t.Fatalf("strict partition violated: %+v", res)
+	}
+	if c.Contains(blk(0)) {
+		t.Fatal("evicted even block still resident")
+	}
+	// The odd half was never touched.
+	c.Access(blk(1), false)
+	if !c.Contains(blk(1)) || !c.Contains(blk(2)) {
+		t.Fatal("odd fill disturbed the even half")
+	}
+}
+
+func TestSplitVictimReclaimsMisplacedLines(t *testing.T) {
+	// When Split is consulted only through Victim (the SBAR follower
+	// path, where fills are not Split-placed), a line sitting in the
+	// wrong half is reclaimed before a well-placed one.
+	p := NewSplit()
+	g := cache.Geometry{SizeBytes: 2 * 64, LineBytes: 64, Ways: 2}
+	p.Attach(g)
+	lines := []cache.Line{
+		{Tag: 3, Valid: true}, // odd tag misplaced in the even half (way 0)
+		{Tag: 1, Valid: true},
+	}
+	if w := p.Victim(0, lines, 2); w != 0 {
+		t.Fatalf("Victim chose way %d, want 0 (misplaced line)", w)
+	}
+}

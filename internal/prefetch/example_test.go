@@ -1,0 +1,21 @@
+package prefetch_test
+
+import (
+	"fmt"
+
+	"repro/internal/prefetch"
+)
+
+func ExampleHybrid() {
+	h := prefetch.NewHybrid([]prefetch.Prefetcher{
+		prefetch.NewNextLine(1),
+		prefetch.NewStride(256),
+	}, 32, 32)
+	// A strided stream (17 blocks apart): next-line predictions never come
+	// true, the stride predictor's do, and the hybrid switches to it.
+	for i := 0; i < 100; i++ {
+		h.Observe(0x400010, uint64(1000+17*i), true)
+	}
+	fmt.Println("active component:", h.Active(), "=", h.Name())
+	// Output: active component: 1 = Hybrid(NextLine,Stride)
+}

@@ -1,0 +1,230 @@
+// Package prefetch implements the paper's second future-work direction
+// (Section 6): applying the adaptivity machinery to hybrid hardware
+// prefetchers, with "hit/miss replaced with useful/not-useful prefetch".
+//
+// Two classic component prefetchers are provided — next-line and a per-PC
+// stride predictor (reference prediction table) — plus Hybrid, which runs
+// every component in shadow mode (predictions tracked but not issued),
+// scores each by how often its recent predictions were actually demanded,
+// and lets only the currently best component issue real prefetches. The
+// structure deliberately mirrors the adaptive cache: shadow state per
+// component, a sliding usefulness history, and imitation of the winner.
+package prefetch
+
+// Prefetcher observes the demand-access stream at cache-block granularity
+// and proposes blocks to prefetch.
+type Prefetcher interface {
+	// Name identifies the prefetcher in reports.
+	Name() string
+	// Observe sees one demand access (pc of the instruction, accessed
+	// block, and whether it missed) and returns blocks to prefetch.
+	Observe(pc, block uint64, miss bool) []uint64
+	// Reset clears all state.
+	Reset()
+}
+
+// NextLine prefetches block+1 on every demand miss — the simplest
+// sequential prefetcher, ideal for streaming scans.
+type NextLine struct {
+	Degree int // blocks fetched ahead (default 1)
+}
+
+// NewNextLine returns a next-line prefetcher with the given degree.
+func NewNextLine(degree int) *NextLine {
+	if degree < 1 {
+		degree = 1
+	}
+	return &NextLine{Degree: degree}
+}
+
+// Name implements Prefetcher.
+func (*NextLine) Name() string { return "NextLine" }
+
+// Reset implements Prefetcher.
+func (p *NextLine) Reset() {}
+
+// Observe implements Prefetcher.
+func (p *NextLine) Observe(_, block uint64, miss bool) []uint64 {
+	if !miss {
+		return nil
+	}
+	out := make([]uint64, p.Degree)
+	for d := range out {
+		out[d] = block + uint64(d) + 1
+	}
+	return out
+}
+
+// Stride is a per-PC reference prediction table: each load PC's last
+// address and stride are tracked; two consecutive equal strides arm the
+// entry, and further accesses prefetch last+stride.
+type Stride struct {
+	entries int
+	last    []uint64
+	stride  []int64
+	state   []uint8 // 0 init, 1 transient, 2 steady
+	tags    []uint64
+}
+
+// NewStride returns a stride prefetcher with a table of n entries
+// (power of two).
+func NewStride(n int) *Stride {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("prefetch: stride table size must be a positive power of two")
+	}
+	s := &Stride{entries: n}
+	s.Reset()
+	return s
+}
+
+// Name implements Prefetcher.
+func (*Stride) Name() string { return "Stride" }
+
+// Reset implements Prefetcher.
+func (s *Stride) Reset() {
+	s.last = make([]uint64, s.entries)
+	s.stride = make([]int64, s.entries)
+	s.state = make([]uint8, s.entries)
+	s.tags = make([]uint64, s.entries)
+}
+
+// Observe implements Prefetcher.
+func (s *Stride) Observe(pc, block uint64, _ bool) []uint64 {
+	i := (pc >> 2) & uint64(s.entries-1)
+	tag := pc >> 2
+	if s.tags[i] != tag {
+		s.tags[i] = tag
+		s.last[i] = block
+		s.stride[i] = 0
+		s.state[i] = 0
+		return nil
+	}
+	d := int64(block) - int64(s.last[i])
+	s.last[i] = block
+	switch {
+	case s.state[i] == 0:
+		s.stride[i] = d
+		s.state[i] = 1
+	case d == s.stride[i] && d != 0:
+		s.state[i] = 2
+	case s.state[i] == 2 && d != s.stride[i]:
+		s.stride[i] = d
+		s.state[i] = 1
+	default:
+		s.stride[i] = d
+	}
+	if s.state[i] == 2 {
+		return []uint64{uint64(int64(block) + s.stride[i])}
+	}
+	return nil
+}
+
+// Hybrid adapts between component prefetchers by usefulness. Every
+// component observes the full stream; each one's recent predictions are
+// remembered in a per-component ring, and a demand access that matches a
+// remembered prediction scores that component a "useful" event. Only the
+// component with the best recent usefulness issues real prefetches.
+type Hybrid struct {
+	comps   []Prefetcher
+	ringLen int
+	rings   [][]uint64
+	ringPos []int
+	// Sliding usefulness window, mirroring the miss-history buffer: a ring
+	// of component indices that recently scored useful predictions.
+	window    []int8
+	windowPos int
+	score     []int
+}
+
+// NewHybrid builds a hybrid over the given components. ringLen bounds how
+// long a prediction stays creditable; windowLen is the usefulness history
+// length (both default 32).
+func NewHybrid(comps []Prefetcher, ringLen, windowLen int) *Hybrid {
+	if len(comps) < 2 {
+		panic("prefetch: hybrid needs at least two components")
+	}
+	if ringLen <= 0 {
+		ringLen = 32
+	}
+	if windowLen <= 0 {
+		windowLen = 32
+	}
+	h := &Hybrid{comps: comps, ringLen: ringLen, window: make([]int8, windowLen)}
+	h.Reset()
+	return h
+}
+
+// Name implements Prefetcher.
+func (h *Hybrid) Name() string {
+	name := "Hybrid("
+	for i, c := range h.comps {
+		if i > 0 {
+			name += ","
+		}
+		name += c.Name()
+	}
+	return name + ")"
+}
+
+// Reset implements Prefetcher.
+func (h *Hybrid) Reset() {
+	h.rings = make([][]uint64, len(h.comps))
+	h.ringPos = make([]int, len(h.comps))
+	for i := range h.rings {
+		h.rings[i] = make([]uint64, h.ringLen)
+		h.comps[i].Reset()
+	}
+	for i := range h.window {
+		h.window[i] = -1
+	}
+	h.windowPos = 0
+	h.score = make([]int, len(h.comps))
+}
+
+// Active returns the component index that currently issues real
+// prefetches.
+func (h *Hybrid) Active() int {
+	best := 0
+	for i := 1; i < len(h.comps); i++ {
+		if h.score[i] > h.score[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func (h *Hybrid) credit(comp int) {
+	if old := h.window[h.windowPos]; old >= 0 {
+		h.score[old]--
+	}
+	h.window[h.windowPos] = int8(comp)
+	h.score[comp]++
+	h.windowPos = (h.windowPos + 1) % len(h.window)
+}
+
+// Observe implements Prefetcher: score components whose shadow predictions
+// the demand stream just confirmed, gather everyone's fresh predictions,
+// and emit only the active component's.
+func (h *Hybrid) Observe(pc, block uint64, miss bool) []uint64 {
+	for i := range h.comps {
+		for _, b := range h.rings[i] {
+			if b != 0 && b == block {
+				h.credit(i)
+				break
+			}
+		}
+	}
+	active := h.Active()
+	var out []uint64
+	for i, c := range h.comps {
+		preds := c.Observe(pc, block, miss)
+		for _, b := range preds {
+			h.rings[i][h.ringPos[i]] = b
+			h.ringPos[i] = (h.ringPos[i] + 1) % h.ringLen
+		}
+		if i == active {
+			out = preds
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package prefetch
+
+import "testing"
+
+func TestNextLineOnMissOnly(t *testing.T) {
+	p := NewNextLine(1)
+	if got := p.Observe(0x400000, 100, false); got != nil {
+		t.Fatalf("prefetch on hit: %v", got)
+	}
+	got := p.Observe(0x400000, 100, true)
+	if len(got) != 1 || got[0] != 101 {
+		t.Fatalf("Observe(miss 100) = %v, want [101]", got)
+	}
+}
+
+func TestNextLineDegree(t *testing.T) {
+	p := NewNextLine(3)
+	got := p.Observe(0, 10, true)
+	if len(got) != 3 || got[0] != 11 || got[2] != 13 {
+		t.Fatalf("degree-3 prefetch = %v", got)
+	}
+	if NewNextLine(0).Degree != 1 {
+		t.Fatal("degree not clamped to 1")
+	}
+}
+
+func TestStrideDetectsSteadyStream(t *testing.T) {
+	p := NewStride(256)
+	pc := uint64(0x400010)
+	// Stride of 7 blocks: entry arms after two equal strides.
+	var got []uint64
+	for i := 0; i < 5; i++ {
+		got = p.Observe(pc, uint64(100+7*i), false)
+	}
+	if len(got) != 1 || got[0] != 100+7*4+7 {
+		t.Fatalf("steady stride prediction = %v, want [%d]", got, 100+7*5)
+	}
+}
+
+func TestStrideIgnoresIrregular(t *testing.T) {
+	p := NewStride(256)
+	pc := uint64(0x400010)
+	blocks := []uint64{10, 90, 13, 700, 2}
+	for _, b := range blocks {
+		if got := p.Observe(pc, b, true); got != nil {
+			t.Fatalf("irregular stream produced prediction %v", got)
+		}
+	}
+}
+
+func TestStrideZeroStrideNeverArms(t *testing.T) {
+	p := NewStride(64)
+	for i := 0; i < 10; i++ {
+		if got := p.Observe(0x400010, 42, false); got != nil {
+			t.Fatalf("zero-stride produced prediction %v", got)
+		}
+	}
+}
+
+func TestStrideSeparatesPCs(t *testing.T) {
+	p := NewStride(256)
+	// Two PCs with different strides interleaved must both arm.
+	var a, b []uint64
+	for i := 0; i < 6; i++ {
+		a = p.Observe(0x400010, uint64(100+3*i), false)
+		b = p.Observe(0x400020, uint64(9000+11*i), false)
+	}
+	if len(a) != 1 || a[0] != 100+3*5+3 {
+		t.Fatalf("pc A prediction %v", a)
+	}
+	if len(b) != 1 || b[0] != 9000+11*5+11 {
+		t.Fatalf("pc B prediction %v", b)
+	}
+}
+
+func TestStrideTableConflictResets(t *testing.T) {
+	p := NewStride(2) // tiny table: aliased PCs fight
+	p.Observe(0x400000, 100, false)
+	p.Observe(0x400000, 103, false)
+	p.Observe(0x400000, 106, false) // armed
+	// A conflicting PC (same index, different tag) steals the entry.
+	p.Observe(0x400000+8*2, 999, false)
+	if got := p.Observe(0x400000, 109, false); got != nil {
+		t.Fatalf("stale entry survived conflict: %v", got)
+	}
+}
+
+func TestStrideBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStride(3) did not panic")
+		}
+	}()
+	NewStride(3)
+}
+
+func TestHybridPicksUsefulComponent(t *testing.T) {
+	h := NewHybrid([]Prefetcher{NewNextLine(1), NewStride(256)}, 32, 32)
+	// Sequential misses: next-line predictions keep coming true; stride
+	// also arms (stride 1), so both score, but feed a strided pattern the
+	// next-line can't predict and stride can:
+	pc := uint64(0x400010)
+	for i := 0; i < 200; i++ {
+		h.Observe(pc, uint64(100+17*i), true)
+	}
+	if got := h.Active(); got != 1 {
+		t.Fatalf("active component %d after strided stream, want 1 (Stride); scores %v", got, h.score)
+	}
+	// Now a dense sequential stream from many PCs (defeating the per-PC
+	// stride table) swings it back to next-line.
+	for i := 0; i < 400; i++ {
+		h.Observe(uint64(0x500000+4*i), uint64(1_000_000+i), true)
+	}
+	if got := h.Active(); got != 0 {
+		t.Fatalf("active component %d after sequential stream, want 0 (NextLine); scores %v", got, h.score)
+	}
+}
+
+func TestHybridEmitsOnlyActivePredictions(t *testing.T) {
+	h := NewHybrid([]Prefetcher{NewNextLine(1), NewStride(256)}, 16, 16)
+	out := h.Observe(0x400010, 100, true)
+	// Initially component 0 (NextLine) is active (tie -> highest score
+	// index 0): the output must match NextLine's prediction.
+	if len(out) != 1 || out[0] != 101 {
+		t.Fatalf("initial output %v, want NextLine's [101]", out)
+	}
+}
+
+func TestHybridName(t *testing.T) {
+	h := NewHybrid([]Prefetcher{NewNextLine(1), NewStride(64)}, 0, 0)
+	if got := h.Name(); got != "Hybrid(NextLine,Stride)" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestHybridNeedsTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single-component hybrid accepted")
+		}
+	}()
+	NewHybrid([]Prefetcher{NewNextLine(1)}, 0, 0)
+}
+
+func TestHybridResetClearsScores(t *testing.T) {
+	h := NewHybrid([]Prefetcher{NewNextLine(1), NewStride(256)}, 16, 16)
+	for i := 0; i < 100; i++ {
+		h.Observe(0x400010, uint64(100+17*i), true)
+	}
+	h.Reset()
+	for _, s := range h.score {
+		if s != 0 {
+			t.Fatalf("scores after Reset: %v", h.score)
+		}
+	}
+}
+
+func TestHybridWindowSlides(t *testing.T) {
+	h := NewHybrid([]Prefetcher{NewNextLine(1), NewStride(256)}, 8, 8)
+	// Credit component 0 far more than the window can hold; score is
+	// bounded by the window length.
+	for i := 0; i < 100; i++ {
+		h.Observe(0x400000+uint64(8*i), uint64(5000+i), true)
+	}
+	if h.score[0] > 8 {
+		t.Fatalf("score %d exceeds window length 8", h.score[0])
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSuiteCalibration is the contract of the synthetic primary set: each
+// benchmark's qualitative policy preference (who wins, roughly by how
+// much) must match the story the paper tells for that program. It guards
+// the calibration against regressions when generator internals change.
+//
+// Run at reduced scale (4M instructions), so thresholds are looser than
+// the committed 10M-instruction numbers in EXPERIMENTS.md.
+func TestSuiteCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-suite calibration sweep")
+	}
+	type expect struct {
+		bench string
+		// winner: "LRU", "LFU", or "" for near-equal (within slack).
+		winner string
+		// margin: winner must beat the loser by at least this factor.
+		margin float64
+	}
+	cases := []expect{
+		{"art-1", "LFU", 1.15},
+		{"art-2", "LFU", 1.15},
+		{"x11quake-1", "LFU", 1.15},
+		{"x11quake-2", "LFU", 1.1},
+		{"xanim", "LFU", 1.15},
+		{"twolf", "LFU", 1.0},
+		{"mcf", "LFU", 1.2},
+		{"lucas", "LRU", 3.0},
+		{"gap", "LRU", 2.0},
+		{"bzip2", "LRU", 2.0},
+		{"vpr-2", "LRU", 2.5},
+		{"parser", "LRU", 2.0},
+		{"mgrid", "LRU", 2.0}, // vs LFU overall; adaptive beats both
+		{"tiff2rgba", "", 0},
+		{"swim", "", 0},
+		{"fma3d", "", 0},
+	}
+	const n, warm = 6_000_000, 1_200_000
+	run := func(name string, p PolicySpec) float64 {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Default(p, n)
+		cfg.Warmup = warm
+		return RunCacheOnly(cfg, spec).MPKI
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.bench, func(t *testing.T) {
+			lru := run(c.bench, LRUSpec())
+			lfu := run(c.bench, SingleSpec("LFU"))
+			ad := run(c.bench, AdaptiveSpec(0))
+			if lru <= 1 {
+				t.Errorf("LRU MPKI %.2f <= 1: %s would not qualify for the primary set", lru, c.bench)
+			}
+			switch c.winner {
+			case "LRU":
+				if lfu < c.margin*lru {
+					t.Errorf("LRU should win by %.1fx: LRU %.2f LFU %.2f", c.margin, lru, lfu)
+				}
+			case "LFU":
+				if lru < c.margin*lfu {
+					t.Errorf("LFU should win by %.1fx: LRU %.2f LFU %.2f", c.margin, lru, lfu)
+				}
+			default:
+				hi, lo := lru, lfu
+				if lo > hi {
+					hi, lo = lo, hi
+				}
+				if hi > 1.25*lo {
+					t.Errorf("policies should be near-equal: LRU %.2f LFU %.2f", lru, lfu)
+				}
+			}
+			best := lru
+			if lfu < best {
+				best = lfu
+			}
+			if ad > 1.2*best {
+				t.Errorf("adaptive %.2f vs best component %.2f: tracking broken", ad, best)
+			}
+		})
+	}
+}
+
+// TestExtendedSetMostlyQuiet: the 74 extended-only programs exist to show
+// adaptivity is harmless when there is little to win; the bulk of them
+// must have low L2 MPKI under LRU.
+func TestExtendedSetMostlyQuiet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended-set sweep")
+	}
+	primary := map[string]bool{}
+	for _, n := range workload.PrimaryNames() {
+		primary[n] = true
+	}
+	quiet := 0
+	total := 0
+	for _, spec := range workload.Suite() {
+		if primary[spec.Name] {
+			continue
+		}
+		total++
+		cfg := Default(LRUSpec(), 600_000)
+		cfg.Warmup = 150_000
+		if RunCacheOnly(cfg, spec).MPKI < 4 {
+			quiet++
+		}
+	}
+	if total != 74 {
+		t.Fatalf("%d extended-only programs, want 74", total)
+	}
+	if quiet < 55 {
+		t.Errorf("only %d/74 extended programs are low-MPKI; the extended set should mostly dilute", quiet)
+	}
+}

@@ -1,0 +1,573 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options parameterizes figure regeneration. Zero values take defaults:
+// the primary benchmark set, 10M instructions with 2M warmup, and one
+// worker per CPU.
+type Options struct {
+	Instrs  uint64
+	Warmup  uint64
+	Benches []workload.Spec
+	Workers int
+}
+
+// PrimaryBenches returns the paper's 26-program primary evaluation set as
+// workload specs, in Figure 3 order.
+func PrimaryBenches() []workload.Spec {
+	var out []workload.Spec
+	for _, name := range workload.PrimaryNames() {
+		s, err := workload.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func (o Options) fill() Options {
+	if o.Instrs == 0 {
+		o.Instrs = 10_000_000
+	}
+	if o.Warmup == 0 && o.Instrs >= 5 {
+		o.Warmup = o.Instrs / 5
+	}
+	if len(o.Benches) == 0 {
+		o.Benches = PrimaryBenches()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// apply stamps the option budgets onto a config.
+func (o Options) apply(cfg Config) Config {
+	cfg.Instrs = o.Instrs
+	cfg.Warmup = o.Warmup
+	return cfg
+}
+
+// Series is one column of a Table: a label plus one value per row.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Table is a reproduced figure or table: benchmarks (or sweep points) down
+// the rows, configurations across the columns.
+type Table struct {
+	Title     string
+	RowHeader string
+	Rows      []string
+	Columns   []Series
+	Notes     []string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	fmt.Fprintf(w, "%-30s", t.RowHeader)
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, " %22s", c.Label)
+	}
+	fmt.Fprintln(w)
+	for i, row := range t.Rows {
+		fmt.Fprintf(w, "%-30s", row)
+		for _, c := range t.Columns {
+			fmt.Fprintf(w, " %22.3f", c.Values[i])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// Column returns the series with the given label, or nil.
+func (t *Table) Column(label string) *Series {
+	for i := range t.Columns {
+		if t.Columns[i].Label == label {
+			return &t.Columns[i]
+		}
+	}
+	return nil
+}
+
+// sweep runs every benchmark under cfg in parallel and returns results in
+// benchmark order.
+func sweep(o Options, cfg Config, timing bool) []Result {
+	results := make([]Result, len(o.Benches))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.Workers)
+	for i, spec := range o.Benches {
+		wg.Add(1)
+		go func(i int, spec workload.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if timing {
+				results[i] = Run(cfg, spec)
+			} else {
+				results[i] = RunCacheOnly(cfg, spec)
+			}
+		}(i, spec)
+	}
+	wg.Wait()
+	return results
+}
+
+// column extracts one metric as a Series, appending the arithmetic mean as
+// a final "average" row value.
+func column(label string, rs []Result, metric func(Result) float64) Series {
+	vals := make([]float64, 0, len(rs)+1)
+	for _, r := range rs {
+		vals = append(vals, metric(r))
+	}
+	vals = append(vals, stats.Mean(vals))
+	return Series{Label: label, Values: vals}
+}
+
+func benchRows(o Options) []string {
+	rows := make([]string, 0, len(o.Benches)+1)
+	for _, b := range o.Benches {
+		rows = append(rows, b.Name)
+	}
+	return append(rows, "average")
+}
+
+func mpkiOf(r Result) float64 { return r.MPKI }
+func cpiOf(r Result) float64  { return r.CPI }
+
+// perBench builds the Figure 3/4/6/8-style tables: one column per policy
+// configuration, one row per benchmark plus the average.
+func perBench(title string, o Options, timing bool, metric func(Result) float64,
+	metricName string, policies []PolicySpec) *Table {
+	o = o.fill()
+	t := &Table{Title: title, RowHeader: "benchmark", Rows: benchRows(o)}
+	for _, p := range policies {
+		cfg := o.apply(Default(p, o.Instrs))
+		rs := sweep(o, cfg, timing)
+		t.Columns = append(t.Columns, column(p.Label()+" "+metricName, rs, metric))
+	}
+	return t
+}
+
+// Fig3 reproduces paper Figure 3: L2 MPKI per primary benchmark for the
+// LRU/LFU adaptive cache (full tags) and its component policies.
+func Fig3(o Options) *Table {
+	return perBench("Figure 3: L2 MPKI, adaptive vs components (512KB 8-way)",
+		o, false, mpkiOf, "MPKI",
+		[]PolicySpec{AdaptiveSpec(0), SingleSpec("LFU"), SingleSpec("LRU")})
+}
+
+// Fig4 reproduces paper Figure 4: CPI per primary benchmark for the same
+// three configurations.
+func Fig4(o Options) *Table {
+	return perBench("Figure 4: CPI, adaptive vs components (512KB 8-way)",
+		o, true, cpiOf, "CPI",
+		[]PolicySpec{AdaptiveSpec(0), SingleSpec("LFU"), SingleSpec("LRU")})
+}
+
+// Fig5 reproduces paper Figure 5: percent increase in average MPKI and CPI
+// versus full tags as the shadow partial-tag width shrinks.
+func Fig5(o Options) *Table {
+	o = o.fill()
+	widths := []int{0, 12, 10, 8, 6, 4}
+	labels := []string{"full", "12-bit", "10-bit", "8-bit", "6-bit", "4-bit"}
+
+	var avgM, avgC []float64
+	for _, w := range widths {
+		cfg := o.apply(Default(AdaptiveSpec(w), o.Instrs))
+		rs := sweep(o, cfg, true)
+		m := make([]float64, len(rs))
+		c := make([]float64, len(rs))
+		for i, r := range rs {
+			m[i], c[i] = r.MPKI, r.CPI
+		}
+		avgM = append(avgM, stats.Mean(m))
+		avgC = append(avgC, stats.Mean(c))
+	}
+	t := &Table{
+		Title:     "Figure 5: impact of partial tags (increase vs full tags, %)",
+		RowHeader: "tag width",
+		Rows:      labels,
+	}
+	dm := make([]float64, len(widths))
+	dc := make([]float64, len(widths))
+	for i := range widths {
+		dm[i] = stats.PercentChange(avgM[0], avgM[i])
+		dc[i] = stats.PercentChange(avgC[0], avgC[i])
+	}
+	t.Columns = []Series{
+		{Label: "MPKI increase %", Values: dm},
+		{Label: "CPI increase %", Values: dc},
+		{Label: "avg MPKI", Values: avgM},
+		{Label: "avg CPI", Values: avgC},
+	}
+	return t
+}
+
+// Fig6 reproduces paper Figure 6: CPI of the adaptive cache (full and
+// 8-bit partial tags) against conventional LRU caches of increasing size
+// and associativity (512KB 8-way, 576KB 9-way, 640KB 10-way).
+func Fig6(o Options) *Table {
+	o = o.fill()
+	type variant struct {
+		p      PolicySpec
+		sizeKB int
+		ways   int
+		label  string
+	}
+	variants := []variant{
+		{AdaptiveSpec(0), 512, 8, "Adaptive full"},
+		{AdaptiveSpec(8), 512, 8, "Adaptive 8-bit"},
+		{LRUSpec(), 512, 8, "LRU 512KB 8w"},
+		{LRUSpec(), 576, 9, "LRU 576KB 9w"},
+		{LRUSpec(), 640, 10, "LRU 640KB 10w"},
+	}
+	t := &Table{Title: "Figure 6: CPI vs conventional upsized caches",
+		RowHeader: "benchmark", Rows: benchRows(o)}
+	for _, v := range variants {
+		cfg := o.apply(Default(v.p, o.Instrs))
+		cfg.L2Geom.SizeBytes = v.sizeKB << 10
+		cfg.L2Geom.Ways = v.ways
+		rs := sweep(o, cfg, true)
+		t.Columns = append(t.Columns, column(v.label+" CPI", rs, cpiOf))
+	}
+	return t
+}
+
+// PhaseMap is the Figure 7 data: for each time quantum and cache set, the
+// fraction of adaptive replacement decisions that imitated component 1
+// (LFU in the default configuration); NaN-free, -1 marks quanta with no
+// decisions in that set.
+type PhaseMap struct {
+	Bench  string
+	Quanta int
+	Sets   int
+	// Frac[q][s] in [0,1], or -1 when set s made no decision in quantum q.
+	Frac [][]float64
+}
+
+// Fig7 reproduces paper Figure 7: the per-set, per-time-quantum policy
+// choice map of the adaptive cache for one benchmark (the paper shows ammp
+// and mgrid). Quanta are instruction-count based.
+func Fig7(o Options, bench string, quanta int) (*PhaseMap, error) {
+	o = o.fill()
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.apply(Default(AdaptiveSpec(0), o.Instrs))
+	cfg.Warmup = 0
+
+	sets := cfg.L2Geom.Sets()
+	counts := make([][2]uint32, quanta*sets)
+	var instr uint64
+	quantum := func() int {
+		q := int(instr * uint64(quanta) / cfg.Instrs)
+		if q >= quanta {
+			q = quanta - 1
+		}
+		return q
+	}
+	m := buildMachine(cfg, func(set, comp int) {
+		c := &counts[quantum()*sets+set]
+		if comp == 0 {
+			c[0]++
+		} else {
+			c[1]++
+		}
+	})
+	src := workload.New(spec, cfg.Instrs)
+	var rec trace.Record
+	lastBlock := ^uint64(0)
+	for src.Next(&rec) {
+		if b := rec.PC >> 6; b != lastBlock {
+			lastBlock = b
+			m.hier.Ifetch(0, rec.PC)
+		}
+		switch rec.Kind {
+		case trace.Load:
+			m.hier.Load(0, rec.Addr)
+		case trace.Store:
+			m.hier.Store(0, rec.Addr)
+		}
+		instr++
+	}
+
+	pm := &PhaseMap{Bench: bench, Quanta: quanta, Sets: sets}
+	pm.Frac = make([][]float64, quanta)
+	for q := 0; q < quanta; q++ {
+		pm.Frac[q] = make([]float64, sets)
+		for s := 0; s < sets; s++ {
+			c := counts[q*sets+s]
+			tot := c[0] + c[1]
+			if tot == 0 {
+				pm.Frac[q][s] = -1
+				continue
+			}
+			pm.Frac[q][s] = float64(c[1]) / float64(tot)
+		}
+	}
+	return pm, nil
+}
+
+// Render draws the phase map as ASCII art (downsampled to the given
+// dimensions): '#' = mostly component 1 (LFU), '.' = mostly component 0
+// (LRU), ' ' = no decisions.
+func (pm *PhaseMap) Render(w io.Writer, rows, cols int) {
+	fmt.Fprintf(w, "# Figure 7: %s replacement choice per set over time ('#'=LFU, '.'=LRU)\n", pm.Bench)
+	for r := 0; r < rows; r++ {
+		s0, s1 := r*pm.Sets/rows, (r+1)*pm.Sets/rows
+		for c := 0; c < cols; c++ {
+			q0, q1 := c*pm.Quanta/cols, (c+1)*pm.Quanta/cols
+			sum, n := 0.0, 0
+			for q := q0; q < q1; q++ {
+				for s := s0; s < s1; s++ {
+					if f := pm.Frac[q][s]; f >= 0 {
+						sum += f
+						n++
+					}
+				}
+			}
+			switch {
+			case n == 0:
+				fmt.Fprint(w, " ")
+			case sum/float64(n) >= 0.5:
+				fmt.Fprint(w, "#")
+			default:
+				fmt.Fprint(w, ".")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// LFUShare returns the mean component-1 share over a quantum range,
+// ignoring empty cells; tests use it to verify phase structure.
+func (pm *PhaseMap) LFUShare(q0, q1 int) float64 {
+	sum, n := 0.0, 0
+	for q := q0; q < q1 && q < pm.Quanta; q++ {
+		for s := 0; s < pm.Sets; s++ {
+			if f := pm.Frac[q][s]; f >= 0 {
+				sum += f
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}
+
+// Fig8 reproduces paper Figure 8: MPKI for a FIFO/MRU adaptive cache
+// against its components.
+func Fig8(o Options) *Table {
+	return perBench("Figure 8: L2 MPKI, FIFO/MRU adaptivity", o, false, mpkiOf, "MPKI",
+		[]PolicySpec{AdaptiveSpec(0, "FIFO", "MRU"), SingleSpec("FIFO"), SingleSpec("MRU")})
+}
+
+// Fig9 reproduces paper Figure 9: the adaptive cache's average CPI
+// improvement and miss reduction versus a same-associativity LRU baseline,
+// across associativities (512KB total in all cases).
+func Fig9(o Options) *Table {
+	o = o.fill()
+	assocs := []int{4, 8, 16, 32}
+	t := &Table{Title: "Figure 9: benefit vs associativity (512KB)",
+		RowHeader: "assoc", Rows: []string{"4", "8", "16", "32"}}
+	var cpiImp, missRed []float64
+	for _, ways := range assocs {
+		mk := func(p PolicySpec) Config {
+			cfg := o.apply(Default(p, o.Instrs))
+			cfg.L2Geom.Ways = ways
+			return cfg
+		}
+		lru := sweep(o, mk(LRUSpec()), true)
+		ad := sweep(o, mk(AdaptiveSpec(0)), true)
+		var lc, ac, lm, am []float64
+		for i := range lru {
+			lc = append(lc, lru[i].CPI)
+			ac = append(ac, ad[i].CPI)
+			lm = append(lm, lru[i].MPKI)
+			am = append(am, ad[i].MPKI)
+		}
+		cpiImp = append(cpiImp, stats.PercentReduction(stats.Mean(lc), stats.Mean(ac)))
+		missRed = append(missRed, stats.PercentReduction(stats.Mean(lm), stats.Mean(am)))
+	}
+	t.Columns = []Series{
+		{Label: "CPI improvement %", Values: cpiImp},
+		{Label: "miss reduction %", Values: missRed},
+	}
+	return t
+}
+
+// Fig10 reproduces paper Figure 10: average CPI for LRU and adaptive, and
+// the adaptive improvement, as the store buffer grows from 1 to 256
+// entries.
+func Fig10(o Options) *Table {
+	o = o.fill()
+	sizes := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	t := &Table{Title: "Figure 10: effect of store buffer size",
+		RowHeader: "SB entries"}
+	var rows []string
+	var lruCPI, adCPI, imp []float64
+	for _, sb := range sizes {
+		mk := func(p PolicySpec) Config {
+			cfg := o.apply(Default(p, o.Instrs))
+			cfg.CPU.StoreBuffer = sb
+			return cfg
+		}
+		lru := sweep(o, mk(LRUSpec()), true)
+		ad := sweep(o, mk(AdaptiveSpec(0)), true)
+		var lc, ac []float64
+		for i := range lru {
+			lc = append(lc, lru[i].CPI)
+			ac = append(ac, ad[i].CPI)
+		}
+		l, a := stats.Mean(lc), stats.Mean(ac)
+		rows = append(rows, fmt.Sprint(sb))
+		lruCPI = append(lruCPI, l)
+		adCPI = append(adCPI, a)
+		imp = append(imp, stats.PercentReduction(l, a))
+	}
+	t.Rows = rows
+	t.Columns = []Series{
+		{Label: "LRU avg CPI", Values: lruCPI},
+		{Label: "Adaptive avg CPI", Values: adCPI},
+		{Label: "CPI improvement %", Values: imp},
+	}
+	return t
+}
+
+// ExtendedSet reproduces the Section 4.2 whole-suite summary over all 100
+// programs: average miss reduction, average CPI improvement, and the worst
+// per-program regressions.
+func ExtendedSet(o Options) *Table {
+	o = o.fill()
+	o.Benches = workload.Suite()
+
+	lruM := sweep(o, o.apply(Default(LRUSpec(), o.Instrs)), false)
+	adM := sweep(o, o.apply(Default(AdaptiveSpec(0), o.Instrs)), false)
+	lruC := sweep(o, o.apply(Default(LRUSpec(), o.Instrs)), true)
+	adC := sweep(o, o.apply(Default(AdaptiveSpec(0), o.Instrs)), true)
+
+	var lm, am, lc, ac []float64
+	worstMiss, worstCPI := 0.0, 0.0
+	worstMissName, worstCPIName := "-", "-"
+	for i := range lruM {
+		lm = append(lm, lruM[i].MPKI)
+		am = append(am, adM[i].MPKI)
+		lc = append(lc, lruC[i].CPI)
+		ac = append(ac, adC[i].CPI)
+		if lruM[i].MPKI > 0 {
+			if d := stats.PercentChange(lruM[i].MPKI, adM[i].MPKI); d > worstMiss {
+				worstMiss, worstMissName = d, lruM[i].Benchmark
+			}
+		}
+		if d := stats.PercentChange(lruC[i].CPI, adC[i].CPI); d > worstCPI {
+			worstCPI, worstCPIName = d, lruC[i].Benchmark
+		}
+	}
+	t := &Table{
+		Title:     "Section 4.2: extended set (100 programs)",
+		RowHeader: "metric",
+		Rows: []string{"avg miss reduction %", "avg CPI improvement %",
+			"worst miss increase %", "worst CPI increase %"},
+		Columns: []Series{{Label: "value", Values: []float64{
+			stats.PercentReduction(stats.Mean(lm), stats.Mean(am)),
+			stats.PercentReduction(stats.Mean(lc), stats.Mean(ac)),
+			worstMiss,
+			worstCPI,
+		}}},
+		Notes: []string{
+			fmt.Sprintf("worst miss increase: %s; worst CPI increase: %s", worstMissName, worstCPIName),
+		},
+	}
+	return t
+}
+
+// FivePolicy reproduces the Section 4.4 experiment: adapting over all five
+// standard policies versus the LRU/LFU pair.
+func FivePolicy(o Options) *Table {
+	return perBench("Section 4.4: five-policy adaptivity (MPKI)", o, false, mpkiOf, "MPKI",
+		[]PolicySpec{
+			AdaptiveSpec(0),
+			AdaptiveSpec(0, "LRU", "LFU", "FIFO", "MRU", "Random"),
+			LRUSpec(),
+		})
+}
+
+// L1Adaptivity reproduces the Section 4.6 experiment: LRU/LFU adaptive L1
+// instruction and data caches. Values are L1 misses per thousand
+// instructions and overall CPI.
+func L1Adaptivity(o Options) *Table {
+	o = o.fill()
+	t := &Table{Title: "Section 4.6: adaptivity at the L1s",
+		RowHeader: "benchmark", Rows: benchRows(o)}
+	for _, variant := range []struct {
+		label string
+		pol   PolicySpec
+	}{
+		{"L1-LRU", LRUSpec()},
+		{"L1-Adaptive", AdaptiveSpec(0)},
+	} {
+		cfg := o.apply(Default(LRUSpec(), o.Instrs))
+		cfg.L1Policy = variant.pol
+		rs := sweep(o, cfg, true)
+		t.Columns = append(t.Columns,
+			column(variant.label+" L1I-MPKI", rs, func(r Result) float64 {
+				return stats.MPKI(r.L1I.Misses, r.CPU.Instructions)
+			}),
+			column(variant.label+" L1D-MPKI", rs, func(r Result) float64 {
+				return stats.MPKI(r.L1D.Misses, r.CPU.Instructions)
+			}),
+			column(variant.label+" CPI", rs, cpiOf),
+		)
+	}
+	return t
+}
+
+// SBARTable reproduces the Section 4.7 comparison: the SBAR-like
+// set-sampling cache versus the full adaptive scheme and the LRU baseline.
+func SBARTable(o Options) *Table {
+	return perBench("Section 4.7: SBAR-like set sampling (CPI)", o, true, cpiOf, "CPI",
+		[]PolicySpec{
+			LRUSpec(),
+			AdaptiveSpec(0),
+			SBARSpec(0, 16),
+			SBARSpec(8, 16),
+		})
+}
+
+// OverheadTable reproduces the storage accounting of Sections 3.1-3.2 and
+// 4.7 (no simulation required).
+func OverheadTable() *Table {
+	rows := storage.CompareTable()
+	t := &Table{Title: "Sections 3.1-3.2: SRAM storage accounting",
+		RowHeader: "configuration"}
+	var tot, pct []float64
+	for _, r := range rows {
+		t.Rows = append(t.Rows, r.Label)
+		tot = append(tot, r.TotalKB)
+		pct = append(pct, r.Percent)
+	}
+	t.Columns = []Series{
+		{Label: "total KB", Values: tot},
+		{Label: "overhead %", Values: pct},
+	}
+	return t
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps multi-config sweeps fast enough for unit tests.
+func tinyOpts(names ...string) Options {
+	o := testOpts(names...)
+	o.Instrs, o.Warmup = 150_000, 30_000
+	return o
+}
+
+func TestFig6Shape(t *testing.T) {
+	tab := Fig6(tinyOpts("gap", "art-1"))
+	if len(tab.Columns) != 5 {
+		t.Fatalf("%d columns", len(tab.Columns))
+	}
+	for _, c := range tab.Columns {
+		if len(c.Values) != 3 {
+			t.Fatalf("column %s has %d values", c.Label, len(c.Values))
+		}
+		for _, v := range c.Values {
+			if v <= 0 {
+				t.Fatalf("column %s holds non-positive CPI %v", c.Label, v)
+			}
+		}
+	}
+	// A 10-way 640KB LRU cache should not be slower than the 8-way 512KB.
+	small := tab.Column("LRU 512KB 8w CPI").Values[2]
+	big := tab.Column("LRU 640KB 10w CPI").Values[2]
+	if big > small*1.02 {
+		t.Errorf("bigger cache slower: 640KB CPI %.3f vs 512KB %.3f", big, small)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tab := Fig8(tinyOpts("gcc-1", "lucas"))
+	if len(tab.Columns) != 3 {
+		t.Fatalf("%d columns", len(tab.Columns))
+	}
+	ad := tab.Column("Adaptive(FIFO/MRU) MPKI")
+	fifo := tab.Column("FIFO MPKI")
+	mru := tab.Column("MRU MPKI")
+	if ad == nil || fifo == nil || mru == nil {
+		t.Fatal("missing columns")
+	}
+	// lucas (row 1) is drift-dominated: MRU must be far worse than FIFO
+	// there, and the adaptive cache must stay near FIFO.
+	if mru.Values[1] < 2*fifo.Values[1] {
+		t.Skipf("MRU not pathological at this scale (%.2f vs %.2f)", mru.Values[1], fifo.Values[1])
+	}
+	if ad.Values[1] > 1.5*fifo.Values[1] {
+		t.Errorf("FIFO/MRU adaptive %.2f far above FIFO %.2f on lucas", ad.Values[1], fifo.Values[1])
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tab := Fig9(tinyOpts("gap", "art-1"))
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows %v", tab.Rows)
+	}
+	if tab.Column("CPI improvement %") == nil || tab.Column("miss reduction %") == nil {
+		t.Fatal("missing columns")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab := Fig10(tinyOpts("bzip2"))
+	if len(tab.Rows) != 9 || tab.Rows[0] != "1" || tab.Rows[8] != "256" {
+		t.Fatalf("rows %v", tab.Rows)
+	}
+	lru := tab.Column("LRU avg CPI")
+	// CPI with a 1-entry store buffer must exceed CPI with 256 entries.
+	if lru.Values[0] <= lru.Values[8] {
+		t.Errorf("store buffer size has no CPI effect: %v", lru.Values)
+	}
+}
+
+func TestFivePolicyShape(t *testing.T) {
+	tab := FivePolicy(tinyOpts("gcc-1"))
+	if len(tab.Columns) != 3 {
+		t.Fatalf("%d columns", len(tab.Columns))
+	}
+	if tab.Column("Adaptive(LRU/LFU/FIFO/MRU/Random) MPKI") == nil {
+		t.Fatal("five-policy column missing")
+	}
+}
+
+func TestL1AdaptivityShape(t *testing.T) {
+	tab := L1Adaptivity(tinyOpts("gcc-1"))
+	if len(tab.Columns) != 6 {
+		t.Fatalf("%d columns: %+v", len(tab.Columns), tab.Columns)
+	}
+	li := tab.Column("L1-LRU L1I-MPKI")
+	if li == nil || li.Values[0] <= 0 {
+		t.Fatal("gcc-1 (48 kernels) should miss in the 16KB L1I")
+	}
+}
+
+func TestSBARTableShape(t *testing.T) {
+	tab := SBARTable(tinyOpts("art-1"))
+	if len(tab.Columns) != 4 {
+		t.Fatalf("%d columns", len(tab.Columns))
+	}
+	for _, label := range []string{"LRU CPI", "Adaptive(LRU/LFU) CPI",
+		"SBAR(LRU/LFU) CPI", "SBAR(LRU/LFU) CPI"} {
+		if tab.Column(label) == nil {
+			t.Fatalf("missing column %q", label)
+		}
+	}
+}
+
+func TestExtendedSetShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100-program sweep")
+	}
+	o := Options{Instrs: 60_000, Warmup: 12_000, Workers: 2}
+	tab := ExtendedSet(o)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows %v", tab.Rows)
+	}
+	if len(tab.Notes) != 1 || !strings.Contains(tab.Notes[0], "worst") {
+		t.Fatalf("notes %v", tab.Notes)
+	}
+}
+
+func TestTableColumnLookup(t *testing.T) {
+	tab := &Table{Columns: []Series{{Label: "a"}, {Label: "b"}}}
+	if tab.Column("b") != &tab.Columns[1] {
+		t.Fatal("Column lookup broken")
+	}
+	if tab.Column("zzz") != nil {
+		t.Fatal("missing column not nil")
+	}
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Multi-core shared-LLC mode implements the paper's stated future work
+// (Section 6): "evaluating adaptive caching policies for shared last-level
+// caches in a multi-core environment. The combination of memory traffic
+// from dissimilar threads or applications will provide even more
+// opportunities for the adaptive mechanism."
+//
+// Each core gets private L1I/L1D caches and its own synthetic program;
+// the cores share one L2 (the cache under study), one bus, and one memory.
+// Execution is functional with round-robin interleaving — the replacement
+// interaction under mixed traffic is what the experiment measures.
+
+// MulticoreResult summarizes one shared-LLC run.
+type MulticoreResult struct {
+	Policy  string
+	PerCore []Result // per-core demand-miss MPKI over that core's instructions
+	L2      cache.Stats
+	// MPKI is aggregate shared-L2 demand misses per thousand total
+	// instructions (all cores).
+	MPKI float64
+}
+
+// coreOffset separates the cores' address spaces; each program behaves as
+// its own process with a disjoint physical footprint.
+const coreOffset = uint64(1) << 44
+
+// RunMulticoreShared interleaves the given programs (one per core) over
+// private L1s and a shared L2 built from cfg. cfg.Instrs is the
+// per-core instruction budget; cfg.Warmup applies to the aggregate MPKI.
+func RunMulticoreShared(cfg Config, specs []workload.Spec) MulticoreResult {
+	if len(specs) < 2 {
+		panic("sim: multicore mode needs at least two programs")
+	}
+
+	l2pol, _ := cfg.L2.build(cfg.L2Geom, nil)
+	l2 := cache.New(cfg.L2Geom, l2pol)
+	bus := mem.NewBus(cfg.Bus, cfg.L2Geom.LineBytes)
+	shared := mem.NewMemory(cfg.MemLat, bus)
+
+	type coreState struct {
+		hier      *mem.Hierarchy
+		src       trace.Source
+		rec       trace.Record
+		alive     bool
+		lastBlock uint64
+		instrs    uint64
+		offset    uint64
+	}
+	cores := make([]*coreState, len(specs))
+	for i, spec := range specs {
+		l1ipol, _ := cfg.L1Policy.build(cfg.L1Geom, nil)
+		l1dpol, _ := cfg.L1Policy.build(cfg.L1Geom, nil)
+		cores[i] = &coreState{
+			hier: mem.NewHierarchy(cfg.Hier,
+				cache.New(cfg.L1Geom, l1ipol), cache.New(cfg.L1Geom, l1dpol),
+				l2, shared),
+			src:       workload.New(spec, cfg.Instrs),
+			alive:     true,
+			lastBlock: ^uint64(0),
+			offset:    uint64(i) * coreOffset,
+		}
+	}
+
+	var total, snapshot uint64
+	warmTotal := cfg.Warmup * uint64(len(specs))
+	live := len(specs)
+	for live > 0 {
+		for _, c := range cores {
+			if !c.alive {
+				continue
+			}
+			if !c.src.Next(&c.rec) {
+				c.alive = false
+				live--
+				continue
+			}
+			c.instrs++
+			total++
+			if warmTotal > 0 && total == warmTotal {
+				for _, cc := range cores {
+					snapshot += cc.hier.DemandMisses
+				}
+			}
+			pc := c.rec.PC + c.offset
+			if b := pc >> 6; b != c.lastBlock {
+				c.lastBlock = b
+				c.hier.Ifetch(0, pc)
+			}
+			switch c.rec.Kind {
+			case trace.Load:
+				c.hier.Load(0, c.rec.Addr+c.offset)
+			case trace.Store:
+				c.hier.Store(0, c.rec.Addr+c.offset)
+			}
+		}
+	}
+
+	res := MulticoreResult{Policy: cfg.L2.Label(), L2: l2.Stats()}
+	var misses uint64
+	for i, c := range cores {
+		misses += c.hier.DemandMisses
+		res.PerCore = append(res.PerCore, Result{
+			Benchmark: specs[i].Name,
+			Policy:    res.Policy,
+			MPKI:      stats.MPKI(c.hier.DemandMisses, maxU(c.instrs, 1)),
+		})
+	}
+	measured := total
+	if warmTotal > 0 && warmTotal < total {
+		misses -= snapshot
+		measured = total - warmTotal
+	}
+	res.MPKI = stats.MPKI(misses, maxU(measured, 1))
+	return res
+}
+
+// MulticoreTable runs pairs of dissimilar programs on a 2-core shared L2
+// under LRU, LFU, and the adaptive scheme — the future-work experiment.
+// Pair names are "a+b".
+func MulticoreTable(o Options, pairs [][2]string) *Table {
+	o = o.fill()
+	if len(pairs) == 0 {
+		pairs = [][2]string{
+			{"lucas", "art-1"},  // LRU-friendly + LFU-friendly
+			{"gap", "xanim"},    // drift + rare-reuse
+			{"vpr-2", "twolf"},  // drift + rare-reuse
+			{"mcf", "bzip2"},    // pointer chase + drift
+			{"art-2", "parser"}, // LFU-friendly + LRU-friendly
+			{"mgrid", "gcc-1"},  // phase-switching + loop
+		}
+	}
+	t := &Table{Title: "Section 6 (future work): 2-core shared L2",
+		RowHeader: "program pair"}
+	policies := []PolicySpec{AdaptiveSpec(0), SingleSpec("LFU"), LRUSpec()}
+	cols := make([][]float64, len(policies))
+	for _, pair := range pairs {
+		t.Rows = append(t.Rows, pair[0]+"+"+pair[1])
+		sa, err := workload.ByName(pair[0])
+		if err != nil {
+			panic(err)
+		}
+		sb, err := workload.ByName(pair[1])
+		if err != nil {
+			panic(err)
+		}
+		for pi, p := range policies {
+			cfg := o.apply(Default(p, o.Instrs))
+			r := RunMulticoreShared(cfg, []workload.Spec{sa, sb})
+			cols[pi] = append(cols[pi], r.MPKI)
+		}
+	}
+	t.Rows = append(t.Rows, "average")
+	for pi, p := range policies {
+		vals := append(cols[pi], stats.Mean(cols[pi]))
+		t.Columns = append(t.Columns, Series{Label: p.Label() + " MPKI", Values: vals})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d instructions per core, shared %s L2",
+		o.Instrs, fmtKB(o.apply(Default(LRUSpec(), o.Instrs)).L2Geom.SizeBytes)))
+	return t
+}
+
+func fmtKB(b int) string { return fmt.Sprintf("%dKB", b/1024) }

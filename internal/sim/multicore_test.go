@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func pair(t *testing.T, a, b string) []workload.Spec {
+	t.Helper()
+	return []workload.Spec{bench(t, a), bench(t, b)}
+}
+
+func TestMulticoreSharedBasics(t *testing.T) {
+	cfg := Default(AdaptiveSpec(0), 300_000)
+	cfg.Warmup = 50_000
+	r := RunMulticoreShared(cfg, pair(t, "lucas", "art-1"))
+	if len(r.PerCore) != 2 {
+		t.Fatalf("%d per-core results", len(r.PerCore))
+	}
+	if r.PerCore[0].Benchmark != "lucas" || r.PerCore[1].Benchmark != "art-1" {
+		t.Fatalf("per-core naming wrong: %+v", r.PerCore)
+	}
+	if r.MPKI <= 0 {
+		t.Fatalf("aggregate MPKI %v", r.MPKI)
+	}
+	// Both cores actually reached the shared L2.
+	if r.PerCore[0].MPKI <= 0 || r.PerCore[1].MPKI <= 0 {
+		t.Fatalf("a core saw no misses: %+v", r.PerCore)
+	}
+	if r.L2.Accesses == 0 {
+		t.Fatal("shared L2 untouched")
+	}
+}
+
+func TestMulticoreAddressSpacesDisjoint(t *testing.T) {
+	// The same program on both cores must roughly double the shared-L2
+	// footprint pressure, not dedupe into one copy: aggregate misses of
+	// (p, p) must clearly exceed a single-core run of p.
+	cfg := Default(LRUSpec(), 300_000)
+	single := RunCacheOnly(cfg, bench(t, "gap"))
+	dual := RunMulticoreShared(cfg, pair(t, "gap", "gap"))
+	if dual.L2.Misses < single.L2.Misses*3/2 {
+		t.Fatalf("dual-core misses %d vs single %d: cores appear to share data",
+			dual.L2.Misses, single.L2.Misses)
+	}
+}
+
+func TestMulticoreSharingRaisesPressure(t *testing.T) {
+	// A shared L2 must behave worse (per core) than having the whole L2
+	// alone.
+	cfg := Default(LRUSpec(), 400_000)
+	cfg.Warmup = 100_000
+	alone := RunCacheOnly(cfg, bench(t, "twolf")).MPKI
+	sharedRun := RunMulticoreShared(cfg, pair(t, "twolf", "swim"))
+	shared := sharedRun.PerCore[0].MPKI
+	if shared <= alone {
+		t.Fatalf("twolf MPKI alone %.3f vs shared %.3f: no contention visible", alone, shared)
+	}
+}
+
+func TestMulticoreAdaptiveCompetitive(t *testing.T) {
+	// Dissimilar pair: the adaptive shared L2 should land at or below the
+	// better single policy (the future-work hypothesis).
+	specs := pair(t, "lucas", "art-1")
+	run := func(p PolicySpec) float64 {
+		cfg := Default(p, 2_000_000)
+		cfg.Warmup = 400_000
+		return RunMulticoreShared(cfg, specs).MPKI
+	}
+	lru, lfu, ad := run(LRUSpec()), run(SingleSpec("LFU")), run(AdaptiveSpec(0))
+	best := lru
+	if lfu < best {
+		best = lfu
+	}
+	if ad > 1.15*best {
+		t.Errorf("adaptive shared-L2 MPKI %.2f vs best single policy %.2f (LRU %.2f LFU %.2f)",
+			ad, best, lru, lfu)
+	}
+}
+
+func TestMulticoreNeedsTwoPrograms(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single-program multicore accepted")
+		}
+	}()
+	RunMulticoreShared(Default(LRUSpec(), 1000), []workload.Spec{bench(t, "gap")})
+}
+
+func TestMulticoreTableShape(t *testing.T) {
+	o := Options{Instrs: 200_000, Warmup: 40_000, Workers: 1}
+	tab := MulticoreTable(o, [][2]string{{"lucas", "art-1"}})
+	if len(tab.Rows) != 2 || tab.Rows[1] != "average" {
+		t.Fatalf("rows %v", tab.Rows)
+	}
+	if len(tab.Columns) != 3 {
+		t.Fatalf("%d columns", len(tab.Columns))
+	}
+	for _, c := range tab.Columns {
+		if len(c.Values) != 2 {
+			t.Fatalf("column %s has %d values", c.Label, len(c.Values))
+		}
+	}
+}

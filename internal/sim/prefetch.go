@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/prefetch"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// PrefetchStats summarizes a prefetching run.
+type PrefetchStats struct {
+	Issued uint64 // prefetches sent to the L2
+	Useful uint64 // prefetched blocks later demanded before eviction tracking lapsed
+}
+
+// Accuracy returns Useful/Issued (0 if nothing was issued).
+func (p PrefetchStats) Accuracy() float64 {
+	if p.Issued == 0 {
+		return 0
+	}
+	return float64(p.Useful) / float64(p.Issued)
+}
+
+// RunWithPrefetch runs one benchmark functionally with an L2 prefetcher:
+// the prefetcher trains on the post-L1 demand stream (paper future work:
+// adaptivity for hybrid prefetchers) and its predictions are installed
+// into the L2 without demand accounting. pf may be nil for a plain run.
+func RunWithPrefetch(cfg Config, spec workload.Spec, pf prefetch.Prefetcher) (Result, PrefetchStats) {
+	m := buildMachine(cfg, nil)
+	src, snap := withWarmup(cfg, m, workload.New(spec, cfg.Instrs))
+
+	var ps PrefetchStats
+	var curPC uint64
+	var pending []uint64
+	outstanding := map[uint64]bool{}
+	if pf != nil {
+		pf.Reset()
+		m.hier.OnL2Demand = func(addr cache.Addr, miss bool) {
+			block := uint64(addr) >> 6
+			if outstanding[block] {
+				ps.Useful++
+				delete(outstanding, block)
+			}
+			pending = append(pending, pf.Observe(curPC, block, miss)...)
+		}
+	}
+
+	var rec trace.Record
+	lastBlock := ^uint64(0)
+	for src.Next(&rec) {
+		curPC = rec.PC
+		if b := rec.PC >> 6; b != lastBlock {
+			lastBlock = b
+			m.hier.Ifetch(0, rec.PC)
+		}
+		switch rec.Kind {
+		case trace.Load:
+			m.hier.Load(0, rec.Addr)
+		case trace.Store:
+			m.hier.Store(0, rec.Addr)
+		}
+		for _, block := range pending {
+			m.hier.Prefetch(0, cache.Addr(block*64))
+			ps.Issued++
+			if len(outstanding) < 1<<20 {
+				outstanding[block] = true
+			}
+		}
+		pending = pending[:0]
+	}
+	return m.result(spec.Name, cfg, cpu.Result{Instructions: cfg.Instrs}, *snap), ps
+}
+
+// PrefetchTable compares no prefetching, the two component prefetchers,
+// and the usefulness-adaptive hybrid across the given benchmarks — the
+// paper's prefetcher future-work experiment, measured as demand MPKI.
+func PrefetchTable(o Options) *Table {
+	o = o.fill()
+	t := &Table{Title: "Section 6 (future work): adaptive hybrid prefetching (demand MPKI)",
+		RowHeader: "benchmark", Rows: benchRows(o)}
+
+	variants := []struct {
+		label string
+		mk    func() prefetch.Prefetcher
+	}{
+		{"none", func() prefetch.Prefetcher { return nil }},
+		{"NextLine", func() prefetch.Prefetcher { return prefetch.NewNextLine(1) }},
+		{"Stride", func() prefetch.Prefetcher { return prefetch.NewStride(1024) }},
+		{"Hybrid", func() prefetch.Prefetcher {
+			return prefetch.NewHybrid([]prefetch.Prefetcher{
+				prefetch.NewNextLine(1), prefetch.NewStride(1024),
+			}, 64, 64)
+		}},
+	}
+	for _, v := range variants {
+		var vals []float64
+		for _, spec := range o.Benches {
+			cfg := o.apply(Default(LRUSpec(), o.Instrs))
+			r, _ := RunWithPrefetch(cfg, spec, v.mk())
+			vals = append(vals, r.MPKI)
+		}
+		vals = append(vals, stats.Mean(vals))
+		t.Columns = append(t.Columns, Series{Label: v.label + " MPKI", Values: vals})
+	}
+	return t
+}

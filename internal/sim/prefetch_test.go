@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/prefetch"
+)
+
+func TestPrefetchNilIsBaseline(t *testing.T) {
+	spec := bench(t, "tiff2rgba")
+	cfg := Default(LRUSpec(), 400_000)
+	cfg.Warmup = 100_000
+	base := RunCacheOnly(cfg, spec)
+	r, ps := RunWithPrefetch(cfg, spec, nil)
+	if r.MPKI != base.MPKI {
+		t.Fatalf("nil-prefetcher MPKI %.3f != baseline %.3f", r.MPKI, base.MPKI)
+	}
+	if ps.Issued != 0 {
+		t.Fatalf("nil prefetcher issued %d", ps.Issued)
+	}
+}
+
+// TestNextLineHelpsStreaming: tiff2rgba is scan-dominated; a next-line
+// prefetcher must cut its demand MPKI substantially.
+func TestNextLineHelpsStreaming(t *testing.T) {
+	spec := bench(t, "tiff2rgba")
+	cfg := Default(LRUSpec(), 600_000)
+	cfg.Warmup = 150_000
+	base := RunCacheOnly(cfg, spec)
+	r, ps := RunWithPrefetch(cfg, spec, prefetch.NewNextLine(1))
+	if r.MPKI >= 0.8*base.MPKI {
+		t.Fatalf("next-line MPKI %.3f vs baseline %.3f: no streaming benefit", r.MPKI, base.MPKI)
+	}
+	if ps.Accuracy() < 0.3 {
+		t.Fatalf("next-line accuracy %.2f on a streaming benchmark", ps.Accuracy())
+	}
+}
+
+// TestPrefetchUselessOnPointerChase: mcf's chase is unpredictable; neither
+// prefetcher should change its MPKI much, and stride accuracy stays low.
+func TestPrefetchUselessOnPointerChase(t *testing.T) {
+	spec := bench(t, "mcf")
+	cfg := Default(LRUSpec(), 400_000)
+	cfg.Warmup = 100_000
+	base := RunCacheOnly(cfg, spec)
+	r, _ := RunWithPrefetch(cfg, spec, prefetch.NewStride(1024))
+	drift := (r.MPKI - base.MPKI) / base.MPKI
+	if drift < -0.35 || drift > 0.35 {
+		t.Fatalf("stride prefetcher moved mcf MPKI by %.0f%% (%.2f -> %.2f)",
+			100*drift, base.MPKI, r.MPKI)
+	}
+}
+
+// TestHybridTracksBetterPrefetcher: on the streaming benchmark the hybrid
+// must approach next-line's benefit (its useful component).
+func TestHybridTracksBetterPrefetcher(t *testing.T) {
+	spec := bench(t, "tiff2rgba")
+	cfg := Default(LRUSpec(), 600_000)
+	cfg.Warmup = 150_000
+	nl, _ := RunWithPrefetch(cfg, spec, prefetch.NewNextLine(1))
+	hy, _ := RunWithPrefetch(cfg, spec, prefetch.NewHybrid(
+		[]prefetch.Prefetcher{prefetch.NewNextLine(1), prefetch.NewStride(1024)}, 64, 64))
+	if hy.MPKI > 1.3*nl.MPKI {
+		t.Fatalf("hybrid MPKI %.3f far above next-line %.3f", hy.MPKI, nl.MPKI)
+	}
+}
+
+func TestPrefetchTableShape(t *testing.T) {
+	o := testOpts("tiff2rgba", "mcf")
+	o.Instrs, o.Warmup = 300_000, 60_000
+	tab := PrefetchTable(o)
+	if len(tab.Columns) != 4 {
+		t.Fatalf("%d columns", len(tab.Columns))
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows %v", tab.Rows)
+	}
+	none := tab.Column("none MPKI")
+	if none == nil || none.Values[0] <= 0 {
+		t.Fatal("baseline column missing or zero")
+	}
+}

@@ -1,0 +1,336 @@
+// Package sim wires the substrates together — workload generators, the
+// out-of-order CPU model, the cache hierarchy, and the adaptive
+// replacement policies — into runnable experiments, and implements every
+// table and figure of the paper's evaluation (see figures.go).
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/history"
+	"repro/internal/mem"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// L2Mode selects the replacement machinery of the cache under study.
+type L2Mode int
+
+// L2 policy modes.
+const (
+	// Single runs one conventional policy (Components[0]).
+	Single L2Mode = iota
+	// Adaptive runs the paper's full adaptive scheme over Components.
+	Adaptive
+	// SBAR runs the set-sampling variant over Components.
+	SBAR
+)
+
+// PolicySpec configures the cache policy under study.
+type PolicySpec struct {
+	Mode       L2Mode
+	Components []string // policy names (policy.ByName)
+
+	ShadowTagBits int   // adaptive/SBAR: partial-tag width (0 = full tags)
+	XORFold       bool  // adaptive: fold tags before masking
+	LeaderSets    int   // SBAR only (0 = core.DefaultLeaderSets)
+	HistoryM      int   // adaptive window length (0 = associativity)
+	Counters      bool  // adaptive: unbounded counters instead of window
+	CountCurrent  *bool // adaptive: override count-current-miss (nil = default true)
+	FallbackFixed bool  // adaptive: arbitrary-eviction fallback picks way 0
+}
+
+// LRUSpec is the conventional baseline.
+func LRUSpec() PolicySpec { return PolicySpec{Mode: Single, Components: []string{"LRU"}} }
+
+// SingleSpec runs one named conventional policy.
+func SingleSpec(name string) PolicySpec {
+	return PolicySpec{Mode: Single, Components: []string{name}}
+}
+
+// AdaptiveSpec is the paper's default LRU/LFU adaptive cache.
+func AdaptiveSpec(tagBits int, comps ...string) PolicySpec {
+	if len(comps) == 0 {
+		comps = []string{"LRU", "LFU"}
+	}
+	return PolicySpec{Mode: Adaptive, Components: comps, ShadowTagBits: tagBits}
+}
+
+// SBARSpec is the Section 4.7 set-sampling variant.
+func SBARSpec(tagBits, leaders int, comps ...string) PolicySpec {
+	if len(comps) == 0 {
+		comps = []string{"LRU", "LFU"}
+	}
+	return PolicySpec{Mode: SBAR, Components: comps, ShadowTagBits: tagBits, LeaderSets: leaders}
+}
+
+// Label renders a short human-readable policy description.
+func (p PolicySpec) Label() string {
+	comps := strings.Join(p.Components, "/")
+	switch p.Mode {
+	case Single:
+		return comps
+	case Adaptive:
+		if p.ShadowTagBits > 0 {
+			return fmt.Sprintf("Adaptive(%s,%d-bit)", comps, p.ShadowTagBits)
+		}
+		return fmt.Sprintf("Adaptive(%s)", comps)
+	case SBAR:
+		return fmt.Sprintf("SBAR(%s)", comps)
+	}
+	return "?"
+}
+
+// factories resolves component policy names.
+func (p PolicySpec) factories() []core.ComponentFactory {
+	fs := make([]core.ComponentFactory, len(p.Components))
+	for i, name := range p.Components {
+		f := policy.MustByName(name)
+		fs[i] = core.ComponentFactory(f)
+	}
+	return fs
+}
+
+// build constructs the cache.Policy for geometry g, plus the adaptive
+// engine when applicable (for decision hooks).
+func (p PolicySpec) build(g cache.Geometry, hook func(set, comp int)) (cache.Policy, *core.Adaptive) {
+	switch p.Mode {
+	case Single:
+		if len(p.Components) != 1 {
+			panic("sim: Single mode takes exactly one component")
+		}
+		return policy.MustByName(p.Components[0])(), nil
+	case Adaptive:
+		opts := []core.Option{}
+		if p.ShadowTagBits > 0 {
+			opts = append(opts, core.WithShadowTagBits(p.ShadowTagBits))
+		}
+		if p.XORFold {
+			opts = append(opts, core.WithTagHash(core.XORFold16))
+		}
+		if p.HistoryM > 0 {
+			opts = append(opts, core.WithHistory(history.NewWindow(p.HistoryM)))
+		}
+		if p.Counters {
+			opts = append(opts, core.WithHistory(history.NewCounters()))
+		}
+		if p.CountCurrent != nil {
+			opts = append(opts, core.WithCountCurrentMiss(*p.CountCurrent))
+		}
+		if p.FallbackFixed {
+			opts = append(opts, core.WithFallback(core.FallbackFixed))
+		}
+		if hook != nil {
+			opts = append(opts, core.WithDecisionHook(hook))
+		}
+		ad := core.NewAdaptive(p.factories(), opts...)
+		return ad, ad
+	case SBAR:
+		opts := []core.SBAROption{}
+		if p.LeaderSets > 0 {
+			opts = append(opts, core.WithLeaderSets(p.LeaderSets))
+		}
+		if p.ShadowTagBits > 0 {
+			opts = append(opts, core.WithLeaderOptions(core.WithShadowTagBits(p.ShadowTagBits)))
+		}
+		return core.NewSBAR(p.factories(), opts...), nil
+	}
+	panic("sim: unknown policy mode")
+}
+
+// Config is a full machine configuration.
+type Config struct {
+	L2Geom cache.Geometry
+	L2     PolicySpec
+
+	L1Geom     cache.Geometry
+	L1Policy   PolicySpec // usually LRU; the Section 4.6 experiment adapts it
+	DisableL1s bool       // cache-only L2 studies
+
+	CPU    cpu.Config
+	Hier   mem.HierarchyConfig
+	Bus    mem.BusConfig
+	MemLat uint64
+	Instrs uint64 // per-benchmark instruction budget
+	Warmup uint64 // leading instructions excluded from MPKI (cold-fill skip)
+}
+
+// Default returns the paper's Table 1 machine with the given L2 policy and
+// instruction budget.
+func Default(l2 PolicySpec, instrs uint64) Config {
+	return Config{
+		L2Geom:   cache.Geometry{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8},
+		L2:       l2,
+		L1Geom:   cache.Geometry{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
+		L1Policy: LRUSpec(),
+		CPU:      cpu.DefaultConfig(),
+		Hier:     mem.DefaultHierarchyConfig(),
+		Bus:      mem.DefaultBus(),
+		MemLat:   mem.DefaultMemoryLatency,
+		Instrs:   instrs,
+	}
+}
+
+// Result is the outcome of one benchmark under one configuration.
+type Result struct {
+	Benchmark string
+	Policy    string
+	MPKI      float64
+	CPI       float64
+	L2        cache.Stats
+	CPU       cpu.Result
+	L1I, L1D  cache.Stats
+}
+
+// machine is an assembled simulation instance.
+type machine struct {
+	hier     *mem.Hierarchy
+	adaptive *core.Adaptive
+	l2       *cache.Cache
+	l1i, l1d *cache.Cache
+}
+
+// buildMachine assembles caches + memory per cfg. hook (optional) receives
+// L2 adaptive replacement decisions.
+func buildMachine(cfg Config, hook func(set, comp int)) *machine {
+	l2pol, ad := cfg.L2.build(cfg.L2Geom, hook)
+	l2 := cache.New(cfg.L2Geom, l2pol)
+	var l1i, l1d *cache.Cache
+	if !cfg.DisableL1s {
+		l1ipol, _ := cfg.L1Policy.build(cfg.L1Geom, nil)
+		l1dpol, _ := cfg.L1Policy.build(cfg.L1Geom, nil)
+		l1i = cache.New(cfg.L1Geom, l1ipol)
+		l1d = cache.New(cfg.L1Geom, l1dpol)
+	}
+	bus := mem.NewBus(cfg.Bus, cfg.L2Geom.LineBytes)
+	m := mem.NewMemory(cfg.MemLat, bus)
+	h := mem.NewHierarchy(cfg.Hier, l1i, l1d, l2, m)
+	return &machine{hier: h, adaptive: ad, l2: l2, l1i: l1i, l1d: l1d}
+}
+
+// markedSource wraps a Source, invoking fn once just before record `at` is
+// produced — the warmup/measurement boundary.
+type markedSource struct {
+	trace.Source
+	at   uint64
+	seen uint64
+	fn   func()
+}
+
+func (m *markedSource) Next(rec *trace.Record) bool {
+	if m.seen == m.at && m.fn != nil {
+		m.fn()
+		m.fn = nil
+	}
+	m.seen++
+	return m.Source.Next(rec)
+}
+
+func (m *markedSource) Reset() {
+	m.seen = 0
+	m.Source.Reset()
+}
+
+// withWarmup arranges for MPKI to be measured only past cfg.Warmup
+// instructions: the hierarchy's demand-miss counter is snapshotted at the
+// boundary and subtracted. (Timing-mode CPI covers the whole run; the
+// paper's SimPoint samples likewise start measuring mid-execution, and the
+// warm-up bias is common to all compared policies.)
+func withWarmup(cfg Config, m *machine, src trace.Source) (trace.Source, *uint64) {
+	snap := new(uint64)
+	if cfg.Warmup == 0 || cfg.Warmup >= cfg.Instrs {
+		return src, snap
+	}
+	return &markedSource{Source: src, at: cfg.Warmup, fn: func() {
+		*snap = m.hier.DemandMisses
+	}}, snap
+}
+
+// Run simulates one benchmark with full CPU timing, producing both CPI and
+// MPKI.
+func Run(cfg Config, spec workload.Spec) Result {
+	m := buildMachine(cfg, nil)
+	src, snap := withWarmup(cfg, m, workload.New(spec, cfg.Instrs))
+	c := cpu.New(cfg.CPU, m.hier)
+	res := c.Run(src)
+	return m.result(spec.Name, cfg, res, *snap)
+}
+
+// RunCacheOnly simulates one benchmark functionally (no CPU timing): the
+// instruction stream drives I-fetch, loads, and stores through the
+// hierarchy in program order. MPKI is identical to a full timing run; CPI
+// is reported as 0.
+func RunCacheOnly(cfg Config, spec workload.Spec) Result {
+	m := buildMachine(cfg, nil)
+	src, snap := withWarmup(cfg, m, workload.New(spec, cfg.Instrs))
+	runCacheOnly(m, src)
+	return m.result(spec.Name, cfg, cpu.Result{Instructions: cfg.Instrs}, *snap)
+}
+
+func runCacheOnly(m *machine, src trace.Source) uint64 {
+	var rec trace.Record
+	var n uint64
+	lastBlock := ^uint64(0)
+	for src.Next(&rec) {
+		n++
+		if b := rec.PC >> 6; b != lastBlock {
+			lastBlock = b
+			m.hier.Ifetch(0, rec.PC)
+		}
+		switch rec.Kind {
+		case trace.Load:
+			m.hier.Load(0, rec.Addr)
+		case trace.Store:
+			m.hier.Store(0, rec.Addr)
+		}
+	}
+	return n
+}
+
+// ReplaySource drives an arbitrary instruction source — typically a
+// recorded trace file — through the configured cache hierarchy
+// functionally, returning the L2 statistics and the instruction count.
+// cfg.Instrs and cfg.Warmup are ignored; the source's length governs.
+func ReplaySource(cfg Config, src trace.Source) (cache.Stats, uint64, error) {
+	m := buildMachine(cfg, nil)
+	n := runCacheOnly(m, src)
+	if n == 0 {
+		return cache.Stats{}, 0, fmt.Errorf("sim: source %q produced no instructions", src.Name())
+	}
+	return m.l2.Stats(), n, nil
+}
+
+func (m *machine) result(bench string, cfg Config, r cpu.Result, missSnap uint64) Result {
+	measured := r.Instructions
+	if cfg.Warmup > 0 && cfg.Warmup < r.Instructions {
+		measured = r.Instructions - cfg.Warmup
+	}
+	res := Result{
+		Benchmark: bench,
+		Policy:    cfg.L2.Label(),
+		MPKI:      stats.MPKI(m.hier.DemandMisses-missSnap, maxU(measured, 1)),
+		CPI:       r.CPI(),
+		L2:        m.l2.Stats(),
+		CPU:       r,
+	}
+	if m.l1i != nil {
+		res.L1I = m.l1i.Stats()
+	}
+	if m.l1d != nil {
+		res.L1D = m.l1d.Stats()
+	}
+	return res
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

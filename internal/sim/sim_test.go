@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+const (
+	testN    = 1_200_000
+	testWarm = 300_000
+)
+
+func bench(t *testing.T, name string) workload.Spec {
+	t.Helper()
+	s, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testOpts(names ...string) Options {
+	o := Options{Instrs: testN, Warmup: testWarm, Workers: 2}
+	for _, n := range names {
+		s, err := workload.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		o.Benches = append(o.Benches, s)
+	}
+	return o
+}
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	cfg := Default(LRUSpec(), 1000)
+	if cfg.L2Geom.SizeBytes != 512<<10 || cfg.L2Geom.LineBytes != 64 || cfg.L2Geom.Ways != 8 {
+		t.Errorf("L2 geometry %v, want 512KB/64B/8-way", cfg.L2Geom)
+	}
+	if cfg.L1Geom.SizeBytes != 16<<10 || cfg.L1Geom.Ways != 4 {
+		t.Errorf("L1 geometry %v, want 16KB/4-way", cfg.L1Geom)
+	}
+	if cfg.Hier.L1Latency != 2 || cfg.Hier.L2Latency != 15 {
+		t.Errorf("latencies %+v, want L1=2 L2=15", cfg.Hier)
+	}
+	c := cfg.CPU
+	if c.FetchWidth != 8 || c.ROBSize != 64 || c.RSSize != 32 ||
+		c.IntALUs != 4 || c.FPALUs != 4 || c.MemPorts != 2 || c.StoreBuffer != 4 {
+		t.Errorf("CPU config %+v does not match Table 1", c)
+	}
+	if c.LatIntALU != 1 || c.LatIntMul != 8 || c.LatFPAdd != 4 || c.LatFPDiv != 16 {
+		t.Errorf("FU latencies %+v do not match Table 1", c)
+	}
+}
+
+func TestPolicySpecLabels(t *testing.T) {
+	cases := []struct {
+		p    PolicySpec
+		want string
+	}{
+		{LRUSpec(), "LRU"},
+		{SingleSpec("MRU"), "MRU"},
+		{AdaptiveSpec(0), "Adaptive(LRU/LFU)"},
+		{AdaptiveSpec(8), "Adaptive(LRU/LFU,8-bit)"},
+		{AdaptiveSpec(0, "FIFO", "MRU"), "Adaptive(FIFO/MRU)"},
+		{SBARSpec(0, 16), "SBAR(LRU/LFU)"},
+	}
+	for _, c := range cases {
+		if got := c.p.Label(); got != c.want {
+			t.Errorf("Label() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCacheOnlyMatchesTimingMPKI(t *testing.T) {
+	// The functional access stream is identical in both modes, so MPKI
+	// must agree exactly.
+	spec := bench(t, "lucas")
+	cfg := Default(AdaptiveSpec(0), 400_000)
+	cfg.Warmup = 100_000
+	a := RunCacheOnly(cfg, spec)
+	b := Run(cfg, spec)
+	if a.MPKI != b.MPKI {
+		t.Fatalf("cache-only MPKI %.4f != timing MPKI %.4f", a.MPKI, b.MPKI)
+	}
+	if b.CPI <= 0 {
+		t.Fatalf("timing CPI = %v", b.CPI)
+	}
+	if a.CPI != 0 {
+		t.Fatalf("cache-only CPI = %v, want 0", a.CPI)
+	}
+}
+
+// TestAdaptiveTracksBestComponents is the paper's core claim at the
+// whole-machine level: adaptive MPKI lands within 15% of the better
+// component on both an LRU-friendly and an LFU-friendly benchmark.
+func TestAdaptiveTracksBestComponents(t *testing.T) {
+	for _, name := range []string{"lucas", "art-1"} {
+		spec := bench(t, name)
+		cfg := func(p PolicySpec) Config {
+			c := Default(p, 4_000_000)
+			c.Warmup = 1_000_000
+			return c
+		}
+		lru := RunCacheOnly(cfg(LRUSpec()), spec).MPKI
+		lfu := RunCacheOnly(cfg(SingleSpec("LFU")), spec).MPKI
+		ad := RunCacheOnly(cfg(AdaptiveSpec(0)), spec).MPKI
+		best := lru
+		if lfu < best {
+			best = lfu
+		}
+		if ad > 1.15*best {
+			t.Errorf("%s: adaptive MPKI %.2f vs best component %.2f (LRU %.2f, LFU %.2f)",
+				name, ad, best, lru, lfu)
+		}
+	}
+}
+
+func TestWarmupExcludesColdMisses(t *testing.T) {
+	spec := bench(t, "gap") // working set fits after warmup
+	cold := Default(LRUSpec(), testN)
+	warm := cold
+	warm.Warmup = testN / 2
+	a := RunCacheOnly(cold, spec)
+	b := RunCacheOnly(warm, spec)
+	if b.MPKI >= a.MPKI {
+		t.Fatalf("warmed MPKI %.3f not below cold %.3f", b.MPKI, a.MPKI)
+	}
+}
+
+func TestSweepDeterministicUnderParallelism(t *testing.T) {
+	o := testOpts("lucas", "art-1", "gap").fill()
+	o.Workers = 3
+	cfg := o.apply(Default(AdaptiveSpec(8), o.Instrs))
+	r1 := sweep(o, cfg, false)
+	r2 := sweep(o, cfg, false)
+	for i := range r1 {
+		if r1[i].MPKI != r2[i].MPKI {
+			t.Fatalf("bench %s diverged across sweeps", r1[i].Benchmark)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab := Fig3(testOpts("lucas", "art-1"))
+	if len(tab.Rows) != 3 || tab.Rows[2] != "average" {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	if len(tab.Columns) != 3 {
+		t.Fatalf("%d columns", len(tab.Columns))
+	}
+	adaptive := tab.Column("Adaptive(LRU/LFU) MPKI")
+	lru := tab.Column("LRU MPKI")
+	if adaptive == nil || lru == nil {
+		t.Fatalf("missing columns: %+v", tab.Columns)
+	}
+	// lucas is the LRU-friendly benchmark: adaptive must stay near LRU.
+	if adaptive.Values[0] > 1.3*lru.Values[0] {
+		t.Errorf("lucas adaptive %.2f far above LRU %.2f", adaptive.Values[0], lru.Values[0])
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	if !strings.Contains(sb.String(), "lucas") || !strings.Contains(sb.String(), "average") {
+		t.Error("Fprint output missing rows")
+	}
+}
+
+func TestFig5PartialTagsStayClose(t *testing.T) {
+	tab := Fig5(testOpts("art-1", "lucas"))
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	inc := tab.Column("MPKI increase %")
+	if inc == nil {
+		t.Fatal("missing MPKI increase column")
+	}
+	if inc.Values[0] != 0 {
+		t.Errorf("full-tag row increase = %v, want 0", inc.Values[0])
+	}
+	// 8-bit partial tags (row 3) must stay within a few percent of full
+	// tags. (The committed EXPERIMENTS.md records the full-suite sweep at
+	// 10M instructions; this guard runs two benchmarks at reduced scale,
+	// so the tolerance is looser than the paper's <1% whole-suite figure.)
+	if abs(inc.Values[3]) > 10 {
+		t.Errorf("8-bit partial MPKI increase %.2f%%, want |x| <= 10%%", inc.Values[3])
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestFig7PhaseStructure(t *testing.T) {
+	o := Options{Instrs: 4_000_000, Workers: 1}
+	pm, err := Fig7(o, "ammp", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Sets != 1024 || pm.Quanta != 40 {
+		t.Fatalf("map shape %dx%d", pm.Quanta, pm.Sets)
+	}
+	// ammp: LFU-favorable early (phases 1-2 end at 55%), LRU-dominant
+	// late (paper Figure 7a).
+	early := pm.LFUShare(4, 20)
+	late := pm.LFUShare(28, 40)
+	if early < 0 || late < 0 {
+		t.Fatal("phase map has empty ranges")
+	}
+	if early <= late+0.2 {
+		t.Errorf("no phase structure: early LFU share %.2f vs late %.2f", early, late)
+	}
+	var sb strings.Builder
+	pm.Render(&sb, 16, 32)
+	if !strings.Contains(sb.String(), "#") || !strings.Contains(sb.String(), ".") {
+		t.Error("rendered map lacks both policy glyphs")
+	}
+}
+
+func TestFig7UnknownBenchmark(t *testing.T) {
+	if _, err := Fig7(Options{Instrs: 1000}, "nope", 4); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFig7SpatialStructure(t *testing.T) {
+	// ammp phase 1 splits behavior across even (LFU-friendly) and odd
+	// (LRU-friendly drift) sets — the spatial dimension of Figure 7a.
+	o := Options{Instrs: 6_000_000, Workers: 1}
+	pm, err := Fig7(o, "ammp", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quanta 5..9 lie in the back half of phase 1 (first 30%), past the
+	// cold-fill period during which no replacement decisions happen.
+	evenSum, evenN, oddSum, oddN := 0.0, 0, 0.0, 0
+	for q := 5; q < 9; q++ {
+		for s := 0; s < pm.Sets; s++ {
+			f := pm.Frac[q][s]
+			if f < 0 {
+				continue
+			}
+			if s%2 == 0 {
+				evenSum += f
+				evenN++
+			} else {
+				oddSum += f
+				oddN++
+			}
+		}
+	}
+	if evenN == 0 || oddN == 0 {
+		t.Fatal("no decisions recorded in phase 1")
+	}
+	even, odd := evenSum/float64(evenN), oddSum/float64(oddN)
+	if even <= odd+0.15 {
+		t.Errorf("no spatial structure: even-set LFU share %.2f vs odd %.2f", even, odd)
+	}
+}
+
+func TestOverheadTableMatchesPaper(t *testing.T) {
+	tab := OverheadTable()
+	want := map[string]float64{
+		"conventional 512KB 8-way":     544,
+		"adaptive, full tags":          598,
+		"adaptive, 8-bit partial tags": 566,
+		"conventional 576KB 9-way":     612,
+		"conventional 640KB 10-way":    680,
+	}
+	total := tab.Column("total KB")
+	for i, row := range tab.Rows {
+		if w, ok := want[row]; ok && abs(total.Values[i]-w) > 0.01 {
+			t.Errorf("%s total = %.2f KB, want %.0f", row, total.Values[i], w)
+		}
+	}
+}
+
+func TestSingleSpecRejectsMultipleComponents(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Single mode with two components did not panic")
+		}
+	}()
+	p := PolicySpec{Mode: Single, Components: []string{"LRU", "LFU"}}
+	p.build(Default(LRUSpec(), 1).L2Geom, nil)
+}
+
+func TestL1AdaptiveModeRuns(t *testing.T) {
+	cfg := Default(LRUSpec(), 300_000)
+	cfg.L1Policy = AdaptiveSpec(0)
+	r := Run(cfg, bench(t, "gcc-1"))
+	if r.CPI <= 0 || r.L1I.Accesses == 0 || r.L1D.Accesses == 0 {
+		t.Fatalf("L1-adaptive run incomplete: %+v", r)
+	}
+}
+
+func TestSBARModeRuns(t *testing.T) {
+	cfg := Default(SBARSpec(8, 16), 400_000)
+	r := RunCacheOnly(cfg, bench(t, "art-1"))
+	if r.MPKI <= 0 {
+		t.Fatalf("SBAR run produced MPKI %v", r.MPKI)
+	}
+}
+
+func TestOptionsFillDefaults(t *testing.T) {
+	o := Options{}.fill()
+	if o.Instrs != 10_000_000 || o.Warmup != 2_000_000 {
+		t.Errorf("budget defaults wrong: %+v", o)
+	}
+	if len(o.Benches) != 26 {
+		t.Errorf("default benches = %d, want primary 26", len(o.Benches))
+	}
+	if o.Workers < 1 {
+		t.Errorf("workers = %d", o.Workers)
+	}
+}

@@ -1,0 +1,24 @@
+package stack_test
+
+import (
+	"fmt"
+
+	"repro/internal/stack"
+)
+
+func ExampleAnalyzer() {
+	a := stack.New()
+	// Two laps over four blocks: every reuse has stack distance 3.
+	for lap := 0; lap < 2; lap++ {
+		for b := uint64(0); b < 4; b++ {
+			a.Touch(b)
+		}
+	}
+	fmt.Println("cold:", a.Cold())
+	fmt.Println("miss ratio with 2-block LRU:", a.MissRatio(2))
+	fmt.Println("miss ratio with 4-block LRU:", a.MissRatio(4))
+	// Output:
+	// cold: 4
+	// miss ratio with 2-block LRU: 1
+	// miss ratio with 4-block LRU: 0.5
+}

@@ -1,0 +1,130 @@
+// Package stack implements Mattson's stack-distance (reuse-distance)
+// analysis for LRU: one pass over a block reference stream yields the hit
+// ratio of a fully associative LRU cache of EVERY size simultaneously.
+// The evaluation tooling uses it to sanity-check the cache simulator and
+// to characterize the synthetic workloads (how much of each benchmark's
+// traffic is reusable at the L2's size is what separates the policy-
+// sensitive benchmarks from the streaming ones).
+//
+// The implementation is the standard timestamp + Fenwick-tree formulation:
+// each access gets a timestamp; a Fenwick (binary indexed) tree marks the
+// latest-access timestamp of every resident block; the stack distance of a
+// reuse is the number of marked timestamps after the block's previous
+// access. O(log N) per access.
+package stack
+
+// Analyzer accumulates the stack-distance histogram of a reference stream.
+type Analyzer struct {
+	last  map[uint64]uint32 // block -> timestamp of latest access
+	tree  []uint32          // Fenwick tree over timestamps, 1-based
+	t     uint32            // next timestamp
+	hist  []uint64          // hist[d] = accesses with stack distance d
+	cold  uint64            // first-ever touches
+	total uint64
+}
+
+// New returns an empty analyzer.
+func New() *Analyzer {
+	return &Analyzer{
+		last: make(map[uint64]uint32),
+		tree: make([]uint32, 1024),
+	}
+}
+
+func (a *Analyzer) add(i uint32, delta int32) {
+	for ; int(i) < len(a.tree); i += i & (-i) {
+		a.tree[i] = uint32(int32(a.tree[i]) + delta)
+	}
+}
+
+// sum returns the count of marked timestamps in [1, i].
+func (a *Analyzer) sum(i uint32) uint32 {
+	var s uint32
+	for ; i > 0; i -= i & (-i) {
+		s += a.tree[i]
+	}
+	return s
+}
+
+func (a *Analyzer) grow() {
+	bigger := make([]uint32, len(a.tree)*2)
+	copy(bigger, a.tree)
+	// Fenwick trees extend cleanly only when the old length is a power of
+	// two and node ranges stay intact — true here because we always
+	// double. The new top node must absorb the total of the lower half.
+	old := uint32(len(a.tree))
+	bigger[old] = a.sum(old - 1)
+	// Note: a.sum reads a.tree; assign after computing.
+	a.tree = bigger
+}
+
+// Touch records one access to block and returns its stack distance, or -1
+// for a cold (first) touch. Distance d means d distinct other blocks were
+// touched since the previous access to this block; an immediate re-touch
+// has distance 0.
+func (a *Analyzer) Touch(block uint64) int {
+	a.total++
+	now := a.t + 1
+	a.t = now
+	for int(now) >= len(a.tree) {
+		a.grow()
+	}
+
+	dist := -1
+	if prev, ok := a.last[block]; ok {
+		// Marked timestamps strictly after prev = blocks touched since.
+		d := a.sum(a.t-1) - a.sum(prev)
+		dist = int(d)
+		a.add(prev, -1)
+		for dist >= len(a.hist) {
+			a.hist = append(a.hist, 0)
+		}
+		a.hist[dist]++
+	} else {
+		a.cold++
+	}
+	a.last[block] = now
+	a.add(now, +1)
+	return dist
+}
+
+// Accesses returns the number of touches recorded.
+func (a *Analyzer) Accesses() uint64 { return a.total }
+
+// Cold returns the number of first-ever touches (compulsory misses).
+func (a *Analyzer) Cold() uint64 { return a.cold }
+
+// Distinct returns the number of distinct blocks seen.
+func (a *Analyzer) Distinct() int { return len(a.last) }
+
+// Histogram returns the stack-distance histogram (index = distance). The
+// returned slice is the analyzer's own; treat it as read-only.
+func (a *Analyzer) Histogram() []uint64 { return a.hist }
+
+// Hits returns how many accesses a fully associative LRU cache of n
+// blocks would hit: every reuse at distance < n.
+func (a *Analyzer) Hits(n int) uint64 {
+	var h uint64
+	for d := 0; d < n && d < len(a.hist); d++ {
+		h += a.hist[d]
+	}
+	return h
+}
+
+// MissRatio returns the fully associative LRU miss ratio at cache size n
+// blocks (cold misses included).
+func (a *Analyzer) MissRatio(n int) float64 {
+	if a.total == 0 {
+		return 0
+	}
+	return float64(a.total-a.Hits(n)) / float64(a.total)
+}
+
+// MissCurve evaluates MissRatio at each size.
+func (a *Analyzer) MissCurve(sizes []int) []float64 {
+	out := make([]float64, len(sizes))
+	for i, n := range sizes {
+		out[i] = a.MissRatio(n)
+	}
+	return out
+}

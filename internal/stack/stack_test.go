@@ -1,0 +1,160 @@
+package stack
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+func TestColdAndImmediateReuse(t *testing.T) {
+	a := New()
+	if d := a.Touch(5); d != -1 {
+		t.Fatalf("first touch distance %d, want -1", d)
+	}
+	if d := a.Touch(5); d != 0 {
+		t.Fatalf("immediate reuse distance %d, want 0", d)
+	}
+	if a.Cold() != 1 || a.Accesses() != 2 || a.Distinct() != 1 {
+		t.Fatalf("counters wrong: cold=%d total=%d distinct=%d", a.Cold(), a.Accesses(), a.Distinct())
+	}
+}
+
+func TestCyclicLoopDistances(t *testing.T) {
+	// A cyclic loop over K blocks: every reuse has distance K-1, so LRU
+	// hits only with capacity >= K.
+	const K = 10
+	a := New()
+	for lap := 0; lap < 5; lap++ {
+		for b := 0; b < K; b++ {
+			a.Touch(uint64(b))
+		}
+	}
+	hist := a.Histogram()
+	if hist[K-1] != 4*K {
+		t.Fatalf("hist[%d] = %d, want %d", K-1, hist[K-1], 4*K)
+	}
+	if got := a.MissRatio(K - 1); got != 1 {
+		t.Fatalf("miss ratio below capacity = %v, want 1", got)
+	}
+	// At capacity K: only the K cold misses remain.
+	if got, want := a.MissRatio(K), float64(K)/float64(5*K); got != want {
+		t.Fatalf("miss ratio at capacity = %v, want %v", got, want)
+	}
+}
+
+// naive is the O(N*M) reference implementation: an explicit LRU stack.
+type naive struct {
+	stack []uint64
+	hist  map[int]uint64
+	cold  uint64
+}
+
+func (n *naive) touch(b uint64) {
+	for i, x := range n.stack {
+		if x == b {
+			n.hist[i]++
+			copy(n.stack[1:i+1], n.stack[:i])
+			n.stack[0] = b
+			return
+		}
+	}
+	n.cold++
+	n.stack = append([]uint64{b}, n.stack...)
+}
+
+func TestMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := New()
+	ref := &naive{hist: map[int]uint64{}}
+	for i := 0; i < 20000; i++ {
+		var b uint64
+		switch rng.Intn(3) {
+		case 0:
+			b = uint64(rng.Intn(16)) // hot
+		case 1:
+			b = uint64(100 + rng.Intn(400)) // warm
+		default:
+			b = uint64(1000 + i) // streaming
+		}
+		a.Touch(b)
+		ref.touch(b)
+	}
+	if a.Cold() != ref.cold {
+		t.Fatalf("cold %d vs reference %d", a.Cold(), ref.cold)
+	}
+	for d, n := range ref.hist {
+		hist := a.Histogram()
+		var got uint64
+		if d < len(hist) {
+			got = hist[d]
+		}
+		if got != n {
+			t.Fatalf("hist[%d] = %d, reference %d", d, got, n)
+		}
+	}
+}
+
+// TestMatchesFullyAssociativeLRUCache cross-validates against the actual
+// cache simulator: a 1-set LRU cache of N ways must miss exactly when the
+// analyzer predicts.
+func TestMatchesFullyAssociativeLRUCache(t *testing.T) {
+	const ways = 32
+	g := cache.Geometry{SizeBytes: ways * 64, LineBytes: 64, Ways: ways}
+	c := cache.New(g, policy.NewLRU())
+	a := New()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		b := uint64(rng.Intn(200))
+		if rng.Intn(4) == 0 {
+			b = uint64(10000 + i)
+		}
+		c.Access(cache.Addr(b*64), false)
+		a.Touch(b)
+	}
+	predicted := a.Accesses() - a.Hits(ways)
+	if got := c.Stats().Misses; got != predicted {
+		t.Fatalf("cache misses %d != stack-distance prediction %d", got, predicted)
+	}
+}
+
+func TestGrowthAcrossFenwickResizes(t *testing.T) {
+	// Exceed the initial 1024-slot tree several times over.
+	a := New()
+	const K = 3000
+	for lap := 0; lap < 3; lap++ {
+		for b := 0; b < K; b++ {
+			a.Touch(uint64(b))
+		}
+	}
+	hist := a.Histogram()
+	if hist[K-1] != 2*K {
+		t.Fatalf("hist[%d] = %d after growth, want %d", K-1, hist[K-1], 2*K)
+	}
+}
+
+func TestMissCurveMonotone(t *testing.T) {
+	a := New()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30000; i++ {
+		a.Touch(uint64(rng.Intn(5000)))
+	}
+	sizes := []int{1, 8, 64, 512, 4096, 8192}
+	curve := a.MissCurve(sizes)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+1e-12 {
+			t.Fatalf("miss curve not monotone: %v", curve)
+		}
+	}
+	if a.MissRatio(1<<30) <= 0 {
+		t.Fatal("infinite cache still has cold misses; ratio must be > 0")
+	}
+}
+
+func TestEmptyAnalyzer(t *testing.T) {
+	a := New()
+	if a.MissRatio(64) != 0 || a.Accesses() != 0 {
+		t.Fatal("empty analyzer not zero")
+	}
+}

@@ -1,0 +1,68 @@
+// Package stats provides the small metric helpers the evaluation uses.
+// Following the paper (Section 4.2, footnote 7), averages over benchmarks
+// are plain arithmetic means of linear cost metrics (MPKI, CPI), so that
+// the mean is proportional to total execution cost.
+package stats
+
+// MPKI converts a miss count to misses per thousand instructions.
+func MPKI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(misses) / float64(instructions)
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// PercentChange returns 100*(to-from)/from: negative when `to` improved
+// (shrank) relative to `from`.
+func PercentChange(from, to float64) float64 {
+	if from == 0 {
+		return 0
+	}
+	return 100 * (to - from) / from
+}
+
+// PercentReduction returns 100*(from-to)/from: positive when `to` improved
+// (shrank) — the paper's "19% reduction in misses" convention.
+func PercentReduction(from, to float64) float64 {
+	return -PercentChange(from, to)
+}
+
+// Max returns the maximum of xs (0 for an empty slice).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs (0 for an empty slice).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(50, 10000); got != 5 {
+		t.Errorf("MPKI(50, 10000) = %v, want 5", got)
+	}
+	if got := MPKI(1, 0); got != 0 {
+		t.Errorf("MPKI with zero instructions = %v, want 0", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestPercentChangeAndReduction(t *testing.T) {
+	if got := PercentChange(10, 12); got != 20 {
+		t.Errorf("PercentChange(10,12) = %v, want 20", got)
+	}
+	if got := PercentReduction(10, 8); got != 20 {
+		t.Errorf("PercentReduction(10,8) = %v, want 20", got)
+	}
+	if got := PercentChange(0, 5); got != 0 {
+		t.Errorf("PercentChange from zero = %v, want 0", got)
+	}
+	// The two are always negatives of each other.
+	err := quick.Check(func(from, to float64) bool {
+		if math.IsNaN(from) || math.IsNaN(to) || math.IsInf(from, 0) || math.IsInf(to, 0) {
+			return true
+		}
+		return PercentChange(from, to) == -PercentReduction(from, to)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Max(xs) != 7 || Min(xs) != -1 {
+		t.Errorf("Max/Min = %v/%v", Max(xs), Min(xs))
+	}
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("empty Max/Min not zero")
+	}
+}

@@ -1,0 +1,22 @@
+package storage_test
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/storage"
+)
+
+func ExampleParams() {
+	// The paper's 512KB 8-way L2 with 64-byte lines (Section 3.1).
+	p := storage.DefaultParams(cache.Geometry{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8})
+	fmt.Printf("conventional: %v\n", p.Conventional())
+	fmt.Printf("adaptive, full tags: %v (+%.1f%%)\n",
+		p.AdaptiveTotal(2, 0), p.OverheadPercent(p.AdaptiveOverhead(2, 0)))
+	fmt.Printf("adaptive, 8-bit partial: %v (+%.1f%%)\n",
+		p.AdaptiveTotal(2, 8), p.OverheadPercent(p.AdaptiveOverhead(2, 8)))
+	// Output:
+	// conventional: 544.00KB
+	// adaptive, full tags: 598.00KB (+9.9%)
+	// adaptive, 8-bit partial: 566.00KB (+4.0%)
+}

@@ -1,0 +1,168 @@
+// Package storage reproduces the paper's SRAM storage accounting (Sections
+// 3.1-3.2 and 4.7): how much total storage a conventional cache needs, and
+// how much more the adaptive scheme adds with full tags, partial tags, or
+// SBAR-style set sampling. All results follow the paper's own bookkeeping:
+// 40-bit physical addresses, 8 metadata bits per line in the main array
+// (valid, dirty, coherence, LRU ordering), 4 policy-specific bits per
+// parallel-array entry, an m-bit history buffer per set, and a 3-bit-per-
+// line credit for not replicating the LRU ordering metadata in both the
+// main and parallel arrays.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Paper-default accounting constants (Section 3.1 footnotes).
+const (
+	DefaultPhysBits       = 40 // physical address width
+	DefaultLineMetaBits   = 8  // valid+dirty+coherence+LRU bits per main-array line
+	DefaultPolicyMetaBits = 4  // per-entry policy metadata in a parallel array
+	DefaultDedupLRUBits   = 3  // LRU state not replicated between main and parallel arrays
+	DefaultHistoryBits    = 8  // per-set miss-history bits (m = associativity)
+)
+
+// Params carries the accounting constants alongside a cache geometry.
+type Params struct {
+	Geometry       cache.Geometry
+	PhysBits       int
+	LineMetaBits   int
+	PolicyMetaBits int
+	DedupLRUBits   int
+	HistoryBits    int // per set
+}
+
+// DefaultParams returns the paper's accounting for a geometry.
+func DefaultParams(g cache.Geometry) Params {
+	return Params{
+		Geometry:       g,
+		PhysBits:       DefaultPhysBits,
+		LineMetaBits:   DefaultLineMetaBits,
+		PolicyMetaBits: DefaultPolicyMetaBits,
+		DedupLRUBits:   DefaultDedupLRUBits,
+		HistoryBits:    DefaultHistoryBits,
+	}
+}
+
+// Bits is a storage amount in bits.
+type Bits int64
+
+// Bytes converts to bytes (rounding up).
+func (b Bits) Bytes() int64 { return (int64(b) + 7) / 8 }
+
+// KB converts to kilobytes as a float for reporting.
+func (b Bits) KB() float64 { return float64(b) / 8 / 1024 }
+
+func (b Bits) String() string { return fmt.Sprintf("%.2fKB", b.KB()) }
+
+// tagBits returns the effective stored tag width: the full architectural
+// tag, or the partial width if smaller. partial <= 0 means full tags.
+func (p Params) tagBits(partial int) int {
+	full := p.Geometry.TagBits(p.PhysBits)
+	if partial > 0 && partial < full {
+		return partial
+	}
+	return full
+}
+
+// Data returns the data-array bits.
+func (p Params) Data() Bits {
+	return Bits(int64(p.Geometry.SizeBytes) * 8)
+}
+
+// MainTags returns the main tag array bits: full tag + line metadata per
+// line.
+func (p Params) MainTags() Bits {
+	perLine := p.Geometry.TagBits(p.PhysBits) + p.LineMetaBits
+	return Bits(int64(p.Geometry.Lines()) * int64(perLine))
+}
+
+// Conventional returns total storage (data + main tags) for a conventional
+// cache of this geometry — the paper's 544KB for 512KB/64B/8-way.
+func (p Params) Conventional() Bits {
+	return p.Data() + p.MainTags()
+}
+
+// ParallelArray returns the bits of ONE parallel (shadow) tag array with
+// the given partial tag width (<= 0 for full tags): stored tag + policy
+// metadata per entry, across all sets.
+func (p Params) ParallelArray(partialTagBits int) Bits {
+	perLine := p.tagBits(partialTagBits) + p.PolicyMetaBits
+	return Bits(int64(p.Geometry.Lines()) * int64(perLine))
+}
+
+// History returns the bits of the per-set miss-history buffers.
+func (p Params) History() Bits {
+	return Bits(int64(p.Geometry.Sets()) * int64(p.HistoryBits))
+}
+
+// dedup returns the LRU-metadata double-counting credit.
+func (p Params) dedup() Bits {
+	return Bits(int64(p.Geometry.Lines()) * int64(p.DedupLRUBits))
+}
+
+// AdaptiveOverhead returns the extra bits the full adaptive scheme adds on
+// top of Conventional: comps parallel tag arrays plus history buffers,
+// minus the LRU dedup credit.
+func (p Params) AdaptiveOverhead(comps, partialTagBits int) Bits {
+	return Bits(int64(comps))*p.ParallelArray(partialTagBits) + p.History() - p.dedup()
+}
+
+// AdaptiveTotal returns Conventional + AdaptiveOverhead — the paper's 598KB
+// (full tags) and 566KB (8-bit partial tags) for the 512KB configuration.
+func (p Params) AdaptiveTotal(comps, partialTagBits int) Bits {
+	return p.Conventional() + p.AdaptiveOverhead(comps, partialTagBits)
+}
+
+// SBAROverhead returns the extra bits of the set-sampling variant: parallel
+// tag entries and history for the leader sets only. Following the paper's
+// accounting, follower sets carry no extra storage (their additional
+// policy metadata is folded into the main array's per-line budget).
+func (p Params) SBAROverhead(comps, leaderSets, partialTagBits int) Bits {
+	if leaderSets > p.Geometry.Sets() {
+		leaderSets = p.Geometry.Sets()
+	}
+	perLine := p.tagBits(partialTagBits) + p.PolicyMetaBits
+	entries := int64(leaderSets) * int64(p.Geometry.Ways)
+	tagBits := Bits(int64(comps) * entries * int64(perLine))
+	hist := Bits(int64(leaderSets) * int64(p.HistoryBits))
+	return tagBits + hist
+}
+
+// OverheadPercent expresses extra bits as a percentage of the conventional
+// total — the paper's headline +9.9% / +4.0% / +2.1% / 0.16% numbers.
+func (p Params) OverheadPercent(extra Bits) float64 {
+	return 100 * float64(extra) / float64(p.Conventional())
+}
+
+// Report is one row of the paper's storage comparison.
+type Report struct {
+	Label   string
+	TotalKB float64
+	Percent float64 // overhead over the conventional baseline
+}
+
+// CompareTable builds the storage comparison the paper walks through in
+// Sections 3.1-3.2: conventional 512KB 8-way, full-tag adaptive, 8-bit
+// partial adaptive, conventional 9-way and 10-way upsizes, and the SBAR
+// variants.
+func CompareTable() []Report {
+	base := DefaultParams(cache.Geometry{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8})
+	nine := DefaultParams(cache.Geometry{SizeBytes: 576 << 10, LineBytes: 64, Ways: 9})
+	ten := DefaultParams(cache.Geometry{SizeBytes: 640 << 10, LineBytes: 64, Ways: 10})
+	conv := base.Conventional()
+	pct := func(total Bits) float64 { return 100 * (float64(total)/float64(conv) - 1) }
+	return []Report{
+		{"conventional 512KB 8-way", conv.KB(), 0},
+		{"adaptive, full tags", base.AdaptiveTotal(2, 0).KB(), pct(base.AdaptiveTotal(2, 0))},
+		{"adaptive, 8-bit partial tags", base.AdaptiveTotal(2, 8).KB(), pct(base.AdaptiveTotal(2, 8))},
+		{"conventional 576KB 9-way", nine.Conventional().KB(), pct(nine.Conventional())},
+		{"conventional 640KB 10-way", ten.Conventional().KB(), pct(ten.Conventional())},
+		{"SBAR, 16 leaders, full tags", (conv + base.SBAROverhead(2, 16, 0)).KB(),
+			base.OverheadPercent(base.SBAROverhead(2, 16, 0))},
+		{"SBAR, 16 leaders, 8-bit partial", (conv + base.SBAROverhead(2, 16, 8)).KB(),
+			base.OverheadPercent(base.SBAROverhead(2, 16, 8))},
+	}
+}

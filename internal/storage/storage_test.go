@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func g512() cache.Geometry { return cache.Geometry{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8} }
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.3f, want %.3f (±%.3f)", name, got, want, tol)
+	}
+}
+
+// TestPaperSection31Numbers pins the exact storage walk-through of paper
+// Section 3.1: 544KB conventional, 32KB main tags, 28KB per full parallel
+// array, 1KB history, and the 598KB full-tag adaptive total (+9.9%).
+func TestPaperSection31Numbers(t *testing.T) {
+	p := DefaultParams(g512())
+	approx(t, "main tags KB", p.MainTags().KB(), 32, 0.01)
+	approx(t, "conventional KB", p.Conventional().KB(), 544, 0.01)
+	approx(t, "parallel full KB", p.ParallelArray(0).KB(), 28, 0.01)
+	approx(t, "history KB", p.History().KB(), 1, 0.001)
+	approx(t, "adaptive full total KB", p.AdaptiveTotal(2, 0).KB(), 598, 0.01)
+	approx(t, "adaptive full overhead %", p.OverheadPercent(p.AdaptiveOverhead(2, 0)), 9.9, 0.05)
+}
+
+// TestPaperSection32PartialTags pins Section 3.2: with 8-bit partial tags
+// each parallel array shrinks to 12KB, the total to 566KB, the overhead to
+// +4.0%; with 128-byte lines the overhead is 2.1%.
+func TestPaperSection32PartialTags(t *testing.T) {
+	p := DefaultParams(g512())
+	approx(t, "parallel 8-bit KB", p.ParallelArray(8).KB(), 12, 0.01)
+	approx(t, "adaptive 8-bit total KB", p.AdaptiveTotal(2, 8).KB(), 566, 0.01)
+	approx(t, "adaptive 8-bit overhead %", p.OverheadPercent(p.AdaptiveOverhead(2, 8)), 4.0, 0.05)
+
+	p128 := DefaultParams(cache.Geometry{SizeBytes: 512 << 10, LineBytes: 128, Ways: 8})
+	approx(t, "128B-line overhead %", p128.OverheadPercent(p128.AdaptiveOverhead(2, 8)), 2.1, 0.05)
+}
+
+// TestPaperBiggerCaches pins the conventional alternatives of Section 3.1:
+// 9-way 576KB costs 612KB (+12.5%) and 10-way 640KB costs 680KB (+25%).
+func TestPaperBiggerCaches(t *testing.T) {
+	base := DefaultParams(g512()).Conventional()
+	nine := DefaultParams(cache.Geometry{SizeBytes: 576 << 10, LineBytes: 64, Ways: 9})
+	ten := DefaultParams(cache.Geometry{SizeBytes: 640 << 10, LineBytes: 64, Ways: 10})
+	approx(t, "9-way total KB", nine.Conventional().KB(), 612, 0.01)
+	approx(t, "10-way total KB", ten.Conventional().KB(), 680, 0.01)
+	approx(t, "9-way overhead %", 100*(float64(nine.Conventional())/float64(base)-1), 12.5, 0.05)
+	approx(t, "10-way overhead %", 100*(float64(ten.Conventional())/float64(base)-1), 25.0, 0.05)
+}
+
+// TestPaperSBAROverheads pins Section 4.7: with 16 leader sets, SBAR costs
+// 0.16% with full tags. (The paper quotes 0.09% for the partial-tag
+// variant; the recoverable arithmetic from its own constants gives ~0.07%,
+// so we assert the computed value and that it stays below the quoted one.)
+func TestPaperSBAROverheads(t *testing.T) {
+	p := DefaultParams(g512())
+	full := p.OverheadPercent(p.SBAROverhead(2, 16, 0))
+	part := p.OverheadPercent(p.SBAROverhead(2, 16, 8))
+	approx(t, "SBAR full overhead %", full, 0.16, 0.005)
+	approx(t, "SBAR partial overhead %", part, 0.072, 0.005)
+	if part >= 0.09+1e-9 {
+		t.Errorf("SBAR partial overhead %.3f%% exceeds the paper's 0.09%%", part)
+	}
+	if part >= full {
+		t.Errorf("partial-tag SBAR (%.3f%%) not cheaper than full-tag (%.3f%%)", part, full)
+	}
+}
+
+func TestTagBitsClampsToFullWidth(t *testing.T) {
+	p := DefaultParams(g512())
+	// Requested partial width beyond the architectural tag width must clamp.
+	if got, want := p.ParallelArray(64), p.ParallelArray(0); got != want {
+		t.Errorf("64-bit 'partial' array %v != full array %v", got, want)
+	}
+}
+
+func TestSBARLeaderClamp(t *testing.T) {
+	p := DefaultParams(cache.Geometry{SizeBytes: 4 * 4 * 64, LineBytes: 64, Ways: 4}) // 4 sets
+	if got, want := p.SBAROverhead(2, 100, 0), p.SBAROverhead(2, 4, 0); got != want {
+		t.Errorf("leader clamp failed: %v != %v", got, want)
+	}
+}
+
+func TestBitsConversions(t *testing.T) {
+	if Bits(8).Bytes() != 1 || Bits(9).Bytes() != 2 {
+		t.Error("Bytes rounding wrong")
+	}
+	if Bits(8*1024*2).KB() != 2 {
+		t.Error("KB conversion wrong")
+	}
+	if Bits(8*1024).String() != "1.00KB" {
+		t.Errorf("String = %q", Bits(8*1024).String())
+	}
+}
+
+func TestCompareTableShape(t *testing.T) {
+	rows := CompareTable()
+	if len(rows) != 7 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Percent != 0 {
+		t.Error("baseline row has nonzero overhead")
+	}
+	// Adaptive with partial tags must be far cheaper than adding a way.
+	var part, nineWay float64
+	for _, r := range rows {
+		switch r.Label {
+		case "adaptive, 8-bit partial tags":
+			part = r.Percent
+		case "conventional 576KB 9-way":
+			nineWay = r.Percent
+		}
+	}
+	if part <= 0 || nineWay <= 0 || part >= nineWay/2 {
+		t.Errorf("partial adaptive %.2f%% not well under 9-way %.2f%%", part, nineWay)
+	}
+}

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	header:  8-byte magic "ADCTRC01", then the workload name as a uvarint
+//	         length + bytes.
+//	record:  kind (1 byte), flags (1 byte), PC uvarint, then depending on
+//	         flags: data address uvarint, branch target uvarint; then the
+//	         three register operands packed as bytes (0xFF = NoReg).
+//
+// Varints keep streaming traces compact (most addresses are small deltas
+// of a working-set base); the format favors simplicity over maximal
+// density.
+
+var magic = [8]byte{'A', 'D', 'C', 'T', 'R', 'C', '0', '1'}
+
+const (
+	flagTaken = 1 << iota
+	flagHasAddr
+	flagHasTarget
+)
+
+// Writer streams records to a binary trace file.
+type Writer struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	n   uint64
+}
+
+// NewWriter writes a trace header (with the workload name) and returns a
+// Writer.
+func NewWriter(w io.Writer, name string) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	tw := &Writer{w: bw}
+	if err := tw.uvarint(uint64(len(name))); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return nil, fmt.Errorf("trace: writing name: %w", err)
+	}
+	return tw, nil
+}
+
+func (w *Writer) uvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+func regByte(r int8) byte {
+	if r == NoReg {
+		return 0xFF
+	}
+	return byte(r)
+}
+
+func byteReg(b byte) int8 {
+	if b == 0xFF {
+		return NoReg
+	}
+	return int8(b)
+}
+
+// Write appends one record.
+func (w *Writer) Write(rec *Record) error {
+	if !rec.Kind.Valid() {
+		return fmt.Errorf("trace: invalid kind %d", rec.Kind)
+	}
+	var flags byte
+	if rec.Taken {
+		flags |= flagTaken
+	}
+	if rec.Kind.IsMem() {
+		flags |= flagHasAddr
+	}
+	if rec.Kind == Branch {
+		flags |= flagHasTarget
+	}
+	if err := w.w.WriteByte(byte(rec.Kind)); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := w.uvarint(rec.PC); err != nil {
+		return err
+	}
+	if flags&flagHasAddr != 0 {
+		if err := w.uvarint(rec.Addr); err != nil {
+			return err
+		}
+	}
+	if flags&flagHasTarget != 0 {
+		if err := w.uvarint(rec.Target); err != nil {
+			return err
+		}
+	}
+	for _, r := range [...]int8{rec.Src1, rec.Src2, rec.Dst} {
+		if err := w.w.WriteByte(regByte(r)); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	w.n++
+	return nil
+}
+
+// Count returns how many records have been written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush writes any buffered data to the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader streams records from a binary trace file. It implements Source
+// except for Reset (files are one-pass; re-open to replay).
+type Reader struct {
+	r    *bufio.Reader
+	name string
+	err  error
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic: not a trace file")
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	return &Reader{r: br, name: string(nameBuf)}, nil
+}
+
+// Name returns the workload name recorded in the header.
+func (r *Reader) Name() string { return r.name }
+
+// Err returns the first error encountered by Read (nil at clean EOF).
+func (r *Reader) Err() error { return r.err }
+
+// Read fills rec with the next record, reporting false at end of file or
+// on corruption (check Err to distinguish).
+func (r *Reader) Read(rec *Record) bool {
+	kindB, err := r.r.ReadByte()
+	if err == io.EOF {
+		return false
+	}
+	if err != nil {
+		r.err = fmt.Errorf("trace: %w", err)
+		return false
+	}
+	fail := func(what string, err error) bool {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = io.ErrUnexpectedEOF
+		}
+		r.err = fmt.Errorf("trace: truncated record (%s): %w", what, err)
+		return false
+	}
+	if !Kind(kindB).Valid() {
+		r.err = fmt.Errorf("trace: invalid kind %d", kindB)
+		return false
+	}
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		return fail("flags", err)
+	}
+	rec.Kind = Kind(kindB)
+	rec.Taken = flags&flagTaken != 0
+	if rec.PC, err = binary.ReadUvarint(r.r); err != nil {
+		return fail("pc", err)
+	}
+	rec.Addr, rec.Target = 0, 0
+	if flags&flagHasAddr != 0 {
+		if rec.Addr, err = binary.ReadUvarint(r.r); err != nil {
+			return fail("addr", err)
+		}
+	}
+	if flags&flagHasTarget != 0 {
+		if rec.Target, err = binary.ReadUvarint(r.r); err != nil {
+			return fail("target", err)
+		}
+	}
+	var regs [3]byte
+	if _, err := io.ReadFull(r.r, regs[:]); err != nil {
+		return fail("regs", err)
+	}
+	rec.Src1, rec.Src2, rec.Dst = byteReg(regs[0]), byteReg(regs[1]), byteReg(regs[2])
+	return true
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReaderRobustness feeds arbitrary bytes to the trace reader: it must
+// never panic and must either parse records cleanly or surface an error.
+func FuzzReaderRobustness(f *testing.F) {
+	// Seed with a valid single-record trace and some mutations.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "seed")
+	if err != nil {
+		f.Fatal(err)
+	}
+	rec := Record{Kind: Load, PC: 0x400000, Addr: 0x1234, Src1: 1, Src2: NoReg, Dst: 2}
+	if err := w.Write(&rec); err != nil || w.Flush() != nil {
+		f.Fatal("seed trace")
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("ADCTRC01garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected header: fine
+		}
+		var rec Record
+		n := 0
+		for r.Read(&rec) {
+			if !rec.Kind.Valid() {
+				t.Fatalf("reader produced invalid kind %d", rec.Kind)
+			}
+			if n++; n > 1<<20 {
+				t.Fatal("reader produced implausibly many records")
+			}
+		}
+		// Either clean EOF or a reported error; both are acceptable.
+		_ = r.Err()
+	})
+}
+
+// FuzzRoundTrip checks write-then-read identity over arbitrary record
+// field values (normalized into the valid domain).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x400000), uint64(0x1000), uint64(0x2000), uint8(6), int8(3), int8(-1), int8(7), true)
+	f.Fuzz(func(t *testing.T, pc, addr, target uint64, kind uint8, s1, s2, d int8, taken bool) {
+		norm := func(r int8) int8 {
+			if r < 0 {
+				return NoReg
+			}
+			return r % NumRegs
+		}
+		rec := Record{
+			PC:   pc,
+			Kind: Kind(kind % uint8(numKinds)),
+			Src1: norm(s1), Src2: norm(s2), Dst: norm(d),
+		}
+		if rec.Kind.IsMem() {
+			rec.Addr = addr
+		}
+		if rec.Kind == Branch {
+			rec.Target = target
+			rec.Taken = taken
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, "fuzz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(&rec); err != nil || w.Flush() != nil {
+			t.Fatal("write failed")
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Record
+		if !r.Read(&got) {
+			t.Fatalf("read failed: %v", r.Err())
+		}
+		if got != rec {
+			t.Fatalf("round trip: got %+v, want %+v", got, rec)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+// Package trace defines the instruction/memory reference stream that
+// drives the simulators: a compact Record type, a streaming Source
+// interface produced by workload generators, and a binary file format for
+// recorded traces (the "trace acquisition" path — record once, re-simulate
+// many times).
+package trace
+
+import "fmt"
+
+// Kind classifies an instruction for the timing model's functional units.
+type Kind uint8
+
+// Instruction kinds. Latencies are assigned by the CPU model (paper
+// Table 1: IALU 1, IMULT/IDIV 8, FPADD 4, FPDIV 16).
+const (
+	IntALU Kind = iota
+	IntMul
+	IntDiv
+	FPAdd
+	FPMul
+	FPDiv
+	Load
+	Store
+	Branch
+	numKinds
+)
+
+var kindNames = [...]string{
+	"IntALU", "IntMul", "IntDiv", "FPAdd", "FPMul", "FPDiv", "Load", "Store", "Branch",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined instruction kind.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// IsMem reports whether the kind carries a data memory address.
+func (k Kind) IsMem() bool { return k == Load || k == Store }
+
+// NoReg marks an absent register operand.
+const NoReg = -1
+
+// NumRegs is the architectural register count for dependence tracking
+// (integer and FP files folded together, as the timing model only needs
+// producer/consumer edges).
+const NumRegs = 64
+
+// Record is one dynamic instruction.
+type Record struct {
+	PC     uint64 // instruction address (for I-cache and branch predictor)
+	Kind   Kind
+	Addr   uint64 // data address for Load/Store
+	Target uint64 // branch target for Branch
+	Taken  bool   // branch outcome
+	Src1   int8   // source registers, NoReg if absent
+	Src2   int8
+	Dst    int8 // destination register, NoReg if absent
+}
+
+// Source is a stream of dynamic instructions. Next fills rec and reports
+// false when the stream is exhausted. Sources must be deterministic:
+// Reset returns the stream to its beginning.
+type Source interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Next produces the next instruction into rec; it returns false at end
+	// of stream, leaving rec unspecified.
+	Next(rec *Record) bool
+	// Reset rewinds the source to its first instruction.
+	Reset()
+}
+
+// Limit wraps a source, truncating it to at most n instructions; a Source
+// that ends earlier ends the limited stream too.
+func Limit(src Source, n uint64) Source { return &limited{src: src, n: n} }
+
+type limited struct {
+	src  Source
+	n    uint64
+	seen uint64
+}
+
+func (l *limited) Name() string { return l.src.Name() }
+
+func (l *limited) Next(rec *Record) bool {
+	if l.seen >= l.n {
+		return false
+	}
+	if !l.src.Next(rec) {
+		return false
+	}
+	l.seen++
+	return true
+}
+
+func (l *limited) Reset() {
+	l.seen = 0
+	l.src.Reset()
+}
+
+// SliceSource replays a fixed record slice; useful in tests.
+type SliceSource struct {
+	Label string
+	Recs  []Record
+	pos   int
+}
+
+// Name implements Source.
+func (s *SliceSource) Name() string {
+	if s.Label == "" {
+		return "slice"
+	}
+	return s.Label
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(rec *Record) bool {
+	if s.pos >= len(s.Recs) {
+		return false
+	}
+	*rec = s.Recs[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset implements Source.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Count drains a source and returns the number of instructions; primarily
+// for tests and tooling.
+func Count(src Source) uint64 {
+	var rec Record
+	var n uint64
+	for src.Next(&rec) {
+		n++
+	}
+	return n
+}

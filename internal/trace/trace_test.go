@@ -1,0 +1,277 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStringAndValid(t *testing.T) {
+	if Load.String() != "Load" || Branch.String() != "Branch" {
+		t.Error("kind names wrong")
+	}
+	if Kind(200).Valid() {
+		t.Error("Kind(200) reported valid")
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Errorf("unknown kind string %q", Kind(200).String())
+	}
+	if !Load.IsMem() || !Store.IsMem() || IntALU.IsMem() {
+		t.Error("IsMem wrong")
+	}
+}
+
+func randRecord(rng *rand.Rand) Record {
+	k := Kind(rng.Intn(int(numKinds)))
+	rec := Record{
+		PC:   rng.Uint64() % (1 << 44),
+		Kind: k,
+		Src1: int8(rng.Intn(NumRegs)),
+		Src2: NoReg,
+		Dst:  int8(rng.Intn(NumRegs)),
+	}
+	if rng.Intn(2) == 0 {
+		rec.Src2 = int8(rng.Intn(NumRegs))
+	}
+	if k.IsMem() {
+		rec.Addr = rng.Uint64() % (1 << 40)
+	}
+	if k == Branch {
+		rec.Target = rng.Uint64() % (1 << 44)
+		rec.Taken = rng.Intn(2) == 0
+		rec.Dst = NoReg
+	}
+	return rec
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	recs := make([]Record, 5000)
+	for i := range recs {
+		recs[i] = randRecord(rng)
+	}
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "roundtrip-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 5000 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "roundtrip-test" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+	var got Record
+	for i := range recs {
+		if !r.Read(&got) {
+			t.Fatalf("EOF at record %d: %v", i, r.Err())
+		}
+		if got != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, recs[i])
+		}
+	}
+	if r.Read(&got) {
+		t.Fatal("read past end")
+	}
+	if r.Err() != nil {
+		t.Fatalf("clean EOF produced error %v", r.Err())
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(pc, addr, target uint64, kindRaw, s1, s2, d uint8, taken bool) bool {
+		rec := Record{
+			PC:   pc % (1 << 48),
+			Kind: Kind(kindRaw % uint8(numKinds)),
+			Src1: int8(s1 % NumRegs),
+			Src2: int8(s2 % NumRegs),
+			Dst:  int8(d % NumRegs),
+		}
+		if rec.Kind.IsMem() {
+			rec.Addr = addr % (1 << 48)
+		}
+		if rec.Kind == Branch {
+			rec.Target = target % (1 << 48)
+			rec.Taken = taken
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, "p")
+		if err != nil {
+			return false
+		}
+		if err := w.Write(&rec); err != nil || w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		var got Record
+		return r.Read(&got) && got == rec && !r.Read(&got) && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace file....."))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReaderDetectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Kind: Load, Addr: 0x123456, PC: 0x400000, Src1: 1, Src2: NoReg, Dst: 2}
+	if err := w.Write(&rec); err != nil || w.Flush() != nil {
+		t.Fatal("write failed")
+	}
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	if r.Read(&got) {
+		t.Fatal("truncated record read successfully")
+	}
+	if r.Err() == nil {
+		t.Fatal("truncation not reported")
+	}
+}
+
+func TestWriterRejectsInvalidKind(t *testing.T) {
+	w, err := NewWriter(io.Discard, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&Record{Kind: Kind(99)}); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	recs := make([]Record, 10)
+	for i := range recs {
+		recs[i] = Record{Kind: IntALU, PC: uint64(i)}
+	}
+	src := Limit(&SliceSource{Label: "s", Recs: recs}, 4)
+	if got := Count(src); got != 4 {
+		t.Fatalf("limited count = %d, want 4", got)
+	}
+	src.Reset()
+	if got := Count(src); got != 4 {
+		t.Fatalf("count after Reset = %d, want 4", got)
+	}
+	// Limit beyond the underlying length stops at the source's end.
+	long := Limit(&SliceSource{Recs: recs}, 100)
+	if got := Count(long); got != 10 {
+		t.Fatalf("over-limit count = %d, want 10", got)
+	}
+	if long.Name() != "slice" {
+		t.Fatalf("Name = %q", long.Name())
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := &SliceSource{Recs: []Record{{PC: 1}, {PC: 2}}}
+	var rec Record
+	if !s.Next(&rec) || rec.PC != 1 {
+		t.Fatal("first record wrong")
+	}
+	if !s.Next(&rec) || rec.PC != 2 {
+		t.Fatal("second record wrong")
+	}
+	if s.Next(&rec) {
+		t.Fatal("read past end")
+	}
+	s.Reset()
+	if !s.Next(&rec) || rec.PC != 1 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+// failWriter errors after n bytes, exercising writer error paths.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, io.ErrClosedPipe
+	}
+	return n, nil
+}
+
+func TestWriterPropagatesIOErrors(t *testing.T) {
+	// The bufio layer absorbs small writes, so errors surface at Flush (or
+	// once the buffer spills).
+	w, err := NewWriter(&failWriter{left: 3}, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Kind: Load, Addr: 1, PC: 2, Src1: NoReg, Src2: NoReg, Dst: NoReg}
+	if err := w.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("flush over a failing writer reported success")
+	}
+	// A writer that dies mid-stream must eventually fail Write too.
+	w2, err := NewWriter(&failWriter{left: 64}, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	for i := 0; i < 64; i++ {
+		if w2.Write(&rec) != nil || w2.Flush() != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("exhausted writer never reported an error")
+	}
+}
+
+func TestReaderName(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "my-workload")
+	_ = w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "my-workload" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+}

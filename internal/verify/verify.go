@@ -1,0 +1,183 @@
+// Package verify mechanically checks the paper's Appendix result: with
+// integer miss counters and full tags, the adaptive policy suffers at most
+// twice the misses of the better component policy (plus a cold-start
+// additive term). Rather than trusting sampled traces, Exhaustive
+// enumerates EVERY reference trace of a given length over a small block
+// universe against a single cache set — a bounded model check of the
+// theorem. cmd/verifybound exposes it as a tool; internal tests run it at
+// small bounds on every `go test`.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// Config bounds one exhaustive check.
+type Config struct {
+	Ways   int // cache associativity (single set)
+	Blocks int // block universe size; must exceed Ways to force evictions
+	Length int // trace length; Blocks^Length traces are enumerated
+
+	// Components builds the component policies (at least two); nil
+	// selects the paper's LRU/LFU pair.
+	Components []core.ComponentFactory
+
+	// Slack is the additive term allowed on top of 2x: the proof's
+	// accounting differs from an empty-cache start by at most O(ways)
+	// misses. Zero selects 2*Ways.
+	Slack uint64
+
+	// Factor overrides the multiplicative bound (default 2).
+	Factor uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slack == 0 {
+		c.Slack = 2 * uint64(c.Ways)
+	}
+	if c.Factor == 0 {
+		c.Factor = 2
+	}
+	return c
+}
+
+// Violation reports a trace that broke the bound.
+type Violation struct {
+	Trace          []int
+	AdaptiveMisses uint64
+	BestMisses     uint64
+	Bound          uint64
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("verify: trace %v: adaptive misses %d exceed bound %d (best component %d)",
+		v.Trace, v.AdaptiveMisses, v.Bound, v.BestMisses)
+}
+
+// Result summarizes an exhaustive check.
+type Result struct {
+	Checked    uint64
+	WorstRatio float64 // max adaptive/best over all traces with best > 0
+	WorstTrace []int
+}
+
+// Exhaustive enumerates all Blocks^Length traces and checks the bound on
+// each, returning a summary or the first violation found.
+func Exhaustive(cfg Config) (Result, *Violation) {
+	cfg = cfg.withDefaults()
+	if cfg.Ways < 2 || cfg.Blocks <= cfg.Ways || cfg.Length < 1 {
+		panic("verify: need Ways >= 2, Blocks > Ways, Length >= 1")
+	}
+	comps := cfg.Components
+	if comps == nil {
+		comps = core.DefaultComponents()
+	}
+
+	g := cache.Geometry{SizeBytes: cfg.Ways * 64, LineBytes: 64, Ways: cfg.Ways}
+	ad := core.NewAdaptive(comps, core.WithHistory(history.NewCounters()))
+	c := cache.New(g, ad)
+
+	trace := make([]int, cfg.Length)
+	res := Result{}
+	for {
+		c.Reset()
+		for _, b := range trace {
+			c.Access(cache.Addr(b*64), false)
+		}
+		am := c.Stats().Misses
+		best := ad.Shadow(0).Stats().Misses
+		for k := 1; k < len(comps); k++ {
+			if m := ad.Shadow(k).Stats().Misses; m < best {
+				best = m
+			}
+		}
+		res.Checked++
+		bound := cfg.Factor*best + cfg.Slack
+		if am > bound {
+			return res, &Violation{
+				Trace:          append([]int(nil), trace...),
+				AdaptiveMisses: am,
+				BestMisses:     best,
+				Bound:          bound,
+			}
+		}
+		if best > 0 {
+			if r := float64(am) / float64(best); r > res.WorstRatio {
+				res.WorstRatio = r
+				res.WorstTrace = append(res.WorstTrace[:0], trace...)
+			}
+		}
+
+		// Next trace in lexicographic order.
+		i := cfg.Length - 1
+		for ; i >= 0; i-- {
+			trace[i]++
+			if trace[i] < cfg.Blocks {
+				break
+			}
+			trace[i] = 0
+		}
+		if i < 0 {
+			return res, nil
+		}
+	}
+}
+
+// Random checks n pseudo-random traces of the given length instead of all
+// of them — the same bound at scales exhaustion cannot reach.
+func Random(cfg Config, n int, seed uint64) (Result, *Violation) {
+	cfg = cfg.withDefaults()
+	comps := cfg.Components
+	if comps == nil {
+		comps = core.DefaultComponents()
+	}
+	g := cache.Geometry{SizeBytes: cfg.Ways * 64, LineBytes: 64, Ways: cfg.Ways}
+	ad := core.NewAdaptive(comps, core.WithHistory(history.NewCounters()))
+	c := cache.New(g, ad)
+
+	if seed == 0 {
+		seed = 1
+	}
+	rng := seed
+	trace := make([]int, cfg.Length)
+	res := Result{}
+	for t := 0; t < n; t++ {
+		for i := range trace {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			trace[i] = int((rng >> 11) % uint64(cfg.Blocks))
+		}
+		c.Reset()
+		for _, b := range trace {
+			c.Access(cache.Addr(b*64), false)
+		}
+		am := c.Stats().Misses
+		best := ad.Shadow(0).Stats().Misses
+		for k := 1; k < len(comps); k++ {
+			if m := ad.Shadow(k).Stats().Misses; m < best {
+				best = m
+			}
+		}
+		res.Checked++
+		if bound := cfg.Factor*best + cfg.Slack; am > bound {
+			return res, &Violation{
+				Trace:          append([]int(nil), trace...),
+				AdaptiveMisses: am,
+				BestMisses:     best,
+				Bound:          bound,
+			}
+		}
+		if best > 0 {
+			if r := float64(am) / float64(best); r > res.WorstRatio {
+				res.WorstRatio = r
+				res.WorstTrace = append(res.WorstTrace[:0], trace...)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+func comps(names ...string) []core.ComponentFactory {
+	out := make([]core.ComponentFactory, len(names))
+	for i, n := range names {
+		f := policy.MustByName(n)
+		out[i] = core.ComponentFactory(f)
+	}
+	return out
+}
+
+// TestExhaustiveSmallLRULFU model-checks the 2x bound over every trace of
+// length 9 on 3 blocks against a 2-way set — 19683 traces.
+func TestExhaustiveSmallLRULFU(t *testing.T) {
+	res, v := Exhaustive(Config{Ways: 2, Blocks: 3, Length: 9})
+	if v != nil {
+		t.Fatal(v)
+	}
+	if res.Checked != 19683 {
+		t.Fatalf("checked %d traces, want 3^9", res.Checked)
+	}
+	if res.WorstRatio <= 0 {
+		t.Fatal("no trace produced a nonzero best-component miss count")
+	}
+	t.Logf("worst adaptive/best ratio %.2f on %v", res.WorstRatio, res.WorstTrace)
+}
+
+// TestExhaustivePolicyPairs checks the bound for every ordered pair of
+// deterministic standard policies at small bounds.
+func TestExhaustivePolicyPairs(t *testing.T) {
+	names := []string{"LRU", "LFU", "FIFO", "MRU"}
+	for _, a := range names {
+		for _, b := range names {
+			if a == b {
+				continue
+			}
+			cfg := Config{Ways: 2, Blocks: 3, Length: 7, Components: comps(a, b)}
+			if _, v := Exhaustive(cfg); v != nil {
+				t.Errorf("%s/%s: %v", a, b, v)
+			}
+		}
+	}
+}
+
+// TestExhaustiveThreeWay widens the set to 3 ways and 4 blocks at a
+// shorter length (4^6 = 4096 traces).
+func TestExhaustiveThreeWay(t *testing.T) {
+	if _, v := Exhaustive(Config{Ways: 3, Blocks: 4, Length: 6}); v != nil {
+		t.Fatal(v)
+	}
+}
+
+// TestRandomLongTraces drives long random traces where exhaustion is
+// impossible; the bound must still hold.
+func TestRandomLongTraces(t *testing.T) {
+	cfg := Config{Ways: 4, Blocks: 9, Length: 800}
+	res, v := Random(cfg, 300, 42)
+	if v != nil {
+		t.Fatal(v)
+	}
+	if res.Checked != 300 {
+		t.Fatalf("checked %d", res.Checked)
+	}
+	// Long traces amortize the cold start: the observed ratio should be
+	// comfortably below the 2x bound plus slack.
+	if res.WorstRatio > 2.5 {
+		t.Errorf("worst ratio %.2f suspiciously close to the bound on random traces", res.WorstRatio)
+	}
+}
+
+// TestTightBoundViolated demonstrates the checker can actually find
+// violations (it is not vacuous): a deliberately too-tight 1x+1 bound over
+// the strongly divergent LRU/MRU pair must fail on some trace.
+func TestTightBoundViolated(t *testing.T) {
+	_, v := Exhaustive(Config{Ways: 2, Blocks: 3, Length: 10, Factor: 1, Slack: 1,
+		Components: comps("LRU", "MRU")})
+	if v == nil {
+		t.Fatal("no violation of the (deliberately too tight) 1x+1 bound found; checker may be vacuous")
+	}
+	if v.AdaptiveMisses <= v.BestMisses {
+		t.Fatalf("violation %+v does not show adaptive above best", v)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for i, cfg := range []Config{
+		{Ways: 1, Blocks: 3, Length: 2},
+		{Ways: 2, Blocks: 2, Length: 2},
+		{Ways: 2, Blocks: 3, Length: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			Exhaustive(cfg)
+		}()
+	}
+}
+
+// TestDefaultComponentsAreLRULFU pins the helper the checker relies on.
+func TestDefaultComponentsAreLRULFU(t *testing.T) {
+	cs := core.DefaultComponents()
+	if len(cs) != 2 {
+		t.Fatalf("%d default components", len(cs))
+	}
+	if cs[0]().Name() != "LRU" || cs[1]().Name() != "LFU" {
+		t.Fatalf("default components %s/%s", cs[0]().Name(), cs[1]().Name())
+	}
+	lfu := cs[1]().(*policy.LFU)
+	if lfu.Bits() != policy.DefaultLFUBits {
+		t.Fatalf("default LFU bits %d", lfu.Bits())
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Trace: []int{1, 2}, AdaptiveMisses: 9, BestMisses: 3, Bound: 8}
+	if v.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}

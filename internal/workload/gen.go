@@ -1,0 +1,368 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Phase is a stretch of execution with its own pattern mix. Frac values
+// across a spec's phases are normalized to the total instruction budget.
+type Phase struct {
+	Frac     float64
+	Patterns []Pattern
+}
+
+// Spec declares one synthetic benchmark. The zero values of most fields
+// are filled with sensible defaults by normalize.
+type Spec struct {
+	Name  string
+	Suite string // benchmark suite the modeled program came from
+	Seed  uint64
+
+	// Instruction mix (fractions of all instructions); the remainder is
+	// integer ALU work. Within FPFrac, divides are a fixed small share.
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+	FPFrac     float64
+
+	// Kernel structure: Kernels loop bodies of KernelLen instructions
+	// each, executed TripCount iterations before moving on (cyclically).
+	// Code footprint is roughly Kernels*KernelLen*4 bytes, which is what
+	// the L1I experiment (paper Section 4.6) varies.
+	Kernels   int
+	KernelLen int
+	TripCount int
+
+	// CondBranchBias is the taken probability of non-loop conditional
+	// branches (one per kernel); lower bias means more mispredicts.
+	CondBranchBias float64
+
+	// KernelSkew biases which kernel runs next: 0 cycles round-robin;
+	// higher values concentrate executions on a popular head of the
+	// kernel list (zipf-like), giving the instruction stream the hot/cold
+	// code structure the L1I adaptivity experiment needs.
+	KernelSkew float64
+
+	// ColdCodeEvery, when positive, runs the first iteration of every
+	// Nth kernel activation from fresh, never-reused instruction
+	// addresses — one-off code (initialization, error paths, inlined
+	// cold calls) that streams through the instruction cache.
+	ColdCodeEvery int
+
+	// DepDist is the register dependence distance between ALU ops: 1
+	// yields a serial chain (low ILP), larger values more parallelism.
+	DepDist int
+
+	Phases []Phase
+}
+
+func (s Spec) normalized() Spec {
+	if s.Seed == 0 {
+		s.Seed = hashName(s.Name)
+	}
+	if s.LoadFrac == 0 {
+		s.LoadFrac = 0.24
+	}
+	if s.StoreFrac == 0 {
+		s.StoreFrac = 0.10
+	}
+	if s.BranchFrac == 0 {
+		s.BranchFrac = 0.12
+	}
+	if s.Kernels == 0 {
+		s.Kernels = 8
+	}
+	if s.KernelLen == 0 {
+		s.KernelLen = 32
+	}
+	if s.TripCount == 0 {
+		s.TripCount = 64
+	}
+	if s.CondBranchBias == 0 {
+		s.CondBranchBias = 0.9
+	}
+	if s.DepDist == 0 {
+		s.DepDist = 4
+	}
+	if len(s.Phases) == 0 {
+		s.Phases = []Phase{{Frac: 1, Patterns: []Pattern{{Kind: PatHot, Blocks: 4096, Weight: 1}}}}
+	}
+	return s
+}
+
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h | 1
+}
+
+// slot is one position in a kernel's loop body.
+type slot struct {
+	kind    trace.Kind // IntALU/FP kinds; mem/branch slots see below
+	isMem   bool
+	isStore bool
+	isLoop  bool // loop-back branch (last slot)
+	isCond  bool // data-dependent conditional branch
+	src1    int8
+	src2    int8
+	dst     int8
+}
+
+// Generator produces the instruction stream for one Spec. It implements
+// trace.Source for a fixed total instruction count so phase boundaries are
+// well defined.
+type Generator struct {
+	spec  Spec
+	total uint64
+
+	kernels  [][]slot
+	phaseEnd []uint64 // absolute instruction index ending each phase
+
+	r         *rng
+	patterns  []*patternState // current phase's patterns
+	weightTot int
+	phase     int
+
+	idx       uint64 // instructions emitted
+	kernel    int
+	slotIdx   int
+	iteration int
+
+	kernelRuns int    // completed kernel activations
+	coldThis   bool   // current activation's first iteration uses cold PCs
+	coldBase   uint64 // bump allocator for one-off code addresses
+
+	chaseReg int8
+}
+
+// codeBase is the start of the synthetic text segment; coldCodeBase is the
+// bump-allocated region for one-off (never re-executed) code.
+const (
+	codeBase     = 0x0040_0000
+	coldCodeBase = 0x0100_0000
+)
+
+// New builds a generator for spec producing exactly total instructions.
+func New(spec Spec, total uint64) *Generator {
+	if total == 0 {
+		panic("workload: total instruction count must be positive")
+	}
+	s := spec.normalized()
+	if s.LoadFrac+s.StoreFrac+s.BranchFrac+s.FPFrac > 0.95 {
+		panic(fmt.Sprintf("workload %s: instruction mix leaves no room for ALU work", s.Name))
+	}
+	g := &Generator{spec: s, total: total, chaseReg: 30}
+	g.buildKernels()
+	g.buildPhases()
+	g.Reset()
+	return g
+}
+
+// Name implements trace.Source.
+func (g *Generator) Name() string { return g.spec.Name }
+
+// Total returns the instruction budget.
+func (g *Generator) Total() uint64 { return g.total }
+
+// Spec returns the normalized benchmark specification.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// buildKernels lays out the loop bodies. Slot composition is deterministic
+// in the spec's seed.
+func (g *Generator) buildKernels() {
+	s := g.spec
+	r := newRNG(s.Seed ^ 0xC0DE)
+	g.kernels = make([][]slot, s.Kernels)
+	for k := range g.kernels {
+		body := make([]slot, s.KernelLen)
+		// Choose slot roles: the last is the loop branch, further branch
+		// slots fill BranchFrac, and memory ops fill their budgeted share.
+		nMem := int(float64(s.KernelLen)*(s.LoadFrac+s.StoreFrac) + 0.5)
+		nFP := int(float64(s.KernelLen)*s.FPFrac + 0.5)
+		storeShare := 0.0
+		if s.LoadFrac+s.StoreFrac > 0 {
+			storeShare = s.StoreFrac / (s.LoadFrac + s.StoreFrac)
+		}
+		nCond := int(float64(s.KernelLen)*s.BranchFrac+0.5) - 1
+		condAt := make(map[int]bool, nCond)
+		for len(condAt) < nCond {
+			p := 1 + int(r.n(uint64(s.KernelLen-2)))
+			condAt[p] = true
+		}
+		for i := range body {
+			sl := &body[i]
+			sl.dst = int8(2 + (i % 26))
+			sl.src1 = int8(2 + ((i + s.KernelLen - s.DepDist) % 26))
+			sl.src2 = 0 // register 0 is never written: always ready
+			switch {
+			case i == s.KernelLen-1:
+				sl.isLoop = true
+				sl.kind = trace.Branch
+				sl.dst = trace.NoReg
+			case condAt[i]:
+				sl.isCond = true
+				sl.kind = trace.Branch
+				sl.dst = trace.NoReg
+			case nMem > 0:
+				nMem--
+				sl.isMem = true
+				sl.isStore = r.float() < storeShare
+				if sl.isStore {
+					sl.kind = trace.Store
+					sl.dst = trace.NoReg
+				} else {
+					sl.kind = trace.Load
+				}
+			case nFP > 0:
+				nFP--
+				switch r.n(8) {
+				case 0:
+					sl.kind = trace.FPDiv
+				case 1, 2:
+					sl.kind = trace.FPMul
+				default:
+					sl.kind = trace.FPAdd
+				}
+			default:
+				if r.n(16) == 0 {
+					sl.kind = trace.IntMul
+				} else {
+					sl.kind = trace.IntALU
+				}
+			}
+		}
+		g.kernels[k] = body
+	}
+}
+
+// buildPhases converts phase fractions into absolute instruction indices.
+func (g *Generator) buildPhases() {
+	var sum float64
+	for _, p := range g.spec.Phases {
+		sum += p.Frac
+	}
+	g.phaseEnd = make([]uint64, len(g.spec.Phases))
+	var acc float64
+	for i, p := range g.spec.Phases {
+		acc += p.Frac / sum
+		g.phaseEnd[i] = uint64(acc * float64(g.total))
+	}
+	g.phaseEnd[len(g.phaseEnd)-1] = g.total
+}
+
+// Reset implements trace.Source.
+func (g *Generator) Reset() {
+	g.r = newRNG(g.spec.Seed)
+	g.idx, g.kernel, g.slotIdx, g.iteration = 0, 0, 0, 0
+	g.kernelRuns, g.coldThis, g.coldBase = 0, false, coldCodeBase
+	g.phase = -1
+	g.enterPhase(0)
+}
+
+func (g *Generator) enterPhase(p int) {
+	if p == g.phase {
+		return
+	}
+	g.phase = p
+	ph := g.spec.Phases[p]
+	g.patterns = make([]*patternState, len(ph.Patterns))
+	g.weightTot = 0
+	for i, pat := range ph.Patterns {
+		if pat.Weight <= 0 {
+			pat.Weight = 1
+		}
+		g.patterns[i] = newPatternState(pat, p*16+i, g.r)
+		g.weightTot += pat.Weight
+	}
+}
+
+// pickPattern selects a pattern by weight.
+func (g *Generator) pickPattern() *patternState {
+	if len(g.patterns) == 1 {
+		return g.patterns[0]
+	}
+	w := int(g.r.n(uint64(g.weightTot)))
+	for _, st := range g.patterns {
+		weight := st.p.Weight
+		if weight <= 0 {
+			weight = 1
+		}
+		if w < weight {
+			return st
+		}
+		w -= weight
+	}
+	return g.patterns[len(g.patterns)-1]
+}
+
+// Next implements trace.Source.
+func (g *Generator) Next(rec *trace.Record) bool {
+	if g.idx >= g.total {
+		return false
+	}
+	if g.idx >= g.phaseEnd[g.phase] && g.phase+1 < len(g.phaseEnd) {
+		g.enterPhase(g.phase + 1)
+	}
+
+	body := g.kernels[g.kernel]
+	sl := body[g.slotIdx]
+	pc := uint64(codeBase) + uint64(g.kernel*g.spec.KernelLen+g.slotIdx)*4
+	if g.coldThis && g.iteration == 0 {
+		pc = g.coldBase + uint64(g.slotIdx)*4
+	}
+
+	*rec = trace.Record{
+		PC:   pc,
+		Kind: sl.kind,
+		Src1: sl.src1,
+		Src2: sl.src2,
+		Dst:  sl.dst,
+	}
+
+	switch {
+	case sl.isMem:
+		st := g.pickPattern()
+		block := st.next(g.r)
+		rec.Addr = block*64 + g.r.n(8)*8
+		if st.p.Chained && !sl.isStore {
+			// Pointer chase: this load consumes the previous chase load's
+			// result and produces the next pointer.
+			rec.Src1 = g.chaseReg
+			rec.Dst = g.chaseReg
+		}
+	case sl.isLoop:
+		taken := g.iteration+1 < g.spec.TripCount
+		rec.Taken = taken
+		rec.Target = uint64(codeBase) + uint64(g.kernel*g.spec.KernelLen)*4
+	case sl.isCond:
+		rec.Taken = g.r.float() < g.spec.CondBranchBias
+		rec.Target = pc + 32
+	}
+
+	g.idx++
+	g.slotIdx++
+	if g.slotIdx == len(body) {
+		g.slotIdx = 0
+		g.iteration++
+		if g.coldThis && g.iteration == 1 {
+			g.coldBase += uint64(g.spec.KernelLen) * 4
+			g.coldThis = false
+		}
+		if g.iteration >= g.spec.TripCount {
+			g.iteration = 0
+			g.kernelRuns++
+			if g.spec.KernelSkew > 0 {
+				g.kernel = int(zipfish(uint64(len(g.kernels)), g.spec.KernelSkew, g.r))
+			} else {
+				g.kernel = (g.kernel + 1) % len(g.kernels)
+			}
+			g.coldThis = g.spec.ColdCodeEvery > 0 && g.kernelRuns%g.spec.ColdCodeEvery == 0
+		}
+	}
+	return true
+}

@@ -1,0 +1,234 @@
+// Package workload synthesizes the benchmark suite. Real trace acquisition
+// (Alpha binaries + SimPoint) is not reproducible here, so each paper
+// benchmark is modeled as a deterministic generator composed from memory
+// access-pattern primitives — hot sets, streaming scans, linear loops,
+// pointer chases, strided sweeps — with an instruction-level kernel
+// structure (dependence chains, loop branches, code footprint) that drives
+// the CPU timing model. The primitives realize exactly the behavioral
+// classes the paper uses to explain per-benchmark policy preferences
+// (Section 2.1): temporal reuse favors LRU, scans with embedded hot data
+// favor LFU, linear loops slightly larger than the cache favor MRU, and
+// episodic working-set shifts punish LFU's stale counts.
+package workload
+
+// rng is xorshift64*, the package's single deterministic random stream
+// implementation.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// n returns a uniform value in [0, n).
+func (r *rng) n(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return (r.next() >> 11) % n
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// PatternKind names an access-pattern primitive.
+type PatternKind int
+
+// The pattern primitives.
+const (
+	// PatScan streams through memory, never revisiting a block — pure
+	// compulsory misses (media decoding, file filters).
+	PatScan PatternKind = iota
+	// PatLoop cycles linearly over a fixed region; sized slightly above
+	// the cache's share it is the classic LRU/FIFO-pathological,
+	// MRU-friendly pattern.
+	PatLoop
+	// PatHot draws from a fixed region with optional frequency skew — the
+	// LFU-friendly hot working set. Drift slides the region slowly
+	// (recency-friendly); Episode teleports it wholesale, punishing stale
+	// LFU counts (the lucas-style pathology).
+	PatHot
+	// PatChase follows a random permutation cycle — dependent loads with
+	// no locality and no MLP (mcf-style pointer chasing).
+	PatChase
+	// PatStride sweeps a region with a fixed stride, wrapping — FP array
+	// kernels (swim/mgrid-style subroutines).
+	PatStride
+)
+
+// Pattern parameterizes one primitive within a phase. Weight sets its
+// share of the phase's memory references; the remaining fields are
+// interpreted per kind.
+type Pattern struct {
+	Kind   PatternKind
+	Blocks uint64 // region size in cache lines
+	Weight int    // relative share of memory references
+
+	Stride  uint64  // PatStride: lines per step (default 1)
+	Skew    float64 // PatHot: probability mass recursion toward low ranks (0 = uniform)
+	Drift   uint64  // PatHot: slide region base one block every Drift refs
+	Episode uint64  // PatHot: jump region base by Blocks every Episode refs
+	Chained bool    // PatChase: loads form a serial dependence chain
+
+	// Ring bounds PatHot drift to a cyclic footprint of this many blocks:
+	// the window slides but revisits the same Ring blocks forever, so the
+	// long-run footprint is bounded (no unbounded trail of dead blocks).
+	// Zero means unbounded drift.
+	Ring uint64
+
+	// Dwell issues this many consecutive references to each block before
+	// advancing (default 1), modeling word-by-word spatial locality within
+	// a line for sequential kinds (Scan/Loop/Stride). The first reference
+	// to each block is the only one that can miss below the L1.
+	Dwell uint64
+
+	// Echo re-references each drawn block once more, Echo pattern-draws
+	// later — far enough apart to outlive the L1 but close enough to still
+	// be L2-resident. The echo is what lets an infrequently revisited
+	// block establish a use count of 2 and earn LFU protection; without
+	// it, count-1 ties degenerate LFU to LRU. (PatHot only.)
+	Echo uint64
+
+	// SetStride/SetOffset place the region on every SetStride-th cache
+	// set starting at SetOffset, modeling workloads whose policy
+	// preference varies spatially across sets (paper Figure 7). Zero
+	// means dense (stride 1).
+	SetStride uint64
+	SetOffset uint64
+}
+
+// patternState is the runtime state of one pattern instance.
+type patternState struct {
+	p         Pattern
+	base      uint64 // region base, in blocks
+	off       uint64 // drift/episode offset within the region
+	pos       uint64
+	refs      uint64
+	perm      []uint32 // PatChase permutation
+	cur       uint32
+	dwellLeft uint64
+	lastBlock uint64
+	echoes    []echo // pending re-references, in due order
+}
+
+// echo is a scheduled re-reference.
+type echo struct {
+	due   uint64 // pattern draw count at which to fire
+	block uint64
+}
+
+// newPatternState places the pattern at a unique block base and, for
+// chases, builds the permutation.
+func newPatternState(p Pattern, id int, r *rng) *patternState {
+	if p.Blocks == 0 {
+		p.Blocks = 1
+	}
+	if p.Stride == 0 {
+		p.Stride = 1
+	}
+	if p.SetStride == 0 {
+		p.SetStride = 1
+	}
+	st := &patternState{
+		p: p,
+		// Regions sit ~1GB apart in address space. The spacing is a PRIME
+		// number of tag units (16411 tags of 1024 blocks each, for the
+		// reference 1024-set L2): power-of-two spacing would make every
+		// region congruent in the low tag bits and manufacture systematic
+		// partial-tag aliasing that real program layouts do not exhibit.
+		// The factor 1024 keeps bases set-aligned for SetStride placement.
+		base: uint64(id+1) * 16411 * 1024,
+	}
+	if p.Kind == PatChase {
+		st.perm = randomCycle(p.Blocks, r)
+	}
+	return st
+}
+
+// randomCycle builds a uniformly random single-cycle permutation of n
+// elements (Sattolo's algorithm), so a chase visits every block before
+// repeating.
+func randomCycle(n uint64, r *rng) []uint32 {
+	perm := make([]uint32, n)
+	order := make([]uint32, n)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	for i := n - 1; i >= 1; i-- {
+		j := r.n(i)
+		order[i], order[j] = order[j], order[i]
+	}
+	for i := uint64(0); i < n; i++ {
+		perm[order[i]] = order[(i+1)%n]
+	}
+	return perm
+}
+
+// zipfish returns a skew-distributed rank in [0, n): with probability skew
+// the range narrows to its lowest quarter, recursively. skew 0 is uniform.
+func zipfish(n uint64, skew float64, r *rng) uint64 {
+	for n > 4 && r.float() < skew {
+		n /= 4
+	}
+	return r.n(n)
+}
+
+// next returns the next block number referenced by this pattern.
+func (st *patternState) next(r *rng) uint64 {
+	if st.dwellLeft > 0 {
+		st.dwellLeft--
+		return st.lastBlock
+	}
+	if st.p.Dwell > 1 {
+		st.dwellLeft = st.p.Dwell - 1
+	}
+	st.refs++
+	if len(st.echoes) > 0 && st.echoes[0].due <= st.refs {
+		b := st.echoes[0].block
+		st.echoes = st.echoes[1:]
+		st.lastBlock = b
+		return b
+	}
+	var idx uint64
+	switch st.p.Kind {
+	case PatScan:
+		idx = st.pos
+		st.pos++
+	case PatLoop:
+		idx = st.pos
+		st.pos = (st.pos + 1) % st.p.Blocks
+	case PatHot:
+		if st.p.Drift > 0 && st.refs%st.p.Drift == 0 {
+			st.off++
+		}
+		if st.p.Episode > 0 && st.refs%st.p.Episode == 0 {
+			st.off += st.p.Blocks
+		}
+		idx = st.off + zipfish(st.p.Blocks, st.p.Skew, r)
+		if st.p.Ring > 0 {
+			idx %= st.p.Ring
+		}
+	case PatChase:
+		st.cur = st.perm[st.cur]
+		idx = uint64(st.cur)
+	case PatStride:
+		idx = st.pos
+		st.pos = (st.pos + st.p.Stride) % st.p.Blocks
+	}
+	st.lastBlock = st.base + idx*st.p.SetStride + st.p.SetOffset
+	if st.p.Echo > 0 && st.p.Kind == PatHot {
+		st.echoes = append(st.echoes, echo{due: st.refs + st.p.Echo, block: st.lastBlock})
+	}
+	return st.lastBlock
+}

@@ -1,0 +1,407 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSuiteShape(t *testing.T) {
+	specs := Suite()
+	if len(specs) != 100 {
+		t.Fatalf("suite has %d programs, want 100 (paper Section 4.1)", len(specs))
+	}
+	if len(PrimaryNames()) != 26 {
+		t.Fatalf("primary set has %d programs, want 26", len(PrimaryNames()))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.Name == "" || s.Suite == "" {
+			t.Fatalf("spec %+v missing name or suite", s)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate benchmark name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	// The paper's headline examples must be present in the primary set.
+	for _, want := range []string{"ammp", "art-1", "lucas", "mcf", "mgrid", "unepic", "gcc-1"} {
+		if !seen[want] {
+			t.Errorf("benchmark %q missing", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("lucas")
+	if err != nil || s.Name != "lucas" {
+		t.Fatalf("ByName(lucas) = %+v, %v", s, err)
+	}
+	if _, err := ByName("lukas"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestGeneratorProducesExactCount(t *testing.T) {
+	spec, _ := ByName("art-1")
+	g := New(spec, 50000)
+	if got := trace.Count(g); got != 50000 {
+		t.Fatalf("generated %d instructions, want 50000", got)
+	}
+	var rec trace.Record
+	if g.Next(&rec) {
+		t.Fatal("generator produced past its budget")
+	}
+}
+
+func TestGeneratorDeterministicAndResettable(t *testing.T) {
+	spec, _ := ByName("mgrid") // multi-phase
+	collect := func(g *Generator) []trace.Record {
+		var out []trace.Record
+		var rec trace.Record
+		for g.Next(&rec) {
+			out = append(out, rec)
+		}
+		return out
+	}
+	g1, g2 := New(spec, 30000), New(spec, 30000)
+	a, b := collect(g1), collect(g2)
+	g1.Reset()
+	c := collect(g1)
+	if len(a) != len(b) || len(a) != len(c) {
+		t.Fatalf("lengths differ: %d %d %d", len(a), len(b), len(c))
+	}
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("instruction %d differs across runs", i)
+		}
+	}
+}
+
+func TestInstructionMixMatchesSpec(t *testing.T) {
+	spec, _ := ByName("swim")
+	g := New(spec, 200000)
+	var counts [16]int
+	var rec trace.Record
+	total := 0
+	for g.Next(&rec) {
+		counts[rec.Kind]++
+		total++
+	}
+	frac := func(k trace.Kind) float64 { return float64(counts[k]) / float64(total) }
+	s := g.Spec()
+	if got := frac(trace.Load); got < s.LoadFrac-0.06 || got > s.LoadFrac+0.06 {
+		t.Errorf("load fraction %.3f, spec %.3f", got, s.LoadFrac)
+	}
+	if got := frac(trace.Store); got < s.StoreFrac-0.06 || got > s.StoreFrac+0.06 {
+		t.Errorf("store fraction %.3f, spec %.3f", got, s.StoreFrac)
+	}
+	if got := frac(trace.Branch); got < s.BranchFrac-0.06 || got > s.BranchFrac+0.06 {
+		t.Errorf("branch fraction %.3f, spec %.3f", got, s.BranchFrac)
+	}
+	fp := frac(trace.FPAdd) + frac(trace.FPMul) + frac(trace.FPDiv)
+	if fp < s.FPFrac-0.08 || fp > s.FPFrac+0.08 {
+		t.Errorf("FP fraction %.3f, spec %.3f", fp, s.FPFrac)
+	}
+}
+
+func TestMemoryAddressesAreLineAligned64(t *testing.T) {
+	spec, _ := ByName("mcf")
+	g := New(spec, 50000)
+	var rec trace.Record
+	for g.Next(&rec) {
+		if rec.Kind.IsMem() {
+			if rec.Addr%8 != 0 {
+				t.Fatalf("unaligned data address %#x", rec.Addr)
+			}
+		} else if rec.Addr != 0 {
+			t.Fatalf("non-memory record carries address %#x", rec.Addr)
+		}
+	}
+}
+
+func TestChasedLoadsFormChain(t *testing.T) {
+	spec, _ := ByName("mcf")
+	g := New(spec, 100000)
+	var rec trace.Record
+	chained := 0
+	for g.Next(&rec) {
+		if rec.Kind == trace.Load && rec.Src1 == 30 && rec.Dst == 30 {
+			chained++
+		}
+	}
+	if chained < 500 {
+		t.Fatalf("only %d chained loads in mcf; pointer chase not active", chained)
+	}
+}
+
+func TestPhaseSwitchChangesAddressRegions(t *testing.T) {
+	spec, _ := ByName("ammp")
+	g := New(spec, 300000)
+	var rec trace.Record
+	regions := map[int]map[uint64]bool{}
+	i := 0
+	for g.Next(&rec) {
+		if rec.Kind.IsMem() {
+			phase := 0
+			if i >= 200000 {
+				phase = 2
+			} else if i >= 100000 {
+				phase = 1
+			}
+			if regions[phase] == nil {
+				regions[phase] = map[uint64]bool{}
+			}
+			regions[phase][rec.Addr>>30] = true // coarse 1GB region id
+		}
+		i++
+	}
+	// Later phases use pattern ids offset by 16, hence different regions.
+	for r := range regions[0] {
+		if regions[2][r] {
+			t.Fatalf("phase 0 and phase 2 share region %d; phases not switching", r)
+		}
+	}
+}
+
+func TestLoopBranchBehavior(t *testing.T) {
+	spec := Spec{Name: "loop-test", Suite: "test", TripCount: 10, Kernels: 2, KernelLen: 8}
+	g := New(spec, 2000)
+	var rec trace.Record
+	taken, notTaken := 0, 0
+	for g.Next(&rec) {
+		if rec.Kind == trace.Branch && rec.Target != 0 && rec.Target < rec.PC+1 {
+			if rec.Taken {
+				taken++
+			} else {
+				notTaken++
+			}
+		}
+	}
+	if taken == 0 || notTaken == 0 {
+		t.Fatalf("loop branches: %d taken, %d not taken — trip-count exit missing", taken, notTaken)
+	}
+	// Trip count 10: roughly 9 taken per not-taken.
+	ratio := float64(taken) / float64(notTaken)
+	if ratio < 7 || ratio > 11 {
+		t.Fatalf("taken/not-taken ratio %.1f, want ~9", ratio)
+	}
+}
+
+func TestDwellRepeatsBlocks(t *testing.T) {
+	r := newRNG(1)
+	st := newPatternState(Pattern{Kind: PatScan, Dwell: 4}, 0, r)
+	first := st.next(r)
+	for k := 0; k < 3; k++ {
+		if got := st.next(r); got != first {
+			t.Fatalf("dwell ref %d left the block", k)
+		}
+	}
+	if got := st.next(r); got == first {
+		t.Fatal("pattern never advanced after dwell")
+	}
+}
+
+func TestChaseVisitsAllBlocksBeforeRepeat(t *testing.T) {
+	r := newRNG(9)
+	const n = 500
+	st := newPatternState(Pattern{Kind: PatChase, Blocks: n}, 0, r)
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		b := st.next(r)
+		if seen[b] {
+			t.Fatalf("chase revisited block %d after %d steps, want full cycle of %d", b, i, n)
+		}
+		seen[b] = true
+	}
+}
+
+func TestZipfishSkewsLow(t *testing.T) {
+	r := newRNG(5)
+	lowSkew, lowUni := 0, 0
+	const n, trials = 1024, 20000
+	for i := 0; i < trials; i++ {
+		if zipfish(n, 0.6, r) < n/4 {
+			lowSkew++
+		}
+		if zipfish(n, 0, r) < n/4 {
+			lowUni++
+		}
+	}
+	if float64(lowSkew)/trials < 0.5 {
+		t.Errorf("skewed draw hit low quarter only %.2f of the time", float64(lowSkew)/trials)
+	}
+	got := float64(lowUni) / trials
+	if got < 0.2 || got > 0.3 {
+		t.Errorf("uniform draw hit low quarter %.2f of the time, want ~0.25", got)
+	}
+}
+
+func TestEpisodicJumpsRegion(t *testing.T) {
+	r := newRNG(7)
+	st := newPatternState(Pattern{Kind: PatHot, Blocks: 100, Episode: 50}, 0, r)
+	var before, after []uint64
+	for i := 0; i < 49; i++ {
+		before = append(before, st.next(r))
+	}
+	for i := 0; i < 49; i++ {
+		after = append(after, st.next(r))
+	}
+	maxOf := func(xs []uint64) uint64 {
+		m := xs[0]
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	minOf := func(xs []uint64) uint64 {
+		m := xs[0]
+		for _, x := range xs {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	}
+	if minOf(after) <= maxOf(before) {
+		t.Fatalf("episode did not relocate region: before max %d, after min %d",
+			maxOf(before), minOf(after))
+	}
+}
+
+func TestSetStridePlacesOnAlternateSets(t *testing.T) {
+	r := newRNG(11)
+	st := newPatternState(Pattern{Kind: PatLoop, Blocks: 64, SetStride: 2, SetOffset: 1}, 0, r)
+	for i := 0; i < 200; i++ {
+		if b := st.next(r); b%2 != 1 {
+			t.Fatalf("block %d not on odd stride", b)
+		}
+	}
+}
+
+func TestBadSpecsPanic(t *testing.T) {
+	if err := func() (err any) {
+		defer func() { err = recover() }()
+		New(Spec{Name: "x"}, 0)
+		return nil
+	}(); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if err := func() (err any) {
+		defer func() { err = recover() }()
+		New(Spec{Name: "x", LoadFrac: 0.5, StoreFrac: 0.3, BranchFrac: 0.2, FPFrac: 0.2}, 100)
+		return nil
+	}(); err == nil {
+		t.Error("overfull mix accepted")
+	}
+}
+
+func TestAllSuiteSpecsGenerate(t *testing.T) {
+	for _, spec := range Suite() {
+		g := New(spec, 2000)
+		var rec trace.Record
+		n := 0
+		for g.Next(&rec) {
+			if !rec.Kind.Valid() {
+				t.Fatalf("%s: invalid kind", spec.Name)
+			}
+			n++
+		}
+		if n != 2000 {
+			t.Fatalf("%s: generated %d", spec.Name, n)
+		}
+	}
+}
+
+func TestRingBoundsDriftFootprint(t *testing.T) {
+	r := newRNG(3)
+	st := newPatternState(Pattern{Kind: PatHot, Blocks: 8, Drift: 2, Ring: 32}, 0, r)
+	seen := map[uint64]bool{}
+	var first uint64
+	for i := 0; i < 5000; i++ {
+		b := st.next(r)
+		if i == 0 {
+			first = b
+		}
+		seen[b] = true
+	}
+	if len(seen) > 32 {
+		t.Fatalf("ring drift touched %d blocks, bound 32", len(seen))
+	}
+	// The window must actually slide (more than the 8-block window seen).
+	if len(seen) < 20 {
+		t.Fatalf("ring drift touched only %d blocks; window not sliding", len(seen))
+	}
+	_ = first
+}
+
+func TestColdCodeStreamsFreshPCs(t *testing.T) {
+	spec := Spec{Name: "cold-test", Suite: "test", Kernels: 4, KernelLen: 8,
+		TripCount: 4, ColdCodeEvery: 2}
+	g := New(spec, 20000)
+	var rec trace.Record
+	cold := map[uint64]bool{}
+	hot := map[uint64]bool{}
+	for g.Next(&rec) {
+		if rec.PC >= coldCodeBase {
+			if cold[rec.PC] {
+				continue // same cold pass touches a PC once per slot
+			}
+			cold[rec.PC] = true
+		} else {
+			hot[rec.PC] = true
+		}
+	}
+	if len(cold) == 0 {
+		t.Fatal("no cold-code instructions emitted")
+	}
+	if len(hot) != 4*8 {
+		t.Fatalf("hot code footprint %d PCs, want 32", len(hot))
+	}
+	// Cold PCs are one-shot: every cold activation uses a fresh range, so
+	// the count must be a multiple of the kernel length and grow with run
+	// length.
+	if len(cold)%8 != 0 {
+		t.Fatalf("cold footprint %d not a multiple of the kernel length", len(cold))
+	}
+}
+
+func TestKernelSkewConcentratesExecution(t *testing.T) {
+	runCounts := func(skew float64) map[uint64]int {
+		spec := Spec{Name: "skew-test", Suite: "test", Kernels: 64, KernelLen: 8,
+			TripCount: 2, KernelSkew: skew}
+		g := New(spec, 100000)
+		var rec trace.Record
+		counts := map[uint64]int{}
+		for g.Next(&rec) {
+			counts[(rec.PC-codeBase)/(8*4)]++ // kernel index
+		}
+		return counts
+	}
+	skewed := runCounts(0.6)
+	// Top-quarter kernels must dominate under skew.
+	var head, total int
+	for k, n := range skewed {
+		total += n
+		if k < 16 {
+			head += n
+		}
+	}
+	if frac := float64(head) / float64(total); frac < 0.5 {
+		t.Fatalf("head kernels got %.2f of execution under skew, want > 0.5", frac)
+	}
+	// Round-robin spreads evenly: head quarter gets ~1/4.
+	rr := runCounts(0)
+	head, total = 0, 0
+	for k, n := range rr {
+		total += n
+		if k < 16 {
+			head += n
+		}
+	}
+	if frac := float64(head) / float64(total); frac > 0.35 {
+		t.Fatalf("round-robin head share %.2f, want ~0.25", frac)
+	}
+}
