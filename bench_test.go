@@ -340,6 +340,80 @@ func BenchmarkCacheAccessAdaptive(b *testing.B) {
 	}
 }
 
+// BenchmarkAccessTag measures the fused probe-and-fill entry point with
+// pre-decomposed set/tag pairs — the exact call the adaptive policy makes
+// against its shadow arrays.
+func BenchmarkAccessTag(b *testing.B) {
+	g := cache.Geometry{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8}
+	c := cache.New(g, policy.NewLRU())
+	sets := g.Sets()
+	rng := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		c.AccessTag(int(rng)&(sets-1), rng>>10, false)
+	}
+}
+
+// BenchmarkAdaptiveAccess measures one full adaptive L2 access: the fused
+// real-array probe plus both shadow-array emulations and the history
+// update.
+func BenchmarkAdaptiveAccess(b *testing.B) {
+	g := cache.Geometry{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8}
+	ad := core.NewAdaptive(core.DefaultComponents(), core.WithShadowTagBits(8))
+	c := cache.New(g, ad)
+	rng := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		c.Access(cache.Addr(rng%(1<<26)), false)
+	}
+}
+
+// TestHotPathZeroAllocs enforces the zero-allocation contract on the
+// steady-state access path: after attach and warm-up fills, neither a
+// conventional nor an adaptive cache access may allocate, and neither may
+// Adaptive.Name.
+func TestHotPathZeroAllocs(t *testing.T) {
+	g := cache.Geometry{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8}
+	ad := core.NewAdaptive(core.DefaultComponents(), core.WithShadowTagBits(8))
+	adc := cache.New(g, ad)
+	lru := cache.New(g, policy.NewLRU())
+	rng := uint64(1)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % (1 << 26)
+	}
+	for i := 0; i < 200_000; i++ { // fill sets and shadow arrays
+		a := next()
+		adc.Access(cache.Addr(a), false)
+		lru.Access(cache.Addr(a), false)
+	}
+	if n := testing.AllocsPerRun(10_000, func() {
+		lru.Access(cache.Addr(next()), false)
+	}); n != 0 {
+		t.Errorf("LRU access allocates %.2f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10_000, func() {
+		adc.Access(cache.Addr(next()), true)
+	}); n != 0 {
+		t.Errorf("adaptive access allocates %.2f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = ad.Name()
+	}); n != 0 {
+		t.Errorf("Adaptive.Name allocates %.2f/op, want 0", n)
+	}
+}
+
 func BenchmarkHistoryWindowRecord(b *testing.B) {
 	w := history.NewWindow(8)
 	w.Attach(1024, 2)

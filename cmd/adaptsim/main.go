@@ -7,12 +7,15 @@
 //	adaptsim -bench lucas -policy LRU
 //	adaptsim -bench primary -policy adaptive -tagbits 8 -mode timing
 //	adaptsim -bench all -policy sbar -n 2000000
+//	adaptsim -bench ammp -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/policy"
@@ -32,14 +35,42 @@ func main() {
 		mode    = flag.String("mode", "cache", "cache (fast, MPKI only), timing (adds CPI), or profile (workload characterization)")
 		size    = flag.Int("size", 512, "L2 size in KB")
 		ways    = flag.Int("ways", 8, "L2 associativity")
+		cpuOut  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+		memOut  = flag.String("memprofile", "", "write a pprof heap profile taken after the simulation to this file")
 	)
 	flag.Parse()
 	if *warm == 0 {
 		*warm = *n / 5
 	}
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "adaptsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if err := run(*bench, *pol, *comps, *tagBits, *leaders, *n, *warm, *mode, *size, *ways); err != nil {
 		fmt.Fprintln(os.Stderr, "adaptsim:", err)
 		os.Exit(1)
+	}
+	if *memOut != "" {
+		f, err := os.Create(*memOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // flush dead objects so the profile shows live simulation state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "adaptsim:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,231 @@
+// Command benchregress is the perf-regression harness for the simulator's
+// hot path. It measures the two access loops everything else is built on —
+// a plain LRU probe-and-fill (Cache.AccessTag) and a full adaptive access
+// (real array + two shadow arrays + history) — plus, optionally, the
+// wall clock of the ExtendedSet macro sweep, and writes the results to a
+// JSON file:
+//
+//	benchregress                        # measure, write BENCH_hotpath.json
+//	benchregress -macro-n 0             # hot-path loops only (fast)
+//	benchregress -check                 # re-measure, compare, exit 1 on regression
+//
+// Each hot-path entry records accesses/sec, ns/access, allocs/access, and
+// wall clock. allocs/access must be 0: the adaptive path was made
+// allocation-free, and any nonzero value here is a regression regardless
+// of timing noise. -check compares ns/access against the committed file
+// with a configurable tolerance so CI can catch slowdowns without flaking
+// on machine jitter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// Entry is one measured hot-path loop.
+type Entry struct {
+	Name            string  `json:"name"`
+	Accesses        uint64  `json:"accesses"`
+	WallNS          int64   `json:"wall_ns"`
+	NSPerAccess     float64 `json:"ns_per_access"`
+	AccessesPerSec  float64 `json:"accesses_per_sec"`
+	AllocsPerAccess float64 `json:"allocs_per_access"`
+}
+
+// Macro is the optional end-to-end figure-regeneration measurement.
+type Macro struct {
+	Name         string  `json:"name"`
+	InstrsPerRun uint64  `json:"instrs_per_run"`
+	WallNS       int64   `json:"wall_ns"`
+	Seconds      float64 `json:"seconds"`
+	SeedWallNS   int64   `json:"seed_wall_ns,omitempty"`
+	Speedup      float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+// Report is the file format of BENCH_hotpath.json.
+type Report struct {
+	Date    string  `json:"date"`
+	GoOS    string  `json:"goos"`
+	GoArch  string  `json:"goarch"`
+	NumCPU  int     `json:"num_cpu"`
+	HotPath []Entry `json:"hot_path"`
+	Macro   *Macro  `json:"macro,omitempty"`
+}
+
+func main() {
+	var (
+		n      = flag.Uint64("n", 5_000_000, "accesses per hot-path measurement")
+		macroN = flag.Uint64("macro-n", 1_000_000, "instructions per run for the ExtendedSet macro sweep (0 = skip)")
+		out    = flag.String("out", "BENCH_hotpath.json", "result file")
+		check  = flag.Bool("check", false, "compare a fresh measurement against -out instead of overwriting it")
+		tol    = flag.Float64("tolerance", 0.30, "allowed fractional ns/access slowdown in -check mode")
+		seedNS = flag.Int64("seed-macro-ns", 33_270_000_000, "pre-optimization ExtendedSet wall clock, for the recorded speedup (0 = omit)")
+	)
+	flag.Parse()
+	if err := realMain(*n, *macroN, *out, *check, *tol, *seedNS); err != nil {
+		fmt.Fprintln(os.Stderr, "benchregress:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(n, macroN uint64, out string, check bool, tol float64, seedNS int64) error {
+	if n == 0 {
+		return fmt.Errorf("-n must be > 0")
+	}
+	rep := Report{
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+		NumCPU:  runtime.NumCPU(),
+		HotPath: []Entry{measureLRU(n), measureAdaptive(n)},
+	}
+	for _, e := range rep.HotPath {
+		fmt.Printf("%-28s %12.0f acc/s %8.2f ns/acc %8.3f allocs/acc\n",
+			e.Name, e.AccessesPerSec, e.NSPerAccess, e.AllocsPerAccess)
+	}
+
+	if check {
+		return compare(out, rep.HotPath, tol)
+	}
+
+	if macroN > 0 {
+		m := measureMacro(macroN, seedNS)
+		rep.Macro = &m
+		fmt.Printf("%-28s %12.2f s", m.Name, m.Seconds)
+		if m.Speedup > 0 {
+			fmt.Printf("  (%.2fx vs seed)", m.Speedup)
+		}
+		fmt.Println()
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+// measure times fn over n iterations after a warmup pass that brings the
+// caches to steady state, so the allocation count reflects the sustained
+// hot path rather than one-time table fills.
+func measure(name string, n uint64, warmup uint64, fn func(rng uint64)) Entry {
+	rng := uint64(1)
+	step := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := uint64(0); i < warmup; i++ {
+		fn(step())
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := uint64(0); i < n; i++ {
+		fn(step())
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	return Entry{
+		Name:            name,
+		Accesses:        n,
+		WallNS:          wall.Nanoseconds(),
+		NSPerAccess:     float64(wall.Nanoseconds()) / float64(n),
+		AccessesPerSec:  float64(n) / wall.Seconds(),
+		AllocsPerAccess: float64(allocs) / float64(n),
+	}
+}
+
+func measureLRU(n uint64) Entry {
+	g := cache.Geometry{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8}
+	c := cache.New(g, policy.NewLRU())
+	sets := g.Sets()
+	return measure("lru/AccessTag", n, n/10, func(rng uint64) {
+		c.AccessTag(int(rng)&(sets-1), rng>>10, false)
+	})
+}
+
+func measureAdaptive(n uint64) Entry {
+	g := cache.Geometry{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8}
+	ad := core.NewAdaptive(core.DefaultComponents(), core.WithShadowTagBits(8))
+	c := cache.New(g, ad)
+	return measure("adaptive8/Access", n, n/10, func(rng uint64) {
+		c.Access(cache.Addr(rng%(1<<26)), false)
+	})
+}
+
+func measureMacro(instrs uint64, seedNS int64) Macro {
+	o := sim.Options{Instrs: instrs, Warmup: instrs / 5}
+	start := time.Now()
+	sim.ExtendedSet(o)
+	wall := time.Since(start)
+	m := Macro{
+		Name:         "ExtendedSet",
+		InstrsPerRun: instrs,
+		WallNS:       wall.Nanoseconds(),
+		Seconds:      wall.Seconds(),
+	}
+	if seedNS > 0 {
+		m.SeedWallNS = seedNS
+		m.Speedup = float64(seedNS) / float64(wall.Nanoseconds())
+	}
+	return m
+}
+
+// compare reloads the committed report and fails if any hot-path loop got
+// slower than tolerance allows or started allocating.
+func compare(path string, fresh []Entry, tol float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("no baseline to check against: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	byName := make(map[string]Entry, len(base.HotPath))
+	for _, e := range base.HotPath {
+		byName[e.Name] = e
+	}
+	failed := false
+	for _, e := range fresh {
+		b, ok := byName[e.Name]
+		if !ok {
+			fmt.Printf("%-28s no baseline entry, skipping\n", e.Name)
+			continue
+		}
+		limit := b.NSPerAccess * (1 + tol)
+		switch {
+		case e.AllocsPerAccess > 0:
+			fmt.Printf("%-28s FAIL: %.3f allocs/access, hot path must not allocate\n", e.Name, e.AllocsPerAccess)
+			failed = true
+		case e.NSPerAccess > limit:
+			fmt.Printf("%-28s FAIL: %.2f ns/access vs baseline %.2f (limit %.2f)\n",
+				e.Name, e.NSPerAccess, b.NSPerAccess, limit)
+			failed = true
+		default:
+			fmt.Printf("%-28s ok: %.2f ns/access vs baseline %.2f\n", e.Name, e.NSPerAccess, b.NSPerAccess)
+		}
+	}
+	if failed {
+		return fmt.Errorf("hot-path performance regressed")
+	}
+	return nil
+}

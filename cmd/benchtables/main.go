@@ -2,17 +2,24 @@
 // evaluation section. By default it produces all of them; -fig selects one
 // (3, 4, 5, 6, 7, 8, 9, 10, extended, five, l1, sbar, overhead).
 //
+// Figures run concurrently on the process-wide engine pool, each rendering
+// into its own buffer; output is printed in figure order regardless of
+// completion order, so -fig all produces identical bytes at any
+// parallelism.
+//
 //	benchtables -fig 3 -n 10000000
 //	benchtables -out results.txt
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/sim"
 )
 
@@ -49,13 +56,13 @@ func main() {
 func emit(w io.Writer, fig string, o sim.Options) error {
 	type job struct {
 		name string
-		run  func() error
+		run  func(w io.Writer) error
 	}
 	// The multi-configuration sweeps (associativity, store buffer,
 	// extended set) divide the per-run instruction budget to keep full
 	// regeneration tractable; the divisor is reported with each table.
-	table := func(f func(sim.Options) *sim.Table, div uint64) func() error {
-		return func() error {
+	table := func(f func(sim.Options) *sim.Table, div uint64) func(io.Writer) error {
+		return func(w io.Writer) error {
 			od := o
 			od.Instrs /= div
 			od.Warmup /= div
@@ -66,8 +73,8 @@ func emit(w io.Writer, fig string, o sim.Options) error {
 			return nil
 		}
 	}
-	phase := func(bench string) func() error {
-		return func() error {
+	phase := func(bench string) func(io.Writer) error {
+		return func(w io.Writer) error {
 			pm, err := sim.Fig7(o, bench, 64)
 			if err != nil {
 				return err
@@ -77,16 +84,16 @@ func emit(w io.Writer, fig string, o sim.Options) error {
 		}
 	}
 	jobs := []job{
-		{"overhead", func() error { sim.OverheadTable().Fprint(w); return nil }},
+		{"overhead", func(w io.Writer) error { sim.OverheadTable().Fprint(w); return nil }},
 		{"3", table(sim.Fig3, 1)},
 		{"4", table(sim.Fig4, 1)},
 		{"5", table(sim.Fig5, 1)},
 		{"6", table(sim.Fig6, 1)},
-		{"7", func() error {
-			if err := phase("ammp")(); err != nil {
+		{"7", func(w io.Writer) error {
+			if err := phase("ammp")(w); err != nil {
 				return err
 			}
-			return phase("mgrid")()
+			return phase("mgrid")(w)
 		}},
 		{"8", table(sim.Fig8, 1)},
 		{"9", table(sim.Fig9, 2)},
@@ -96,7 +103,7 @@ func emit(w io.Writer, fig string, o sim.Options) error {
 		{"l1", table(sim.L1Adaptivity, 1)},
 		{"sbar", table(sim.SBARTable, 1)},
 		{"prefetch", table(sim.PrefetchTable, 2)},
-		{"multicore", func() error {
+		{"multicore", func(w io.Writer) error {
 			od := o
 			od.Instrs /= 2
 			od.Warmup /= 2
@@ -104,20 +111,32 @@ func emit(w io.Writer, fig string, o sim.Options) error {
 			return nil
 		}},
 	}
-	found := false
+	var sel []job
 	for _, j := range jobs {
-		if fig != "all" && fig != j.name {
-			continue
+		if fig == "all" || fig == j.name {
+			sel = append(sel, j)
 		}
-		found = true
-		start := time.Now()
-		if err := j.run(); err != nil {
-			return fmt.Errorf("figure %s: %w", j.name, err)
-		}
-		fmt.Fprintf(w, "[%s done in %v]\n\n", j.name, time.Since(start).Round(time.Millisecond))
 	}
-	if !found {
+	if len(sel) == 0 {
 		return fmt.Errorf("unknown figure %q", fig)
+	}
+
+	bufs := make([]bytes.Buffer, len(sel))
+	errs := make([]error, len(sel))
+	elapsed := make([]time.Duration, len(sel))
+	engine.Default.Map(len(sel), func(i int) {
+		start := time.Now()
+		errs[i] = sel[i].run(&bufs[i])
+		elapsed[i] = time.Since(start)
+	})
+	for i, j := range sel {
+		if errs[i] != nil {
+			return fmt.Errorf("figure %s: %w", j.name, errs[i])
+		}
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "[%s done in %v]\n\n", j.name, elapsed[i].Round(time.Millisecond))
 	}
 	return nil
 }

@@ -42,16 +42,27 @@ const FullTagMask = ^uint64(0)
 
 // Cache is a set-associative cache (or tag-only shadow array). The zero
 // value is not usable; construct with New.
+//
+// Storage is a single flat line array indexed by set*Ways+way: one backing
+// allocation, one bounds check per set probe, and no per-set slice headers
+// to chase on the hot path.
 type Cache struct {
 	geo     Geometry
 	tagMask uint64
 	pol     Policy
-	sets    [][]Line
+	lines   []Line // set s occupies lines[s*ways : s*ways+ways]
+	ways    int
 	stats   Stats
+
+	// Policy capabilities, resolved once at construction instead of per
+	// access: the optional Placer interface and the no-op Observe marker.
+	placer Placer
+	obsNop bool
 
 	// Cached address decomposition (Geometry recomputes these per call).
 	shift    uint
 	numSets  uint64
+	setShift uint // log2(numSets) when setsPow2
 	setsPow2 bool
 }
 
@@ -82,10 +93,15 @@ func New(g Geometry, pol Policy, opts ...Option) *Cache {
 	if err := g.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cache{geo: g, tagMask: FullTagMask, pol: pol}
+	c := &Cache{geo: g, tagMask: FullTagMask, pol: pol, ways: g.Ways}
 	c.shift = g.lineShift()
 	c.numSets = uint64(g.Sets())
 	c.setsPow2 = c.numSets&(c.numSets-1) == 0
+	for s := c.numSets; s > 1; s >>= 1 {
+		c.setShift++
+	}
+	c.placer, _ = pol.(Placer)
+	_, c.obsNop = pol.(nopObserve)
 	for _, o := range opts {
 		o(c)
 	}
@@ -98,19 +114,14 @@ func New(g Geometry, pol Policy, opts ...Option) *Cache {
 func (c *Cache) decompose(a Addr) (set int, tag uint64) {
 	block := uint64(a) >> c.shift
 	if c.setsPow2 {
-		return int(block & (c.numSets - 1)), block / c.numSets
+		return int(block & (c.numSets - 1)), block >> c.setShift
 	}
 	return int(block % c.numSets), block
 }
 
 // Reset clears all lines, statistics, and policy metadata.
 func (c *Cache) Reset() {
-	sets := c.geo.Sets()
-	backing := make([]Line, sets*c.geo.Ways)
-	c.sets = make([][]Line, sets)
-	for i := range c.sets {
-		c.sets[i], backing = backing[:c.geo.Ways], backing[c.geo.Ways:]
-	}
+	c.lines = make([]Line, c.geo.Sets()*c.ways)
 	c.stats = Stats{}
 	c.pol.Attach(c.geo)
 }
@@ -136,12 +147,13 @@ func (c *Cache) MaskedTag(a Addr) uint64 {
 // Set returns a read-only view of the lines in set s. The returned slice
 // aliases internal storage and must not be modified or retained across
 // accesses.
-func (c *Cache) Set(s int) []Line { return c.sets[s] }
+func (c *Cache) Set(s int) []Line { return c.lines[s*c.ways : s*c.ways+c.ways] }
 
 // find returns the way holding tag in set, or -1.
 func (c *Cache) find(set int, tag uint64) int {
-	for w := range c.sets[set] {
-		if c.sets[set][w].Valid && c.sets[set][w].Tag == tag {
+	lines := c.lines[set*c.ways : set*c.ways+c.ways]
+	for w := range lines {
+		if lines[w].Valid && lines[w].Tag == tag {
 			return w
 		}
 	}
@@ -172,23 +184,42 @@ func (c *Cache) Access(a Addr, write bool) AccessResult {
 // tag, applying this cache's tag mask. The adaptive policy drives its
 // shadow arrays through this entry point so that real and shadow caches
 // agree on set indexing regardless of their tag masks.
+//
+// The probe is fused: one pass over the set yields both the hit way and
+// the first invalid (fill-preferred) way, so a miss needs no second scan
+// and Victim is consulted only when the set is genuinely full.
 func (c *Cache) AccessTag(set int, fullTag uint64, write bool) AccessResult {
 	tag := fullTag & c.tagMask
+	lines := c.lines[set*c.ways : set*c.ways+c.ways]
 
 	c.stats.Accesses++
 	if write {
 		c.stats.Writes++
 	}
 
-	way := c.find(set, tag)
+	way, invalid := -1, -1
+	for w := range lines {
+		if !lines[w].Valid {
+			if invalid < 0 {
+				invalid = w
+			}
+			continue
+		}
+		if lines[w].Tag == tag {
+			way = w
+			break
+		}
+	}
 	hit := way >= 0
-	c.pol.Observe(set, tag, hit)
+	if !c.obsNop {
+		c.pol.Observe(set, tag, hit)
+	}
 
 	if hit {
 		c.stats.Hits++
 		c.pol.Touch(set, way)
 		if write {
-			c.sets[set][way].Dirty = true
+			lines[way].Dirty = true
 		}
 		return AccessResult{Hit: true, Way: way}
 	}
@@ -200,24 +231,19 @@ func (c *Cache) AccessTag(set int, fullTag uint64, write bool) AccessResult {
 	// eviction while invalid ways remain — strict way partitioning).
 	// Otherwise prefer an invalid way, and only consult Victim when the
 	// set is full.
-	if pl, ok := c.pol.(Placer); ok {
-		res.Way = pl.Place(set, c.sets[set], tag)
+	if c.placer != nil {
+		res.Way = c.placer.Place(set, lines, tag)
 	}
 	if res.Way < 0 {
-		for w := range c.sets[set] {
-			if !c.sets[set][w].Valid {
-				res.Way = w
-				break
-			}
-		}
+		res.Way = invalid
 	}
 	if res.Way < 0 {
-		res.Way = c.pol.Victim(set, c.sets[set], tag)
+		res.Way = c.pol.Victim(set, lines, tag)
 	}
-	if res.Way < 0 || res.Way >= c.geo.Ways {
+	if res.Way < 0 || res.Way >= c.ways {
 		panic(fmt.Sprintf("cache: policy %s returned invalid victim way %d", c.pol.Name(), res.Way))
 	}
-	if v := c.sets[set][res.Way]; v.Valid {
+	if v := lines[res.Way]; v.Valid {
 		res.Evicted = true
 		res.EvictedTag = v.Tag
 		res.Writeback = v.Dirty
@@ -227,7 +253,7 @@ func (c *Cache) AccessTag(set int, fullTag uint64, write bool) AccessResult {
 		}
 	}
 
-	c.sets[set][res.Way] = Line{Tag: tag, Valid: true, Dirty: write}
+	lines[res.Way] = Line{Tag: tag, Valid: true, Dirty: write}
 	c.pol.Insert(set, res.Way, tag)
 	return res
 }
@@ -238,8 +264,9 @@ func (c *Cache) AccessTag(set int, fullTag uint64, write bool) AccessResult {
 func (c *Cache) Invalidate(a Addr) (present, dirty bool) {
 	set, tag := c.decompose(a)
 	if w := c.find(set, tag&c.tagMask); w >= 0 {
-		dirty = c.sets[set][w].Dirty
-		c.sets[set][w] = Line{}
+		i := set*c.ways + w
+		dirty = c.lines[i].Dirty
+		c.lines[i] = Line{}
 		return true, dirty
 	}
 	return false, false
@@ -248,7 +275,7 @@ func (c *Cache) Invalidate(a Addr) (present, dirty bool) {
 // Occupancy returns the number of valid lines in set s.
 func (c *Cache) Occupancy(s int) int {
 	n := 0
-	for _, l := range c.sets[s] {
+	for _, l := range c.Set(s) {
 		if l.Valid {
 			n++
 		}

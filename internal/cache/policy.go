@@ -51,7 +51,18 @@ type Placer interface {
 }
 
 // NopObserver may be embedded by policies that do not care about Observe.
+// Embedding it also marks the policy so the cache can skip the Observe
+// interface call entirely on the hot path; a policy must therefore only
+// embed NopObserver if it truly ignores Observe (overriding Observe while
+// embedding NopObserver would leave the override uncalled).
 type NopObserver struct{}
 
 // Observe implements Policy with no action.
 func (NopObserver) Observe(int, uint64, bool) {}
+
+// NopObserve marks the embedding policy's Observe as a no-op.
+func (NopObserver) NopObserve() {}
+
+// nopObserve is the capability the cache probes once at construction to
+// elide per-access Observe calls.
+type nopObserve interface{ NopObserve() }

@@ -59,6 +59,7 @@ func XORFold16(tag uint64) uint64 {
 // simulates each component policy on its own shadow tag array.
 type Adaptive struct {
 	factories []ComponentFactory
+	name      string // memoized at construction; Name() is allocation-free
 	hist      history.Buffer
 	histOwned bool // hist was defaulted; recreate on Attach
 	tagMask   uint64
@@ -72,6 +73,11 @@ type Adaptive struct {
 	geo     cache.Geometry
 	shadows []*cache.Cache
 	realRec *realRecency
+
+	// realShadowTags[set*ways+way] memoizes shadowTag(line.Tag) for the
+	// real array's resident line, maintained on Insert, so Victim compares
+	// pre-hashed tags instead of recomputing the hash per way per miss.
+	realShadowTags []uint64
 
 	// Per-access scratch, valid between Observe and Victim of one access.
 	lastSet  int
@@ -144,24 +150,18 @@ func NewAdaptive(comps []ComponentFactory, opts ...Option) *Adaptive {
 	for _, o := range opts {
 		o(a)
 	}
+	names := make([]string, len(a.factories))
+	for i, f := range a.factories {
+		names[i] = f().Name()
+	}
+	a.name = "Adaptive(" + strings.Join(names, ",") + ")"
 	return a
 }
 
-// Name implements cache.Policy, e.g. "Adaptive(LRU,LFU)".
-func (a *Adaptive) Name() string {
-	if a.shadows == nil {
-		names := make([]string, len(a.factories))
-		for i, f := range a.factories {
-			names[i] = f().Name()
-		}
-		return "Adaptive(" + strings.Join(names, ",") + ")"
-	}
-	names := make([]string, len(a.shadows))
-	for i, s := range a.shadows {
-		names[i] = s.Policy().Name()
-	}
-	return "Adaptive(" + strings.Join(names, ",") + ")"
-}
+// Name implements cache.Policy, e.g. "Adaptive(LRU,LFU)". The string is
+// computed once at construction; Name no longer instantiates throwaway
+// component policies per call.
+func (a *Adaptive) Name() string { return a.name }
 
 // Components returns the number of component policies.
 func (a *Adaptive) Components() int { return len(a.factories) }
@@ -186,6 +186,7 @@ func (a *Adaptive) Attach(g cache.Geometry) {
 	}
 	a.hist.Attach(g.Sets(), len(a.factories))
 	a.realRec = newRealRecency(g)
+	a.realShadowTags = make([]uint64, g.Sets()*g.Ways)
 	a.lastSet = -1
 	a.lastRes = make([]cache.AccessResult, len(a.factories))
 	a.counts = make([]int, len(a.factories))
@@ -214,11 +215,18 @@ func (a *Adaptive) Observe(set int, tag uint64, hit bool) {
 	if a.onSample != nil {
 		a.onSample(set, missMask)
 	}
+	// lastBest is consumed only by Victim, which runs only on a real-array
+	// miss; on a hit the history is still recorded but the imitation choice
+	// need not be evaluated.
 	if a.countCur {
 		a.hist.Record(set, missMask)
-		a.lastBest = history.Best(a.hist.Counts(set, a.counts))
+		if !hit {
+			a.lastBest = history.Best(a.hist.Counts(set, a.counts))
+		}
 	} else {
-		a.lastBest = history.Best(a.hist.Counts(set, a.counts))
+		if !hit {
+			a.lastBest = history.Best(a.hist.Counts(set, a.counts))
+		}
 		a.hist.Record(set, missMask)
 	}
 	a.lastSet = set
@@ -228,8 +236,13 @@ func (a *Adaptive) Observe(set int, tag uint64, hit bool) {
 // and fallback eviction.
 func (a *Adaptive) Touch(set, way int) { a.realRec.touch(set, way) }
 
-// Insert implements cache.Policy.
-func (a *Adaptive) Insert(set, way int, _ uint64) { a.realRec.touch(set, way) }
+// Insert implements cache.Policy. The real cache stores full tags, so tag
+// here is the full tag of the filled line; its hashed shadow form is
+// memoized for later Victim membership checks.
+func (a *Adaptive) Insert(set, way int, tag uint64) {
+	a.realRec.touch(set, way)
+	a.realShadowTags[set*a.geo.Ways+way] = a.shadowTag(tag)
+}
 
 // Victim implements cache.Policy — paper Algorithm 1. lines hold the real
 // array's full tags; membership checks against the imitated component use
@@ -244,20 +257,35 @@ func (a *Adaptive) Victim(set int, lines []cache.Line, tag uint64) int {
 	}
 	shadow := a.shadows[best]
 	res := a.lastRes[best]
+	mask := shadow.TagMask()
+	stags := a.realShadowTags[set*a.geo.Ways : set*a.geo.Ways+a.geo.Ways]
 
 	// "if (best missed AND the block it evicts is in the adaptive cache)
-	//  then evict the same block."
+	//  then evict the same block." Real tags were pre-hashed at Insert.
 	if !res.Hit && res.Evicted {
-		if w := a.findMasked(set, lines, shadow, res.EvictedTag); w >= 0 {
-			return w
+		for w := range lines {
+			if lines[w].Valid && stags[w]&mask == res.EvictedTag {
+				return w
+			}
 		}
 	}
 
 	// "else evict any block not in best's cache" — choose the least
 	// recently used such block so the real array converges predictably.
+	// One pass over the shadow set suffices: a real way survives only if
+	// its pre-hashed tag matches a valid shadow line.
+	shadowLines := shadow.Set(set)
 	bestWay, bestAt := -1, uint64(0)
 	for w := range lines {
-		if shadow.ContainsMasked(set, a.shadowTag(lines[w].Tag)) {
+		st := stags[w] & mask
+		resident := false
+		for i := range shadowLines {
+			if shadowLines[i].Valid && shadowLines[i].Tag == st {
+				resident = true
+				break
+			}
+		}
+		if resident {
 			continue
 		}
 		if at := a.realRec.at(set, w); bestWay < 0 || at < bestAt {
@@ -274,18 +302,6 @@ func (a *Adaptive) Victim(set int, lines []cache.Line, tag uint64) int {
 		return 0
 	}
 	return a.realRec.oldest(set)
-}
-
-// findMasked returns the real way whose tag maps to shadowTagVal under the
-// shadow's masking, or -1.
-func (a *Adaptive) findMasked(set int, lines []cache.Line, shadow *cache.Cache, shadowTagVal uint64) int {
-	mask := shadow.TagMask()
-	for w := range lines {
-		if lines[w].Valid && a.shadowTag(lines[w].Tag)&mask == shadowTagVal {
-			return w
-		}
-	}
-	return -1
 }
 
 // realRecency is minimal per-way recency bookkeeping for the real array.

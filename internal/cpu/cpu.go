@@ -117,17 +117,18 @@ func newPool(n int) *fuPool { return &fuPool{free: make([]uint64, n)} }
 // acquire returns the earliest cycle at or after ready when a unit is
 // available and books it for occ cycles.
 func (p *fuPool) acquire(ready, occ uint64) uint64 {
-	best := 0
-	for i := 1; i < len(p.free); i++ {
-		if p.free[i] < p.free[best] {
-			best = i
+	free := p.free
+	best, bv := 0, free[0]
+	for i := 1; i < len(free); i++ {
+		if v := free[i]; v < bv {
+			best, bv = i, v
 		}
 	}
 	start := ready
-	if p.free[best] > start {
-		start = p.free[best]
+	if bv > start {
+		start = bv
 	}
-	p.free[best] = start + occ
+	free[best] = start + occ
 	return start
 }
 
@@ -183,10 +184,14 @@ func (c *CPU) Run(src trace.Source) Result {
 		retireRing = make([]uint64, cfg.RetireWidth)
 
 		lastDrain uint64 // store buffer drains serially
-		nStores   uint64
 
 		rec trace.Record
 		i   uint64
+
+		// Ring cursors replace the per-instruction i%size modulo chain —
+		// five 64-bit divisions per instruction dominate an otherwise
+		// arithmetic-only loop.
+		robI, rsI, retI, sbI int
 	)
 
 	l1 := c.mem.L1Latency()
@@ -212,10 +217,10 @@ func (c *CPU) Run(src trace.Source) Result {
 
 		// --- Dispatch: needs a free ROB entry and RS slot.
 		dispatch := fetchCycle
-		if t := rob[i%uint64(cfg.ROBSize)]; t > dispatch {
+		if t := rob[robI]; t > dispatch {
 			dispatch = t // ROB full: wait for the oldest to retire
 		}
-		if t := rs[i%uint64(cfg.RSSize)]; t > dispatch {
+		if t := rs[rsI]; t > dispatch {
 			dispatch = t // RS full: wait for an older instruction to issue
 		}
 
@@ -274,7 +279,7 @@ func (c *CPU) Run(src trace.Source) Result {
 			complete = issue + 1
 		}
 
-		rs[i%uint64(cfg.RSSize)] = issue
+		rs[rsI] = issue
 		if rec.Dst != trace.NoReg {
 			regReady[rec.Dst] = complete
 		}
@@ -285,11 +290,11 @@ func (c *CPU) Run(src trace.Source) Result {
 		if lastRetire > retire {
 			retire = lastRetire
 		}
-		if t := retireRing[i%uint64(cfg.RetireWidth)] + 1; t > retire {
+		if t := retireRing[retI] + 1; t > retire {
 			retire = t
 		}
 		if rec.Kind == trace.Store {
-			if free := sbFree[nStores%uint64(cfg.StoreBuffer)]; free > retire {
+			if free := sbFree[sbI]; free > retire {
 				retire = free
 				res.StoreStalls++
 			}
@@ -299,14 +304,25 @@ func (c *CPU) Run(src trace.Source) Result {
 			}
 			drainDone := drainStart + c.mem.Store(drainStart, rec.Addr)
 			lastDrain = drainDone
-			sbFree[nStores%uint64(cfg.StoreBuffer)] = drainDone
-			nStores++
+			sbFree[sbI] = drainDone
+			if sbI++; sbI == cfg.StoreBuffer {
+				sbI = 0
+			}
 		}
-		retireRing[i%uint64(cfg.RetireWidth)] = retire
-		rob[i%uint64(cfg.ROBSize)] = retire
+		retireRing[retI] = retire
+		rob[robI] = retire
 		lastRetire = retire
 
 		i++
+		if robI++; robI == cfg.ROBSize {
+			robI = 0
+		}
+		if rsI++; rsI == cfg.RSSize {
+			rsI = 0
+		}
+		if retI++; retI == cfg.RetireWidth {
+			retI = 0
+		}
 	}
 
 	res.Instructions = i

@@ -1,0 +1,98 @@
+// Package engine provides the shared, bounded worker pool on which the
+// figure generators and command-line tools schedule simulation runs.
+//
+// Previously every sweep spun up its own ad-hoc goroutine pool, so
+// concurrent figures multiplied worker counts and independent sweeps ran
+// as a serial chain. The engine centralizes scheduling: one process-wide
+// Default pool sized to GOMAXPROCS, deadlock-free nesting (a caller that
+// cannot obtain a slot runs tasks inline instead of blocking), and
+// deterministic result placement (tasks write to index-addressed storage,
+// so scheduling order never affects output).
+//
+// Concurrency invariant for callers: every task must own all mutable
+// state it touches — one machine, one workload generator, one RNG per
+// run — and may share only immutable inputs (specs, configs, recorded
+// traces). All sim entry points satisfy this by constructing a fresh
+// machine per run.
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool bounds the number of concurrently executing tasks. Construct with
+// New; the zero value is not usable.
+type Pool struct {
+	sem chan struct{}
+}
+
+// Default is the process-wide pool, sized to GOMAXPROCS. All figure
+// generation shares it unless a caller asks for a private pool, so total
+// simulation concurrency stays bounded no matter how many figures run at
+// once.
+var Default = New(runtime.GOMAXPROCS(0))
+
+// New returns a pool running at most workers tasks on pool-owned
+// goroutines. Values below 1 are clamped to 1.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Map runs fn(0), fn(1), ..., fn(n-1) and returns when all have
+// completed. Each task runs on a pool goroutine when a slot is free and
+// inline in the caller otherwise; the caller always makes progress, so
+// arbitrarily nested Map calls cannot deadlock. Beyond the pool's workers,
+// each concurrently blocked caller contributes at most its own goroutine.
+//
+// Tasks run concurrently: fn must confine its writes to per-index state
+// (e.g. results[i]) and must not assume any execution order.
+func (p *Pool) Map(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+}
+
+// Go schedules fn like a one-task Map but returns immediately; the
+// returned function blocks until fn has completed. If no slot is free the
+// task runs inline before Go returns.
+func (p *Pool) Go(fn func()) (wait func()) {
+	select {
+	case p.sem <- struct{}{}:
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer func() { <-p.sem }()
+			fn()
+		}()
+		return func() { <-done }
+	default:
+		fn()
+		return func() {}
+	}
+}

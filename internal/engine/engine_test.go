@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewClampsWorkers(t *testing.T) {
+	for _, w := range []int{-3, 0, 1} {
+		if got := New(w).Workers(); got < 1 {
+			t.Errorf("New(%d).Workers() = %d, want >= 1", w, got)
+		}
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Errorf("Workers() = %d, want 7", got)
+	}
+}
+
+func TestMapRunsEveryIndexOnce(t *testing.T) {
+	p := New(4)
+	const n = 100
+	var hits [n]int32
+	p.Map(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestMapZeroAndNegative(t *testing.T) {
+	p := New(2)
+	ran := false
+	p.Map(0, func(int) { ran = true })
+	p.Map(-5, func(int) { ran = true })
+	if ran {
+		t.Fatal("Map ran tasks for non-positive n")
+	}
+}
+
+func TestMapSingleTaskRunsInline(t *testing.T) {
+	p := New(2)
+	got := -1
+	p.Map(1, func(i int) { got = i })
+	if got != 0 {
+		t.Fatalf("single-task Map got index %d", got)
+	}
+}
+
+// TestMapBoundsConcurrency checks that at most Workers pool goroutines run
+// simultaneously (inline execution in the caller adds at most one more).
+func TestMapBoundsConcurrency(t *testing.T) {
+	p := New(3)
+	var cur, peak int32
+	var mu sync.Mutex
+	p.Map(50, func(int) {
+		n := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if n > peak {
+			peak = n
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > 4 { // 3 pool slots + the caller running inline
+		t.Fatalf("observed %d concurrent tasks, want <= 4", peak)
+	}
+}
+
+// TestNestedMapDoesNotDeadlock exercises the inline-fallback path: inner
+// Map calls issued from tasks that already hold every pool slot must still
+// complete.
+func TestNestedMapDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	var total int32
+	p.Map(8, func(int) {
+		p.Map(8, func(int) {
+			atomic.AddInt32(&total, 1)
+		})
+	})
+	if total != 64 {
+		t.Fatalf("nested Map ran %d inner tasks, want 64", total)
+	}
+}
+
+func TestGoWaits(t *testing.T) {
+	p := New(1)
+	done := false
+	wait := p.Go(func() { done = true })
+	wait()
+	if !done {
+		t.Fatal("Go task had not completed after wait()")
+	}
+}
+
+func TestGoInlineWhenSaturated(t *testing.T) {
+	p := New(1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	w1 := p.Go(func() { close(started); <-block })
+	<-started
+	// Pool is saturated: this Go must run inline and return only when done.
+	ran := false
+	w2 := p.Go(func() { ran = true })
+	if !ran {
+		t.Fatal("saturated Go did not run inline")
+	}
+	close(block)
+	w1()
+	w2()
+}
+
+func TestDefaultPoolExists(t *testing.T) {
+	if Default == nil || Default.Workers() < 1 {
+		t.Fatal("Default pool missing or empty")
+	}
+}

@@ -3,9 +3,8 @@ package sim
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -13,13 +12,37 @@ import (
 )
 
 // Options parameterizes figure regeneration. Zero values take defaults:
-// the primary benchmark set, 10M instructions with 2M warmup, and one
-// worker per CPU.
+// the primary benchmark set, 10M instructions with 2M warmup, and the
+// process-wide shared worker pool.
 type Options struct {
 	Instrs  uint64
 	Warmup  uint64
 	Benches []workload.Spec
+
+	// Workers selects the scheduling pool: 0 (the default) shares
+	// engine.Default with every other figure in the process, so total
+	// concurrency stays bounded no matter how many figures run at once; a
+	// positive value gives this figure a private pool of that size.
 	Workers int
+
+	// ReplayCap bounds the per-benchmark recorded-trace length (in
+	// instructions) used to share one instruction stream across the
+	// configuration columns of a sweep. Budgets above the cap fall back to
+	// regenerating the stream per column, trading time for memory. 0
+	// selects DefaultReplayCap.
+	ReplayCap uint64
+}
+
+// DefaultReplayCap is the default Options.ReplayCap: 2M records, about
+// 96MB of trace per benchmark in flight.
+const DefaultReplayCap = 2_000_000
+
+// pool returns the scheduling pool selected by Workers.
+func (o Options) pool() *engine.Pool {
+	if o.Workers > 0 {
+		return engine.New(o.Workers)
+	}
+	return engine.Default
 }
 
 // PrimaryBenches returns the paper's 26-program primary evaluation set as
@@ -46,8 +69,8 @@ func (o Options) fill() Options {
 	if len(o.Benches) == 0 {
 		o.Benches = PrimaryBenches()
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.NumCPU()
+	if o.ReplayCap == 0 {
+		o.ReplayCap = DefaultReplayCap
 	}
 	return o
 }
@@ -105,27 +128,94 @@ func (t *Table) Column(label string) *Series {
 	return nil
 }
 
-// sweep runs every benchmark under cfg in parallel and returns results in
-// benchmark order.
-func sweep(o Options, cfg Config, timing bool) []Result {
-	results := make([]Result, len(o.Benches))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, o.Workers)
-	for i, spec := range o.Benches {
-		wg.Add(1)
-		go func(i int, spec workload.Spec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if timing {
-				results[i] = Run(cfg, spec)
-			} else {
-				results[i] = RunCacheOnly(cfg, spec)
-			}
-		}(i, spec)
+// colSpec is one configuration column of a sweep.
+type colSpec struct {
+	cfg    Config
+	timing bool
+}
+
+// recordingSource tees a source: records pass through unchanged while
+// being appended to recs, so the first simulation over a stream doubles
+// as its trace acquisition at the cost of one append per instruction —
+// no separate recording pass.
+type recordingSource struct {
+	trace.Source
+	recs []trace.Record
+}
+
+func (r *recordingSource) Next(rec *trace.Record) bool {
+	if !r.Source.Next(rec) {
+		return false
 	}
-	wg.Wait()
-	return results
+	r.recs = append(r.recs, *rec)
+	return true
+}
+
+// sweepConfigs runs every benchmark under every column configuration and
+// returns results indexed [column][benchmark]. The sweep is bench-major:
+// a benchmark's instruction stream depends only on its spec and budget,
+// never on the cache configuration, so the first column records the
+// stream as it simulates and the remaining columns replay the recording
+// instead of re-running the generator (streams longer than ReplayCap fall
+// back to per-column generation). Record buffers are recycled across
+// benchmarks, so a sweep allocates only as many trace buffers as it has
+// benchmarks in flight. Benchmarks and columns are scheduled on the
+// Options pool; each task owns its machine and source and writes only its
+// own result slot, so scheduling order cannot affect output — serial and
+// parallel sweeps are byte-identical.
+func sweepConfigs(o Options, cols []colSpec) [][]Result {
+	out := make([][]Result, len(cols))
+	for c := range out {
+		out[c] = make([]Result, len(o.Benches))
+	}
+	// Record-and-replay applies only when every column consumes the same
+	// stream, and pays off only when there is more than one column.
+	replay := len(cols) > 1 && cols[0].cfg.Instrs <= o.ReplayCap
+	for _, cs := range cols {
+		if cs.cfg.Instrs != cols[0].cfg.Instrs {
+			replay = false
+		}
+	}
+	run := func(c int, spec workload.Spec, src trace.Source) Result {
+		if cols[c].timing {
+			return runTiming(cols[c].cfg, spec.Name, src)
+		}
+		return runFunctional(cols[c].cfg, spec.Name, src)
+	}
+	pool := o.pool()
+	spare := make(chan []trace.Record, len(o.Benches))
+	pool.Map(len(o.Benches), func(b int) {
+		spec := o.Benches[b]
+		if !replay {
+			pool.Map(len(cols), func(c int) {
+				out[c][b] = run(c, spec, workload.New(spec, cols[c].cfg.Instrs))
+			})
+			return
+		}
+		instrs := cols[0].cfg.Instrs
+		var buf []trace.Record
+		select {
+		case buf = <-spare:
+			buf = buf[:0]
+		default:
+			buf = make([]trace.Record, 0, instrs)
+		}
+		tee := &recordingSource{Source: workload.New(spec, instrs), recs: buf}
+		out[0][b] = run(0, spec, tee)
+		pool.Map(len(cols)-1, func(c int) {
+			out[c+1][b] = run(c+1, spec, &trace.SliceSource{Label: spec.Name, Recs: tee.recs})
+		})
+		select {
+		case spare <- tee.recs:
+		default:
+		}
+	})
+	return out
+}
+
+// sweep runs every benchmark under one configuration, in benchmark order.
+func sweep(o Options, cfg Config, timing bool) []Result {
+	return sweepConfigs(o, []colSpec{{cfg: cfg, timing: timing}})[0]
 }
 
 // column extracts one metric as a Series, appending the arithmetic mean as
@@ -156,10 +246,13 @@ func perBench(title string, o Options, timing bool, metric func(Result) float64,
 	metricName string, policies []PolicySpec) *Table {
 	o = o.fill()
 	t := &Table{Title: title, RowHeader: "benchmark", Rows: benchRows(o)}
-	for _, p := range policies {
-		cfg := o.apply(Default(p, o.Instrs))
-		rs := sweep(o, cfg, timing)
-		t.Columns = append(t.Columns, column(p.Label()+" "+metricName, rs, metric))
+	cols := make([]colSpec, len(policies))
+	for i, p := range policies {
+		cols[i] = colSpec{cfg: o.apply(Default(p, o.Instrs)), timing: timing}
+	}
+	rss := sweepConfigs(o, cols)
+	for i, p := range policies {
+		t.Columns = append(t.Columns, column(p.Label()+" "+metricName, rss[i], metric))
 	}
 	return t
 }
@@ -187,10 +280,13 @@ func Fig5(o Options) *Table {
 	widths := []int{0, 12, 10, 8, 6, 4}
 	labels := []string{"full", "12-bit", "10-bit", "8-bit", "6-bit", "4-bit"}
 
+	cols := make([]colSpec, len(widths))
+	for i, w := range widths {
+		cols[i] = colSpec{cfg: o.apply(Default(AdaptiveSpec(w), o.Instrs)), timing: true}
+	}
+	rss := sweepConfigs(o, cols)
 	var avgM, avgC []float64
-	for _, w := range widths {
-		cfg := o.apply(Default(AdaptiveSpec(w), o.Instrs))
-		rs := sweep(o, cfg, true)
+	for _, rs := range rss {
 		m := make([]float64, len(rs))
 		c := make([]float64, len(rs))
 		for i, r := range rs {
@@ -239,12 +335,16 @@ func Fig6(o Options) *Table {
 	}
 	t := &Table{Title: "Figure 6: CPI vs conventional upsized caches",
 		RowHeader: "benchmark", Rows: benchRows(o)}
-	for _, v := range variants {
+	cols := make([]colSpec, len(variants))
+	for i, v := range variants {
 		cfg := o.apply(Default(v.p, o.Instrs))
 		cfg.L2Geom.SizeBytes = v.sizeKB << 10
 		cfg.L2Geom.Ways = v.ways
-		rs := sweep(o, cfg, true)
-		t.Columns = append(t.Columns, column(v.label+" CPI", rs, cpiOf))
+		cols[i] = colSpec{cfg: cfg, timing: true}
+	}
+	rss := sweepConfigs(o, cols)
+	for i, v := range variants {
+		t.Columns = append(t.Columns, column(v.label+" CPI", rss[i], cpiOf))
 	}
 	return t
 }
@@ -389,15 +489,18 @@ func Fig9(o Options) *Table {
 	assocs := []int{4, 8, 16, 32}
 	t := &Table{Title: "Figure 9: benefit vs associativity (512KB)",
 		RowHeader: "assoc", Rows: []string{"4", "8", "16", "32"}}
-	var cpiImp, missRed []float64
+	cols := make([]colSpec, 0, 2*len(assocs))
 	for _, ways := range assocs {
-		mk := func(p PolicySpec) Config {
+		for _, p := range []PolicySpec{LRUSpec(), AdaptiveSpec(0)} {
 			cfg := o.apply(Default(p, o.Instrs))
 			cfg.L2Geom.Ways = ways
-			return cfg
+			cols = append(cols, colSpec{cfg: cfg, timing: true})
 		}
-		lru := sweep(o, mk(LRUSpec()), true)
-		ad := sweep(o, mk(AdaptiveSpec(0)), true)
+	}
+	rss := sweepConfigs(o, cols)
+	var cpiImp, missRed []float64
+	for ai := range assocs {
+		lru, ad := rss[2*ai], rss[2*ai+1]
 		var lc, ac, lm, am []float64
 		for i := range lru {
 			lc = append(lc, lru[i].CPI)
@@ -423,16 +526,19 @@ func Fig10(o Options) *Table {
 	sizes := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 	t := &Table{Title: "Figure 10: effect of store buffer size",
 		RowHeader: "SB entries"}
-	var rows []string
-	var lruCPI, adCPI, imp []float64
+	cols := make([]colSpec, 0, 2*len(sizes))
 	for _, sb := range sizes {
-		mk := func(p PolicySpec) Config {
+		for _, p := range []PolicySpec{LRUSpec(), AdaptiveSpec(0)} {
 			cfg := o.apply(Default(p, o.Instrs))
 			cfg.CPU.StoreBuffer = sb
-			return cfg
+			cols = append(cols, colSpec{cfg: cfg, timing: true})
 		}
-		lru := sweep(o, mk(LRUSpec()), true)
-		ad := sweep(o, mk(AdaptiveSpec(0)), true)
+	}
+	rss := sweepConfigs(o, cols)
+	var rows []string
+	var lruCPI, adCPI, imp []float64
+	for si, sb := range sizes {
+		lru, ad := rss[2*si], rss[2*si+1]
 		var lc, ac []float64
 		for i := range lru {
 			lc = append(lc, lru[i].CPI)
@@ -460,22 +566,27 @@ func ExtendedSet(o Options) *Table {
 	o = o.fill()
 	o.Benches = workload.Suite()
 
-	lruM := sweep(o, o.apply(Default(LRUSpec(), o.Instrs)), false)
-	adM := sweep(o, o.apply(Default(AdaptiveSpec(0), o.Instrs)), false)
-	lruC := sweep(o, o.apply(Default(LRUSpec(), o.Instrs)), true)
-	adC := sweep(o, o.apply(Default(AdaptiveSpec(0), o.Instrs)), true)
+	// MPKI from a timing run is bit-identical to a cache-only run of the
+	// same configuration (TestCacheOnlyMatchesTimingMPKI), so the two
+	// timing sweeps supply both the miss and the CPI summaries; the
+	// separate cache-only MPKI sweeps this table once ran were redundant.
+	rss := sweepConfigs(o, []colSpec{
+		{cfg: o.apply(Default(LRUSpec(), o.Instrs)), timing: true},
+		{cfg: o.apply(Default(AdaptiveSpec(0), o.Instrs)), timing: true},
+	})
+	lruC, adC := rss[0], rss[1]
 
 	var lm, am, lc, ac []float64
 	worstMiss, worstCPI := 0.0, 0.0
 	worstMissName, worstCPIName := "-", "-"
-	for i := range lruM {
-		lm = append(lm, lruM[i].MPKI)
-		am = append(am, adM[i].MPKI)
+	for i := range lruC {
+		lm = append(lm, lruC[i].MPKI)
+		am = append(am, adC[i].MPKI)
 		lc = append(lc, lruC[i].CPI)
 		ac = append(ac, adC[i].CPI)
-		if lruM[i].MPKI > 0 {
-			if d := stats.PercentChange(lruM[i].MPKI, adM[i].MPKI); d > worstMiss {
-				worstMiss, worstMissName = d, lruM[i].Benchmark
+		if lruC[i].MPKI > 0 {
+			if d := stats.PercentChange(lruC[i].MPKI, adC[i].MPKI); d > worstMiss {
+				worstMiss, worstMissName = d, lruC[i].Benchmark
 			}
 		}
 		if d := stats.PercentChange(lruC[i].CPI, adC[i].CPI); d > worstCPI {
@@ -518,16 +629,22 @@ func L1Adaptivity(o Options) *Table {
 	o = o.fill()
 	t := &Table{Title: "Section 4.6: adaptivity at the L1s",
 		RowHeader: "benchmark", Rows: benchRows(o)}
-	for _, variant := range []struct {
+	variants := []struct {
 		label string
 		pol   PolicySpec
 	}{
 		{"L1-LRU", LRUSpec()},
 		{"L1-Adaptive", AdaptiveSpec(0)},
-	} {
+	}
+	cols := make([]colSpec, len(variants))
+	for i, variant := range variants {
 		cfg := o.apply(Default(LRUSpec(), o.Instrs))
 		cfg.L1Policy = variant.pol
-		rs := sweep(o, cfg, true)
+		cols[i] = colSpec{cfg: cfg, timing: true}
+	}
+	rss := sweepConfigs(o, cols)
+	for i, variant := range variants {
+		rs := rss[i]
 		t.Columns = append(t.Columns,
 			column(variant.label+" L1I-MPKI", rs, func(r Result) float64 {
 				return stats.MPKI(r.L1I.Misses, r.CPU.Instructions)

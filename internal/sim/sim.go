@@ -218,15 +218,16 @@ func buildMachine(cfg Config, hook func(set, comp int)) *machine {
 // produced — the warmup/measurement boundary.
 type markedSource struct {
 	trace.Source
-	at   uint64
-	seen uint64
-	fn   func()
+	at    uint64
+	seen  uint64
+	fired bool
+	fn    func()
 }
 
 func (m *markedSource) Next(rec *trace.Record) bool {
-	if m.seen == m.at && m.fn != nil {
+	if !m.fired && m.seen == m.at && m.fn != nil {
 		m.fn()
-		m.fn = nil
+		m.fired = true
 	}
 	m.seen++
 	return m.Source.Next(rec)
@@ -234,6 +235,7 @@ func (m *markedSource) Next(rec *trace.Record) bool {
 
 func (m *markedSource) Reset() {
 	m.seen = 0
+	m.fired = false
 	m.Source.Reset()
 }
 
@@ -255,11 +257,18 @@ func withWarmup(cfg Config, m *machine, src trace.Source) (trace.Source, *uint64
 // Run simulates one benchmark with full CPU timing, producing both CPI and
 // MPKI.
 func Run(cfg Config, spec workload.Spec) Result {
+	return runTiming(cfg, spec.Name, workload.New(spec, cfg.Instrs))
+}
+
+// runTiming simulates an instruction source (a live generator or a
+// recorded trace) with full CPU timing. The source must deliver exactly
+// cfg.Instrs instructions.
+func runTiming(cfg Config, bench string, src trace.Source) Result {
 	m := buildMachine(cfg, nil)
-	src, snap := withWarmup(cfg, m, workload.New(spec, cfg.Instrs))
+	wsrc, snap := withWarmup(cfg, m, src)
 	c := cpu.New(cfg.CPU, m.hier)
-	res := c.Run(src)
-	return m.result(spec.Name, cfg, res, *snap)
+	res := c.Run(wsrc)
+	return m.result(bench, cfg, res, *snap)
 }
 
 // RunCacheOnly simulates one benchmark functionally (no CPU timing): the
@@ -267,10 +276,15 @@ func Run(cfg Config, spec workload.Spec) Result {
 // hierarchy in program order. MPKI is identical to a full timing run; CPI
 // is reported as 0.
 func RunCacheOnly(cfg Config, spec workload.Spec) Result {
+	return runFunctional(cfg, spec.Name, workload.New(spec, cfg.Instrs))
+}
+
+// runFunctional is RunCacheOnly over an arbitrary instruction source.
+func runFunctional(cfg Config, bench string, src trace.Source) Result {
 	m := buildMachine(cfg, nil)
-	src, snap := withWarmup(cfg, m, workload.New(spec, cfg.Instrs))
-	runCacheOnly(m, src)
-	return m.result(spec.Name, cfg, cpu.Result{Instructions: cfg.Instrs}, *snap)
+	wsrc, snap := withWarmup(cfg, m, src)
+	n := runCacheOnly(m, wsrc)
+	return m.result(bench, cfg, cpu.Result{Instructions: n}, *snap)
 }
 
 func runCacheOnly(m *machine, src trace.Source) uint64 {

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/engine"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -139,6 +141,89 @@ func TestSweepDeterministicUnderParallelism(t *testing.T) {
 		if r1[i].MPKI != r2[i].MPKI {
 			t.Fatalf("bench %s diverged across sweeps", r1[i].Benchmark)
 		}
+	}
+}
+
+// TestSweepSerialMatchesParallel pins the engine's determinism contract:
+// a fully serial sweep and a maximally parallel one must produce identical
+// results in identical order.
+func TestSweepSerialMatchesParallel(t *testing.T) {
+	base := testOpts("lucas", "art-1", "gap").fill()
+	cols := []colSpec{
+		{cfg: base.apply(Default(LRUSpec(), base.Instrs)), timing: true},
+		{cfg: base.apply(Default(AdaptiveSpec(0), base.Instrs)), timing: true},
+	}
+	serial, parallel := base, base
+	serial.Workers = 1
+	parallel.Workers = 8
+	rs := sweepConfigs(serial, cols)
+	rp := sweepConfigs(parallel, cols)
+	for c := range rs {
+		for b := range rs[c] {
+			if rs[c][b] != rp[c][b] {
+				t.Fatalf("col %d bench %s: serial %+v != parallel %+v",
+					c, rs[c][b].Benchmark, rs[c][b], rp[c][b])
+			}
+		}
+	}
+}
+
+// TestSweepReplayMatchesGeneration verifies that the record-once/
+// replay-many trace path is invisible in the results: a multi-column
+// sweep (replay active) must equal independent single-column sweeps
+// (each re-running the generator).
+func TestSweepReplayMatchesGeneration(t *testing.T) {
+	o := testOpts("lucas", "gap").fill()
+	o.Workers = 2
+	cfgA := o.apply(Default(LRUSpec(), o.Instrs))
+	cfgB := o.apply(Default(AdaptiveSpec(0), o.Instrs))
+	if o.Instrs > o.ReplayCap {
+		t.Fatalf("test budget %d exceeds replay cap %d; replay path not exercised", o.Instrs, o.ReplayCap)
+	}
+	both := sweepConfigs(o, []colSpec{{cfg: cfgA, timing: true}, {cfg: cfgB, timing: true}})
+	lone := [][]Result{sweep(o, cfgA, true), sweep(o, cfgB, true)}
+	for c := range both {
+		for b := range both[c] {
+			if both[c][b] != lone[c][b] {
+				t.Fatalf("col %d bench %s: replayed %+v != generated %+v",
+					c, both[c][b].Benchmark, both[c][b], lone[c][b])
+			}
+		}
+	}
+}
+
+// TestMarkedSourceResetRestoresCallback guards against the warmup callback
+// being lost after the first pass: a Reset source must fire it again.
+func TestMarkedSourceResetRestoresCallback(t *testing.T) {
+	recs := make([]trace.Record, 10)
+	fired := 0
+	m := &markedSource{
+		Source: &trace.SliceSource{Recs: recs},
+		at:     4,
+		fn:     func() { fired++ },
+	}
+	var rec trace.Record
+	for m.Next(&rec) {
+	}
+	if fired != 1 {
+		t.Fatalf("first pass fired callback %d times, want 1", fired)
+	}
+	m.Reset()
+	for m.Next(&rec) {
+	}
+	if fired != 2 {
+		t.Fatalf("after Reset callback fired %d times total, want 2", fired)
+	}
+}
+
+func TestReplaySourceEmptyErrors(t *testing.T) {
+	cfg := Default(LRUSpec(), 1000)
+	_, _, err := ReplaySource(cfg, &trace.SliceSource{Label: "empty"})
+	if err == nil {
+		t.Fatal("empty source accepted")
+	}
+	if !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("error %q does not name the source", err)
 	}
 }
 
@@ -313,7 +398,13 @@ func TestOptionsFillDefaults(t *testing.T) {
 	if len(o.Benches) != 26 {
 		t.Errorf("default benches = %d, want primary 26", len(o.Benches))
 	}
-	if o.Workers < 1 {
-		t.Errorf("workers = %d", o.Workers)
+	if o.ReplayCap != DefaultReplayCap {
+		t.Errorf("replay cap = %d, want %d", o.ReplayCap, DefaultReplayCap)
+	}
+	if o.pool() != engine.Default {
+		t.Error("zero Workers should select the shared engine pool")
+	}
+	if p := (Options{Workers: 3}).pool(); p == engine.Default || p.Workers() != 3 {
+		t.Errorf("explicit Workers should build a private pool, got %v workers", p.Workers())
 	}
 }

@@ -50,14 +50,17 @@ const NoReg = -1
 // producer/consumer edges).
 const NumRegs = 64
 
-// Record is one dynamic instruction.
+// Record is one dynamic instruction. Fields are ordered widest-first so
+// the struct packs into 32 bytes — recorded traces are replayed at
+// hundreds of millions of records per run, and slice footprint is what
+// bounds replay throughput.
 type Record struct {
 	PC     uint64 // instruction address (for I-cache and branch predictor)
-	Kind   Kind
 	Addr   uint64 // data address for Load/Store
 	Target uint64 // branch target for Branch
-	Taken  bool   // branch outcome
-	Src1   int8   // source registers, NoReg if absent
+	Kind   Kind
+	Taken  bool // branch outcome
+	Src1   int8 // source registers, NoReg if absent
 	Src2   int8
 	Dst    int8 // destination register, NoReg if absent
 }

@@ -310,7 +310,7 @@ func (g *Generator) Next(rec *trace.Record) bool {
 	}
 
 	body := g.kernels[g.kernel]
-	sl := body[g.slotIdx]
+	sl := &body[g.slotIdx]
 	pc := uint64(codeBase) + uint64(g.kernel*g.spec.KernelLen+g.slotIdx)*4
 	if g.coldThis && g.iteration == 0 {
 		pc = g.coldBase + uint64(g.slotIdx)*4

@@ -29,10 +29,15 @@ func (r *rng) next() uint64 {
 	return r.s * 0x2545F4914F6CDD1D
 }
 
-// n returns a uniform value in [0, n).
+// n returns a uniform value in [0, n). Power-of-two n (the common hot-path
+// case: word offsets, small ranges) takes a mask instead of a 64-bit
+// division; x&(n-1) == x%n exactly, so the stream is unchanged.
 func (r *rng) n(n uint64) uint64 {
 	if n == 0 {
 		return 0
+	}
+	if n&(n-1) == 0 {
+		return (r.next() >> 11) & (n - 1)
 	}
 	return (r.next() >> 11) % n
 }
