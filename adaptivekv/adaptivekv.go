@@ -1,0 +1,412 @@
+// Package adaptivekv is an in-memory key-value cache whose replacement
+// behavior is governed by the paper's adaptive scheme (Subramanian,
+// Smaragdakis, Loh — MICRO 2006), lifted from simulation into a live
+// concurrent data structure.
+//
+// The cache is organized as N independent lock-striped shards. Each shard
+// is a set-associative array of key-value entries whose replacement
+// decisions are delegated to an internal/core decision engine: by default
+// SBAR over an LRU/LFU component pair, so a handful of leader sets per
+// shard carry shadow directories and miss history while follower sets obey
+// the shard's global winner — the Section 4.7 configuration whose
+// bookkeeping overhead the paper puts at 0.09–0.16% of cache storage.
+// Any component pair (or more) from internal/policy can be substituted,
+// as can the full per-set adaptive scheme or a single fixed policy.
+//
+// Keys are hashed once to 64 bits; the top bits select the shard, the low
+// bits the set within the shard, and the full hash is the directory tag.
+// Distinct keys whose 64-bit hashes collide are treated as the same cache
+// slot: a Set of one overwrites the other (a legal eviction) and a Get of
+// the absent one misses. With the default hashers the probability of any
+// collision among a million resident keys is below 1e-7.
+//
+// Get and Set are allocation-free on the hit path; the hot-path regression
+// harness (cmd/benchregress) enforces this.
+package adaptivekv
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/storage"
+)
+
+// Mode selects how a shard's replacement decisions are made.
+type Mode string
+
+const (
+	// ModeSBAR (the default) runs the set-sampling adaptive variant:
+	// leader sets carry the full machinery, follower sets obey the global
+	// winner.
+	ModeSBAR Mode = "sbar"
+	// ModeAdaptive runs the full per-set adaptive scheme (paper Algorithm
+	// 1) on every set — the strongest guarantee, the highest overhead.
+	ModeAdaptive Mode = "adaptive"
+	// ModeSingle pins every set to the first (only) component policy; use
+	// it for pure-LRU / pure-LFU baselines.
+	ModeSingle Mode = "single"
+)
+
+// Config shapes a Cache. Zero values select the defaults noted per field.
+type Config struct {
+	Shards int // lock stripes; power of two; default 8
+	Sets   int // sets per shard; power of two; default 256
+	Ways   int // entries per set; default 8
+
+	Mode       Mode     // default ModeSBAR
+	Components []string // internal/policy names; default {"LRU", "LFU"}
+
+	// LeaderSets is the number of sampled leader sets per shard in
+	// ModeSBAR (default core.DefaultLeaderSets, clamped to Sets).
+	LeaderSets int
+
+	// ShadowTagBits stores only the low n bits of each tag in the shadow
+	// directories (default 8, the paper's recommendation; negative selects
+	// full tags).
+	ShadowTagBits int
+}
+
+// normalized fills defaults and validates.
+func (c Config) normalized() Config {
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.Sets == 0 {
+		c.Sets = 256
+	}
+	if c.Ways == 0 {
+		c.Ways = 8
+	}
+	if c.Mode == "" {
+		c.Mode = ModeSBAR
+	}
+	if len(c.Components) == 0 {
+		if c.Mode == ModeSingle {
+			c.Components = []string{"LRU"}
+		} else {
+			c.Components = []string{"LRU", "LFU"}
+		}
+	}
+	if c.LeaderSets == 0 {
+		c.LeaderSets = core.DefaultLeaderSets
+	}
+	if c.LeaderSets > c.Sets {
+		c.LeaderSets = c.Sets
+	}
+	if c.ShadowTagBits == 0 {
+		c.ShadowTagBits = 8
+	}
+	if c.Shards <= 0 || c.Shards&(c.Shards-1) != 0 {
+		panic(fmt.Sprintf("adaptivekv: Shards %d is not a positive power of two", c.Shards))
+	}
+	if c.Shards > 1<<16 {
+		panic(fmt.Sprintf("adaptivekv: Shards %d exceeds 65536", c.Shards))
+	}
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		panic(fmt.Sprintf("adaptivekv: Sets %d is not a positive power of two", c.Sets))
+	}
+	if c.Ways <= 0 {
+		panic("adaptivekv: Ways must be positive")
+	}
+	if c.Mode == ModeSingle && len(c.Components) != 1 {
+		panic("adaptivekv: ModeSingle takes exactly one component")
+	}
+	if c.Mode != ModeSingle && len(c.Components) < 2 {
+		panic("adaptivekv: adaptive modes need at least two components")
+	}
+	return c
+}
+
+// buildPolicy constructs one shard's replacement policy.
+func (c Config) buildPolicy() cache.Policy {
+	switch c.Mode {
+	case ModeSingle:
+		return policy.MustByName(c.Components[0])()
+	case ModeAdaptive, ModeSBAR:
+		comps := make([]core.ComponentFactory, len(c.Components))
+		for i, name := range c.Components {
+			comps[i] = core.ComponentFactory(policy.MustByName(name))
+		}
+		var opts []core.Option
+		if c.ShadowTagBits > 0 {
+			opts = append(opts, core.WithShadowTagBits(c.ShadowTagBits))
+		}
+		if c.Mode == ModeAdaptive {
+			return core.NewAdaptive(comps, opts...)
+		}
+		return core.NewSBAR(comps,
+			core.WithLeaderSets(c.LeaderSets),
+			core.WithLeaderOptions(opts...))
+	default:
+		panic(fmt.Sprintf("adaptivekv: unknown mode %q", c.Mode))
+	}
+}
+
+// Stats is a point-in-time snapshot of one shard's (or the whole cache's)
+// operation counters.
+type Stats struct {
+	Gets       uint64
+	GetHits    uint64
+	Stores     uint64
+	StoreHits  uint64 // updates of an already-resident key
+	Deletes    uint64
+	DeleteHits uint64
+	Evictions  uint64 // capacity evictions decided by the policy
+	// PolicySwitches counts SBAR global-winner changes (0 in other modes):
+	// how often the shard actually changed its mind about which component
+	// policy to imitate.
+	PolicySwitches uint64
+}
+
+// add accumulates o into s.
+func (s *Stats) add(o Stats) {
+	s.Gets += o.Gets
+	s.GetHits += o.GetHits
+	s.Stores += o.Stores
+	s.StoreHits += o.StoreHits
+	s.Deletes += o.Deletes
+	s.DeleteHits += o.DeleteHits
+	s.Evictions += o.Evictions
+	s.PolicySwitches += o.PolicySwitches
+}
+
+// HitRatio returns GetHits/Gets, or 0 for an unused cache.
+func (s Stats) HitRatio() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.GetHits) / float64(s.Gets)
+}
+
+// entry is one resident key-value pair.
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// shard is one lock stripe: a set-associative entry array plus its
+// decision engine. The trailing pad keeps two shards' mutexes off one
+// cache line.
+type shard[K comparable, V any] struct {
+	mu      sync.Mutex
+	eng     *core.Engine
+	entries []entry[K, V] // set*ways+way
+
+	gets, getHits     uint64
+	stores, storeHits uint64
+	deletes, delHits  uint64
+
+	_ [64]byte
+}
+
+// Cache is the sharded adaptive key-value cache. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	cfg      Config
+	shards   []shard[K, V]
+	hash     func(K) uint64
+	setMask  uint64
+	setShift uint
+	ways     int
+}
+
+// Option configures a Cache at construction.
+type Option[K comparable, V any] func(*Cache[K, V])
+
+// WithHasher overrides the key hash function. The hash must be
+// deterministic and well-mixed across all 64 bits; New applies no further
+// mixing to custom hashers' output beyond its own finalizer.
+func WithHasher[K comparable, V any](h func(K) uint64) Option[K, V] {
+	return func(c *Cache[K, V]) { c.hash = h }
+}
+
+// New builds a cache for the given configuration. It panics on an invalid
+// configuration or on a key type with no default hasher (strings and
+// integer kinds are built in; other comparable types need WithHasher).
+func New[K comparable, V any](cfg Config, opts ...Option[K, V]) *Cache[K, V] {
+	cfg = cfg.normalized()
+	c := &Cache[K, V]{
+		cfg:     cfg,
+		shards:  make([]shard[K, V], cfg.Shards),
+		setMask: uint64(cfg.Sets - 1),
+		ways:    cfg.Ways,
+	}
+	for s := cfg.Sets; s > 1; s >>= 1 {
+		c.setShift++
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.hash == nil {
+		c.hash = hasherFor[K]()
+		if c.hash == nil {
+			panic(fmt.Sprintf("adaptivekv: no default hasher for key type %T; use WithHasher", *new(K)))
+		}
+	}
+	g := core.EngineGeometry(cfg.Sets, cfg.Ways)
+	for i := range c.shards {
+		c.shards[i].eng = core.NewEngine(g, cfg.buildPolicy())
+		c.shards[i].entries = make([]entry[K, V], cfg.Sets*cfg.Ways)
+	}
+	return c
+}
+
+// locate hashes key to (shard, set, tag). The shard comes from the top
+// bits and the set from the bottom bits so the two indices stay
+// independent, and — exactly as cache.Cache.decompose does for block
+// addresses — the set bits are shifted out of the tag. Keeping them in
+// would be harmless for the full-tag directory but fatal for partial
+// shadow tags: the adaptive policy masks the tag's low bits, and if those
+// repeat the set index, every tag in a set shares them and the shadow
+// arrays degenerate into always-hit, starving the selector of signal.
+// (set, tag) ↔ h is still a bijection, so key discrimination is unchanged.
+func (c *Cache[K, V]) locate(key K) (sh *shard[K, V], set int, tag uint64) {
+	h := mix64(c.hash(key))
+	sh = &c.shards[(h>>48)&uint64(len(c.shards)-1)]
+	return sh, int(h & c.setMask), h >> c.setShift
+}
+
+// Get returns the value cached under key. The access updates the adaptive
+// machinery (recency, frequency, shadow directories, miss history) but a
+// miss does not reserve space: read-through callers populate via Set.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	sh, set, tag := c.locate(key)
+	sh.mu.Lock()
+	sh.gets++
+	if way, ok := sh.eng.Lookup(set, tag); ok {
+		e := &sh.entries[set*c.ways+way]
+		if e.key == key {
+			v := e.val
+			sh.getHits++
+			sh.mu.Unlock()
+			return v, true
+		}
+		// 64-bit hash collision between distinct keys: a miss.
+	}
+	sh.mu.Unlock()
+	var zero V
+	return zero, false
+}
+
+// Set caches val under key, updating in place when key is resident and
+// otherwise filling per the shard's replacement decision — possibly
+// evicting the entry the imitated component policy would evict.
+func (c *Cache[K, V]) Set(key K, val V) {
+	sh, set, tag := c.locate(key)
+	sh.mu.Lock()
+	sh.stores++
+	res := sh.eng.Store(set, tag)
+	if res.Hit {
+		sh.storeHits++
+	}
+	e := &sh.entries[set*c.ways+res.Way]
+	e.key = key
+	e.val = val
+	sh.mu.Unlock()
+}
+
+// Delete removes key, reporting whether it was resident. The freed slot
+// becomes fill-preferred within its set.
+func (c *Cache[K, V]) Delete(key K) bool {
+	sh, set, tag := c.locate(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.deletes++
+	way, ok := sh.eng.Find(set, tag)
+	if !ok || sh.entries[set*c.ways+way].key != key {
+		return false
+	}
+	sh.eng.Delete(set, tag)
+	sh.entries[set*c.ways+way] = entry[K, V]{} // release references
+	sh.delHits++
+	return true
+}
+
+// Len returns the number of resident entries. It walks every set and is
+// intended for reporting, not hot paths.
+func (c *Cache[K, V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for s := 0; s < c.cfg.Sets; s++ {
+			n += sh.eng.Directory().Occupancy(s)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the maximum number of resident entries.
+func (c *Cache[K, V]) Capacity() int {
+	return c.cfg.Shards * c.cfg.Sets * c.cfg.Ways
+}
+
+// Config returns the normalized configuration.
+func (c *Cache[K, V]) Config() Config { return c.cfg }
+
+// Shards returns the number of lock stripes.
+func (c *Cache[K, V]) Shards() int { return len(c.shards) }
+
+// ShardStats returns a snapshot of shard i's counters.
+func (c *Cache[K, V]) ShardStats(i int) Stats {
+	sh := &c.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return Stats{
+		Gets:           sh.gets,
+		GetHits:        sh.getHits,
+		Stores:         sh.stores,
+		StoreHits:      sh.storeHits,
+		Deletes:        sh.deletes,
+		DeleteHits:     sh.delHits,
+		Evictions:      sh.eng.Stats().Evictions,
+		PolicySwitches: sh.eng.PolicySwitches(),
+	}
+}
+
+// Stats returns the sum of all shards' counters.
+func (c *Cache[K, V]) Stats() Stats {
+	var total Stats
+	for i := range c.shards {
+		total.add(c.ShardStats(i))
+	}
+	return total
+}
+
+// Winner returns shard i's current SBAR global winner (component index
+// into Config.Components), or -1 outside ModeSBAR.
+func (c *Cache[K, V]) Winner(i int) int {
+	sh := &c.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.Winner()
+}
+
+// Overhead returns the adaptive bookkeeping cost of one shard in bits,
+// following the paper's SRAM accounting (internal/storage): shadow
+// directory entries and history for the sampled sets in ModeSBAR, for
+// every set in ModeAdaptive, zero in ModeSingle. OverheadPercent expresses
+// it against the shard's conventional (data + main directory) storage —
+// the figure the paper reports as 0.09–0.16% for SBAR.
+func (c *Cache[K, V]) Overhead() storage.Bits {
+	p := storage.DefaultParams(core.EngineGeometry(c.cfg.Sets, c.cfg.Ways))
+	switch c.cfg.Mode {
+	case ModeSingle:
+		return 0
+	case ModeAdaptive:
+		return p.AdaptiveOverhead(len(c.cfg.Components), c.cfg.ShadowTagBits)
+	default:
+		return p.SBAROverhead(len(c.cfg.Components), c.cfg.LeaderSets, c.cfg.ShadowTagBits)
+	}
+}
+
+// OverheadPercent returns Overhead as a percentage of a shard's
+// conventional storage.
+func (c *Cache[K, V]) OverheadPercent() float64 {
+	p := storage.DefaultParams(core.EngineGeometry(c.cfg.Sets, c.cfg.Ways))
+	return p.OverheadPercent(c.Overhead())
+}

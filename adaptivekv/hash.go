@@ -1,0 +1,73 @@
+package adaptivekv
+
+import "unsafe"
+
+// Default key hashing. The requirements are mundane — deterministic, fast,
+// allocation-free, well mixed — but the standard library offers no
+// non-allocating generic hash below Go 1.24 (hash/maphash.Comparable), so
+// strings get FNV-1a and integer kinds get their value, with a splitmix64
+// finalizer applied in Cache.locate to spread low-entropy key spaces
+// (sequential IDs, short strings) across shard and set bits.
+
+// mix64 is the splitmix64 finalizer: a bijective scramble whose output
+// bits each depend on every input bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// hashString is 64-bit FNV-1a.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// castHasher reinterprets a concrete hasher as func(K) uint64. Callers
+// guarantee (via the type switch in hasherFor) that K and T are the same
+// type, so the function values have identical layout.
+func castHasher[K comparable, T any](f func(T) uint64) func(K) uint64 {
+	return *(*func(K) uint64)(unsafe.Pointer(&f))
+}
+
+// hasherFor returns the built-in hasher for K, or nil when K needs
+// WithHasher. The type switch runs once at construction; the returned
+// function is monomorphic and allocation-free per call.
+func hasherFor[K comparable]() func(K) uint64 {
+	var zero K
+	switch any(zero).(type) {
+	case string:
+		return castHasher[K](hashString)
+	case int:
+		return castHasher[K](func(k int) uint64 { return uint64(k) })
+	case int8:
+		return castHasher[K](func(k int8) uint64 { return uint64(k) })
+	case int16:
+		return castHasher[K](func(k int16) uint64 { return uint64(k) })
+	case int32:
+		return castHasher[K](func(k int32) uint64 { return uint64(k) })
+	case int64:
+		return castHasher[K](func(k int64) uint64 { return uint64(k) })
+	case uint:
+		return castHasher[K](func(k uint) uint64 { return uint64(k) })
+	case uint8:
+		return castHasher[K](func(k uint8) uint64 { return uint64(k) })
+	case uint16:
+		return castHasher[K](func(k uint16) uint64 { return uint64(k) })
+	case uint32:
+		return castHasher[K](func(k uint32) uint64 { return uint64(k) })
+	case uint64:
+		return castHasher[K](func(k uint64) uint64 { return k })
+	case uintptr:
+		return castHasher[K](func(k uintptr) uint64 { return uint64(k) })
+	default:
+		return nil
+	}
+}

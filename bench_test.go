@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/adaptivekv"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/history"
@@ -411,6 +412,42 @@ func TestHotPathZeroAllocs(t *testing.T) {
 		_ = ad.Name()
 	}); n != 0 {
 		t.Errorf("Adaptive.Name allocates %.2f/op, want 0", n)
+	}
+}
+
+// BenchmarkKVGet measures the adaptivekv hit path end to end: hash, shard
+// lock, engine probe (policy Observe/Touch and SBAR winner tracking), key
+// comparison. cmd/benchregress gates the same loop as kv/Get.
+func BenchmarkKVGet(b *testing.B) {
+	c := adaptivekv.New[uint64, uint64](adaptivekv.Config{})
+	const keys = 4096
+	for k := uint64(0); k < keys; k++ {
+		c.Set(k, k)
+	}
+	rng := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		c.Get(rng % keys)
+	}
+}
+
+// BenchmarkKVSet measures steady-state stores over a keyspace several times
+// the cache capacity, so most iterations run the full Algorithm 1 victim
+// path and evict. cmd/benchregress gates the same loop as kv/Set.
+func BenchmarkKVSet(b *testing.B) {
+	c := adaptivekv.New[uint64, uint64](adaptivekv.Config{})
+	rng := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		c.Set(rng%100_000, rng)
 	}
 }
 

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"net"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/adaptivekv"
+	"repro/internal/kvproto"
+)
+
+// startTestServer brings up a server on an ephemeral loopback port and
+// returns its address plus a shutdown func.
+func startTestServer(t *testing.T, cfg adaptivekv.Config) (*server, string, func()) {
+	t.Helper()
+	srv := newServer(cfg, 30*time.Second, 30*time.Second)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.serve(ln)
+	return srv, ln.Addr().String(), func() { srv.shutdown(ln, 2*time.Second) }
+}
+
+// TestServerConcurrentLoad is the in-process half of the CI smoke: many
+// client connections hammer one server with read-through traffic while the
+// race detector watches the shard locking. Values carry their key so hits
+// can be verified for integrity, not just presence.
+func TestServerConcurrentLoad(t *testing.T) {
+	srv, addr, stop := startTestServer(t, adaptivekv.Config{Shards: 4, Sets: 64, Ways: 8})
+	defer stop()
+
+	const workers = 6
+	iters := 3000
+	if testing.Short() {
+		iters = 500
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			c, err := kvproto.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			key := make([]byte, 0, 32)
+			rng := id*2654435761 + 1
+			for i := 0; i < iters; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				k := rng % 4096
+				key = strconv.AppendUint(key[:0], k, 10)
+				switch rng % 16 {
+				case 0:
+					if _, err := c.Delete(key); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					v, ok, err := c.Get(key)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if ok {
+						if string(v) != string(key) {
+							t.Errorf("Get(%s) returned %q", key, v)
+							return
+						}
+					} else if err := c.Set(key, 0, key); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("client error: %v", err)
+	}
+
+	c, err := kvproto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	for _, k := range []string{"cmd_get", "get_hits", "cmd_set", "evictions", "hit_ratio", "shard0_gets"} {
+		if _, ok := st[k]; !ok {
+			t.Errorf("stats missing %q (got %d keys)", k, len(st))
+		}
+	}
+	if gets, _ := strconv.ParseUint(st["cmd_get"], 10, 64); gets == 0 {
+		t.Error("server counted no gets")
+	}
+	if agg := srv.cache.Stats(); agg.Stores == 0 || agg.Evictions == 0 {
+		t.Errorf("cache saw no fills/evictions: %+v", agg)
+	}
+}
+
+// TestServerProtocolEdges drives malformed and boundary traffic against a
+// live server: recoverable violations keep the connection usable.
+func TestServerProtocolEdges(t *testing.T) {
+	_, addr, stop := startTestServer(t, adaptivekv.Config{Shards: 2, Sets: 16, Ways: 4})
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	send := func(s string) string {
+		if _, err := conn.Write([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4096)
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf[:n])
+	}
+
+	if got := send("bogus\r\n"); got != "CLIENT_ERROR bad request\r\n" {
+		t.Errorf("unknown command reply %q", got)
+	}
+	if got := send("get missing\r\n"); got != "END\r\n" {
+		t.Errorf("miss reply %q", got)
+	}
+	if got := send("set k 9 0 3\r\nabc\r\n"); got != "STORED\r\n" {
+		t.Errorf("set reply %q", got)
+	}
+	if got := send("get k\r\n"); got != "VALUE k 9 3\r\nabc\r\nEND\r\n" {
+		t.Errorf("hit reply %q (flags must round-trip)", got)
+	}
+	if got := send("delete k\r\n"); got != "DELETED\r\n" {
+		t.Errorf("delete reply %q", got)
+	}
+	if got := send("delete k\r\n"); got != "NOT_FOUND\r\n" {
+		t.Errorf("second delete reply %q", got)
+	}
+}
+
+// TestServerGracefulShutdown: shutdown with no grace-worthy traffic must
+// complete promptly and refuse new connections.
+func TestServerGracefulShutdown(t *testing.T) {
+	_, addr, stop := startTestServer(t, adaptivekv.Config{Shards: 2, Sets: 16, Ways: 4})
+
+	c, err := kvproto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set([]byte("k"), 0, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	done := make(chan struct{})
+	go func() {
+		stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown did not complete")
+	}
+	if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		conn.Close()
+		t.Error("listener still accepting after shutdown")
+	}
+}

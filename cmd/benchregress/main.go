@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/adaptivekv"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/policy"
@@ -86,7 +87,7 @@ func realMain(n, macroN uint64, out string, check bool, tol float64, seedNS int6
 		GoOS:    runtime.GOOS,
 		GoArch:  runtime.GOARCH,
 		NumCPU:  runtime.NumCPU(),
-		HotPath: []Entry{measureLRU(n), measureAdaptive(n)},
+		HotPath: []Entry{measureLRU(n), measureAdaptive(n), measureKVGet(n), measureKVSet(n)},
 	}
 	for _, e := range rep.HotPath {
 		fmt.Printf("%-28s %12.0f acc/s %8.2f ns/acc %8.3f allocs/acc\n",
@@ -168,6 +169,29 @@ func measureAdaptive(n uint64) Entry {
 	c := cache.New(g, ad)
 	return measure("adaptive8/Access", n, n/10, func(rng uint64) {
 		c.Access(cache.Addr(rng%(1<<26)), false)
+	})
+}
+
+// measureKVGet times the adaptivekv hit path: hash + shard lock + SBAR
+// engine probe + key compare. Like the simulator loops, it must not
+// allocate in steady state.
+func measureKVGet(n uint64) Entry {
+	c := adaptivekv.New[uint64, uint64](adaptivekv.Config{})
+	const keys = 4096
+	for k := uint64(0); k < keys; k++ {
+		c.Set(k, k)
+	}
+	return measure("kv/Get", n, n/10, func(rng uint64) {
+		c.Get(rng % keys)
+	})
+}
+
+// measureKVSet times steady-state stores over a keyspace several times the
+// cache's capacity, so most iterations run the full adaptive victim path.
+func measureKVSet(n uint64) Entry {
+	c := adaptivekv.New[uint64, uint64](adaptivekv.Config{})
+	return measure("kv/Set", n, n/10, func(rng uint64) {
+		c.Set(rng%100_000, rng)
 	})
 }
 

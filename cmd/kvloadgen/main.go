@@ -1,0 +1,215 @@
+// Command kvloadgen replays internal/workload access patterns as
+// key-value traffic against an adaptcached server (or, with -direct, an
+// in-process adaptivekv cache). Each connection runs a closed loop: draw
+// the next key from its stream, get it, and on a miss set it — the
+// read-through idiom the adaptive engine is designed around. The workload
+// classes are the same ones the paper uses to explain policy preferences,
+// so a server run under "-mix loop" visibly rewards LFU-like behavior and
+// "-mix zipf" exercises the hot-set/scan blend.
+//
+// Examples:
+//
+//	kvloadgen -addr 127.0.0.1:11311 -conns 4 -ops 400000
+//	kvloadgen -mix loop -loop 12000 -conns 8
+//	kvloadgen -direct -ops 2000000            # no network, cache API only
+//	kvloadgen -min-ops 100000                 # exit 1 below 100k ops/s
+//
+// The report gives aggregate throughput (gets+sets per second), the
+// client-observed hit ratio, and per-connection lag. -min-ops turns the
+// run into a pass/fail throughput gate for CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/adaptivekv"
+	"repro/internal/kvproto"
+	"repro/internal/workload"
+)
+
+// connStats is one worker's tally.
+type connStats struct {
+	gets, hits, sets uint64
+	err              error
+}
+
+func patterns(mix string, hot uint64, skew float64, loop uint64) []workload.Pattern {
+	switch mix {
+	case "zipf":
+		return workload.MixedZipf(hot, skew)
+	case "loop":
+		return workload.LoopingScan(loop)
+	default:
+		log.Fatalf("kvloadgen: unknown -mix %q (zipf|loop)", mix)
+		return nil
+	}
+}
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:11311", "adaptcached address")
+		conns  = flag.Int("conns", 4, "concurrent connections (workers)")
+		ops    = flag.Uint64("ops", 400000, "total operations across all connections")
+		mix    = flag.String("mix", "zipf", "workload mix: zipf|loop")
+		hot    = flag.Uint64("hot", 65536, "zipf mix: hot-set size in keys")
+		skew   = flag.Float64("skew", 0.8, "zipf mix: skew exponent")
+		loop   = flag.Uint64("loop", 12000, "loop mix: loop length in keys")
+		vsize  = flag.Int("valuesize", 64, "value payload bytes")
+		seed   = flag.Uint64("seed", 1, "base workload seed (each connection offsets it)")
+		depth  = flag.Int("pipeline", 32, "requests in flight per connection (1 = strict request/reply)")
+		minOps = flag.Uint64("min-ops", 0, "fail (exit 1) if throughput is below this many ops/s")
+		direct = flag.Bool("direct", false, "skip the network: drive an in-process adaptivekv cache")
+	)
+	flag.Parse()
+
+	pats := patterns(*mix, *hot, *skew, *loop)
+	perConn := *ops / uint64(*conns)
+	if perConn == 0 {
+		log.Fatal("kvloadgen: -ops must be at least -conns")
+	}
+	payload := make([]byte, *vsize)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+
+	var cache *adaptivekv.Cache[string, []byte]
+	if *direct {
+		cache = adaptivekv.New[string, []byte](adaptivekv.Config{})
+	}
+
+	stats := make([]connStats, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			st := &stats[id]
+			ks := workload.NewKeyStream(*seed+uint64(id)*1000003, pats)
+			if *direct {
+				runDirect(st, cache, ks, perConn, payload)
+				return
+			}
+			c, err := kvproto.Dial(*addr)
+			if err != nil {
+				st.err = err
+				return
+			}
+			defer c.Close()
+			runClient(st, c, ks, perConn, payload, *depth)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total connStats
+	for i := range stats {
+		if stats[i].err != nil {
+			log.Fatalf("kvloadgen: connection %d: %v", i, stats[i].err)
+		}
+		total.gets += stats[i].gets
+		total.hits += stats[i].hits
+		total.sets += stats[i].sets
+	}
+	opsDone := total.gets + total.sets
+	opsPerSec := float64(opsDone) / elapsed.Seconds()
+	hitRatio := 0.0
+	if total.gets > 0 {
+		hitRatio = float64(total.hits) / float64(total.gets)
+	}
+
+	target := *addr
+	if *direct {
+		target = "direct"
+	}
+	fmt.Printf("kvloadgen: %s mix=%s conns=%d\n", target, *mix, *conns)
+	fmt.Printf("  %d ops in %.2fs = %.0f ops/s\n", opsDone, elapsed.Seconds(), opsPerSec)
+	fmt.Printf("  gets %d, hit ratio %.4f, sets %d\n", total.gets, hitRatio, total.sets)
+
+	if *minOps > 0 && opsPerSec < float64(*minOps) {
+		fmt.Printf("  FAIL: throughput %.0f ops/s below floor %d\n", opsPerSec, *minOps)
+		os.Exit(1)
+	}
+}
+
+// runClient is the closed read-through loop, batched: each round sends up
+// to depth gets in one write, reads their replies, then sends sets for the
+// misses. Pipelining amortizes both sides' syscalls; depth 1 degenerates
+// to strict request/reply.
+func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint64, payload []byte, depth int) {
+	if depth < 1 {
+		depth = 1
+	}
+	keys := make([][]byte, depth)
+	for i := range keys {
+		keys[i] = make([]byte, 0, 32)
+	}
+	miss := make([]bool, depth)
+	for done := uint64(0); done < n; {
+		b := depth
+		if rem := n - done; rem < uint64(b) {
+			b = int(rem)
+		}
+		for i := 0; i < b; i++ {
+			keys[i] = strconv.AppendUint(keys[i][:0], ks.Next(), 10)
+			c.SendGet(keys[i])
+		}
+		if st.err = c.Flush(); st.err != nil {
+			return
+		}
+		misses := 0
+		for i := 0; i < b; i++ {
+			_, ok, err := c.ReadGetReply()
+			if err != nil {
+				st.err = err
+				return
+			}
+			st.gets++
+			miss[i] = !ok
+			if ok {
+				st.hits++
+			} else {
+				misses++
+			}
+		}
+		if misses > 0 {
+			for i := 0; i < b; i++ {
+				if miss[i] {
+					c.SendSet(keys[i], 0, payload)
+				}
+			}
+			if st.err = c.Flush(); st.err != nil {
+				return
+			}
+			for i := 0; i < misses; i++ {
+				if st.err = c.ReadSetReply(); st.err != nil {
+					return
+				}
+				st.sets++
+			}
+		}
+		done += uint64(b)
+	}
+}
+
+// runDirect is the same loop against the cache API, for baselining the
+// protocol + network overhead away.
+func runDirect(st *connStats, cache *adaptivekv.Cache[string, []byte], ks *workload.KeyStream, n uint64, payload []byte) {
+	key := make([]byte, 0, 32)
+	for i := uint64(0); i < n; i++ {
+		key = strconv.AppendUint(key[:0], ks.Next(), 10)
+		st.gets++
+		if _, ok := cache.Get(string(key)); ok {
+			st.hits++
+			continue
+		}
+		cache.Set(string(key), payload)
+		st.sets++
+	}
+}

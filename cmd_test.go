@@ -4,11 +4,13 @@ package repro
 // the local toolchain and driven through a small but real invocation.
 
 import (
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCmd builds ./cmd/<name> into a temp dir and returns the binary path.
@@ -133,5 +135,75 @@ func TestVerifyboundEndToEnd(t *testing.T) {
 	out = runCmd(t, bin, "-ways", "2", "-blocks", "5", "-len", "200", "-random", "50")
 	if !strings.Contains(out, "random check") {
 		t.Fatalf("random mode output:\n%s", out)
+	}
+}
+
+// TestAdaptcachedKvloadgenEndToEnd exercises the two key-value binaries
+// together over a real loopback socket: adaptcached serving, kvloadgen
+// driving pipelined connections, then a graceful SIGTERM drain.
+func TestAdaptcachedKvloadgenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	server := buildCmd(t, "adaptcached")
+	loadgen := buildCmd(t, "kvloadgen")
+
+	// Reserve a free loopback port, then hand it to the server.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var serverOut strings.Builder
+	srv := exec.Command(server, "-addr", addr, "-shards", "4", "-sets", "256", "-drain", "2s")
+	srv.Stdout = &serverOut
+	srv.Stderr = &serverOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// Wait for the listener to come up.
+	ok := false
+	for i := 0; i < 100; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			c.Close()
+			ok = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatalf("server never came up:\n%s", serverOut.String())
+	}
+
+	out := runCmd(t, loadgen, "-addr", addr, "-conns", "2", "-ops", "40000", "-mix", "zipf")
+	for _, want := range []string{"ops/s", "hit ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("loadgen output missing %q:\n%s", want, out)
+		}
+	}
+	out = runCmd(t, loadgen, "-addr", addr, "-conns", "1", "-ops", "20000", "-mix", "loop")
+	if !strings.Contains(out, "ops/s") {
+		t.Fatalf("loop-mix loadgen output:\n%s", out)
+	}
+
+	// -direct runs the same loop against the in-process cache (no server).
+	out = runCmd(t, loadgen, "-direct", "-ops", "20000")
+	if !strings.Contains(out, "ops/s") {
+		t.Fatalf("-direct loadgen output:\n%s", out)
+	}
+
+	if err := srv.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("server exit: %v\n%s", err, serverOut.String())
+	}
+	if got := serverOut.String(); !strings.Contains(got, "served") {
+		t.Fatalf("server summary missing:\n%s", got)
 	}
 }

@@ -2,12 +2,13 @@
 // Effective Shaping of Cache Behavior to Workloads" (Subramanian,
 // Smaragdakis, Loh — MICRO 2006).
 //
-// The library lives under internal/:
+// The library lives under internal/, with one exported subsystem:
 //
 //   - internal/core — the paper's contribution: adaptive replacement over
 //     any N component policies with parallel shadow tag arrays (full or
-//     partial tags), per-set miss history, and the SBAR set-sampling
-//     variant.
+//     partial tags), per-set miss history, the SBAR set-sampling variant,
+//     and the Engine decision API that lifts the scheme out of trace
+//     simulation for external stores.
 //   - internal/cache, internal/policy, internal/history — the
 //     set-associative cache substrate and the standard policies (LRU, LFU,
 //     FIFO, MRU, Random).
@@ -17,9 +18,29 @@
 //     benchmark suite and the binary trace format.
 //   - internal/sim — experiment wiring plus one function per paper figure
 //     and table.
+//   - internal/kvproto — the memcached-style text protocol spoken by the
+//     key-value binaries.
+//   - adaptivekv — a sharded concurrent key-value cache whose replacement
+//     decisions are made by the adaptive engine (the paper's scheme doing
+//     real work, not simulation).
 //
 // The benchmarks in bench_test.go regenerate each figure of the paper's
 // evaluation; see EXPERIMENTS.md for paper-vs-measured results and
-// DESIGN.md for the system inventory. Binaries: cmd/adaptsim,
-// cmd/benchtables, cmd/tracegen. Runnable examples live in examples/.
+// DESIGN.md for the system inventory.
+//
+// Binaries:
+//
+//   - cmd/adaptsim — run suite benchmarks under a chosen replacement
+//     configuration, reporting MPKI/CPI.
+//   - cmd/benchtables — regenerate the full paper tables.
+//   - cmd/tracegen — emit synthetic traces in the binary trace format.
+//   - cmd/benchregress — measure the simulator and adaptivekv hot paths
+//     against BENCH_hotpath.json; -check gates regressions in CI.
+//   - cmd/verifybound — exhaustively check the 2x worst-case miss bound.
+//   - cmd/adaptcached — serve adaptivekv over TCP (memcached-style text
+//     protocol) with expvar counters and graceful shutdown.
+//   - cmd/kvloadgen — closed-loop load generator replaying
+//     internal/workload patterns against adaptcached (or in-process).
+//
+// Runnable examples live in examples/.
 package repro

@@ -173,6 +173,12 @@ func (c *Cache) ContainsMasked(set int, fullTag uint64) bool {
 	return c.find(set, fullTag&c.tagMask) >= 0
 }
 
+// FindTag returns the way holding fullTag (after masking) in set, or -1 —
+// a pure query with no statistics or policy side effects.
+func (c *Cache) FindTag(set int, fullTag uint64) int {
+	return c.find(set, fullTag&c.tagMask)
+}
+
 // Access performs one reference to address a. write marks the line dirty on
 // hit or fill. The returned AccessResult reports hit/miss and any eviction.
 func (c *Cache) Access(a Addr, write bool) AccessResult {
@@ -258,18 +264,60 @@ func (c *Cache) AccessTag(set int, fullTag uint64, write bool) AccessResult {
 	return res
 }
 
+// ProbeTag performs a fill-free reference by pre-decomposed set index and
+// full tag: the policy's Observe/Touch hooks run and statistics count the
+// access, but a miss leaves the set unchanged — no victim selection, no
+// insertion. Lookup-style consumers (the adaptivekv Get path) use it so a
+// read miss returns to the caller instead of fabricating a fill; the
+// eventual read-through Set performs the fill as a separate access.
+func (c *Cache) ProbeTag(set int, fullTag uint64) (way int, hit bool) {
+	tag := fullTag & c.tagMask
+	lines := c.lines[set*c.ways : set*c.ways+c.ways]
+
+	c.stats.Accesses++
+	way = -1
+	for w := range lines {
+		if lines[w].Valid && lines[w].Tag == tag {
+			way = w
+			break
+		}
+	}
+	hit = way >= 0
+	if !c.obsNop {
+		c.pol.Observe(set, tag, hit)
+	}
+	if hit {
+		c.stats.Hits++
+		c.pol.Touch(set, way)
+		return way, true
+	}
+	c.stats.Misses++
+	return -1, false
+}
+
+// InvalidateTag removes the line matching fullTag (after masking) from set,
+// returning the way it occupied (-1 if absent) and whether it was dirty.
+// Like Invalidate, policy metadata for the way is left as-is; the way
+// becomes fill-preferred by virtue of being invalid. The eviction does not
+// count toward Stats.Evictions: it is an explicit removal, not a capacity
+// decision.
+func (c *Cache) InvalidateTag(set int, fullTag uint64) (way int, dirty bool) {
+	if w := c.find(set, fullTag&c.tagMask); w >= 0 {
+		i := set*c.ways + w
+		dirty = c.lines[i].Dirty
+		c.lines[i] = Line{}
+		return w, dirty
+	}
+	return -1, false
+}
+
 // Invalidate removes the block of address a if resident, returning whether
 // it was present and dirty. Policy metadata for the way is left as-is; the
 // way becomes fill-preferred by virtue of being invalid.
 func (c *Cache) Invalidate(a Addr) (present, dirty bool) {
 	set, tag := c.decompose(a)
-	if w := c.find(set, tag&c.tagMask); w >= 0 {
-		i := set*c.ways + w
-		dirty = c.lines[i].Dirty
-		c.lines[i] = Line{}
-		return true, dirty
-	}
-	return false, false
+	w, dirty := c.InvalidateTag(set, tag)
+	return w >= 0, dirty
 }
 
 // Occupancy returns the number of valid lines in set s.

@@ -203,6 +203,90 @@ func TestCacheInvalidate(t *testing.T) {
 	}
 }
 
+func TestProbeTagFillFree(t *testing.T) {
+	g := Geometry{SizeBytes: 4 * 64, LineBytes: 64, Ways: 4} // 1 set, 4 ways
+	c := New(g, directPolicy{})
+
+	// A probe miss counts but does not fill.
+	if way, hit := c.ProbeTag(0, 7); hit || way != -1 {
+		t.Fatalf("cold probe = (%d, %v), want (-1, false)", way, hit)
+	}
+	if got := c.Occupancy(0); got != 0 {
+		t.Fatalf("probe miss filled the set: occupancy %d", got)
+	}
+
+	// After a real fill, the probe hits at the same way without changing
+	// anything.
+	res := c.AccessTag(0, 7, false)
+	if way, hit := c.ProbeTag(0, 7); !hit || way != res.Way {
+		t.Fatalf("probe after fill = (%d, %v), want (%d, true)", way, hit, res.Way)
+	}
+	s := c.Stats()
+	if s.Accesses != 3 || s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want accesses=3 hits=1 misses=2", s)
+	}
+}
+
+func TestProbeTagTouchesRecency(t *testing.T) {
+	g := Geometry{SizeBytes: 2 * 64, LineBytes: 64, Ways: 2} // 1 set, 2 ways
+	c := New(g, newLRUish())
+	c.AccessTag(0, 1, false)
+	c.AccessTag(0, 2, false)
+	// Probe tag 1 so tag 2 becomes the LRU victim.
+	c.ProbeTag(0, 1)
+	res := c.AccessTag(0, 3, false)
+	if !res.Evicted || res.EvictedTag != 2 {
+		t.Fatalf("after probe-touch, evicted %+v, want tag 2", res)
+	}
+}
+
+// lruish is a minimal LRU for recency tests without importing the policy
+// package (which would create an import cycle policy -> cache -> policy).
+type lruish struct {
+	NopObserver
+	clock uint64
+	at    map[[2]int]uint64
+}
+
+func newLRUish() *lruish                        { return &lruish{} }
+func (*lruish) Name() string                    { return "lruish" }
+func (p *lruish) Attach(Geometry)               { p.at = map[[2]int]uint64{}; p.clock = 0 }
+func (p *lruish) Touch(set, way int)            { p.clock++; p.at[[2]int{set, way}] = p.clock }
+func (p *lruish) Insert(set, way int, _ uint64) { p.Touch(set, way) }
+func (p *lruish) Victim(set int, lines []Line, _ uint64) int {
+	best, bestAt := 0, ^uint64(0)
+	for w := range lines {
+		if at := p.at[[2]int{set, w}]; at < bestAt {
+			best, bestAt = w, at
+		}
+	}
+	return best
+}
+
+func TestInvalidateTag(t *testing.T) {
+	g := Geometry{SizeBytes: 4 * 64, LineBytes: 64, Ways: 4}
+	c := New(g, directPolicy{})
+	c.AccessTag(0, 5, true) // dirty fill
+	way, dirty := c.InvalidateTag(0, 5)
+	if way < 0 || !dirty {
+		t.Fatalf("InvalidateTag = (%d, %v), want (>=0, true)", way, dirty)
+	}
+	if c.ContainsMasked(0, 5) {
+		t.Fatal("tag still present after InvalidateTag")
+	}
+	if way, _ := c.InvalidateTag(0, 5); way != -1 {
+		t.Fatalf("double InvalidateTag returned way %d, want -1", way)
+	}
+	// Explicit removal is not an eviction.
+	if ev := c.Stats().Evictions; ev != 0 {
+		t.Fatalf("Evictions = %d, want 0", ev)
+	}
+	// The freed way is fill-preferred.
+	if res := c.AccessTag(0, 9, false); res.Evicted {
+		t.Fatal("fill after InvalidateTag evicted")
+	}
+}
+
 func TestPartialMask(t *testing.T) {
 	cases := []struct {
 		n    int

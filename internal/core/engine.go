@@ -1,0 +1,149 @@
+package core
+
+import (
+	"repro/internal/cache"
+)
+
+// Engine is the reusable per-set replacement decision engine: it couples a
+// tag-only directory with any cache.Policy (typically Adaptive or SBAR) and
+// exposes the probe → decide → fill cycle to external stores that keep
+// their own data arrays. The simulator drives the adaptive scheme through
+// trace replay (cache.Cache.Access); the adaptivekv subsystem drives it
+// through this API, one Engine per shard.
+//
+// The Engine distinguishes lookups from stores, matching key-value
+// semantics rather than CPU-cache semantics:
+//
+//   - Lookup probes without filling: the policy observes the access (shadow
+//     arrays and miss history update exactly as for a CPU-cache access) and
+//     a hit refreshes recency, but a miss leaves the set unchanged.
+//   - Store fills on miss, consulting the policy's Victim when the set is
+//     full — paper Algorithm 1 runs here — and updates in place on hit. The
+//     read-through idiom (Lookup miss, compute, Store) therefore performs
+//     the fill on the Store; the intervening shadow fill from the Lookup
+//     makes the Store's shadow accesses all-hit events, which the history
+//     buffers already discard as carrying no preference signal.
+//   - Delete invalidates a tag, leaving the way fill-preferred.
+//
+// Engine is not safe for concurrent use; callers shard and lock (one
+// Engine per adaptivekv shard, under the shard mutex).
+type Engine struct {
+	dir *cache.Cache
+	pol cache.Policy
+
+	// Global-selector introspection when the policy is SBAR: winner
+	// transitions are counted so deployments can export "how often does the
+	// adaptive scheme actually change its mind" alongside hit ratios.
+	sbar       *SBAR
+	lastWinner int
+	switches   uint64
+}
+
+// EngineGeometry returns the directory geometry for a sets x ways decision
+// engine. The line size is nominal (one "line" per key-value entry); it
+// only matters for storage accounting, where it stands in for the entry
+// payload.
+func EngineGeometry(sets, ways int) cache.Geometry {
+	return cache.Geometry{SizeBytes: sets * ways * 64, LineBytes: 64, Ways: ways}
+}
+
+// NewEngine builds a decision engine of the given shape around pol. The
+// directory stores full tags; partial tags remain a shadow-array cost
+// optimization configured on the policy itself (WithShadowTagBits).
+func NewEngine(g cache.Geometry, pol cache.Policy) *Engine {
+	e := &Engine{dir: cache.New(g, pol), pol: pol, lastWinner: -1}
+	if s, ok := pol.(*SBAR); ok {
+		e.sbar = s
+		e.lastWinner = s.Winner()
+	}
+	return e
+}
+
+// Lookup probes for tag in set without filling. On a hit it returns the
+// way and refreshes the policy's recency/frequency state; on a miss it
+// returns (-1, false) and the set is unchanged.
+func (e *Engine) Lookup(set int, tag uint64) (way int, ok bool) {
+	way, ok = e.dir.ProbeTag(set, tag)
+	e.trackWinner()
+	return way, ok
+}
+
+// StoreResult describes where a Store landed.
+type StoreResult struct {
+	Way        int
+	Hit        bool   // the tag was already resident (update in place)
+	Evicted    bool   // a different tag was displaced to make room
+	EvictedTag uint64 // its value, if Evicted
+}
+
+// Store upserts tag into set: an update in place on hit, otherwise a fill
+// into an invalid way, otherwise a fill over the policy's victim.
+func (e *Engine) Store(set int, tag uint64) StoreResult {
+	res := e.dir.AccessTag(set, tag, false)
+	e.trackWinner()
+	return StoreResult{Way: res.Way, Hit: res.Hit, Evicted: res.Evicted, EvictedTag: res.EvictedTag}
+}
+
+// Delete removes tag from set, returning the way it occupied (-1 if
+// absent).
+func (e *Engine) Delete(set int, tag uint64) (way int, ok bool) {
+	way, _ = e.dir.InvalidateTag(set, tag)
+	return way, way >= 0
+}
+
+// Find returns the way holding tag in set, or (-1, false), without
+// touching statistics or policy state. Callers that must validate an
+// external invariant before mutating (e.g. full-key comparison against a
+// hashed tag) peek with Find first.
+func (e *Engine) Find(set int, tag uint64) (way int, ok bool) {
+	way = e.dir.FindTag(set, tag)
+	return way, way >= 0
+}
+
+// trackWinner counts SBAR global-selector transitions.
+func (e *Engine) trackWinner() {
+	if e.sbar == nil {
+		return
+	}
+	if w := e.sbar.Winner(); w != e.lastWinner {
+		e.lastWinner = w
+		e.switches++
+	}
+}
+
+// PolicySwitches returns how many times the SBAR global selector has
+// changed its winning component (0 for non-SBAR policies).
+func (e *Engine) PolicySwitches() uint64 { return e.switches }
+
+// Winner returns the SBAR global selector's current component index, or -1
+// when the policy has no global selector.
+func (e *Engine) Winner() int {
+	if e.sbar == nil {
+		return -1
+	}
+	return e.sbar.Winner()
+}
+
+// Stats returns the directory's accumulated access statistics. Lookups and
+// Stores both count as accesses; Deletes do not.
+func (e *Engine) Stats() cache.Stats { return e.dir.Stats() }
+
+// Geometry returns the directory shape.
+func (e *Engine) Geometry() cache.Geometry { return e.dir.Geometry() }
+
+// Policy returns the attached replacement policy.
+func (e *Engine) Policy() cache.Policy { return e.pol }
+
+// Directory exposes the underlying tag directory for tests and
+// introspection.
+func (e *Engine) Directory() *cache.Cache { return e.dir }
+
+// Reset clears the directory, statistics, and policy metadata.
+func (e *Engine) Reset() {
+	e.dir.Reset()
+	e.switches = 0
+	e.lastWinner = -1
+	if e.sbar != nil {
+		e.lastWinner = e.sbar.Winner()
+	}
+}

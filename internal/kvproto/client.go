@@ -1,0 +1,225 @@
+package kvproto
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Client is a minimal synchronous client for the protocol: one outstanding
+// request per Client, no pipelining. cmd/kvloadgen runs one Client per
+// connection goroutine; tests use it to talk to cmd/adaptcached.
+//
+// Get's returned value aliases an internal buffer valid until the next
+// call, keeping the request loop allocation-light.
+type Client struct {
+	conn io.ReadWriteCloser
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	val  []byte
+}
+
+// Dial connects to a protocol server at addr (host:port).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn io.ReadWriteCloser) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 4096),
+		bw:   bufio.NewWriterSize(conn, 4096),
+	}
+}
+
+// Close sends quit (best effort) and closes the connection.
+func (c *Client) Close() error {
+	c.bw.WriteString("quit\r\n")
+	c.bw.Flush()
+	return c.conn.Close()
+}
+
+// readLine reads one reply line without its terminator.
+func (c *Client) readLine() ([]byte, error) {
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		if err == io.EOF && len(line) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// unexpected converts a surprising reply line into an error (copying the
+// line, which aliases the read buffer).
+func unexpected(line []byte) error {
+	return fmt.Errorf("kvproto: unexpected reply %q", line)
+}
+
+// --- Pipelined interface ---------------------------------------------------
+//
+// SendGet/SendSet/SendDelete queue requests without flushing; Flush writes
+// the batch; the matching ReadXxxReply calls consume replies in request
+// order. The synchronous Get/Set/Delete methods are one-request batches.
+// Deep pipelines amortize both sides' syscalls — essential for driving a
+// server at six figures of ops/s from a closed loop.
+
+// SendGet queues a get without flushing.
+func (c *Client) SendGet(key []byte) {
+	c.bw.WriteString("get ")
+	c.bw.Write(key)
+	c.bw.WriteString("\r\n")
+}
+
+// SendSet queues a set without flushing.
+func (c *Client) SendSet(key []byte, flags uint32, val []byte) {
+	c.bw.WriteString("set ")
+	c.bw.Write(key)
+	c.bw.WriteByte(' ')
+	writeUint(c.bw, uint64(flags))
+	c.bw.WriteString(" 0 ")
+	writeUint(c.bw, uint64(len(val)))
+	c.bw.WriteString("\r\n")
+	c.bw.Write(val)
+	c.bw.WriteString("\r\n")
+}
+
+// SendDelete queues a delete without flushing.
+func (c *Client) SendDelete(key []byte) {
+	c.bw.WriteString("delete ")
+	c.bw.Write(key)
+	c.bw.WriteString("\r\n")
+}
+
+// Flush writes all queued requests to the connection.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Get fetches key. The returned slice is valid until the next Client call.
+func (c *Client) Get(key []byte) (val []byte, ok bool, err error) {
+	c.SendGet(key)
+	if err := c.Flush(); err != nil {
+		return nil, false, err
+	}
+	return c.ReadGetReply()
+}
+
+// ReadGetReply consumes one get response. The returned slice is valid
+// until the next Client call.
+func (c *Client) ReadGetReply() (val []byte, ok bool, err error) {
+	line, err := c.readLine()
+	if err != nil {
+		return nil, false, err
+	}
+	if bytes.Equal(line, replyEnd[:3]) { // "END"
+		return nil, false, nil
+	}
+	if !bytes.HasPrefix(line, valuePrefix) {
+		return nil, false, unexpected(line)
+	}
+	// VALUE <key> <flags> <bytes>
+	rest := line[len(valuePrefix):]
+	_, rest = nextField(rest) // key (trusted: single-request protocol)
+	_, rest = nextField(rest) // flags
+	sizeB, tail := nextField(rest)
+	size, okN := parseUint(sizeB)
+	if !okN || len(tail) != 0 || size > MaxValueBytes {
+		return nil, false, unexpected(line)
+	}
+	if cap(c.val) < int(size)+2 {
+		c.val = make([]byte, size+2)
+	}
+	buf := c.val[:size+2]
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, false, err
+	}
+	end, err := c.readLine()
+	if err != nil {
+		return nil, false, err
+	}
+	if !bytes.Equal(end, replyEnd[:3]) {
+		return nil, false, unexpected(end)
+	}
+	return buf[:size], true, nil
+}
+
+// Set stores val under key with the given flags.
+func (c *Client) Set(key []byte, flags uint32, val []byte) error {
+	c.SendSet(key, flags, val)
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	return c.ReadSetReply()
+}
+
+// ReadSetReply consumes one set response.
+func (c *Client) ReadSetReply() error {
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(line, replyStored[:6]) { // "STORED"
+		return unexpected(line)
+	}
+	return nil
+}
+
+// Delete removes key, reporting whether it was resident.
+func (c *Client) Delete(key []byte) (bool, error) {
+	c.SendDelete(key)
+	if err := c.Flush(); err != nil {
+		return false, err
+	}
+	return c.ReadDeleteReply()
+}
+
+// ReadDeleteReply consumes one delete response.
+func (c *Client) ReadDeleteReply() (bool, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case bytes.Equal(line, replyDeleted[:7]): // "DELETED"
+		return true, nil
+	case bytes.Equal(line, replyNotFound[:9]): // "NOT_FOUND"
+		return false, nil
+	default:
+		return false, unexpected(line)
+	}
+}
+
+// Stats fetches the server's STAT lines as a name → value map.
+func (c *Client) Stats() (map[string]string, error) {
+	c.bw.WriteString("stats\r\n")
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	stats := make(map[string]string)
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Equal(line, replyEnd[:3]) {
+			return stats, nil
+		}
+		if !bytes.HasPrefix(line, statPrefix) {
+			return nil, unexpected(line)
+		}
+		rest := line[len(statPrefix):]
+		name, value := nextField(rest)
+		stats[string(name)] = string(value)
+	}
+}

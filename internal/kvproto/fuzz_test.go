@@ -1,0 +1,86 @@
+package kvproto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReaderNext throws arbitrary bytes at the request parser. The
+// properties under test: no panics, no infinite loops, every successful
+// parse satisfies the protocol's declared invariants, and every
+// *ClientError leaves the stream resynchronized (the parser keeps making
+// progress). Seeds cover each command, each recoverable violation, and
+// truncations at interesting offsets.
+func FuzzReaderNext(f *testing.F) {
+	seeds := []string{
+		// Valid traffic.
+		"get foo\r\n",
+		"get foo\n",
+		"set bar 7 0 5\r\nhello\r\n",
+		"set bar 0 0 0\r\n\r\n",
+		"delete foo\r\n",
+		"stats\r\n",
+		"quit\r\n",
+		"set a 1 2 3\r\nxyz\r\nget a\r\ndelete a\r\nquit\r\n",
+		// Violations that must stay recoverable.
+		"frobnicate\r\n",
+		"get a b\r\n",
+		"get\r\n",
+		"set k 0 0 nope\r\n",
+		"set k 0 5\r\n",
+		"set k 0 0 99999999999999999999\r\nx\r\n",
+		// Truncations: mid-line, mid-header, mid-chunk, missing terminator.
+		"get fo",
+		"set bar 7 0 5",
+		"set bar 7 0 5\r\nhel",
+		"set bar 7 0 5\r\nhelloXY",
+		"\r\n",
+		"\n",
+		"",
+		" \r\n",
+		"get \x00\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewReader(bytes.NewReader(data))
+		var req Request
+		for i := 0; i <= len(data)+1; i++ {
+			err := rd.Next(&req)
+			if err == nil {
+				switch req.Op {
+				case OpGet, OpDelete:
+					if !validKey(req.Key) {
+						t.Fatalf("accepted invalid key %q", req.Key)
+					}
+				case OpSet:
+					if !validKey(req.Key) {
+						t.Fatalf("accepted invalid set key %q", req.Key)
+					}
+					if len(req.Value) > MaxValueBytes {
+						t.Fatalf("accepted %d-byte value", len(req.Value))
+					}
+				case OpStats, OpQuit:
+				default:
+					t.Fatalf("parsed request with op %v", req.Op)
+				}
+				continue
+			}
+			var ce *ClientError
+			if errors.As(err, &ce) {
+				continue // resynchronized; keep going
+			}
+			// Fatal errors must be the documented ones.
+			if err != io.EOF && err != io.ErrUnexpectedEOF && err != ErrCorrupt {
+				t.Fatalf("undocumented fatal error: %v", err)
+			}
+			return
+		}
+		// Each iteration consumes at least one byte (a line or a chunk), so
+		// len(data)+1 iterations without reaching an error means a stall.
+		t.Fatalf("parser failed to terminate on %d-byte input", len(data))
+	})
+}

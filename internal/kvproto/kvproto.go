@@ -1,0 +1,409 @@
+// Package kvproto implements the subset of the memcached text protocol
+// spoken by cmd/adaptcached and cmd/kvloadgen: get, set, delete, stats,
+// quit. Keys are printable ASCII up to 250 bytes; values are arbitrary
+// bytes up to MaxValueBytes; set's flags and exptime fields are parsed for
+// wire compatibility but not stored (the adaptive cache decides lifetimes,
+// not the client).
+//
+// The server-side Reader reuses its buffers across requests: Request.Key
+// and Request.Value alias internal storage and are valid only until the
+// next call to Next. Recoverable protocol violations (oversized line,
+// unknown command, malformed header, oversized value) resynchronize the
+// stream and return a *ClientError that the server reports without
+// dropping the connection; any other error means the stream state is
+// unknown and the connection must close.
+package kvproto
+
+import (
+	"bufio"
+	"errors"
+	"io"
+)
+
+// Protocol limits. MaxKeyBytes matches memcached; MaxValueBytes keeps one
+// request's buffered value bounded.
+const (
+	MaxKeyBytes   = 250
+	MaxValueBytes = 1 << 20
+)
+
+// Op identifies a request type.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+	OpGet
+	OpSet
+	OpDelete
+	OpStats
+	OpQuit
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	case OpDelete:
+		return "delete"
+	case OpStats:
+		return "stats"
+	case OpQuit:
+		return "quit"
+	default:
+		return "invalid"
+	}
+}
+
+// Request is one parsed client request. Key and Value alias the Reader's
+// internal buffers.
+type Request struct {
+	Op    Op
+	Key   []byte
+	Value []byte // OpSet only
+	Flags uint32 // OpSet only; echoed back by convention, not stored
+}
+
+// ClientError is a recoverable protocol violation: the Reader has already
+// resynchronized to the next line, so the server may report it (as a
+// CLIENT_ERROR reply) and keep serving the connection.
+type ClientError struct{ Msg string }
+
+func (e *ClientError) Error() string { return "kvproto: client error: " + e.Msg }
+
+// Pre-built recoverable errors for the non-parameterized violations, so
+// the hot parse path does not allocate to reject garbage.
+var (
+	errUnknownCommand = &ClientError{Msg: "unknown command"}
+	errBadCommandLine = &ClientError{Msg: "malformed command line"}
+	errLineTooLong    = &ClientError{Msg: "command line too long"}
+	errBadKey         = &ClientError{Msg: "invalid key"}
+	errObjectTooLarge = &ClientError{Msg: "object too large"}
+)
+
+// ErrCorrupt means the stream cannot be resynchronized (a set's data chunk
+// did not end in CRLF); the connection must close.
+var ErrCorrupt = errors.New("kvproto: corrupt stream")
+
+// Reader parses requests from a connection.
+type Reader struct {
+	br  *bufio.Reader
+	val []byte // reusable value buffer for OpSet
+}
+
+// NewReader wraps r. The internal buffer comfortably holds a maximal
+// command line (key 250 bytes plus numeric fields).
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1024)}
+}
+
+// Reset repoints the Reader at a new connection, retaining buffers.
+func (rd *Reader) Reset(r io.Reader) { rd.br.Reset(r) }
+
+// Buffered returns the number of request bytes already read from the
+// connection but not yet parsed. A server can elide the reply flush while
+// this is non-zero: the client is pipelining and cannot be blocked on this
+// reply, so replies batch up and go out in one write.
+func (rd *Reader) Buffered() int { return rd.br.Buffered() }
+
+// readLine returns the next CRLF- (or bare LF-) terminated line without its
+// terminator. An over-long line is consumed to its end and reported as
+// errLineTooLong, leaving the stream synchronized.
+func (rd *Reader) readLine() ([]byte, error) {
+	line, err := rd.br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		for err == bufio.ErrBufferFull {
+			_, err = rd.br.ReadSlice('\n')
+		}
+		if err != nil {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, errLineTooLong
+	}
+	if err != nil {
+		if err == io.EOF && len(line) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err // io.EOF: clean close between requests
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// nextField splits the leading space-delimited field off line. Consecutive
+// spaces delimit empty fields, which every caller rejects as malformed.
+func nextField(line []byte) (field, rest []byte) {
+	for i := 0; i < len(line); i++ {
+		if line[i] == ' ' {
+			return line[:i], line[i+1:]
+		}
+	}
+	return line, nil
+}
+
+// parseUint is an allocation-free decimal parser with overflow checking.
+func parseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (^uint64(0)-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
+}
+
+// validKey enforces the protocol's key shape: 1..MaxKeyBytes printable
+// non-space ASCII bytes. (Spaces are structurally impossible — they
+// delimit fields — but control bytes must be rejected explicitly.)
+func validKey(k []byte) bool {
+	if len(k) == 0 || len(k) > MaxKeyBytes {
+		return false
+	}
+	for _, c := range k {
+		if c <= ' ' || c == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// commandIs reports whether b equals cmd ASCII-case-insensitively. Commands
+// are short, so a byte loop beats any allocating fold.
+func commandIs(b []byte, cmd string) bool {
+	if len(b) != len(cmd) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != cmd[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Next parses one request into req. It returns io.EOF on clean connection
+// close, a *ClientError for recoverable violations (stream already
+// resynchronized), and ErrCorrupt or an I/O error when the connection must
+// close. req's slices are valid until the next call.
+func (rd *Reader) Next(req *Request) error {
+	*req = Request{}
+	line, err := rd.readLine()
+	if err != nil {
+		return err
+	}
+	cmd, rest := nextField(line)
+	switch {
+	case commandIs(cmd, "get"):
+		req.Op = OpGet
+		key, tail := nextField(rest)
+		if len(tail) != 0 || !validKey(key) {
+			return errBadKey
+		}
+		req.Key = key
+		return nil
+
+	case commandIs(cmd, "delete"):
+		req.Op = OpDelete
+		key, tail := nextField(rest)
+		if len(tail) != 0 || !validKey(key) {
+			return errBadKey
+		}
+		req.Key = key
+		return nil
+
+	case commandIs(cmd, "set"):
+		req.Op = OpSet
+		return rd.parseSet(req, rest)
+
+	case commandIs(cmd, "stats"):
+		if len(rest) != 0 {
+			return errBadCommandLine
+		}
+		req.Op = OpStats
+		return nil
+
+	case commandIs(cmd, "quit"):
+		if len(rest) != 0 {
+			return errBadCommandLine
+		}
+		req.Op = OpQuit
+		return nil
+
+	default:
+		return errUnknownCommand
+	}
+}
+
+// parseSet handles "set <key> <flags> <exptime> <bytes>" plus the
+// following data chunk. On an oversized value the chunk is drained so the
+// error is recoverable; on a missing CRLF terminator the stream is corrupt.
+func (rd *Reader) parseSet(req *Request, rest []byte) error {
+	key, rest := nextField(rest)
+	flagsB, rest := nextField(rest)
+	exptimeB, rest := nextField(rest)
+	bytesB, tail := nextField(rest)
+	if len(tail) != 0 {
+		return errBadCommandLine
+	}
+	flags, okF := parseUint(flagsB)
+	_, okE := parseUint(exptimeB)
+	size, okB := parseUint(bytesB)
+	if !okF || !okE || !okB || flags > 0xffffffff {
+		return errBadCommandLine
+	}
+	keyOK := validKey(key)
+	if !keyOK || size > MaxValueBytes {
+		// Drain the data chunk so the violation stays recoverable.
+		if err := rd.discard(int64(size) + 2); err != nil {
+			return err
+		}
+		if !keyOK {
+			return errBadKey
+		}
+		return errObjectTooLarge
+	}
+	if cap(rd.val) < int(size)+2 {
+		rd.val = make([]byte, size+2)
+	}
+	buf := rd.val[:size+2]
+	if _, err := io.ReadFull(rd.br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	if buf[size] != '\r' || buf[size+1] != '\n' {
+		return ErrCorrupt
+	}
+	req.Key = key
+	req.Flags = uint32(flags)
+	req.Value = buf[:size]
+	return nil
+}
+
+// discard consumes n bytes, mapping EOF to ErrUnexpectedEOF.
+func (rd *Reader) discard(n int64) error {
+	if _, err := rd.br.Discard(int(n)); err != nil {
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return nil
+}
+
+// --- Reply writing ---------------------------------------------------------
+
+// Canonical reply lines.
+var (
+	replyEnd       = []byte("END\r\n")
+	replyStored    = []byte("STORED\r\n")
+	replyDeleted   = []byte("DELETED\r\n")
+	replyNotFound  = []byte("NOT_FOUND\r\n")
+	replyError     = []byte("ERROR\r\n")
+	crlf           = []byte("\r\n")
+	valuePrefix    = []byte("VALUE ")
+	statPrefix     = []byte("STAT ")
+	clientErrorPfx = []byte("CLIENT_ERROR ")
+)
+
+// WriteValue writes "VALUE <key> <flags> <len>\r\n<val>\r\n". The caller
+// terminates the get response with WriteEnd.
+func WriteValue(w *bufio.Writer, key []byte, flags uint32, val []byte) {
+	w.Write(valuePrefix)
+	w.Write(key)
+	w.WriteByte(' ')
+	writeUint(w, uint64(flags))
+	w.WriteByte(' ')
+	writeUint(w, uint64(len(val)))
+	w.Write(crlf)
+	w.Write(val)
+	w.Write(crlf)
+}
+
+// WriteEnd terminates a get or stats response.
+func WriteEnd(w *bufio.Writer) { w.Write(replyEnd) }
+
+// WriteStored acknowledges a set.
+func WriteStored(w *bufio.Writer) { w.Write(replyStored) }
+
+// WriteDeleted acknowledges a successful delete.
+func WriteDeleted(w *bufio.Writer) { w.Write(replyDeleted) }
+
+// WriteNotFound answers a delete of an absent key.
+func WriteNotFound(w *bufio.Writer) { w.Write(replyNotFound) }
+
+// WriteError reports an unknown command.
+func WriteError(w *bufio.Writer) { w.Write(replyError) }
+
+// WriteClientError reports a recoverable protocol violation.
+func WriteClientError(w *bufio.Writer, msg string) {
+	w.Write(clientErrorPfx)
+	w.WriteString(msg)
+	w.Write(crlf)
+}
+
+// WriteStat writes one "STAT <name> <value>\r\n" line.
+func WriteStat(w *bufio.Writer, name string, value uint64) {
+	w.Write(statPrefix)
+	w.WriteString(name)
+	w.WriteByte(' ')
+	writeUint(w, value)
+	w.Write(crlf)
+}
+
+// WriteStatStr writes one "STAT <name> <value>\r\n" line with a string
+// value (hit ratios, policy names).
+func WriteStatStr(w *bufio.Writer, name, value string) {
+	w.Write(statPrefix)
+	w.WriteString(name)
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.Write(crlf)
+}
+
+// writeUint renders n in decimal without allocating.
+func writeUint(w *bufio.Writer, n uint64) {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	w.Write(buf[i:])
+}
+
+// formatUint is writeUint for callers building strings (client side).
+func formatUint(n uint64) string {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}

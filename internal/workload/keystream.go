@@ -1,0 +1,76 @@
+package workload
+
+// KeyStream adapts the access-pattern primitives to key-value traffic: it
+// yields the block-number stream of a weighted Pattern mix without the
+// instruction-level scaffolding of Generator. The adaptivekv subsystem and
+// cmd/kvloadgen replay these streams as cache keys, so the same behavioral
+// classes the paper uses to explain policy preferences (hot sets, scans,
+// loops, episodic shifts) exercise the live key-value cache.
+//
+// The stream is deterministic in (seed, patterns); two KeyStreams built
+// with identical arguments produce identical key sequences, which is what
+// lets tests replay one workload against several cache configurations.
+type KeyStream struct {
+	r         *rng
+	patterns  []*patternState
+	weightTot int
+}
+
+// NewKeyStream builds a stream over the given pattern mix. Weights behave
+// as in Phase: non-positive weights count as 1.
+func NewKeyStream(seed uint64, patterns []Pattern) *KeyStream {
+	if len(patterns) == 0 {
+		panic("workload: KeyStream needs at least one pattern")
+	}
+	s := &KeyStream{r: newRNG(seed)}
+	s.patterns = make([]*patternState, len(patterns))
+	for i, p := range patterns {
+		if p.Weight <= 0 {
+			p.Weight = 1
+		}
+		s.patterns[i] = newPatternState(p, i, s.r)
+		s.weightTot += p.Weight
+	}
+	return s
+}
+
+// Next returns the next key (block number) in the stream.
+func (s *KeyStream) Next() uint64 {
+	st := s.patterns[0]
+	if len(s.patterns) > 1 {
+		w := int(s.r.n(uint64(s.weightTot)))
+		for _, cand := range s.patterns {
+			weight := cand.p.Weight
+			if weight <= 0 {
+				weight = 1
+			}
+			if w < weight {
+				st = cand
+				break
+			}
+			w -= weight
+		}
+	}
+	return st.next(s.r)
+}
+
+// MixedZipf is a ready-made key mix for load generation and tests: a
+// Zipf-skewed hot set of hotBlocks keys (three quarters of references)
+// over a streaming scan (the remaining quarter) that pollutes
+// recency-based policies. hotBlocks should exceed the cache's capacity
+// share for the mix to differentiate the component policies.
+func MixedZipf(hotBlocks uint64, skew float64) []Pattern {
+	return []Pattern{
+		{Kind: PatHot, Blocks: hotBlocks, Skew: skew, Weight: 3},
+		{Kind: PatScan, Blocks: 1, Weight: 1},
+	}
+}
+
+// LoopingScan is a key mix dominated by a linear loop slightly larger
+// than a cache share, the classic LRU-pathological shape.
+func LoopingScan(loopBlocks uint64) []Pattern {
+	return []Pattern{
+		{Kind: PatLoop, Blocks: loopBlocks, Weight: 4},
+		{Kind: PatScan, Blocks: 1, Weight: 1},
+	}
+}

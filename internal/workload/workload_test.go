@@ -405,3 +405,62 @@ func TestKernelSkewConcentratesExecution(t *testing.T) {
 		t.Fatalf("round-robin head share %.2f, want ~0.25", frac)
 	}
 }
+
+func TestKeyStreamDeterministic(t *testing.T) {
+	mix := MixedZipf(4096, 0.4)
+	a, b := NewKeyStream(11, mix), NewKeyStream(11, mix)
+	for i := 0; i < 10000; i++ {
+		if ka, kb := a.Next(), b.Next(); ka != kb {
+			t.Fatalf("streams diverged at %d: %d != %d", i, ka, kb)
+		}
+	}
+	// A different seed must produce a different sequence.
+	c := NewKeyStream(12, mix)
+	same := 0
+	a2 := NewKeyStream(11, mix)
+	for i := 0; i < 1000; i++ {
+		if a2.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("seed has no effect on the key stream")
+	}
+}
+
+func TestKeyStreamMixesPatterns(t *testing.T) {
+	// A hot set over a scan: hot keys repeat, scan keys never do, and both
+	// regions must appear.
+	s := NewKeyStream(3, MixedZipf(64, 0.3))
+	seen := map[uint64]int{}
+	for i := 0; i < 20000; i++ {
+		seen[s.Next()]++
+	}
+	repeats, singletons := 0, 0
+	for _, n := range seen {
+		if n > 1 {
+			repeats++
+		} else {
+			singletons++
+		}
+	}
+	if repeats == 0 {
+		t.Error("no repeated keys: hot pattern missing from mix")
+	}
+	if singletons == 0 {
+		t.Error("no single-visit keys: scan pattern missing from mix")
+	}
+}
+
+func TestKeyStreamSinglePattern(t *testing.T) {
+	s := NewKeyStream(1, []Pattern{{Kind: PatLoop, Blocks: 8}})
+	first := make([]uint64, 8)
+	for i := range first {
+		first[i] = s.Next()
+	}
+	for i := 0; i < 8; i++ { // loop repeats verbatim
+		if got := s.Next(); got != first[i] {
+			t.Fatalf("loop position %d: got %d, want %d", i, got, first[i])
+		}
+	}
+}
