@@ -8,19 +8,24 @@
 //
 //	adaptcached -addr 127.0.0.1:11311
 //	adaptcached -mode adaptive -components LRU,FIFO -shards 16
-//	adaptcached -http 127.0.0.1:8080   # expvar counters at /debug/vars
+//	adaptcached -http 127.0.0.1:8080   # expvar at /debug/vars, health at /healthz
+//	adaptcached -max-conns 1024 -max-item-size 65536
 //
-// Runtime counters (per-shard gets/hits/stores/evictions/policy switches)
-// are published through expvar under "adaptivekv"; pass -http to serve
-// them. SIGINT/SIGTERM drain connections gracefully.
+// Robustness (see internal/kvserver): transient accept errors are retried
+// with backoff instead of killing the listener; past -max-conns new
+// connections are shed with "SERVER_ERROR busy"; values over
+// -max-item-size are refused with "SERVER_ERROR object too large"; a
+// panic in one connection handler never takes the process down. Runtime
+// counters (per-shard gets/hits/stores/evictions/policy switches plus
+// conns_rejected, panics_recovered, accept_retries, client_errors) are
+// published through expvar under "adaptivekv"; pass -http to serve them
+// alongside /healthz (200 while accepting, 503 while draining).
+// SIGINT/SIGTERM drain connections gracefully.
 package main
 
 import (
-	"bufio"
-	"errors"
 	"expvar"
 	"flag"
-	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -28,235 +33,18 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"repro/adaptivekv"
 	"repro/internal/kvproto"
+	"repro/internal/kvserver"
 )
-
-// value is one stored object: the client's opaque flags word plus bytes.
-type value struct {
-	flags uint32
-	data  []byte
-}
-
-// server owns the cache, the listener, and the connection set.
-type server struct {
-	cache        *adaptivekv.Cache[string, value]
-	readTimeout  time.Duration
-	writeTimeout time.Duration
-
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-	done  bool
-	wg    sync.WaitGroup
-
-	start time.Time
-}
-
-func newServer(cfg adaptivekv.Config, readTO, writeTO time.Duration) *server {
-	return &server{
-		cache:        adaptivekv.New[string, value](cfg),
-		readTimeout:  readTO,
-		writeTimeout: writeTO,
-		conns:        make(map[net.Conn]struct{}),
-		start:        time.Now(),
-	}
-}
-
-// serve accepts connections until the listener closes.
-func (s *server) serve(ln net.Listener) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		if s.done {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.wg.Add(1)
-		s.mu.Unlock()
-		go s.handle(conn)
-	}
-}
-
-// shutdown stops accepting, gives in-flight requests the grace period to
-// drain, then force-closes whatever remains.
-func (s *server) shutdown(ln net.Listener, grace time.Duration) {
-	s.mu.Lock()
-	s.done = true
-	s.mu.Unlock()
-	ln.Close()
-
-	drained := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(drained)
-	}()
-	select {
-	case <-drained:
-	case <-time.After(grace):
-		s.mu.Lock()
-		for conn := range s.conns {
-			conn.Close()
-		}
-		s.mu.Unlock()
-		<-drained
-	}
-}
-
-// handle runs one connection's request loop.
-func (s *server) handle(conn net.Conn) {
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		s.wg.Done()
-	}()
-
-	rd := kvproto.NewReader(conn)
-	w := bufio.NewWriterSize(conn, 4096)
-	var req kvproto.Request
-	for {
-		if s.readTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.readTimeout))
-		}
-		switch err := rd.Next(&req); {
-		case err == nil:
-		case errors.As(err, new(*kvproto.ClientError)):
-			kvproto.WriteClientError(w, "bad request")
-			if s.flush(conn, w) != nil {
-				return
-			}
-			continue
-		default:
-			// Clean close, timeout, or corrupt stream: drop the connection.
-			return
-		}
-
-		switch req.Op {
-		case kvproto.OpGet:
-			if v, ok := s.cache.Get(string(req.Key)); ok {
-				kvproto.WriteValue(w, req.Key, v.flags, v.data)
-			}
-			kvproto.WriteEnd(w)
-		case kvproto.OpSet:
-			data := make([]byte, len(req.Value))
-			copy(data, req.Value)
-			s.cache.Set(string(req.Key), value{flags: req.Flags, data: data})
-			kvproto.WriteStored(w)
-		case kvproto.OpDelete:
-			if s.cache.Delete(string(req.Key)) {
-				kvproto.WriteDeleted(w)
-			} else {
-				kvproto.WriteNotFound(w)
-			}
-		case kvproto.OpStats:
-			s.writeStats(w)
-		case kvproto.OpQuit:
-			s.flush(conn, w)
-			return
-		default:
-			kvproto.WriteError(w)
-		}
-		// A pipelining client has more requests already buffered; batch the
-		// replies and flush once the input drains (or the buffer fills).
-		if rd.Buffered() > 0 && w.Available() > 512 {
-			continue
-		}
-		if s.flush(conn, w) != nil {
-			return
-		}
-	}
-}
-
-// flush writes buffered replies under the write deadline.
-func (s *server) flush(conn net.Conn, w *bufio.Writer) error {
-	if s.writeTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
-	}
-	return w.Flush()
-}
-
-// writeStats emits aggregate counters, the cache shape, and per-shard
-// adaptive-scheme detail.
-func (s *server) writeStats(w *bufio.Writer) {
-	st := s.cache.Stats()
-	cfg := s.cache.Config()
-	kvproto.WriteStat(w, "uptime_seconds", uint64(time.Since(s.start).Seconds()))
-	kvproto.WriteStatStr(w, "mode", string(cfg.Mode))
-	kvproto.WriteStatStr(w, "components", strings.Join(cfg.Components, ","))
-	kvproto.WriteStat(w, "shards", uint64(cfg.Shards))
-	kvproto.WriteStat(w, "capacity", uint64(s.cache.Capacity()))
-	kvproto.WriteStat(w, "items", uint64(s.cache.Len()))
-	kvproto.WriteStat(w, "cmd_get", st.Gets)
-	kvproto.WriteStat(w, "get_hits", st.GetHits)
-	kvproto.WriteStat(w, "get_misses", st.Gets-st.GetHits)
-	kvproto.WriteStat(w, "cmd_set", st.Stores)
-	kvproto.WriteStat(w, "cmd_delete", st.Deletes)
-	kvproto.WriteStat(w, "delete_hits", st.DeleteHits)
-	kvproto.WriteStat(w, "evictions", st.Evictions)
-	kvproto.WriteStat(w, "policy_switches", st.PolicySwitches)
-	kvproto.WriteStatStr(w, "hit_ratio", fmt.Sprintf("%.4f", st.HitRatio()))
-	kvproto.WriteStatStr(w, "adaptive_overhead_pct", fmt.Sprintf("%.4f", s.cache.OverheadPercent()))
-	for i := 0; i < s.cache.Shards(); i++ {
-		sh := s.cache.ShardStats(i)
-		prefix := fmt.Sprintf("shard%d_", i)
-		kvproto.WriteStat(w, prefix+"gets", sh.Gets)
-		kvproto.WriteStat(w, prefix+"get_hits", sh.GetHits)
-		kvproto.WriteStat(w, prefix+"evictions", sh.Evictions)
-		kvproto.WriteStat(w, prefix+"policy_switches", sh.PolicySwitches)
-		if wn := s.cache.Winner(i); wn >= 0 {
-			kvproto.WriteStatStr(w, prefix+"winner", cfg.Components[wn])
-		}
-	}
-	kvproto.WriteEnd(w)
-}
-
-// expvarMap builds the expvar snapshot: aggregate plus per-shard counters.
-func (s *server) expvarMap() interface{} {
-	type shardVars struct {
-		Gets, GetHits, Stores, Deletes uint64
-		Evictions, PolicySwitches      uint64
-		Winner                         string
-	}
-	cfg := s.cache.Config()
-	shards := make([]shardVars, s.cache.Shards())
-	for i := range shards {
-		st := s.cache.ShardStats(i)
-		sv := shardVars{
-			Gets: st.Gets, GetHits: st.GetHits, Stores: st.Stores,
-			Deletes: st.Deletes, Evictions: st.Evictions,
-			PolicySwitches: st.PolicySwitches,
-		}
-		if w := s.cache.Winner(i); w >= 0 {
-			sv.Winner = cfg.Components[w]
-		}
-		shards[i] = sv
-	}
-	agg := s.cache.Stats()
-	return map[string]interface{}{
-		"mode":       string(cfg.Mode),
-		"components": cfg.Components,
-		"capacity":   s.cache.Capacity(),
-		"items":      s.cache.Len(),
-		"aggregate":  agg,
-		"hit_ratio":  agg.HitRatio(),
-		"shards":     shards,
-	}
-}
 
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:11311", "TCP listen address")
-		httpAddr = flag.String("http", "", "optional HTTP listen address for expvar (/debug/vars)")
+		httpAddr = flag.String("http", "", "optional HTTP listen address for expvar (/debug/vars) and /healthz")
 		shards   = flag.Int("shards", 8, "lock-striped shards (power of two)")
 		sets     = flag.Int("sets", 1024, "sets per shard (power of two)")
 		ways     = flag.Int("ways", 8, "entries per set")
@@ -267,6 +55,8 @@ func main() {
 		readTO   = flag.Duration("read-timeout", 5*time.Minute, "per-request read deadline (0 = none)")
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline (0 = none)")
 		grace    = flag.Duration("drain", 5*time.Second, "shutdown drain period")
+		maxConns = flag.Int("max-conns", 0, "max concurrent connections; beyond this new arrivals are shed with SERVER_ERROR busy (0 = unlimited)")
+		maxItem  = flag.Int("max-item-size", kvproto.MaxValueBytes, "largest accepted value in bytes (admission bound under the protocol's 1 MiB cap)")
 	)
 	flag.Parse()
 
@@ -279,8 +69,16 @@ func main() {
 		LeaderSets:    *leaders,
 		ShadowTagBits: *tagBits,
 	}
-	srv := newServer(cfg, *readTO, *writeTO)
-	expvar.Publish("adaptivekv", expvar.Func(srv.expvarMap))
+	srv := kvserver.New(kvserver.Config{
+		Cache:        cfg,
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+		MaxConns:     *maxConns,
+		MaxItemSize:  *maxItem,
+		Logf:         log.Printf,
+	})
+	expvar.Publish("adaptivekv", expvar.Func(srv.ExpvarMap))
+	http.HandleFunc("/healthz", srv.Healthz)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -288,7 +86,7 @@ func main() {
 	}
 	log.Printf("adaptcached: serving %s/%s on %s (%d shards x %d sets x %d ways = %d entries, adaptive overhead %.3f%%)",
 		cfg.Mode, *comps, ln.Addr(), cfg.Shards, cfg.Sets, cfg.Ways,
-		srv.cache.Capacity(), srv.cache.OverheadPercent())
+		srv.Cache().Capacity(), srv.Cache().OverheadPercent())
 
 	if *httpAddr != "" {
 		go func() {
@@ -303,12 +101,17 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Printf("adaptcached: draining (%s grace)", *grace)
-		srv.shutdown(ln, *grace)
+		srv.Shutdown(ln, *grace)
 	}()
 
-	srv.serve(ln)
-	srv.wg.Wait()
-	st := srv.cache.Stats()
+	srv.Serve(ln)
+	srv.Wait()
+	st := srv.Cache().Stats()
+	ct := srv.Counters()
 	log.Printf("adaptcached: served %d gets (%.4f hit ratio), %d sets, %d evictions, %d policy switches",
 		st.Gets, st.HitRatio(), st.Stores, st.Evictions, st.PolicySwitches)
+	if ct.ConnsRejected+ct.PanicsRecovered+ct.AcceptRetries+ct.ClientErrors > 0 {
+		log.Printf("adaptcached: robustness: %d conns rejected, %d panics recovered, %d accept retries, %d client errors",
+			ct.ConnsRejected, ct.PanicsRecovered, ct.AcceptRetries, ct.ClientErrors)
+	}
 }

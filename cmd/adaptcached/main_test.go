@@ -9,19 +9,25 @@ import (
 
 	"repro/adaptivekv"
 	"repro/internal/kvproto"
+	"repro/internal/kvserver"
 )
 
-// startTestServer brings up a server on an ephemeral loopback port and
-// returns its address plus a shutdown func.
-func startTestServer(t *testing.T, cfg adaptivekv.Config) (*server, string, func()) {
+// startTestServer brings up the serving core on an ephemeral loopback
+// port and returns it plus its address and a shutdown func. The binary is
+// thin wiring over internal/kvserver, so this is what adaptcached runs.
+func startTestServer(t *testing.T, cfg adaptivekv.Config) (*kvserver.Server, string, func()) {
 	t.Helper()
-	srv := newServer(cfg, 30*time.Second, 30*time.Second)
+	srv := kvserver.New(kvserver.Config{
+		Cache:        cfg,
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	go srv.serve(ln)
-	return srv, ln.Addr().String(), func() { srv.shutdown(ln, 2*time.Second) }
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), func() { srv.Shutdown(ln, 2*time.Second) }
 }
 
 // TestServerConcurrentLoad is the in-process half of the CI smoke: many
@@ -97,7 +103,7 @@ func TestServerConcurrentLoad(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
-	for _, k := range []string{"cmd_get", "get_hits", "cmd_set", "evictions", "hit_ratio", "shard0_gets"} {
+	for _, k := range []string{"cmd_get", "get_hits", "cmd_set", "evictions", "hit_ratio", "shard0_gets", "panics_recovered"} {
 		if _, ok := st[k]; !ok {
 			t.Errorf("stats missing %q (got %d keys)", k, len(st))
 		}
@@ -105,8 +111,11 @@ func TestServerConcurrentLoad(t *testing.T) {
 	if gets, _ := strconv.ParseUint(st["cmd_get"], 10, 64); gets == 0 {
 		t.Error("server counted no gets")
 	}
-	if agg := srv.cache.Stats(); agg.Stores == 0 || agg.Evictions == 0 {
+	if agg := srv.Cache().Stats(); agg.Stores == 0 || agg.Evictions == 0 {
 		t.Errorf("cache saw no fills/evictions: %+v", agg)
+	}
+	if ct := srv.Counters(); ct.PanicsRecovered != 0 {
+		t.Errorf("panics recovered under clean load: %d", ct.PanicsRecovered)
 	}
 }
 
@@ -135,7 +144,7 @@ func TestServerProtocolEdges(t *testing.T) {
 		return string(buf[:n])
 	}
 
-	if got := send("bogus\r\n"); got != "CLIENT_ERROR bad request\r\n" {
+	if got := send("bogus\r\n"); got != "CLIENT_ERROR unknown command\r\n" {
 		t.Errorf("unknown command reply %q", got)
 	}
 	if got := send("get missing\r\n"); got != "END\r\n" {

@@ -1,0 +1,439 @@
+// Command kvchaos is the robustness analogue of cmd/benchregress: a
+// seeded chaos soak that must pass for the serving stack to be considered
+// healthy. It assembles the full topology in one process —
+//
+//	kvserver ← faultnet.Listener (accept faults)
+//	    ↑
+//	faultnet.Proxy (resets, stalls, partial I/O, latency)
+//	    ↑
+//	N kvproto.ReconnectClients + slow-loris aggressors
+//
+// — and asserts end-to-end invariants while faults fly:
+//
+//   - Acknowledged-write durability: every value a get returns must be a
+//     version the owning client either had acknowledged or has in flight
+//     (unacked after an ambiguous failure). A miss is always legal (the
+//     adaptive policy may evict), a corrupt or resurrected value never is.
+//   - Panic isolation: every injected handler panic is recovered (the
+//     process survives and the server's counter matches the injected count).
+//   - Accept-loop survival: with accept faults injected, traffic still
+//     completes and retries are counted — revert the accept-retry fix and
+//     this gate fails.
+//   - Reconnect correctness: clients complete their op budget through
+//     resets and sheds — remove the client's retry logic and the gate fails.
+//   - Slow-loris resistance: a client dribbling bytes forever is reaped by
+//     the read deadline instead of holding its slot indefinitely.
+//   - Clean teardown: after the soak, a fresh client gets normal service,
+//     the adaptive cache still reports a sane hit ratio, and shutdown
+//     leaks no goroutines.
+//
+// Exit status 0 means every invariant held; 1 reports the violations.
+//
+//	kvchaos -seed 7 -clients 6 -ops 5000
+//	kvchaos -seed 7 -reset-rate 0.01 -panic-rate 0.002 -accept-error-rate 0.4
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/adaptivekv"
+	"repro/internal/faultnet"
+	"repro/internal/kvproto"
+	"repro/internal/kvserver"
+)
+
+// splitmix64 scrambles a counter into an independent-looking draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// keyState is one key's write history on its single-writer client.
+type keyState struct {
+	acked   uint64              // newest acknowledged version (0 = none)
+	tried   uint64              // newest attempted version
+	pending map[uint64]struct{} // unacked versions that may still land
+}
+
+// chaosClient drives one connection's op mix through the fault proxy and
+// checks the durability invariant. Keys are namespaced per client so each
+// key has exactly one writer and the version window argument is sound.
+type chaosClient struct {
+	id    int
+	rc    *kvproto.ReconnectClient
+	rng   uint64
+	keys  []keyState
+	names [][]byte
+	vsize int
+
+	ops, gets, hits, sets, ackedSets, unackedSets uint64
+	violations                                    []string
+	fatal                                         error
+}
+
+func newChaosClient(id int, addr string, seed uint64, nkeys, vsize int) *chaosClient {
+	cc := &chaosClient{
+		id: id,
+		rc: kvproto.NewReconnect(addr, kvproto.ReconnectConfig{
+			DialTimeout:  2 * time.Second,
+			ReadTimeout:  5 * time.Second,
+			WriteTimeout: 5 * time.Second,
+			MaxAttempts:  12,
+			BaseBackoff:  2 * time.Millisecond,
+			MaxBackoff:   250 * time.Millisecond,
+			Seed:         seed,
+		}),
+		rng:   seed | 1,
+		keys:  make([]keyState, nkeys),
+		names: make([][]byte, nkeys),
+		vsize: vsize,
+	}
+	for j := range cc.keys {
+		cc.keys[j].pending = make(map[uint64]struct{})
+		cc.names[j] = []byte(fmt.Sprintf("c%dk%d", id, j))
+	}
+	return cc
+}
+
+func (cc *chaosClient) next() uint64 {
+	cc.rng ^= cc.rng << 13
+	cc.rng ^= cc.rng >> 7
+	cc.rng ^= cc.rng << 17
+	return cc.rng
+}
+
+// encodeValue renders "<version>|<key>|xxx..." padded to vsize so the
+// integrity check covers both identity and payload bytes.
+func encodeValue(ver uint64, key []byte, vsize int) []byte {
+	v := make([]byte, 0, vsize+32)
+	v = strconv.AppendUint(v, ver, 10)
+	v = append(v, '|')
+	v = append(v, key...)
+	v = append(v, '|')
+	for len(v) < vsize {
+		v = append(v, 'x')
+	}
+	return v
+}
+
+// decodeValue parses and integrity-checks an encoded value.
+func decodeValue(v []byte) (ver uint64, key []byte, err error) {
+	i := bytes.IndexByte(v, '|')
+	if i < 1 {
+		return 0, nil, errors.New("missing version field")
+	}
+	ver, perr := strconv.ParseUint(string(v[:i]), 10, 64)
+	if perr != nil {
+		return 0, nil, errors.New("bad version field")
+	}
+	rest := v[i+1:]
+	j := bytes.IndexByte(rest, '|')
+	if j < 1 {
+		return 0, nil, errors.New("missing key field")
+	}
+	key = rest[:j]
+	for _, b := range rest[j+1:] {
+		if b != 'x' {
+			return 0, nil, errors.New("corrupt padding")
+		}
+	}
+	return ver, key, nil
+}
+
+func (cc *chaosClient) violate(format string, args ...any) {
+	cc.violations = append(cc.violations, fmt.Sprintf("client %d: %s", cc.id, fmt.Sprintf(format, args...)))
+}
+
+func (cc *chaosClient) run(nops uint64) {
+	for i := uint64(0); i < nops && cc.fatal == nil && len(cc.violations) < 20; i++ {
+		r := cc.next()
+		j := int((r >> 8) % uint64(len(cc.keys)))
+		if r%5 == 0 {
+			cc.doSet(j)
+		} else {
+			cc.doGet(j)
+		}
+		cc.ops++
+	}
+}
+
+func (cc *chaosClient) doSet(j int) {
+	ks := &cc.keys[j]
+	ver := ks.tried + 1
+	ks.tried = ver
+	err := cc.rc.Set(cc.names[j], 0, encodeValue(ver, cc.names[j], cc.vsize))
+	cc.sets++
+	switch {
+	case err == nil:
+		ks.acked = ver
+		cc.ackedSets++
+	case errors.Is(err, kvproto.ErrUnacked):
+		// Ambiguous: the write may land at any point until the dead
+		// connection's handler unwinds. Widen the valid window.
+		ks.pending[ver] = struct{}{}
+		cc.unackedSets++
+	default:
+		cc.fatal = fmt.Errorf("client %d: set %s: %w", cc.id, cc.names[j], err)
+	}
+}
+
+func (cc *chaosClient) doGet(j int) {
+	ks := &cc.keys[j]
+	v, ok, err := cc.rc.Get(cc.names[j])
+	if err != nil {
+		cc.fatal = fmt.Errorf("client %d: get %s: %w", cc.id, cc.names[j], err)
+		return
+	}
+	cc.gets++
+	if !ok {
+		return // miss: evicted or never written — always legal
+	}
+	cc.hits++
+	ver, key, derr := decodeValue(v)
+	if derr != nil {
+		cc.violate("get %s returned corrupt value (%v): %q", cc.names[j], derr, v)
+		return
+	}
+	if !bytes.Equal(key, cc.names[j]) {
+		cc.violate("get %s returned value for key %s", cc.names[j], key)
+		return
+	}
+	if ver == ks.acked {
+		return
+	}
+	if _, inFlight := ks.pending[ver]; inFlight {
+		return
+	}
+	cc.violate("get %s returned version %d; acked %d, pending %v — acknowledged write lost or stale value resurrected",
+		cc.names[j], ver, ks.acked, ks.pending)
+}
+
+// runLoris dribbles a never-terminated command at the server one byte at
+// a time and waits to be reaped: a hardened server cuts the connection
+// when its read deadline fires mid-line. Returns nil once the disconnect
+// is observed, an error if the connection survives the whole patience
+// window (the slot would be held hostage indefinitely).
+func runLoris(addr string, patience time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return fmt.Errorf("slow-loris dial: %w", err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(patience)
+	buf := make([]byte, 64)
+	for time.Now().Before(deadline) {
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		if _, err := conn.Write([]byte("k")); err != nil {
+			return nil // write refused: the server cut us off
+		}
+		conn.SetReadDeadline(time.Now().Add(60 * time.Millisecond))
+		if _, err := conn.Read(buf); err != nil {
+			if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+				return nil // EOF or reset: reaped
+			}
+		}
+	}
+	return fmt.Errorf("slow-loris connection survived %v of dribbling", patience)
+}
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 1, "fault and workload seed")
+		clients = flag.Int("clients", 6, "concurrent verifying clients")
+		ops     = flag.Uint64("ops", 5000, "operations per client")
+		nkeys   = flag.Int("keys", 512, "keyspace per client (single writer per key)")
+		vsize   = flag.Int("value-size", 48, "encoded value size in bytes")
+		loris   = flag.Int("slowloris", 2, "slow-loris aggressor connections")
+
+		resetRate  = flag.Float64("reset-rate", 0.002, "proxy: per-I/O connection reset probability")
+		stallRate  = flag.Float64("stall-rate", 0.002, "proxy: per-write byte-stall probability")
+		stall      = flag.Duration("stall", 20*time.Millisecond, "proxy: stall length")
+		partial    = flag.Float64("partial-rate", 0.05, "proxy: partial read/write probability")
+		delayRate  = flag.Float64("delay-rate", 0.01, "proxy: added-latency probability")
+		delay      = flag.Duration("delay", time.Millisecond, "proxy: injected latency")
+		acceptRate = flag.Float64("accept-error-rate", 0.25, "server listener: transient accept-error probability")
+		panicRate  = flag.Float64("panic-rate", 0.001, "server: per-request injected handler panic probability")
+
+		readTO    = flag.Duration("read-timeout", 500*time.Millisecond, "server read deadline (reaps slow loris)")
+		maxConns  = flag.Int("max-conns", 0, "server connection bound (0 = clients+slowloris+3)")
+		minHit    = flag.Float64("min-hit-ratio", 0.2, "fail if the server-side hit ratio ends below this")
+		graceLeak = flag.Duration("leak-grace", 5*time.Second, "how long goroutines get to drain after shutdown")
+	)
+	flag.Parse()
+
+	if *maxConns == 0 {
+		*maxConns = *clients + *loris + 3
+	}
+	baseline := runtime.NumGoroutine()
+	fmt.Printf("kvchaos: seed %d, %d clients x %d ops, %d keys/client, %d loris\n",
+		*seed, *clients, *ops, *nkeys, *loris)
+
+	// Server with seeded panic injection behind a fault-wrapped listener.
+	var hookCalls, hookPanics atomic.Uint64
+	hook := func(req *kvproto.Request) {
+		if *panicRate <= 0 || (req.Op != kvproto.OpGet && req.Op != kvproto.OpSet) {
+			return
+		}
+		n := hookCalls.Add(1)
+		if float64(splitmix64(*seed^n)>>11)/(1<<53) < *panicRate {
+			hookPanics.Add(1)
+			panic(fmt.Sprintf("kvchaos: injected handler panic #%d", hookPanics.Load()))
+		}
+	}
+	srv := kvserver.New(kvserver.Config{
+		Cache:        adaptivekv.Config{Shards: 4, Sets: 256, Ways: 8},
+		ReadTimeout:  *readTO,
+		WriteTimeout: 2 * time.Second,
+		MaxConns:     *maxConns,
+		FaultHook:    hook,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("kvchaos: listen: %v\n", err)
+		os.Exit(1)
+	}
+	faulty := faultnet.Wrap(ln, faultnet.Config{Seed: *seed, AcceptErrorRate: *acceptRate})
+	go srv.Serve(faulty)
+	serverAddr := ln.Addr().String()
+
+	// Fault proxy between the verifying clients and the server.
+	proxy, err := faultnet.NewProxy("127.0.0.1:0", serverAddr, faultnet.Config{
+		Seed:        *seed + 1,
+		ResetRate:   *resetRate,
+		StallRate:   *stallRate,
+		Stall:       *stall,
+		PartialRate: *partial,
+		DelayRate:   *delayRate,
+		Delay:       *delay,
+	})
+	if err != nil {
+		fmt.Printf("kvchaos: proxy: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Soak: verifying clients through the proxy, loris against the server.
+	ccs := make([]*chaosClient, *clients)
+	var wg sync.WaitGroup
+	for i := range ccs {
+		ccs[i] = newChaosClient(i, proxy.Addr(), splitmix64(*seed+uint64(i)*7919), *nkeys, *vsize)
+		wg.Add(1)
+		go func(cc *chaosClient) {
+			defer wg.Done()
+			cc.run(*ops)
+			cc.rc.Close()
+		}(ccs[i])
+	}
+	lorisErrs := make(chan error, *loris)
+	for i := 0; i < *loris; i++ {
+		go func() {
+			lorisErrs <- runLoris(serverAddr, *readTO*20+10*time.Second)
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	soak := time.Since(start)
+
+	// Each loris resolves on its own: reaped (nil) within ~readTO, or an
+	// error after its patience window. Collect before judging.
+	var failures []string
+	for i := 0; i < *loris; i++ {
+		if err := <-lorisErrs; err != nil {
+			failures = append(failures, fmt.Sprintf("slow-loris: %v", err))
+		}
+	}
+
+	// Post-soak liveness: a clean client straight at the server must get
+	// ordinary service, and an acknowledged write must read back.
+	probeKey, probeVal := []byte("kvchaos-probe"), []byte("alive")
+	probe := kvproto.NewReconnect(serverAddr, kvproto.ReconnectConfig{Seed: *seed + 99})
+	if err := probe.Set(probeKey, 0, probeVal); err != nil {
+		failures = append(failures, fmt.Sprintf("post-soak liveness: set: %v", err))
+	} else if v, ok, err := probe.Get(probeKey); err != nil || !ok || !bytes.Equal(v, probeVal) {
+		failures = append(failures, fmt.Sprintf("post-soak liveness: get ok=%v err=%v", ok, err))
+	}
+	probe.Close()
+
+	agg := srv.Cache().Stats()
+	counters := srv.Counters()
+	lstats := faulty.Stats()
+	pstats := proxy.Stats()
+
+	// Teardown must leak nothing.
+	proxy.Close()
+	srv.Shutdown(ln, 2*time.Second)
+	leakDeadline := time.Now().Add(*graceLeak)
+	leaked := -1
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			leaked = 0
+			break
+		}
+		if time.Now().After(leakDeadline) {
+			leaked = runtime.NumGoroutine() - baseline
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Aggregate client results and verdicts.
+	var tOps, tGets, tHits, tAcked, tUnacked uint64
+	for _, cc := range ccs {
+		tOps += cc.ops
+		tGets += cc.gets
+		tHits += cc.hits
+		tAcked += cc.ackedSets
+		tUnacked += cc.unackedSets
+		if cc.fatal != nil {
+			failures = append(failures, fmt.Sprintf("client gave up: %v", cc.fatal))
+		}
+		failures = append(failures, cc.violations...)
+	}
+
+	fmt.Printf("  soak: %d ops in %.2fs (%.0f ops/s), %d gets, %d acked sets, %d unacked sets\n",
+		tOps, soak.Seconds(), float64(tOps)/soak.Seconds(), tGets, tAcked, tUnacked)
+	fmt.Printf("  faults: %d accept errors, %d resets, %d partial reads, %d partial writes, %d stalls, %d delays\n",
+		lstats.AcceptErrors, pstats.Resets+lstats.Resets, pstats.PartialReads+lstats.PartialReads,
+		pstats.PartialWrites+lstats.PartialWrites, pstats.Stalls+lstats.Stalls, pstats.Delays+lstats.Delays)
+	fmt.Printf("  server: %d accept retries, %d panics recovered (%d injected), %d conns rejected, %d client errors\n",
+		counters.AcceptRetries, counters.PanicsRecovered, hookPanics.Load(),
+		counters.ConnsRejected, counters.ClientErrors)
+	fmt.Printf("  cache: hit ratio %.4f, %d evictions, %d policy switches\n",
+		agg.HitRatio(), agg.Evictions, agg.PolicySwitches)
+
+	if counters.PanicsRecovered != hookPanics.Load() {
+		failures = append(failures, fmt.Sprintf("panic accounting: %d injected, %d recovered",
+			hookPanics.Load(), counters.PanicsRecovered))
+	}
+	if lstats.AcceptErrors > 0 && counters.AcceptRetries == 0 {
+		failures = append(failures, "accept faults were injected but the server retried none (retry path dead?)")
+	}
+	if agg.HitRatio() < *minHit {
+		failures = append(failures, fmt.Sprintf("adaptivity: hit ratio %.4f below floor %.2f under fault-perturbed traffic",
+			agg.HitRatio(), *minHit))
+	}
+	if leaked != 0 {
+		failures = append(failures, fmt.Sprintf("goroutine leak: %d above baseline after shutdown", leaked))
+	}
+
+	if len(failures) > 0 {
+		fmt.Printf("kvchaos: FAIL (%d violations)\n", len(failures))
+		for _, f := range failures {
+			fmt.Printf("  FAIL: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("kvchaos: PASS — zero escaped panics, zero lost acknowledged writes, zero goroutine leaks")
+}

@@ -207,3 +207,24 @@ func TestAdaptcachedKvloadgenEndToEnd(t *testing.T) {
 		t.Fatalf("server summary missing:\n%s", got)
 	}
 }
+
+// TestKvchaosEndToEnd runs a small fixed-seed chaos soak: server behind a
+// fault-injecting proxy, retrying clients, slow-loris probe. The binary
+// checks the invariants (no lost acked writes, no escaped panics, no
+// goroutine leaks) itself and exits nonzero on violation.
+func TestKvchaosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "kvchaos")
+	out := runCmd(t, bin, "-seed", "3", "-clients", "2", "-ops", "600", "-keys", "48",
+		"-slowloris", "1", "-read-timeout", "300ms")
+	if !strings.Contains(out, "kvchaos: PASS") {
+		t.Fatalf("chaos soak did not pass:\n%s", out)
+	}
+	for _, want := range []string{"acked sets", "accept retries", "hit ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("soak summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRNGDeterminism: the fault stream is a pure function of the seed.
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	c := newRNG(43)
+	same := 0
+	a = newRNG(42)
+	for i := 0; i < 64; i++ {
+		if a.next() == c.next() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestChanceBounds(t *testing.T) {
+	r := newRNG(1)
+	for i := 0; i < 100; i++ {
+		if r.chance(0) {
+			t.Fatal("chance(0) fired")
+		}
+		if !r.chance(1) {
+			t.Fatal("chance(1) did not fire")
+		}
+	}
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if r.chance(0.3) {
+			hits++
+		}
+	}
+	if hits < 2500 || hits > 3500 {
+		t.Fatalf("chance(0.3) fired %d/10000 times", hits)
+	}
+}
+
+// TestTempErrorIsTemporaryNetError: the injected accept failure must look
+// like EMFILE/ECONNABORTED to a retrying accept loop.
+func TestTempErrorIsTemporaryNetError(t *testing.T) {
+	var err error = &TempError{}
+	ne, ok := err.(net.Error)
+	if !ok {
+		t.Fatal("TempError is not a net.Error")
+	}
+	if !ne.Temporary() || ne.Timeout() {
+		t.Fatalf("TempError Temporary()=%v Timeout()=%v", ne.Temporary(), ne.Timeout())
+	}
+}
+
+// TestListenerAcceptInjection: rate 1 always errors, rate 0 passes through
+// real connections untouched, and the injections are counted.
+func TestListenerAcceptInjection(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+
+	ln := Wrap(base, Config{Seed: 7, AcceptErrorRate: 1})
+	for i := 0; i < 3; i++ {
+		if _, err := ln.Accept(); err == nil {
+			t.Fatal("Accept succeeded at rate 1")
+		} else if ne, ok := err.(net.Error); !ok || !ne.Temporary() {
+			t.Fatalf("injected error not temporary: %v", err)
+		}
+	}
+	if got := ln.Stats().AcceptErrors; got != 3 {
+		t.Fatalf("AcceptErrors = %d, want 3", got)
+	}
+
+	clean := Wrap(base, Config{Seed: 7})
+	go func() {
+		c, err := net.Dial("tcp", base.Addr().String())
+		if err == nil {
+			c.Write([]byte("ping"))
+			c.Close()
+		}
+	}()
+	conn, err := clean.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("passthrough read %q, %v", buf, err)
+	}
+}
+
+// pipePair builds a loopback TCP pair so fault conns behave like real ones
+// (net.Pipe lacks TCPConn semantics such as linger resets).
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		server, _ = ln.Accept()
+		close(done)
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	return client, server
+}
+
+// TestConnPartialIO: with PartialRate 1 the data still arrives intact,
+// just in smaller pieces — faults must never corrupt payload bytes.
+func TestConnPartialIO(t *testing.T) {
+	client, server := pipePair(t)
+	defer client.Close()
+	defer server.Close()
+
+	fc := WrapConn(client, Config{Seed: 3, PartialRate: 1})
+	payload := bytes.Repeat([]byte("adaptive-caches!"), 64)
+	go func() {
+		fc.Write(payload)
+	}()
+	got := make([]byte, len(payload))
+	server.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted by partial writes")
+	}
+
+	fs := WrapConn(server, Config{Seed: 4, PartialRate: 1})
+	go client.Write(payload)
+	got = got[:0]
+	buf := make([]byte, 256)
+	for len(got) < len(payload) {
+		fs.SetReadDeadline(time.Now().Add(5 * time.Second))
+		n, err := fs.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 1 {
+			t.Fatalf("partial read returned %d bytes", n)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted by partial reads")
+	}
+}
+
+// TestConnReset: rate 1 resets on the first operation and the peer
+// observes the connection dying.
+func TestConnReset(t *testing.T) {
+	client, server := pipePair(t)
+	defer client.Close()
+	defer server.Close()
+
+	fc := WrapConn(client, Config{Seed: 5, ResetRate: 1})
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("write survived ResetRate 1")
+	} else if re := new(ResetError); !errors.As(err, &re) {
+		t.Fatalf("want ResetError, got %v", err)
+	}
+	server.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := server.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after reset")
+	}
+}
+
+// TestProxyPassthroughAndClose: a fault-free proxy relays bytes intact
+// both ways, and Close tears everything down without leaking goroutines.
+func TestProxyPassthroughAndClose(t *testing.T) {
+	// Echo server.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+
+	before := runtime.NumGoroutine()
+	proxy, err := NewProxy("127.0.0.1:0", ln.Addr().String(), Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("through the proxy and back")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo through proxy = %q", got)
+	}
+	conn.Close()
+
+	proxy.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+1 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+1 {
+		t.Errorf("goroutines after proxy close: %d, baseline %d", n, before)
+	}
+	if _, err := net.DialTimeout("tcp", proxy.Addr(), 500*time.Millisecond); err == nil {
+		t.Error("proxy still accepting after Close")
+	}
+}
+
+// TestProxyInjectsResets: with a high reset rate, client traffic through
+// the proxy eventually observes a connection failure.
+func TestProxyInjectsResets(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+
+	proxy, err := NewProxy("127.0.0.1:0", ln.Addr().String(), Config{Seed: 13, ResetRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	sawFailure := false
+	for i := 0; i < 20 && !sawFailure; i++ {
+		conn, err := net.Dial("tcp", proxy.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		for j := 0; j < 10; j++ {
+			if _, err := conn.Write([]byte("ping")); err != nil {
+				sawFailure = true
+				break
+			}
+			if _, err := io.ReadFull(conn, make([]byte, 4)); err != nil {
+				sawFailure = true
+				break
+			}
+		}
+		conn.Close()
+	}
+	if !sawFailure {
+		t.Fatal("no client-visible failure despite ResetRate 0.5")
+	}
+	if proxy.Stats().Resets == 0 {
+		t.Fatal("proxy counted no resets")
+	}
+}

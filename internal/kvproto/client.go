@@ -6,7 +6,15 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 )
+
+// deadliner is the subset of net.Conn the Client uses to arm per-
+// operation timeouts; wrapped non-network streams simply lack it.
+type deadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
 
 // Client is a minimal synchronous client for the protocol: one outstanding
 // request per Client, no pipelining. cmd/kvloadgen runs one Client per
@@ -14,11 +22,21 @@ import (
 //
 // Get's returned value aliases an internal buffer valid until the next
 // call, keeping the request loop allocation-light.
+//
+// With SetTimeouts armed, every reply read and every Flush carries a
+// deadline, so a dead or stalled peer surfaces as a timeout error instead
+// of blocking the caller forever. Deadline expiry leaves the stream state
+// unknown: the error is not Recoverable and the connection must be
+// discarded.
 type Client struct {
 	conn io.ReadWriteCloser
+	dl   deadliner // nil when conn cannot carry deadlines
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	val  []byte
+
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 }
 
 // Dial connects to a protocol server at addr (host:port).
@@ -30,21 +48,60 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(conn), nil
 }
 
+// DialTimeout connects with a bounded dial and arms per-operation read
+// and write deadlines (zero durations disable the respective bound).
+func DialTimeout(addr string, dialTO, readTO, writeTO time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTO)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(conn)
+	c.SetTimeouts(readTO, writeTO)
+	return c, nil
+}
+
 // NewClient wraps an established connection.
 func NewClient(conn io.ReadWriteCloser) *Client {
-	return &Client{
+	c := &Client{
 		conn: conn,
 		br:   bufio.NewReaderSize(conn, 4096),
 		bw:   bufio.NewWriterSize(conn, 4096),
+	}
+	c.dl, _ = conn.(deadliner)
+	return c
+}
+
+// SetTimeouts arms per-operation deadlines: read covers one reply
+// (re-armed at the start of each ReadXxxReply/Stats call), write covers
+// one Flush. Zero disables a bound. No-op when the underlying stream
+// cannot carry deadlines.
+func (c *Client) SetTimeouts(read, write time.Duration) {
+	c.readTimeout, c.writeTimeout = read, write
+}
+
+func (c *Client) armRead() {
+	if c.dl != nil && c.readTimeout > 0 {
+		c.dl.SetReadDeadline(time.Now().Add(c.readTimeout))
+	}
+}
+
+func (c *Client) armWrite() {
+	if c.dl != nil && c.writeTimeout > 0 {
+		c.dl.SetWriteDeadline(time.Now().Add(c.writeTimeout))
 	}
 }
 
 // Close sends quit (best effort) and closes the connection.
 func (c *Client) Close() error {
+	c.armWrite()
 	c.bw.WriteString("quit\r\n")
 	c.bw.Flush()
 	return c.conn.Close()
 }
+
+// CloseNow closes the connection without the quit courtesy — for streams
+// already known dead, where writing would only block or mask the error.
+func (c *Client) CloseNow() error { return c.conn.Close() }
 
 // readLine reads one reply line without its terminator.
 func (c *Client) readLine() ([]byte, error) {
@@ -66,6 +123,23 @@ func (c *Client) readLine() ([]byte, error) {
 // line, which aliases the read buffer).
 func unexpected(line []byte) error {
 	return fmt.Errorf("kvproto: unexpected reply %q", line)
+}
+
+// errorFromReply classifies a non-success reply line. CLIENT_ERROR,
+// SERVER_ERROR, and ERROR are well-formed error replies after which the
+// stream stays synchronized (the returned error is Recoverable); anything
+// else means the stream is desynchronized and the connection is dead.
+func errorFromReply(line []byte) error {
+	switch {
+	case bytes.HasPrefix(line, clientErrorPfx):
+		return &ClientError{Msg: string(line[len(clientErrorPfx):])}
+	case bytes.HasPrefix(line, serverErrorPfx):
+		return &ServerError{Msg: string(line[len(serverErrorPfx):])}
+	case bytes.Equal(line, replyError[:5]): // "ERROR"
+		return &ClientError{Msg: "unknown command"}
+	default:
+		return unexpected(line)
+	}
 }
 
 // --- Pipelined interface ---------------------------------------------------
@@ -104,7 +178,10 @@ func (c *Client) SendDelete(key []byte) {
 }
 
 // Flush writes all queued requests to the connection.
-func (c *Client) Flush() error { return c.bw.Flush() }
+func (c *Client) Flush() error {
+	c.armWrite()
+	return c.bw.Flush()
+}
 
 // Get fetches key. The returned slice is valid until the next Client call.
 func (c *Client) Get(key []byte) (val []byte, ok bool, err error) {
@@ -118,6 +195,7 @@ func (c *Client) Get(key []byte) (val []byte, ok bool, err error) {
 // ReadGetReply consumes one get response. The returned slice is valid
 // until the next Client call.
 func (c *Client) ReadGetReply() (val []byte, ok bool, err error) {
+	c.armRead()
 	line, err := c.readLine()
 	if err != nil {
 		return nil, false, err
@@ -126,7 +204,7 @@ func (c *Client) ReadGetReply() (val []byte, ok bool, err error) {
 		return nil, false, nil
 	}
 	if !bytes.HasPrefix(line, valuePrefix) {
-		return nil, false, unexpected(line)
+		return nil, false, errorFromReply(line)
 	}
 	// VALUE <key> <flags> <bytes>
 	rest := line[len(valuePrefix):]
@@ -165,12 +243,13 @@ func (c *Client) Set(key []byte, flags uint32, val []byte) error {
 
 // ReadSetReply consumes one set response.
 func (c *Client) ReadSetReply() error {
+	c.armRead()
 	line, err := c.readLine()
 	if err != nil {
 		return err
 	}
 	if !bytes.Equal(line, replyStored[:6]) { // "STORED"
-		return unexpected(line)
+		return errorFromReply(line)
 	}
 	return nil
 }
@@ -186,6 +265,7 @@ func (c *Client) Delete(key []byte) (bool, error) {
 
 // ReadDeleteReply consumes one delete response.
 func (c *Client) ReadDeleteReply() (bool, error) {
+	c.armRead()
 	line, err := c.readLine()
 	if err != nil {
 		return false, err
@@ -196,18 +276,19 @@ func (c *Client) ReadDeleteReply() (bool, error) {
 	case bytes.Equal(line, replyNotFound[:9]): // "NOT_FOUND"
 		return false, nil
 	default:
-		return false, unexpected(line)
+		return false, errorFromReply(line)
 	}
 }
 
 // Stats fetches the server's STAT lines as a name → value map.
 func (c *Client) Stats() (map[string]string, error) {
 	c.bw.WriteString("stats\r\n")
-	if err := c.bw.Flush(); err != nil {
+	if err := c.Flush(); err != nil {
 		return nil, err
 	}
 	stats := make(map[string]string)
 	for {
+		c.armRead()
 		line, err := c.readLine()
 		if err != nil {
 			return nil, err
@@ -216,7 +297,7 @@ func (c *Client) Stats() (map[string]string, error) {
 			return stats, nil
 		}
 		if !bytes.HasPrefix(line, statPrefix) {
-			return nil, unexpected(line)
+			return nil, errorFromReply(line)
 		}
 		rest := line[len(statPrefix):]
 		name, value := nextField(rest)

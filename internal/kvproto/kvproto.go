@@ -72,6 +72,33 @@ type ClientError struct{ Msg string }
 
 func (e *ClientError) Error() string { return "kvproto: client error: " + e.Msg }
 
+// ServerError is a "SERVER_ERROR <msg>" reply: the server refused or
+// failed the request (overload shed, admission bound), but the reply was
+// a well-formed line, so the stream remains synchronized.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "kvproto: server error: " + e.Msg }
+
+// BusyMsg is the ServerError message a shedding server rejects new
+// connections with; the request was never processed, so retrying it on a
+// fresh connection after backoff is always safe.
+const BusyMsg = "busy"
+
+// IsBusy reports whether err is the server's overload-shedding reply.
+func IsBusy(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Msg == BusyMsg
+}
+
+// Recoverable classifies a client-side error: true means the reply was a
+// well-formed error line (*ClientError or *ServerError) and the
+// connection is still synchronized and usable; false means the stream is
+// dead (I/O failure, timeout, truncated or desynchronized reply) and the
+// connection must be discarded.
+func Recoverable(err error) bool {
+	return errors.As(err, new(*ClientError)) || errors.As(err, new(*ServerError))
+}
+
 // Pre-built recoverable errors for the non-parameterized violations, so
 // the hot parse path does not allocate to reject garbage.
 var (
@@ -321,7 +348,12 @@ var (
 	valuePrefix    = []byte("VALUE ")
 	statPrefix     = []byte("STAT ")
 	clientErrorPfx = []byte("CLIENT_ERROR ")
+	serverErrorPfx = []byte("SERVER_ERROR ")
 )
+
+// BusyLine is the raw overload-shedding reply, for servers that must
+// write it before any bufio machinery exists (shed at accept time).
+var BusyLine = []byte("SERVER_ERROR " + BusyMsg + "\r\n")
 
 // WriteValue writes "VALUE <key> <flags> <len>\r\n<val>\r\n". The caller
 // terminates the get response with WriteEnd.
@@ -355,6 +387,14 @@ func WriteError(w *bufio.Writer) { w.Write(replyError) }
 // WriteClientError reports a recoverable protocol violation.
 func WriteClientError(w *bufio.Writer, msg string) {
 	w.Write(clientErrorPfx)
+	w.WriteString(msg)
+	w.Write(crlf)
+}
+
+// WriteServerError reports a server-side refusal (shed, admission bound)
+// on an otherwise healthy stream.
+func WriteServerError(w *bufio.Writer, msg string) {
+	w.Write(serverErrorPfx)
 	w.WriteString(msg)
 	w.Write(crlf)
 }

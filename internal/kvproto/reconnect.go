@@ -1,0 +1,247 @@
+package kvproto
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrUnacked marks an operation whose request bytes may have reached the
+// server but whose acknowledgment was never read: the operation may or
+// may not have been applied. ReconnectClient never replays such
+// operations — replaying a set or delete the server already applied would
+// silently reorder writes — so the ambiguity is surfaced to the caller,
+// who owns the idempotency decision.
+var ErrUnacked = errors.New("kvproto: request sent but not acknowledged")
+
+// ReconnectConfig tunes ReconnectClient's redial and retry behavior.
+// Zero values take the defaults noted on each field.
+type ReconnectConfig struct {
+	DialTimeout  time.Duration // per-dial bound (default 2s)
+	ReadTimeout  time.Duration // per-reply bound (default 5s)
+	WriteTimeout time.Duration // per-flush bound (default 5s)
+
+	MaxAttempts int           // attempts per operation, including the first (default 8)
+	BaseBackoff time.Duration // first retry delay (default 5ms)
+	MaxBackoff  time.Duration // backoff cap (default 500ms)
+	Seed        uint64        // jitter seed; same seed, same backoff schedule
+}
+
+func (c ReconnectConfig) withDefaults() ReconnectConfig {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 8
+	}
+	if c.BaseBackoff == 0 {
+		c.BaseBackoff = 5 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 500 * time.Millisecond
+	}
+	return c
+}
+
+// ReconnectClient is a Client that survives a flaky peer: it redials on
+// dead-stream errors with capped exponential backoff plus deterministic
+// jitter, transparently retries idempotent operations (Get, Stats), and
+// retries non-idempotent ones (Set, Delete) only while the request
+// provably never reached processing (dial failure, SERVER_ERROR busy
+// shed). Once a set or delete becomes ambiguous it fails with ErrUnacked
+// and the next operation runs on a fresh connection.
+//
+// Like Client, a ReconnectClient serves one goroutine.
+type ReconnectClient struct {
+	addr string
+	cfg  ReconnectConfig
+	c    *Client
+	jit  uint64
+
+	// Redials and Retries count connection re-establishments and
+	// retried attempts, for soak-driver reporting.
+	Redials uint64
+	Retries uint64
+}
+
+// NewReconnect builds a client for addr; the first connection is dialed
+// lazily by the first operation.
+func NewReconnect(addr string, cfg ReconnectConfig) *ReconnectClient {
+	cfg = cfg.withDefaults()
+	return &ReconnectClient{addr: addr, cfg: cfg, jit: cfg.Seed | 1}
+}
+
+// client returns the live connection, dialing if necessary.
+func (rc *ReconnectClient) client() (*Client, error) {
+	if rc.c != nil {
+		return rc.c, nil
+	}
+	c, err := DialTimeout(rc.addr, rc.cfg.DialTimeout, rc.cfg.ReadTimeout, rc.cfg.WriteTimeout)
+	if err != nil {
+		return nil, err
+	}
+	rc.Redials++
+	rc.c = c
+	return c, nil
+}
+
+// drop discards a dead connection so the next operation redials.
+func (rc *ReconnectClient) drop() {
+	if rc.c != nil {
+		rc.c.CloseNow()
+		rc.c = nil
+	}
+}
+
+// backoff sleeps for min(MaxBackoff, BaseBackoff<<n) with jitter drawn
+// from a seeded xorshift stream: the delay lands in [d/2, d), decorrelating
+// retry storms while keeping the schedule reproducible for a given seed.
+func (rc *ReconnectClient) backoff(n int) {
+	if n > 20 {
+		n = 20
+	}
+	d := rc.cfg.BaseBackoff << n
+	if d > rc.cfg.MaxBackoff || d <= 0 {
+		d = rc.cfg.MaxBackoff
+	}
+	rc.jit ^= rc.jit << 13
+	rc.jit ^= rc.jit >> 7
+	rc.jit ^= rc.jit << 17
+	time.Sleep(d/2 + time.Duration(rc.jit%uint64(d/2+1)))
+}
+
+// Get fetches key, retrying across connection failures: a get carries no
+// state, so replaying it is always safe. The returned slice is valid
+// until the next call. Recoverable protocol rejections (bad key) are
+// returned immediately — retrying a malformed request cannot help.
+func (rc *ReconnectClient) Get(key []byte) (val []byte, ok bool, err error) {
+	var lastErr error
+	for a := 0; a < rc.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			rc.Retries++
+			rc.backoff(a - 1)
+		}
+		c, err := rc.client()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		val, ok, err = c.Get(key)
+		if err == nil {
+			return val, ok, nil
+		}
+		lastErr = err
+		if Recoverable(err) && !IsBusy(err) {
+			return nil, false, err
+		}
+		rc.drop() // busy shed or dead stream: fresh connection next time
+	}
+	return nil, false, fmt.Errorf("kvproto: get failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
+}
+
+// Set stores val under key. Attempts are retried only while the request
+// provably never ran (dial failure, busy shed). An I/O failure after the
+// request may have been flushed returns ErrUnacked without replaying.
+func (rc *ReconnectClient) Set(key []byte, flags uint32, val []byte) error {
+	var lastErr error
+	for a := 0; a < rc.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			rc.Retries++
+			rc.backoff(a - 1)
+		}
+		c, err := rc.client()
+		if err != nil {
+			lastErr = err // nothing sent: safe to retry
+			continue
+		}
+		err = c.Set(key, flags, val)
+		switch {
+		case err == nil:
+			return nil
+		case IsBusy(err):
+			rc.drop() // shed before processing: not applied, safe to retry
+			lastErr = err
+			continue
+		case Recoverable(err):
+			return err // server rejected it; replaying cannot succeed
+		default:
+			rc.drop()
+			return fmt.Errorf("%w (set): %v", ErrUnacked, err)
+		}
+	}
+	return fmt.Errorf("kvproto: set failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
+}
+
+// Delete removes key, with the same non-replay contract as Set (a replayed
+// delete could erase a newer concurrent write's visibility of state).
+func (rc *ReconnectClient) Delete(key []byte) (bool, error) {
+	var lastErr error
+	for a := 0; a < rc.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			rc.Retries++
+			rc.backoff(a - 1)
+		}
+		c, err := rc.client()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		found, err := c.Delete(key)
+		switch {
+		case err == nil:
+			return found, nil
+		case IsBusy(err):
+			rc.drop()
+			lastErr = err
+			continue
+		case Recoverable(err):
+			return false, err
+		default:
+			rc.drop()
+			return false, fmt.Errorf("%w (delete): %v", ErrUnacked, err)
+		}
+	}
+	return false, fmt.Errorf("kvproto: delete failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
+}
+
+// Stats fetches the server's STAT map, retried like Get (read-only).
+func (rc *ReconnectClient) Stats() (map[string]string, error) {
+	var lastErr error
+	for a := 0; a < rc.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			rc.Retries++
+			rc.backoff(a - 1)
+		}
+		c, err := rc.client()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		st, err := c.Stats()
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+		if Recoverable(err) && !IsBusy(err) {
+			return nil, err
+		}
+		rc.drop()
+	}
+	return nil, fmt.Errorf("kvproto: stats failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
+}
+
+// Close shuts the live connection down, if any.
+func (rc *ReconnectClient) Close() error {
+	if rc.c == nil {
+		return nil
+	}
+	err := rc.c.Close()
+	rc.c = nil
+	return err
+}

@@ -1,0 +1,223 @@
+package kvproto
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer answers gets with END but kills every Nth connection after
+// its first request, exercising the redial path. It serves until the
+// listener closes.
+func flakyServer(t *testing.T, killEvery int) (addr string, accepted *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepted = new(atomic.Int64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n := accepted.Add(1)
+			go func(conn net.Conn, kill bool) {
+				defer conn.Close()
+				rd := NewReader(conn)
+				var req Request
+				for i := 0; ; i++ {
+					conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+					if err := rd.Next(&req); err != nil {
+						return
+					}
+					if kill && i == 0 {
+						return // drop without replying: ambiguous for the client
+					}
+					switch req.Op {
+					case OpGet:
+						conn.Write([]byte("END\r\n"))
+					case OpSet:
+						conn.Write([]byte("STORED\r\n"))
+					case OpQuit:
+						return
+					}
+				}
+			}(conn, killEvery > 0 && int(n)%killEvery == 1)
+		}
+	}()
+	return ln.Addr().String(), accepted
+}
+
+// TestReconnectGetRetries: the first connection dies mid-get; the client
+// must redial and complete the get transparently.
+func TestReconnectGetRetries(t *testing.T) {
+	addr, accepted := flakyServer(t, 2) // kills connections 1, 3, 5...
+	rc := NewReconnect(addr, ReconnectConfig{
+		ReadTimeout: 2 * time.Second,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Seed:        9,
+	})
+	defer rc.Close()
+
+	if _, ok, err := rc.Get([]byte("k")); err != nil || ok {
+		t.Fatalf("Get through flaky server: ok=%v err=%v", ok, err)
+	}
+	if rc.Retries == 0 || rc.Redials < 2 {
+		t.Fatalf("no retry happened: retries=%d redials=%d", rc.Retries, rc.Redials)
+	}
+	if accepted.Load() < 2 {
+		t.Fatalf("server saw %d connections", accepted.Load())
+	}
+}
+
+// TestReconnectSetAmbiguityNotReplayed: when the connection dies after a
+// set was flushed, the client must surface ErrUnacked instead of
+// replaying, and the next operation must transparently use a fresh
+// connection.
+func TestReconnectSetAmbiguityNotReplayed(t *testing.T) {
+	addr, accepted := flakyServer(t, 2)
+	rc := NewReconnect(addr, ReconnectConfig{
+		ReadTimeout: 2 * time.Second,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Seed:        10,
+	})
+	defer rc.Close()
+
+	err := rc.Set([]byte("k"), 0, []byte("v"))
+	if !errors.Is(err, ErrUnacked) {
+		t.Fatalf("want ErrUnacked, got %v", err)
+	}
+	before := accepted.Load()
+	if err := rc.Set([]byte("k"), 0, []byte("v")); err != nil {
+		t.Fatalf("set after reconnect: %v", err)
+	}
+	if accepted.Load() <= before {
+		t.Fatal("second set did not use a fresh connection")
+	}
+}
+
+// TestReconnectBusyRetried: a busy shed is not an acknowledgment — the
+// client must back off and retry even for a set.
+func TestReconnectBusyRetried(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var n atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if n.Add(1) <= 2 {
+				conn.Write(BusyLine)
+				conn.Close()
+				continue
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				rd := NewReader(conn)
+				var req Request
+				for {
+					conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+					if err := rd.Next(&req); err != nil {
+						return
+					}
+					if req.Op == OpSet {
+						conn.Write([]byte("STORED\r\n"))
+					} else {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	rc := NewReconnect(ln.Addr().String(), ReconnectConfig{
+		ReadTimeout: 2 * time.Second,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Seed:        11,
+	})
+	defer rc.Close()
+	if err := rc.Set([]byte("k"), 0, []byte("v")); err != nil {
+		t.Fatalf("set through busy sheds: %v", err)
+	}
+	if n.Load() < 3 {
+		t.Fatalf("server saw %d connections, want >= 3", n.Load())
+	}
+	if rc.Retries < 2 {
+		t.Fatalf("retries=%d, want >= 2", rc.Retries)
+	}
+}
+
+// TestReconnectExhaustion: a dead address fails after MaxAttempts with
+// the last error wrapped, not an infinite loop.
+func TestReconnectExhaustion(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here anymore
+
+	rc := NewReconnect(addr, ReconnectConfig{
+		DialTimeout: 200 * time.Millisecond,
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Seed:        12,
+	})
+	start := time.Now()
+	if _, _, err := rc.Get([]byte("k")); err == nil {
+		t.Fatal("get against dead address succeeded")
+	}
+	if rc.Retries != 2 {
+		t.Fatalf("retries=%d, want 2 (MaxAttempts 3)", rc.Retries)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("exhaustion took too long")
+	}
+}
+
+// TestBackoffDeterminismAndCap: the jittered schedule is reproducible for
+// a seed and never exceeds MaxBackoff.
+func TestBackoffDeterminismAndCap(t *testing.T) {
+	sched := func(seed uint64) []time.Duration {
+		rc := NewReconnect("unused", ReconnectConfig{
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  8 * time.Millisecond,
+			Seed:        seed,
+		})
+		var out []time.Duration
+		for n := 0; n < 8; n++ {
+			start := time.Now()
+			rc.backoff(n)
+			out = append(out, time.Since(start))
+		}
+		return out
+	}
+	a, b := sched(21), sched(21)
+	for i := range a {
+		if a[i] > 8*time.Millisecond+50*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v exceeds cap (plus sleep slack)", i, a[i])
+		}
+		// Same seed must sleep within scheduling slack of the same target.
+		diff := a[i] - b[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 30*time.Millisecond {
+			t.Fatalf("backoff(%d) not reproducible: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,414 @@
+// Package kvserver is the hardened serving core behind cmd/adaptcached:
+// an adaptivekv cache exposed over the kvproto text protocol with the
+// fault envelope the paper's worst-case guarantee deserves on the network
+// side. The policy layer promises graceful degradation under adversarial
+// workloads; this layer promises graceful degradation under adversarial
+// infrastructure:
+//
+//   - the accept loop retries transient failures (EMFILE, ECONNABORTED,
+//     injected faults) with capped backoff and only exits when the
+//     listener closes;
+//   - past MaxConns concurrent connections, new arrivals are shed with
+//     "SERVER_ERROR busy" instead of queuing unboundedly;
+//   - a panic in one connection handler is recovered, counted, and ends
+//     only that connection — never the process;
+//   - values larger than MaxItemSize are refused at admission with
+//     "SERVER_ERROR object too large" on a still-healthy stream;
+//   - shutdown drains connections and leaks no goroutines.
+//
+// Robustness counters (conns_rejected, panics_recovered, accept_retries,
+// client_errors) are exposed via Counters, the stats command, and
+// ExpvarMap; Healthz serves 200 while accepting and 503 while draining.
+package kvserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/adaptivekv"
+	"repro/internal/kvproto"
+)
+
+// Value is one stored object: the client's opaque flags word plus bytes.
+type Value struct {
+	Flags uint32
+	Data  []byte
+}
+
+// Config assembles a Server. The zero value serves an adaptivekv default
+// cache with no timeouts, no connection limit, and the protocol's value
+// cap as the admission bound.
+type Config struct {
+	Cache adaptivekv.Config
+
+	ReadTimeout  time.Duration // per-request read deadline (0 = none)
+	WriteTimeout time.Duration // per-flush write deadline (0 = none)
+
+	// MaxConns bounds concurrent connections; arrivals beyond it are
+	// shed with "SERVER_ERROR busy" and closed. 0 = unlimited.
+	MaxConns int
+
+	// MaxItemSize bounds accepted value sizes (admission control below
+	// the protocol's hard kvproto.MaxValueBytes cap). 0 = protocol cap.
+	MaxItemSize int
+
+	// FaultHook, when non-nil, runs before each request is dispatched.
+	// It exists for fault injection — a hook that panics exercises the
+	// per-connection panic isolation — and must not retain req.
+	FaultHook func(req *kvproto.Request)
+
+	// Logf receives operational messages (recovered panics, accept
+	// retries). nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Counters are the robustness counters, snapshotted by Counters().
+type Counters struct {
+	ConnsRejected   uint64 // connections shed with SERVER_ERROR busy
+	PanicsRecovered uint64 // handler panics isolated to their connection
+	AcceptRetries   uint64 // transient accept errors retried
+	ClientErrors    uint64 // recoverable protocol violations reported
+}
+
+// Server owns the cache, the connection set, and the drain state.
+type Server struct {
+	cfg   Config
+	cache *adaptivekv.Cache[string, Value]
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+	wg    sync.WaitGroup
+	stop  chan struct{} // closed by Shutdown; unblocks accept backoff
+
+	draining atomic.Bool
+
+	connsRejected   atomic.Uint64
+	panicsRecovered atomic.Uint64
+	acceptRetries   atomic.Uint64
+	clientErrors    atomic.Uint64
+
+	start time.Time
+}
+
+// New builds a Server; Serve starts it.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:   cfg,
+		cache: adaptivekv.New[string, Value](cfg.Cache),
+		conns: make(map[net.Conn]struct{}),
+		stop:  make(chan struct{}),
+		start: time.Now(),
+	}
+}
+
+// Cache exposes the underlying adaptive cache (stats, shape).
+func (s *Server) Cache() *adaptivekv.Cache[string, Value] { return s.cache }
+
+// Counters snapshots the robustness counters.
+func (s *Server) Counters() Counters {
+	return Counters{
+		ConnsRejected:   s.connsRejected.Load(),
+		PanicsRecovered: s.panicsRecovered.Load(),
+		AcceptRetries:   s.acceptRetries.Load(),
+		ClientErrors:    s.clientErrors.Load(),
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// maxAcceptBackoff caps the transient-accept retry delay; 1s matches
+// net/http's accept-loop behavior for sustained EMFILE pressure.
+const maxAcceptBackoff = time.Second
+
+// Serve accepts connections until the listener closes. Transient accept
+// errors (temporary net.Errors and anything else while not draining) are
+// retried with exponential backoff from 5ms to maxAcceptBackoff — a burst
+// of EMFILE or ECONNABORTED must never kill the listener.
+func (s *Server) Serve(ln net.Listener) {
+	var backoff time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.acceptRetries.Add(1)
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > maxAcceptBackoff {
+				backoff = maxAcceptBackoff
+			}
+			s.logf("kvserver: accept error (retrying in %v): %v", backoff, err)
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(backoff):
+			}
+			continue
+		}
+		backoff = 0
+
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.shed(conn)
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// shed refuses a connection over the MaxConns bound: tell the client why
+// (best effort, bounded write) and close. The client sees a well-formed
+// SERVER_ERROR it can classify as retryable-after-backoff.
+func (s *Server) shed(conn net.Conn) {
+	s.connsRejected.Add(1)
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	conn.Write(kvproto.BusyLine)
+	conn.Close()
+}
+
+// Shutdown stops accepting, flips health to draining, gives in-flight
+// requests the grace period, then force-closes whatever remains. After it
+// returns, every connection goroutine has exited.
+func (s *Server) Shutdown(ln net.Listener, grace time.Duration) {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if !s.done {
+		s.done = true
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	ln.Close()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(grace):
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-drained
+	}
+}
+
+// Wait blocks until every connection goroutine has exited (Serve callers
+// that shut down via signal handlers use it before reading final stats).
+func (s *Server) Wait() { s.wg.Wait() }
+
+// handle runs one connection's request loop. A panic anywhere in the loop
+// — a handler bug, a hostile request, an injected fault — is recovered,
+// counted, and closes only this connection: isolation is the contract
+// that lets one poisoned request degrade one client instead of all.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsRecovered.Add(1)
+			s.logf("kvserver: panic isolated to connection %v: %v", conn.RemoteAddr(), r)
+		}
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+
+	maxItem := s.cfg.MaxItemSize
+	if maxItem <= 0 {
+		maxItem = kvproto.MaxValueBytes
+	}
+
+	rd := kvproto.NewReader(conn)
+	w := bufio.NewWriterSize(conn, 4096)
+	var req kvproto.Request
+	var ce *kvproto.ClientError
+	for {
+		if s.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		switch err := rd.Next(&req); {
+		case err == nil:
+		case errors.As(err, &ce):
+			s.clientErrors.Add(1)
+			kvproto.WriteClientError(w, ce.Msg)
+			if s.flush(conn, w) != nil {
+				return
+			}
+			continue
+		default:
+			// Clean close, timeout, or corrupt stream: drop the connection.
+			return
+		}
+
+		if s.cfg.FaultHook != nil {
+			s.cfg.FaultHook(&req)
+		}
+
+		switch req.Op {
+		case kvproto.OpGet:
+			if v, ok := s.cache.Get(string(req.Key)); ok {
+				kvproto.WriteValue(w, req.Key, v.Flags, v.Data)
+			}
+			kvproto.WriteEnd(w)
+		case kvproto.OpSet:
+			if len(req.Value) > maxItem {
+				kvproto.WriteServerError(w, "object too large")
+				break
+			}
+			data := make([]byte, len(req.Value))
+			copy(data, req.Value)
+			s.cache.Set(string(req.Key), Value{Flags: req.Flags, Data: data})
+			kvproto.WriteStored(w)
+		case kvproto.OpDelete:
+			if s.cache.Delete(string(req.Key)) {
+				kvproto.WriteDeleted(w)
+			} else {
+				kvproto.WriteNotFound(w)
+			}
+		case kvproto.OpStats:
+			s.writeStats(w)
+		case kvproto.OpQuit:
+			s.flush(conn, w)
+			return
+		default:
+			kvproto.WriteError(w)
+		}
+		// A pipelining client has more requests already buffered; batch the
+		// replies and flush once the input drains (or the buffer fills).
+		if rd.Buffered() > 0 && w.Available() > 512 {
+			continue
+		}
+		if s.flush(conn, w) != nil {
+			return
+		}
+	}
+}
+
+// flush writes buffered replies under the write deadline.
+func (s *Server) flush(conn net.Conn, w *bufio.Writer) error {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	return w.Flush()
+}
+
+// Healthz is the health endpoint for the -http mux: 200 while accepting,
+// 503 once draining begins, so load balancers stop routing before the
+// listener disappears.
+func (s *Server) Healthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+// writeStats emits aggregate counters, the cache shape, robustness
+// counters, and per-shard adaptive-scheme detail.
+func (s *Server) writeStats(w *bufio.Writer) {
+	st := s.cache.Stats()
+	cfg := s.cache.Config()
+	ct := s.Counters()
+	kvproto.WriteStat(w, "uptime_seconds", uint64(time.Since(s.start).Seconds()))
+	kvproto.WriteStatStr(w, "mode", string(cfg.Mode))
+	kvproto.WriteStatStr(w, "components", strings.Join(cfg.Components, ","))
+	kvproto.WriteStat(w, "shards", uint64(cfg.Shards))
+	kvproto.WriteStat(w, "capacity", uint64(s.cache.Capacity()))
+	kvproto.WriteStat(w, "items", uint64(s.cache.Len()))
+	kvproto.WriteStat(w, "cmd_get", st.Gets)
+	kvproto.WriteStat(w, "get_hits", st.GetHits)
+	kvproto.WriteStat(w, "get_misses", st.Gets-st.GetHits)
+	kvproto.WriteStat(w, "cmd_set", st.Stores)
+	kvproto.WriteStat(w, "cmd_delete", st.Deletes)
+	kvproto.WriteStat(w, "delete_hits", st.DeleteHits)
+	kvproto.WriteStat(w, "evictions", st.Evictions)
+	kvproto.WriteStat(w, "policy_switches", st.PolicySwitches)
+	kvproto.WriteStat(w, "conns_rejected", ct.ConnsRejected)
+	kvproto.WriteStat(w, "panics_recovered", ct.PanicsRecovered)
+	kvproto.WriteStat(w, "accept_retries", ct.AcceptRetries)
+	kvproto.WriteStat(w, "client_errors", ct.ClientErrors)
+	kvproto.WriteStatStr(w, "hit_ratio", fmt.Sprintf("%.4f", st.HitRatio()))
+	kvproto.WriteStatStr(w, "adaptive_overhead_pct", fmt.Sprintf("%.4f", s.cache.OverheadPercent()))
+	for i := 0; i < s.cache.Shards(); i++ {
+		sh := s.cache.ShardStats(i)
+		prefix := fmt.Sprintf("shard%d_", i)
+		kvproto.WriteStat(w, prefix+"gets", sh.Gets)
+		kvproto.WriteStat(w, prefix+"get_hits", sh.GetHits)
+		kvproto.WriteStat(w, prefix+"evictions", sh.Evictions)
+		kvproto.WriteStat(w, prefix+"policy_switches", sh.PolicySwitches)
+		if wn := s.cache.Winner(i); wn >= 0 {
+			kvproto.WriteStatStr(w, prefix+"winner", cfg.Components[wn])
+		}
+	}
+	kvproto.WriteEnd(w)
+}
+
+// ExpvarMap builds the expvar snapshot: aggregate, robustness counters,
+// and per-shard counters. Publish it under expvar.Func.
+func (s *Server) ExpvarMap() interface{} {
+	type shardVars struct {
+		Gets, GetHits, Stores, Deletes uint64
+		Evictions, PolicySwitches      uint64
+		Winner                         string
+	}
+	cfg := s.cache.Config()
+	shards := make([]shardVars, s.cache.Shards())
+	for i := range shards {
+		st := s.cache.ShardStats(i)
+		sv := shardVars{
+			Gets: st.Gets, GetHits: st.GetHits, Stores: st.Stores,
+			Deletes: st.Deletes, Evictions: st.Evictions,
+			PolicySwitches: st.PolicySwitches,
+		}
+		if w := s.cache.Winner(i); w >= 0 {
+			sv.Winner = cfg.Components[w]
+		}
+		shards[i] = sv
+	}
+	agg := s.cache.Stats()
+	ct := s.Counters()
+	return map[string]interface{}{
+		"mode":             string(cfg.Mode),
+		"components":       cfg.Components,
+		"capacity":         s.cache.Capacity(),
+		"items":            s.cache.Len(),
+		"aggregate":        agg,
+		"hit_ratio":        agg.HitRatio(),
+		"shards":           shards,
+		"draining":         s.draining.Load(),
+		"conns_rejected":   ct.ConnsRejected,
+		"panics_recovered": ct.PanicsRecovered,
+		"accept_retries":   ct.AcceptRetries,
+		"client_errors":    ct.ClientErrors,
+	}
+}

@@ -1,0 +1,304 @@
+package kvserver
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/adaptivekv"
+	"repro/internal/faultnet"
+	"repro/internal/kvproto"
+)
+
+func smallCache() adaptivekv.Config {
+	return adaptivekv.Config{Shards: 2, Sets: 16, Ways: 4}
+}
+
+// start brings a server up on an ephemeral loopback port.
+func start(t *testing.T, cfg Config) (*Server, net.Listener) {
+	t.Helper()
+	srv := New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return srv, ln
+}
+
+// TestAcceptRetrySurvivesTransientErrors: the satellite bugfix. A
+// listener that fails half its Accept calls with temporary errors must
+// not kill the accept loop — clients keep getting served and the retries
+// are counted.
+func TestAcceptRetrySurvivesTransientErrors(t *testing.T) {
+	srv := New(Config{Cache: smallCache()})
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := faultnet.Wrap(base, faultnet.Config{Seed: 17, AcceptErrorRate: 0.5})
+	go srv.Serve(faulty)
+	defer srv.Shutdown(base, time.Second)
+
+	for i := 0; i < 10; i++ {
+		c, err := kvproto.DialTimeout(base.Addr().String(), 2*time.Second, 5*time.Second, 5*time.Second)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		if err := c.Set([]byte("k"), 0, []byte("v")); err != nil {
+			t.Fatalf("set on conn %d: %v", i, err)
+		}
+		c.Close()
+	}
+	if got := srv.Counters().AcceptRetries; got == 0 {
+		t.Error("no accept retries counted despite AcceptErrorRate 0.5")
+	}
+}
+
+// TestOverloadShedding: past MaxConns, a new arrival reads a well-formed
+// SERVER_ERROR busy and the connection closes; once load drops, service
+// resumes; the sheds are counted.
+func TestOverloadShedding(t *testing.T) {
+	srv, ln := start(t, Config{Cache: smallCache(), MaxConns: 1})
+	defer srv.Shutdown(ln, time.Second)
+	addr := ln.Addr().String()
+
+	c1, err := kvproto.DialTimeout(addr, 2*time.Second, 5*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Set([]byte("k"), 0, []byte("v")); err != nil {
+		t.Fatal(err) // proves c1 is registered, not sitting in the backlog
+	}
+
+	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	reply, err := io.ReadAll(raw)
+	raw.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reply, kvproto.BusyLine) {
+		t.Fatalf("shed reply %q, want %q", reply, kvproto.BusyLine)
+	}
+	if got := srv.Counters().ConnsRejected; got != 1 {
+		t.Errorf("ConnsRejected = %d, want 1", got)
+	}
+
+	// The typed client classifies the shed as busy/recoverable-by-retry.
+	c2, err := kvproto.DialTimeout(addr, 2*time.Second, 5*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c2.Get([]byte("k"))
+	if !kvproto.IsBusy(err) {
+		t.Fatalf("typed client got %v, want busy", err)
+	}
+	c2.CloseNow()
+
+	// Free the slot; service must resume.
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c3, err := kvproto.DialTimeout(addr, 2*time.Second, 2*time.Second, 2*time.Second)
+		if err == nil {
+			if _, ok, err := c3.Get([]byte("k")); err == nil && ok {
+				c3.Close()
+				break
+			}
+			c3.CloseNow()
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service never resumed after load dropped")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestPanicIsolation: a handler panic ends the poisoned connection only;
+// the process and other connections keep serving, and the recovery is
+// counted.
+func TestPanicIsolation(t *testing.T) {
+	hook := func(req *kvproto.Request) {
+		if string(req.Key) == "boom" {
+			panic("injected handler panic")
+		}
+	}
+	srv, ln := start(t, Config{Cache: smallCache(), FaultHook: hook})
+	defer srv.Shutdown(ln, time.Second)
+	addr := ln.Addr().String()
+
+	victim, err := kvproto.DialTimeout(addr, 2*time.Second, 2*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := victim.Get([]byte("boom")); err == nil {
+		t.Fatal("poisoned request got a reply")
+	} else if kvproto.Recoverable(err) {
+		t.Fatalf("poisoned connection classified recoverable: %v", err)
+	}
+	victim.CloseNow()
+
+	healthy, err := kvproto.DialTimeout(addr, 2*time.Second, 2*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	if err := healthy.Set([]byte("k"), 0, []byte("v")); err != nil {
+		t.Fatalf("server unhealthy after isolated panic: %v", err)
+	}
+	if got := srv.Counters().PanicsRecovered; got != 1 {
+		t.Errorf("PanicsRecovered = %d, want 1", got)
+	}
+}
+
+// TestMaxItemSizeAdmission: an oversized value is refused with a typed,
+// recoverable SERVER_ERROR; the same connection keeps working and the
+// oversized key is never admitted.
+func TestMaxItemSizeAdmission(t *testing.T) {
+	srv, ln := start(t, Config{Cache: smallCache(), MaxItemSize: 16})
+	defer srv.Shutdown(ln, time.Second)
+
+	c, err := kvproto.DialTimeout(ln.Addr().String(), 2*time.Second, 5*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.Set([]byte("big"), 0, bytes.Repeat([]byte("x"), 17))
+	var se *kvproto.ServerError
+	if !errors.As(err, &se) || !strings.Contains(se.Msg, "too large") {
+		t.Fatalf("oversized set: %v, want SERVER_ERROR object too large", err)
+	}
+	if !kvproto.Recoverable(err) {
+		t.Fatal("admission refusal must leave the stream usable")
+	}
+	if _, ok, err := c.Get([]byte("big")); err != nil || ok {
+		t.Fatalf("oversized value admitted: ok=%v err=%v", ok, err)
+	}
+	if err := c.Set([]byte("small"), 0, []byte("0123456789abcdef")); err != nil {
+		t.Fatalf("boundary-sized set on same conn: %v", err)
+	}
+	if v, ok, err := c.Get([]byte("small")); err != nil || !ok || len(v) != 16 {
+		t.Fatalf("boundary value: ok=%v len=%d err=%v", ok, len(v), err)
+	}
+	_ = srv
+}
+
+// TestGoroutineLeakAcrossLifecycle: the satellite leak check. Start a
+// server, run traffic (including a connection left open to force the
+// grace-expiry path), shut down, and require the goroutine count to
+// return to baseline.
+func TestGoroutineLeakAcrossLifecycle(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv, ln := start(t, Config{Cache: smallCache(), ReadTimeout: 30 * time.Second})
+	addr := ln.Addr().String()
+
+	for i := 0; i < 4; i++ {
+		c, err := kvproto.DialTimeout(addr, 2*time.Second, 2*time.Second, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Set([]byte("k"), 0, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	// Leave one connection idle so Shutdown must force-close it.
+	idle, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	// Make sure the idle conn is registered before shutting down.
+	time.Sleep(50 * time.Millisecond)
+
+	srv.Shutdown(ln, 200*time.Millisecond)
+	srv.Wait()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudge netpoll/timer goroutines to settle
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), before, buf[:n])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestHealthz: 200 while accepting, 503 once draining.
+func TestHealthz(t *testing.T) {
+	srv, ln := start(t, Config{Cache: smallCache()})
+
+	rec := httptest.NewRecorder()
+	srv.Healthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz while accepting = %d, want 200", rec.Code)
+	}
+
+	srv.Shutdown(ln, time.Second)
+	rec = httptest.NewRecorder()
+	srv.Healthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("healthz while draining = %d, want 503", rec.Code)
+	}
+}
+
+// TestClientErrorCounter: recoverable protocol violations are counted and
+// reported in stats without dropping the connection.
+func TestClientErrorCounter(t *testing.T) {
+	srv, ln := start(t, Config{Cache: smallCache()})
+	defer srv.Shutdown(ln, time.Second)
+
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write([]byte("bogus\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf[:n]); got != "CLIENT_ERROR unknown command\r\n" {
+		t.Fatalf("violation reply %q", got)
+	}
+	if got := srv.Counters().ClientErrors; got != 1 {
+		t.Errorf("ClientErrors = %d, want 1", got)
+	}
+
+	// Same connection still serves, and stats carries the counters.
+	c := kvproto.NewClient(conn)
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"conns_rejected", "panics_recovered", "accept_retries", "client_errors"} {
+		if _, ok := st[k]; !ok {
+			t.Errorf("stats missing robustness counter %q", k)
+		}
+	}
+	if st["client_errors"] != "1" {
+		t.Errorf("stats client_errors = %q, want 1", st["client_errors"])
+	}
+}
