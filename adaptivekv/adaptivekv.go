@@ -17,7 +17,9 @@
 // bits the set within the shard, and the full hash is the directory tag.
 // Distinct keys whose 64-bit hashes collide are treated as the same cache
 // slot: a Set of one overwrites the other (a legal eviction) and a Get of
-// the absent one misses. With the default hashers the probability of any
+// the absent one misses. Every such divergence between the engine's view
+// (a tag hit) and user-visible behavior (a key miss) is surfaced in
+// Stats.HashCollisions. With the default hashers the probability of any
 // collision among a million resident keys is below 1e-7.
 //
 // Get and Set are allocation-free on the hit path; the hot-path regression
@@ -159,10 +161,17 @@ type Stats struct {
 	// how often the shard actually changed its mind about which component
 	// policy to imitate.
 	PolicySwitches uint64
+	// HashCollisions counts operations where the directory matched a tag
+	// but the resident entry held a *different* key — a 64-bit hash
+	// collision between distinct keys. The operation is reported to the
+	// caller as a miss, yet the engine has already recorded a hit and
+	// touched the colliding entry's recency/frequency, so engine-level
+	// stats diverge from user-visible behavior by exactly this count.
+	HashCollisions uint64
 }
 
-// add accumulates o into s.
-func (s *Stats) add(o Stats) {
+// Add accumulates o into s (summing per-shard snapshots into a total).
+func (s *Stats) Add(o Stats) {
 	s.Gets += o.Gets
 	s.GetHits += o.GetHits
 	s.Stores += o.Stores
@@ -171,6 +180,7 @@ func (s *Stats) add(o Stats) {
 	s.DeleteHits += o.DeleteHits
 	s.Evictions += o.Evictions
 	s.PolicySwitches += o.PolicySwitches
+	s.HashCollisions += o.HashCollisions
 }
 
 // HitRatio returns GetHits/Gets, or 0 for an unused cache.
@@ -198,6 +208,8 @@ type shard[K comparable, V any] struct {
 	gets, getHits     uint64
 	stores, storeHits uint64
 	deletes, delHits  uint64
+	collisions        uint64
+	resident          int // maintained incrementally; see Len
 
 	_ [64]byte
 }
@@ -284,7 +296,10 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 			sh.mu.Unlock()
 			return v, true
 		}
-		// 64-bit hash collision between distinct keys: a miss.
+		// 64-bit hash collision between distinct keys: a user-visible
+		// miss, but the engine has already counted a hit and promoted
+		// the colliding entry. Record the divergence.
+		sh.collisions++
 	}
 	sh.mu.Unlock()
 	var zero V
@@ -299,10 +314,17 @@ func (c *Cache[K, V]) Set(key K, val V) {
 	sh.mu.Lock()
 	sh.stores++
 	res := sh.eng.Store(set, tag)
+	e := &sh.entries[set*c.ways+res.Way]
 	if res.Hit {
 		sh.storeHits++
+		if e.key != key {
+			// Tag hit on a different key: the store legally overwrites
+			// the colliding entry, but the engine saw an in-place update.
+			sh.collisions++
+		}
+	} else if !res.Evicted {
+		sh.resident++ // filled a previously invalid way
 	}
-	e := &sh.entries[set*c.ways+res.Way]
 	e.key = key
 	e.val = val
 	sh.mu.Unlock()
@@ -316,28 +338,40 @@ func (c *Cache[K, V]) Delete(key K) bool {
 	defer sh.mu.Unlock()
 	sh.deletes++
 	way, ok := sh.eng.Find(set, tag)
-	if !ok || sh.entries[set*c.ways+way].key != key {
+	if !ok {
+		return false
+	}
+	if sh.entries[set*c.ways+way].key != key {
+		sh.collisions++ // tag present but owned by a colliding key
 		return false
 	}
 	sh.eng.Delete(set, tag)
 	sh.entries[set*c.ways+way] = entry[K, V]{} // release references
 	sh.delHits++
+	sh.resident--
 	return true
 }
 
-// Len returns the number of resident entries. It walks every set and is
-// intended for reporting, not hot paths.
+// Len returns the number of resident entries. Each shard maintains its
+// occupancy incrementally (a fill of an invalid way increments, a delete
+// hit decrements, an eviction-replace is net zero), so Len takes one
+// shard lock at a time and reads a single integer — it never walks sets
+// and never holds more than one lock at once, making it safe for
+// per-scrape use.
 func (c *Cache[K, V]) Len() int {
 	n := 0
 	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		for s := 0; s < c.cfg.Sets; s++ {
-			n += sh.eng.Directory().Occupancy(s)
-		}
-		sh.mu.Unlock()
+		n += c.ShardOccupancy(i)
 	}
 	return n
+}
+
+// ShardOccupancy returns the number of resident entries in shard i.
+func (c *Cache[K, V]) ShardOccupancy(i int) int {
+	sh := &c.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.resident
 }
 
 // Capacity returns the maximum number of resident entries.
@@ -365,6 +399,7 @@ func (c *Cache[K, V]) ShardStats(i int) Stats {
 		DeleteHits:     sh.delHits,
 		Evictions:      sh.eng.Stats().Evictions,
 		PolicySwitches: sh.eng.PolicySwitches(),
+		HashCollisions: sh.collisions,
 	}
 }
 
@@ -372,7 +407,7 @@ func (c *Cache[K, V]) ShardStats(i int) Stats {
 func (c *Cache[K, V]) Stats() Stats {
 	var total Stats
 	for i := range c.shards {
-		total.add(c.ShardStats(i))
+		total.Add(c.ShardStats(i))
 	}
 	return total
 }

@@ -154,30 +154,110 @@ func TestKVZeroAllocs(t *testing.T) {
 
 // TestKVHashCollision pins the documented collision semantics using a
 // deliberately degenerate hasher: distinct keys sharing a 64-bit hash
-// share one slot.
+// share one slot, and every divergence between the engine's tag-level
+// view and the user-visible key-level outcome lands in HashCollisions.
 func TestKVHashCollision(t *testing.T) {
 	c := New[string, int](Config{Shards: 2, Sets: 8, Ways: 4},
 		WithHasher[string, int](func(string) uint64 { return 42 }))
 
-	c.Set("a", 1)
+	collisions := func() uint64 { return c.Stats().HashCollisions }
+
+	c.Set("a", 1) // clean fill: no divergence
+	if got := collisions(); got != 0 {
+		t.Fatalf("HashCollisions after clean Set = %d, want 0", got)
+	}
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("Get(b) hit on a's slot: key comparison missing")
 	}
-	c.Set("b", 2) // legal overwrite of the colliding slot
+	if got := collisions(); got != 1 { // engine hit, user miss
+		t.Fatalf("HashCollisions after colliding Get = %d, want 1", got)
+	}
+	c.Set("b", 2) // legal overwrite of the colliding slot; engine saw update-in-place
+	if got := collisions(); got != 2 {
+		t.Fatalf("HashCollisions after colliding Set = %d, want 2", got)
+	}
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("Get(a) hit after b overwrote the shared slot")
 	}
 	if v, ok := c.Get("b"); !ok || v != 2 {
 		t.Fatalf("Get(b) = (%d, %v), want (2, true)", v, ok)
 	}
+	if got := collisions(); got != 3 { // only Get(a) diverged; Get(b) was a true hit
+		t.Fatalf("HashCollisions after mixed Gets = %d, want 3", got)
+	}
 	if c.Delete("a") {
 		t.Fatal("Delete(a) removed b's entry")
+	}
+	if got := collisions(); got != 4 { // tag found, owned by b
+		t.Fatalf("HashCollisions after colliding Delete = %d, want 4", got)
 	}
 	if v, ok := c.Get("b"); !ok || v != 2 {
 		t.Fatalf("Get(b) after Delete(a) = (%d, %v), want (2, true)", v, ok)
 	}
 	if !c.Delete("b") {
 		t.Fatal("Delete(b) = false")
+	}
+	if got := collisions(); got != 4 { // true delete hit: no divergence
+		t.Fatalf("HashCollisions after true Delete = %d, want 4", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after deleting the only entry, want 0", c.Len())
+	}
+	// The divergence the counter quantifies: engine-level hits exceed
+	// user-visible hits by exactly the colliding Gets.
+	st := c.Stats()
+	if st.GetHits != 2 {
+		t.Fatalf("user-visible GetHits = %d, want 2", st.GetHits)
+	}
+}
+
+// TestKVIncrementalOccupancy cross-checks the incrementally maintained
+// per-shard resident counters (what Len and ShardOccupancy report) against
+// a ground-truth directory walk, through fill, eviction-replace, update,
+// and delete traffic.
+func TestKVIncrementalOccupancy(t *testing.T) {
+	c := New[uint64, uint64](Config{Shards: 2, Sets: 4, Ways: 2})
+	walk := func() int {
+		n := 0
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			for s := 0; s < c.cfg.Sets; s++ {
+				n += sh.eng.Directory().Occupancy(s)
+			}
+			sh.mu.Unlock()
+		}
+		return n
+	}
+	var rng uint64 = 0x243f6a8885a308d3
+	for i := 0; i < 5000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		k := rng % 64 // 4x capacity: plenty of evictions
+		switch rng % 8 {
+		case 0:
+			c.Delete(k)
+		case 1, 2, 3:
+			c.Set(k, k)
+		default:
+			c.Get(k)
+		}
+		if i%500 == 0 {
+			if inc, truth := c.Len(), walk(); inc != truth {
+				t.Fatalf("op %d: incremental Len %d != directory walk %d", i, inc, truth)
+			}
+		}
+	}
+	if inc, truth := c.Len(), walk(); inc != truth {
+		t.Fatalf("final: incremental Len %d != directory walk %d", inc, truth)
+	}
+	perShard := 0
+	for i := 0; i < c.Shards(); i++ {
+		perShard += c.ShardOccupancy(i)
+	}
+	if perShard != c.Len() {
+		t.Fatalf("sum of ShardOccupancy %d != Len %d", perShard, c.Len())
 	}
 }
 

@@ -8,7 +8,7 @@
 //
 //	adaptcached -addr 127.0.0.1:11311
 //	adaptcached -mode adaptive -components LRU,FIFO -shards 16
-//	adaptcached -http 127.0.0.1:8080   # expvar at /debug/vars, health at /healthz
+//	adaptcached -http 127.0.0.1:8080   # Prometheus at /metrics, expvar at /debug/vars, health at /healthz
 //	adaptcached -max-conns 1024 -max-item-size 65536
 //
 // Robustness (see internal/kvserver): transient accept errors are retried
@@ -19,7 +19,10 @@
 // counters (per-shard gets/hits/stores/evictions/policy switches plus
 // conns_rejected, panics_recovered, accept_retries, client_errors) are
 // published through expvar under "adaptivekv"; pass -http to serve them
-// alongside /healthz (200 while accepting, 503 while draining).
+// alongside /healthz (200 while accepting, 503 while draining) and
+// /metrics (Prometheus text exposition: per-op latency histograms at
+// bounded ≤3.125% relative error, byte/connection counters, per-shard
+// occupancy and SBAR winners — scraped one shard lock at a time).
 // SIGINT/SIGTERM drain connections gracefully.
 package main
 
@@ -79,6 +82,7 @@ func main() {
 	})
 	expvar.Publish("adaptivekv", expvar.Func(srv.ExpvarMap))
 	http.HandleFunc("/healthz", srv.Healthz)
+	http.Handle("/metrics", srv.MetricsHandler())
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -50,6 +50,7 @@ import (
 	"repro/internal/faultnet"
 	"repro/internal/kvproto"
 	"repro/internal/kvserver"
+	"repro/internal/metrics"
 )
 
 // splitmix64 scrambles a counter into an independent-looking draw.
@@ -83,7 +84,7 @@ type chaosClient struct {
 	fatal                                         error
 }
 
-func newChaosClient(id int, addr string, seed uint64, nkeys, vsize int) *chaosClient {
+func newChaosClient(id int, addr string, seed uint64, nkeys, vsize int, ctrs *kvproto.ReconnectCounters) *chaosClient {
 	cc := &chaosClient{
 		id: id,
 		rc: kvproto.NewReconnect(addr, kvproto.ReconnectConfig{
@@ -94,6 +95,7 @@ func newChaosClient(id int, addr string, seed uint64, nkeys, vsize int) *chaosCl
 			BaseBackoff:  2 * time.Millisecond,
 			MaxBackoff:   250 * time.Millisecond,
 			Seed:         seed,
+			Counters:     ctrs,
 		}),
 		rng:   seed | 1,
 		keys:  make([]keyState, nkeys),
@@ -324,10 +326,17 @@ func main() {
 	}
 
 	// Soak: verifying clients through the proxy, loris against the server.
+	// All clients (and the post-soak probe) share one ReconnectCounters so
+	// the fleet-aggregate can be cross-checked against per-client tallies.
+	var redials, retries, unackedOps, exhausted metrics.Counter
+	rctrs := &kvproto.ReconnectCounters{
+		Redials: &redials, Retries: &retries,
+		Unacked: &unackedOps, Exhausted: &exhausted,
+	}
 	ccs := make([]*chaosClient, *clients)
 	var wg sync.WaitGroup
 	for i := range ccs {
-		ccs[i] = newChaosClient(i, proxy.Addr(), splitmix64(*seed+uint64(i)*7919), *nkeys, *vsize)
+		ccs[i] = newChaosClient(i, proxy.Addr(), splitmix64(*seed+uint64(i)*7919), *nkeys, *vsize, rctrs)
 		wg.Add(1)
 		go func(cc *chaosClient) {
 			defer wg.Done()
@@ -357,7 +366,7 @@ func main() {
 	// Post-soak liveness: a clean client straight at the server must get
 	// ordinary service, and an acknowledged write must read back.
 	probeKey, probeVal := []byte("kvchaos-probe"), []byte("alive")
-	probe := kvproto.NewReconnect(serverAddr, kvproto.ReconnectConfig{Seed: *seed + 99})
+	probe := kvproto.NewReconnect(serverAddr, kvproto.ReconnectConfig{Seed: *seed + 99, Counters: rctrs})
 	if err := probe.Set(probeKey, 0, probeVal); err != nil {
 		failures = append(failures, fmt.Sprintf("post-soak liveness: set: %v", err))
 	} else if v, ok, err := probe.Get(probeKey); err != nil || !ok || !bytes.Equal(v, probeVal) {
@@ -388,14 +397,20 @@ func main() {
 		time.Sleep(25 * time.Millisecond)
 	}
 
-	// Aggregate client results and verdicts.
+	// Aggregate client results and verdicts. The reconnect tallies include
+	// the probe: it shares rctrs, so the fleet sums must too.
 	var tOps, tGets, tHits, tAcked, tUnacked uint64
+	tRedials, tRetries, tUnackedOps, tExhausted := probe.Redials, probe.Retries, probe.Unacked, probe.Exhausted
 	for _, cc := range ccs {
 		tOps += cc.ops
 		tGets += cc.gets
 		tHits += cc.hits
 		tAcked += cc.ackedSets
 		tUnacked += cc.unackedSets
+		tRedials += cc.rc.Redials
+		tRetries += cc.rc.Retries
+		tUnackedOps += cc.rc.Unacked
+		tExhausted += cc.rc.Exhausted
 		if cc.fatal != nil {
 			failures = append(failures, fmt.Sprintf("client gave up: %v", cc.fatal))
 		}
@@ -426,6 +441,58 @@ func main() {
 	}
 	if leaked != 0 {
 		failures = append(failures, fmt.Sprintf("goroutine leak: %d above baseline after shutdown", leaked))
+	}
+
+	// Metric invariants, checked only after shutdown drains every handler:
+	// the observability layer must agree exactly with the engine and with
+	// the clients' own books. Unacked writes may land any time before their
+	// dead connection's handler unwinds, so a pre-quiescence comparison
+	// would race.
+	final := srv.Cache().Stats()
+	getLat, setLat, delLat := srv.OpLatency("get"), srv.OpLatency("set"), srv.OpLatency("delete")
+	nc := srv.NetCounters()
+	fmt.Printf("  metrics: %d/%d/%d get/set/delete dispatches recorded, get p99 %v, %d B in, %d B out, %d redials, %d retries\n",
+		getLat.Count, setLat.Count, delLat.Count, getLat.P99, nc.BytesIn, nc.BytesOut, redials.Load(), retries.Load())
+	if getLat.Count != final.Gets {
+		failures = append(failures, fmt.Sprintf("metric drift: get histogram recorded %d ops, cache served %d",
+			getLat.Count, final.Gets))
+	}
+	// Every dispatched set under the admission bound reaches the cache;
+	// kvchaos values are far below it, so the counts must match exactly.
+	if setLat.Count != final.Stores {
+		failures = append(failures, fmt.Sprintf("metric drift: set histogram recorded %d ops, cache stored %d",
+			setLat.Count, final.Stores))
+	}
+	if delLat.Count != final.Deletes {
+		failures = append(failures, fmt.Sprintf("metric drift: delete histogram recorded %d ops, cache saw %d",
+			delLat.Count, final.Deletes))
+	}
+	if active := srv.ConnsActive(); active != 0 {
+		failures = append(failures, fmt.Sprintf("conns_active gauge is %d after shutdown (want 0, never negative)", active))
+	}
+	if nc.ConnsOpened != nc.ConnsClosed {
+		failures = append(failures, fmt.Sprintf("connection books: %d opened, %d closed after shutdown",
+			nc.ConnsOpened, nc.ConnsClosed))
+	}
+	if nc.BytesIn == 0 || nc.BytesOut == 0 {
+		failures = append(failures, fmt.Sprintf("byte meters dead under real traffic: %d in, %d out", nc.BytesIn, nc.BytesOut))
+	}
+	if redials.Load() != tRedials || retries.Load() != tRetries ||
+		unackedOps.Load() != tUnackedOps || exhausted.Load() != tExhausted {
+		failures = append(failures, fmt.Sprintf(
+			"shared reconnect counters diverge from client tallies: redials %d/%d, retries %d/%d, unacked %d/%d, exhausted %d/%d",
+			redials.Load(), tRedials, retries.Load(), tRetries,
+			unackedOps.Load(), tUnackedOps, exhausted.Load(), tExhausted))
+	}
+	if tUnackedOps != tUnacked {
+		failures = append(failures, fmt.Sprintf("unacked accounting: clients abandoned %d sets, reconnect layer counted %d",
+			tUnacked, tUnackedOps))
+	}
+	var expo bytes.Buffer
+	if err := srv.WriteMetrics(&expo); err != nil {
+		failures = append(failures, fmt.Sprintf("metrics exposition: %v", err))
+	} else if err := metrics.Lint(expo.Bytes()); err != nil {
+		failures = append(failures, fmt.Sprintf("metrics exposition invalid: %v", err))
 	}
 
 	if len(failures) > 0 {

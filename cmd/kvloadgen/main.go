@@ -15,8 +15,10 @@
 //	kvloadgen -min-ops 100000                 # exit 1 below 100k ops/s
 //
 // The report gives aggregate throughput (gets+sets per second), the
-// client-observed hit ratio, and per-connection lag. -min-ops turns the
-// run into a pass/fail throughput gate for CI.
+// client-observed hit ratio, and client-observed round-trip latency
+// percentiles (p50/p95/p99/max, one sample per pipelined batch — per
+// operation at -pipeline 1). -min-ops and -max-p99 turn the run into a
+// pass/fail CI gate on throughput and tail latency.
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 
 	"repro/adaptivekv"
 	"repro/internal/kvproto"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -64,15 +67,16 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "base workload seed (each connection offsets it)")
 		depth  = flag.Int("pipeline", 32, "requests in flight per connection (1 = strict request/reply)")
 		minOps = flag.Uint64("min-ops", 0, "fail (exit 1) if throughput is below this many ops/s")
+		maxP99 = flag.Duration("max-p99", 0, "fail (exit 1) if client-observed p99 round-trip latency exceeds this (0 = no gate)")
 		direct = flag.Bool("direct", false, "skip the network: drive an in-process adaptivekv cache")
 	)
 	flag.Parse()
 
 	pats := patterns(*mix, *hot, *skew, *loop)
-	perConn := *ops / uint64(*conns)
-	if perConn == 0 {
+	if *conns < 1 || *ops < uint64(*conns) {
 		log.Fatal("kvloadgen: -ops must be at least -conns")
 	}
+	shares := splitOps(*ops, *conns)
 	payload := make([]byte, *vsize)
 	for i := range payload {
 		payload[i] = byte('a' + i%26)
@@ -83,6 +87,9 @@ func main() {
 		cache = adaptivekv.New[string, []byte](adaptivekv.Config{})
 	}
 
+	// One shared histogram: Record is atomic and allocation-free, so all
+	// workers feed it directly.
+	lat := new(metrics.Histogram)
 	stats := make([]connStats, *conns)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -93,7 +100,7 @@ func main() {
 			st := &stats[id]
 			ks := workload.NewKeyStream(*seed+uint64(id)*1000003, pats)
 			if *direct {
-				runDirect(st, cache, ks, perConn, payload)
+				runDirect(st, cache, ks, shares[id], payload, lat)
 				return
 			}
 			c, err := kvproto.Dial(*addr)
@@ -102,7 +109,7 @@ func main() {
 				return
 			}
 			defer c.Close()
-			runClient(st, c, ks, perConn, payload, *depth)
+			runClient(st, c, ks, shares[id], payload, *depth, lat)
 		}(w)
 	}
 	wg.Wait()
@@ -131,18 +138,41 @@ func main() {
 	fmt.Printf("kvloadgen: %s mix=%s conns=%d\n", target, *mix, *conns)
 	fmt.Printf("  %d ops in %.2fs = %.0f ops/s\n", opsDone, elapsed.Seconds(), opsPerSec)
 	fmt.Printf("  gets %d, hit ratio %.4f, sets %d\n", total.gets, hitRatio, total.sets)
+	p99 := lat.Quantile(0.99)
+	fmt.Printf("  rtt p50 %v p95 %v p99 %v max %v (%d samples)\n",
+		lat.Quantile(0.50), lat.Quantile(0.95), p99, lat.Max(), lat.Count())
 
 	if *minOps > 0 && opsPerSec < float64(*minOps) {
 		fmt.Printf("  FAIL: throughput %.0f ops/s below floor %d\n", opsPerSec, *minOps)
 		os.Exit(1)
 	}
+	if *maxP99 > 0 && p99 > *maxP99 {
+		fmt.Printf("  FAIL: p99 round-trip %v above ceiling %v\n", p99, *maxP99)
+		os.Exit(1)
+	}
+}
+
+// splitOps distributes total operations over workers so they sum exactly
+// to total: the first total%workers workers take one extra op. The old
+// total/workers-per-worker split silently dropped the remainder (-ops
+// 400000 -conns 7 ran 399,994 ops), skewing the -min-ops arithmetic.
+func splitOps(total uint64, workers int) []uint64 {
+	shares := make([]uint64, workers)
+	base, extra := total/uint64(workers), total%uint64(workers)
+	for i := range shares {
+		shares[i] = base
+		if uint64(i) < extra {
+			shares[i]++
+		}
+	}
+	return shares
 }
 
 // runClient is the closed read-through loop, batched: each round sends up
 // to depth gets in one write, reads their replies, then sends sets for the
 // misses. Pipelining amortizes both sides' syscalls; depth 1 degenerates
 // to strict request/reply.
-func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint64, payload []byte, depth int) {
+func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint64, payload []byte, depth int, lat *metrics.Histogram) {
 	if depth < 1 {
 		depth = 1
 	}
@@ -160,6 +190,7 @@ func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint6
 			keys[i] = strconv.AppendUint(keys[i][:0], ks.Next(), 10)
 			c.SendGet(keys[i])
 		}
+		t0 := time.Now()
 		if st.err = c.Flush(); st.err != nil {
 			return
 		}
@@ -178,12 +209,14 @@ func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint6
 				misses++
 			}
 		}
+		lat.RecordNS(int64(time.Since(t0)))
 		if misses > 0 {
 			for i := 0; i < b; i++ {
 				if miss[i] {
 					c.SendSet(keys[i], 0, payload)
 				}
 			}
+			t1 := time.Now()
 			if st.err = c.Flush(); st.err != nil {
 				return
 			}
@@ -193,23 +226,28 @@ func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint6
 				}
 				st.sets++
 			}
+			lat.RecordNS(int64(time.Since(t1)))
 		}
 		done += uint64(b)
 	}
 }
 
 // runDirect is the same loop against the cache API, for baselining the
-// protocol + network overhead away.
-func runDirect(st *connStats, cache *adaptivekv.Cache[string, []byte], ks *workload.KeyStream, n uint64, payload []byte) {
+// protocol + network overhead away. Latency is recorded per operation
+// (there are no batches without a network).
+func runDirect(st *connStats, cache *adaptivekv.Cache[string, []byte], ks *workload.KeyStream, n uint64, payload []byte, lat *metrics.Histogram) {
 	key := make([]byte, 0, 32)
 	for i := uint64(0); i < n; i++ {
 		key = strconv.AppendUint(key[:0], ks.Next(), 10)
+		t0 := time.Now()
 		st.gets++
 		if _, ok := cache.Get(string(key)); ok {
 			st.hits++
+			lat.RecordNS(int64(time.Since(t0)))
 			continue
 		}
 		cache.Set(string(key), payload)
 		st.sets++
+		lat.RecordNS(int64(time.Since(t0)))
 	}
 }

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+// TestSplitOps: the per-worker split must sum to exactly the requested
+// total (the old integer division dropped the remainder: -ops 400000
+// -conns 7 ran only 399,994 ops) and stay balanced within one op.
+func TestSplitOps(t *testing.T) {
+	cases := []struct {
+		total   uint64
+		workers int
+	}{
+		{400000, 7}, // the reported bug: 400000/7*7 = 399994
+		{400000, 4},
+		{1, 1},
+		{7, 7},
+		{10, 3},
+		{1000003, 8}, // prime total
+		{64, 63},
+	}
+	for _, tc := range cases {
+		shares := splitOps(tc.total, tc.workers)
+		if len(shares) != tc.workers {
+			t.Fatalf("splitOps(%d, %d): %d shares", tc.total, tc.workers, len(shares))
+		}
+		var sum, min, max uint64
+		min = ^uint64(0)
+		for _, s := range shares {
+			sum += s
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if sum != tc.total {
+			t.Errorf("splitOps(%d, %d) sums to %d, want exact total", tc.total, tc.workers, sum)
+		}
+		if max-min > 1 {
+			t.Errorf("splitOps(%d, %d) unbalanced: min %d, max %d", tc.total, tc.workers, min, max)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // ErrUnacked marks an operation whose request bytes may have reached the
@@ -25,6 +27,28 @@ type ReconnectConfig struct {
 	BaseBackoff time.Duration // first retry delay (default 5ms)
 	MaxBackoff  time.Duration // backoff cap (default 500ms)
 	Seed        uint64        // jitter seed; same seed, same backoff schedule
+
+	// Counters, when non-nil, receives every outcome in addition to the
+	// client's own tallies. Share one ReconnectCounters across many
+	// clients to aggregate a whole fleet's retry behavior into one
+	// metrics registry.
+	Counters *ReconnectCounters
+}
+
+// ReconnectCounters aggregates retry outcomes across ReconnectClients.
+// Individual fields may be nil (only the wired ones are counted); the
+// counters are atomic, so clients on different goroutines may share one.
+type ReconnectCounters struct {
+	Redials   *metrics.Counter // connections (re)established
+	Retries   *metrics.Counter // attempts beyond each operation's first
+	Unacked   *metrics.Counter // sets/deletes abandoned as ErrUnacked
+	Exhausted *metrics.Counter // operations that failed after MaxAttempts
+}
+
+func inc(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
 }
 
 func (c ReconnectConfig) withDefaults() ReconnectConfig {
@@ -64,10 +88,36 @@ type ReconnectClient struct {
 	c    *Client
 	jit  uint64
 
-	// Redials and Retries count connection re-establishments and
-	// retried attempts, for soak-driver reporting.
-	Redials uint64
-	Retries uint64
+	// Redials, Retries, Unacked, and Exhausted count connection
+	// re-establishments, retried attempts, operations abandoned as
+	// ErrUnacked, and operations that ran out of attempts — for
+	// soak-driver reporting. ReconnectConfig.Counters mirrors them into
+	// shared metrics.
+	Redials   uint64
+	Retries   uint64
+	Unacked   uint64
+	Exhausted uint64
+}
+
+func (rc *ReconnectClient) countRetry() {
+	rc.Retries++
+	if rc.cfg.Counters != nil {
+		inc(rc.cfg.Counters.Retries)
+	}
+}
+
+func (rc *ReconnectClient) countUnacked() {
+	rc.Unacked++
+	if rc.cfg.Counters != nil {
+		inc(rc.cfg.Counters.Unacked)
+	}
+}
+
+func (rc *ReconnectClient) countExhausted() {
+	rc.Exhausted++
+	if rc.cfg.Counters != nil {
+		inc(rc.cfg.Counters.Exhausted)
+	}
 }
 
 // NewReconnect builds a client for addr; the first connection is dialed
@@ -87,6 +137,9 @@ func (rc *ReconnectClient) client() (*Client, error) {
 		return nil, err
 	}
 	rc.Redials++
+	if rc.cfg.Counters != nil {
+		inc(rc.cfg.Counters.Redials)
+	}
 	rc.c = c
 	return c, nil
 }
@@ -124,7 +177,7 @@ func (rc *ReconnectClient) Get(key []byte) (val []byte, ok bool, err error) {
 	var lastErr error
 	for a := 0; a < rc.cfg.MaxAttempts; a++ {
 		if a > 0 {
-			rc.Retries++
+			rc.countRetry()
 			rc.backoff(a - 1)
 		}
 		c, err := rc.client()
@@ -142,6 +195,7 @@ func (rc *ReconnectClient) Get(key []byte) (val []byte, ok bool, err error) {
 		}
 		rc.drop() // busy shed or dead stream: fresh connection next time
 	}
+	rc.countExhausted()
 	return nil, false, fmt.Errorf("kvproto: get failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
 }
 
@@ -152,7 +206,7 @@ func (rc *ReconnectClient) Set(key []byte, flags uint32, val []byte) error {
 	var lastErr error
 	for a := 0; a < rc.cfg.MaxAttempts; a++ {
 		if a > 0 {
-			rc.Retries++
+			rc.countRetry()
 			rc.backoff(a - 1)
 		}
 		c, err := rc.client()
@@ -172,9 +226,11 @@ func (rc *ReconnectClient) Set(key []byte, flags uint32, val []byte) error {
 			return err // server rejected it; replaying cannot succeed
 		default:
 			rc.drop()
+			rc.countUnacked()
 			return fmt.Errorf("%w (set): %v", ErrUnacked, err)
 		}
 	}
+	rc.countExhausted()
 	return fmt.Errorf("kvproto: set failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
 }
 
@@ -184,7 +240,7 @@ func (rc *ReconnectClient) Delete(key []byte) (bool, error) {
 	var lastErr error
 	for a := 0; a < rc.cfg.MaxAttempts; a++ {
 		if a > 0 {
-			rc.Retries++
+			rc.countRetry()
 			rc.backoff(a - 1)
 		}
 		c, err := rc.client()
@@ -204,9 +260,11 @@ func (rc *ReconnectClient) Delete(key []byte) (bool, error) {
 			return false, err
 		default:
 			rc.drop()
+			rc.countUnacked()
 			return false, fmt.Errorf("%w (delete): %v", ErrUnacked, err)
 		}
 	}
+	rc.countExhausted()
 	return false, fmt.Errorf("kvproto: delete failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
 }
 
@@ -215,7 +273,7 @@ func (rc *ReconnectClient) Stats() (map[string]string, error) {
 	var lastErr error
 	for a := 0; a < rc.cfg.MaxAttempts; a++ {
 		if a > 0 {
-			rc.Retries++
+			rc.countRetry()
 			rc.backoff(a - 1)
 		}
 		c, err := rc.client()
@@ -233,6 +291,7 @@ func (rc *ReconnectClient) Stats() (map[string]string, error) {
 		}
 		rc.drop()
 	}
+	rc.countExhausted()
 	return nil, fmt.Errorf("kvproto: stats failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
 }
 

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // flakyServer answers gets with END but kills every Nth connection after
@@ -219,5 +221,74 @@ func TestBackoffDeterminismAndCap(t *testing.T) {
 		if diff > 30*time.Millisecond {
 			t.Fatalf("backoff(%d) not reproducible: %v vs %v", i, a[i], b[i])
 		}
+	}
+}
+
+// TestReconnectCountersWired: the optional shared ReconnectCounters must
+// mirror every outcome the client tallies — redials and retries on a
+// flaky peer, Unacked on an ambiguous set, and Exhausted when an
+// unreachable address runs the client out of attempts. Nil counter
+// fields must be ignored.
+func TestReconnectCountersWired(t *testing.T) {
+	var redials, retries, unacked, exhausted metrics.Counter
+	ctrs := &ReconnectCounters{
+		Redials: &redials, Retries: &retries,
+		Unacked: &unacked, Exhausted: &exhausted,
+	}
+
+	addr, _ := flakyServer(t, 2)
+	rc := NewReconnect(addr, ReconnectConfig{
+		ReadTimeout: 2 * time.Second,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Seed:        11,
+		Counters:    ctrs,
+	})
+	if _, _, err := rc.Get([]byte("k")); err != nil {
+		t.Fatalf("get through flaky server: %v", err)
+	}
+	if redials.Load() != rc.Redials || redials.Load() < 2 {
+		t.Errorf("shared redials %d, client %d (want equal, >= 2)", redials.Load(), rc.Redials)
+	}
+	if retries.Load() != rc.Retries || retries.Load() == 0 {
+		t.Errorf("shared retries %d, client %d (want equal, > 0)", retries.Load(), rc.Retries)
+	}
+	// Force a fresh dial so the set lands on the next odd (doomed)
+	// connection and becomes ambiguous.
+	rc.drop()
+	if err := rc.Set([]byte("k"), 0, []byte("v")); !errors.Is(err, ErrUnacked) {
+		t.Fatalf("want ErrUnacked, got %v", err)
+	}
+	if unacked.Load() != 1 || rc.Unacked != 1 {
+		t.Errorf("unacked: shared %d, client %d, want 1", unacked.Load(), rc.Unacked)
+	}
+	rc.Close()
+
+	// Unreachable peer: the same shared counters also see exhaustion.
+	dead := NewReconnect("127.0.0.1:1", ReconnectConfig{
+		DialTimeout: 100 * time.Millisecond,
+		MaxAttempts: 2,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Seed:        12,
+		Counters:    ctrs,
+	})
+	if _, _, err := dead.Get([]byte("k")); err == nil {
+		t.Fatal("get against unreachable address succeeded")
+	}
+	if exhausted.Load() != 1 || dead.Exhausted != 1 {
+		t.Errorf("exhausted: shared %d, client %d, want 1", exhausted.Load(), dead.Exhausted)
+	}
+
+	// Partially wired counters must not panic.
+	partial := NewReconnect(addr, ReconnectConfig{
+		ReadTimeout: 2 * time.Second,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Counters:    &ReconnectCounters{Retries: &retries},
+	})
+	defer partial.Close()
+	if _, _, err := partial.Get([]byte("k")); err != nil {
+		t.Fatalf("get with partial counters: %v", err)
 	}
 }

@@ -16,9 +16,16 @@
 //     "SERVER_ERROR object too large" on a still-healthy stream;
 //   - shutdown drains connections and leaks no goroutines.
 //
+// Every network write — explicit flushes and bufio auto-flushes alike —
+// goes through a deadline-armed conn wrapper, so a reply larger than the
+// write buffer cannot wedge its handler on a stalled reader.
+//
 // Robustness counters (conns_rejected, panics_recovered, accept_retries,
 // client_errors) are exposed via Counters, the stats command, and
-// ExpvarMap; Healthz serves 200 while accepting and 503 while draining.
+// ExpvarMap; a zero-allocation-on-record metrics registry (per-op latency
+// histograms, byte/connection counters, cache collectors — see
+// metrics.go) serves Prometheus text via MetricsHandler; Healthz serves
+// 200 while accepting and 503 while draining.
 package kvserver
 
 import (
@@ -48,8 +55,10 @@ type Value struct {
 type Config struct {
 	Cache adaptivekv.Config
 
-	ReadTimeout  time.Duration // per-request read deadline (0 = none)
-	WriteTimeout time.Duration // per-flush write deadline (0 = none)
+	ReadTimeout time.Duration // per-request read deadline (0 = none)
+	// WriteTimeout is armed before every network write — explicit
+	// flushes and bufio auto-flushes alike (0 = none).
+	WriteTimeout time.Duration
 
 	// MaxConns bounds concurrent connections; arrivals beyond it are
 	// shed with "SERVER_ERROR busy" and closed. 0 = unlimited.
@@ -71,10 +80,11 @@ type Config struct {
 
 // Counters are the robustness counters, snapshotted by Counters().
 type Counters struct {
-	ConnsRejected   uint64 // connections shed with SERVER_ERROR busy
-	PanicsRecovered uint64 // handler panics isolated to their connection
-	AcceptRetries   uint64 // transient accept errors retried
-	ClientErrors    uint64 // recoverable protocol violations reported
+	ConnsRejected     uint64 // connections shed with SERVER_ERROR busy
+	PanicsRecovered   uint64 // handler panics isolated to their connection
+	AcceptRetries     uint64 // transient accept errors retried
+	ClientErrors      uint64 // recoverable protocol violations reported
+	ShedWriteFailures uint64 // shed replies that never reached the client
 }
 
 // Server owns the cache, the connection set, and the drain state.
@@ -90,23 +100,35 @@ type Server struct {
 
 	draining atomic.Bool
 
-	connsRejected   atomic.Uint64
-	panicsRecovered atomic.Uint64
-	acceptRetries   atomic.Uint64
-	clientErrors    atomic.Uint64
+	m           *serverMetrics
+	shardLabels []string
 
-	start time.Time
+	// startNanos is stamped when Serve first runs (not at New), so
+	// uptime_seconds measures serving time. 0 = not yet serving.
+	startNanos atomic.Int64
 }
 
 // New builds a Server; Serve starts it.
 func New(cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		cache: adaptivekv.New[string, Value](cfg.Cache),
 		conns: make(map[net.Conn]struct{}),
 		stop:  make(chan struct{}),
-		start: time.Now(),
+		m:     newServerMetrics(),
 	}
+	s.shardLabels = shardLabelSet(s.cache.Shards())
+	s.m.reg.Collect(s.collectRuntime)
+	return s
+}
+
+// uptime returns time spent serving (zero before Serve starts).
+func (s *Server) uptime() time.Duration {
+	ns := s.startNanos.Load()
+	if ns == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, ns))
 }
 
 // Cache exposes the underlying adaptive cache (stats, shape).
@@ -115,10 +137,11 @@ func (s *Server) Cache() *adaptivekv.Cache[string, Value] { return s.cache }
 // Counters snapshots the robustness counters.
 func (s *Server) Counters() Counters {
 	return Counters{
-		ConnsRejected:   s.connsRejected.Load(),
-		PanicsRecovered: s.panicsRecovered.Load(),
-		AcceptRetries:   s.acceptRetries.Load(),
-		ClientErrors:    s.clientErrors.Load(),
+		ConnsRejected:     s.m.connsRejected.Load(),
+		PanicsRecovered:   s.m.panicsRecovered.Load(),
+		AcceptRetries:     s.m.acceptRetries.Load(),
+		ClientErrors:      s.m.clientErrors.Load(),
+		ShedWriteFailures: s.m.shedWriteFailures.Load(),
 	}
 }
 
@@ -140,6 +163,7 @@ const maxAcceptBackoff = time.Second
 // retried with exponential backoff from 5ms to maxAcceptBackoff — a burst
 // of EMFILE or ECONNABORTED must never kill the listener.
 func (s *Server) Serve(ln net.Listener) {
+	s.startNanos.CompareAndSwap(0, time.Now().UnixNano())
 	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
@@ -147,7 +171,7 @@ func (s *Server) Serve(ln net.Listener) {
 			if s.draining.Load() || errors.Is(err, net.ErrClosed) {
 				return
 			}
-			s.acceptRetries.Add(1)
+			s.m.acceptRetries.Inc()
 			if backoff == 0 {
 				backoff = 5 * time.Millisecond
 			} else if backoff *= 2; backoff > maxAcceptBackoff {
@@ -177,17 +201,27 @@ func (s *Server) Serve(ln net.Listener) {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.m.connsOpened.Inc()
+		s.m.connsActive.Add(1)
 		go s.handle(conn)
 	}
 }
 
 // shed refuses a connection over the MaxConns bound: tell the client why
 // (best effort, bounded write) and close. The client sees a well-formed
-// SERVER_ERROR it can classify as retryable-after-backoff.
+// SERVER_ERROR it can classify as retryable-after-backoff. A reply that
+// fails to go out is still a shed, but it leaves the client guessing —
+// count it so sustained failures are visible.
 func (s *Server) shed(conn net.Conn) {
-	s.connsRejected.Add(1)
-	conn.SetWriteDeadline(time.Now().Add(time.Second))
-	conn.Write(kvproto.BusyLine)
+	s.m.connsRejected.Inc()
+	err := conn.SetWriteDeadline(time.Now().Add(time.Second))
+	if err == nil {
+		_, err = conn.Write(kvproto.BusyLine)
+	}
+	if err != nil {
+		s.m.shedWriteFailures.Inc()
+		s.logf("kvserver: shed reply to %v failed: %v", conn.RemoteAddr(), err)
+	}
 	conn.Close()
 }
 
@@ -225,6 +259,37 @@ func (s *Server) Shutdown(ln net.Listener, grace time.Duration) {
 // that shut down via signal handlers use it before reading final stats).
 func (s *Server) Wait() { s.wg.Wait() }
 
+// connIO routes the handler's I/O through the raw connection with two
+// jobs: arm the write deadline before EVERY network write, and meter
+// bytes in both directions. Routing the bufio.Writer through Write (not
+// the bare conn) is the fix for a real wedge: a reply larger than the
+// 4096-byte write buffer auto-flushes mid-WriteValue, and before this
+// wrapper that auto-flush carried no deadline — a slow-loris reader
+// fetching a large value parked the handler goroutine on conn.Write
+// forever, immune to WriteTimeout.
+type connIO struct {
+	conn net.Conn
+	s    *Server
+}
+
+func (c *connIO) Read(p []byte) (int, error) {
+	n, err := c.conn.Read(p)
+	c.s.m.bytesIn.Add(uint64(n))
+	return n, err
+}
+
+func (c *connIO) Write(p []byte) (int, error) {
+	if t := c.s.cfg.WriteTimeout; t > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(t)); err != nil {
+			return 0, err
+		}
+	}
+	n, err := c.conn.Write(p)
+	c.s.m.bytesOut.Add(uint64(n))
+	c.s.m.netWrites.Inc()
+	return n, err
+}
+
 // handle runs one connection's request loop. A panic anywhere in the loop
 // — a handler bug, a hostile request, an injected fault — is recovered,
 // counted, and closes only this connection: isolation is the contract
@@ -232,13 +297,15 @@ func (s *Server) Wait() { s.wg.Wait() }
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.panicsRecovered.Add(1)
+			s.m.panicsRecovered.Inc()
 			s.logf("kvserver: panic isolated to connection %v: %v", conn.RemoteAddr(), r)
 		}
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.m.connsClosed.Inc()
+		s.m.connsActive.Add(-1)
 		s.wg.Done()
 	}()
 
@@ -247,8 +314,9 @@ func (s *Server) handle(conn net.Conn) {
 		maxItem = kvproto.MaxValueBytes
 	}
 
-	rd := kvproto.NewReader(conn)
-	w := bufio.NewWriterSize(conn, 4096)
+	cio := &connIO{conn: conn, s: s}
+	rd := kvproto.NewReader(cio)
+	w := bufio.NewWriterSize(cio, 4096)
 	var req kvproto.Request
 	var ce *kvproto.ClientError
 	for {
@@ -258,9 +326,9 @@ func (s *Server) handle(conn net.Conn) {
 		switch err := rd.Next(&req); {
 		case err == nil:
 		case errors.As(err, &ce):
-			s.clientErrors.Add(1)
+			s.m.clientErrors.Inc()
 			kvproto.WriteClientError(w, ce.Msg)
-			if s.flush(conn, w) != nil {
+			if w.Flush() != nil {
 				return
 			}
 			continue
@@ -273,6 +341,7 @@ func (s *Server) handle(conn net.Conn) {
 			s.cfg.FaultHook(&req)
 		}
 
+		opStart := time.Now()
 		switch req.Op {
 		case kvproto.OpGet:
 			if v, ok := s.cache.Get(string(req.Key)); ok {
@@ -297,28 +366,23 @@ func (s *Server) handle(conn net.Conn) {
 		case kvproto.OpStats:
 			s.writeStats(w)
 		case kvproto.OpQuit:
-			s.flush(conn, w)
+			w.Flush()
 			return
 		default:
 			kvproto.WriteError(w)
+		}
+		if i := opIndex(req.Op); i >= 0 {
+			s.m.opLat[i].RecordNS(int64(time.Since(opStart)))
 		}
 		// A pipelining client has more requests already buffered; batch the
 		// replies and flush once the input drains (or the buffer fills).
 		if rd.Buffered() > 0 && w.Available() > 512 {
 			continue
 		}
-		if s.flush(conn, w) != nil {
+		if w.Flush() != nil {
 			return
 		}
 	}
-}
-
-// flush writes buffered replies under the write deadline.
-func (s *Server) flush(conn net.Conn, w *bufio.Writer) error {
-	if s.cfg.WriteTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	}
-	return w.Flush()
 }
 
 // Healthz is the health endpoint for the -http mux: 200 while accepting,
@@ -334,12 +398,13 @@ func (s *Server) Healthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // writeStats emits aggregate counters, the cache shape, robustness
-// counters, and per-shard adaptive-scheme detail.
+// counters, latency summaries, and per-shard adaptive-scheme detail.
 func (s *Server) writeStats(w *bufio.Writer) {
 	st := s.cache.Stats()
 	cfg := s.cache.Config()
 	ct := s.Counters()
-	kvproto.WriteStat(w, "uptime_seconds", uint64(time.Since(s.start).Seconds()))
+	nc := s.NetCounters()
+	kvproto.WriteStat(w, "uptime_seconds", uint64(s.uptime().Seconds()))
 	kvproto.WriteStatStr(w, "mode", string(cfg.Mode))
 	kvproto.WriteStatStr(w, "components", strings.Join(cfg.Components, ","))
 	kvproto.WriteStat(w, "shards", uint64(cfg.Shards))
@@ -353,10 +418,23 @@ func (s *Server) writeStats(w *bufio.Writer) {
 	kvproto.WriteStat(w, "delete_hits", st.DeleteHits)
 	kvproto.WriteStat(w, "evictions", st.Evictions)
 	kvproto.WriteStat(w, "policy_switches", st.PolicySwitches)
+	kvproto.WriteStat(w, "hash_collisions", st.HashCollisions)
 	kvproto.WriteStat(w, "conns_rejected", ct.ConnsRejected)
 	kvproto.WriteStat(w, "panics_recovered", ct.PanicsRecovered)
 	kvproto.WriteStat(w, "accept_retries", ct.AcceptRetries)
 	kvproto.WriteStat(w, "client_errors", ct.ClientErrors)
+	kvproto.WriteStat(w, "shed_write_failures", ct.ShedWriteFailures)
+	kvproto.WriteStat(w, "bytes_in", nc.BytesIn)
+	kvproto.WriteStat(w, "bytes_out", nc.BytesOut)
+	kvproto.WriteStat(w, "conns_opened", nc.ConnsOpened)
+	kvproto.WriteStat(w, "conns_active", uint64(s.ConnsActive()))
+	for _, op := range opNames {
+		ol := s.OpLatency(op)
+		kvproto.WriteStat(w, op+"_latency_count", ol.Count)
+		kvproto.WriteStat(w, op+"_latency_p50_us", uint64(ol.P50.Microseconds()))
+		kvproto.WriteStat(w, op+"_latency_p99_us", uint64(ol.P99.Microseconds()))
+		kvproto.WriteStat(w, op+"_latency_max_us", uint64(ol.Max.Microseconds()))
+	}
 	kvproto.WriteStatStr(w, "hit_ratio", fmt.Sprintf("%.4f", st.HitRatio()))
 	kvproto.WriteStatStr(w, "adaptive_overhead_pct", fmt.Sprintf("%.4f", s.cache.OverheadPercent()))
 	for i := 0; i < s.cache.Shards(); i++ {
@@ -366,6 +444,7 @@ func (s *Server) writeStats(w *bufio.Writer) {
 		kvproto.WriteStat(w, prefix+"get_hits", sh.GetHits)
 		kvproto.WriteStat(w, prefix+"evictions", sh.Evictions)
 		kvproto.WriteStat(w, prefix+"policy_switches", sh.PolicySwitches)
+		kvproto.WriteStat(w, prefix+"items", uint64(s.cache.ShardOccupancy(i)))
 		if wn := s.cache.Winner(i); wn >= 0 {
 			kvproto.WriteStatStr(w, prefix+"winner", cfg.Components[wn])
 		}

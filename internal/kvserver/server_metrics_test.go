@@ -1,0 +1,254 @@
+package kvserver
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kvproto"
+	"repro/internal/metrics"
+)
+
+// TestWriteDeadlineCoversLargeReplies is the regression test for the
+// auto-flush wedge: a reply larger than the 4096-byte write buffer
+// auto-flushes mid-WriteValue, and before connIO those flushes carried no
+// deadline — a reader that stops draining while fetching large values
+// parked the handler on conn.Write forever. With every write
+// deadline-armed, the handler must error out and exit within WriteTimeout
+// (observed here as the active-connection gauge returning to zero; without
+// the fix it stays pinned and the poll below times the test out).
+func TestWriteDeadlineCoversLargeReplies(t *testing.T) {
+	srv, ln := start(t, Config{
+		Cache:        smallCache(),
+		WriteTimeout: 200 * time.Millisecond,
+		ReadTimeout:  30 * time.Second,
+	})
+	defer srv.Shutdown(ln, time.Second)
+	addr := ln.Addr().String()
+
+	big := make([]byte, 512<<10)
+	for i := range big {
+		big[i] = byte('a' + i%26)
+	}
+	c, err := kvproto.DialTimeout(addr, 2*time.Second, 5*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set([]byte("big"), 0, big); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// Slow-loris reader: pipeline 64 gets for the 512KB value in one
+	// write (32MB of replies, far beyond any socket buffering) and never
+	// read a byte.
+	loris, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loris.Close()
+	burst := strings.Repeat("get big\r\n", 64)
+	if _, err := loris.Write([]byte(burst)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The handler must hit the write deadline and exit; it must NOT sit
+	// in an undeadlined conn.Write until the reader drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ConnsActive() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("handler still wedged %v after a stalled reader requested large values (conns_active=%d); auto-flush writes are not deadline-covered",
+				5*time.Second, srv.ConnsActive())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestPipelinedFlushBatching pins the reply-batching condition
+// (rd.Buffered() > 0 && w.Available() > 512) from both sides: a pipelined
+// burst of N requests produces far fewer network writes than N, while a
+// strict request/reply client gets each reply flushed promptly (proven by
+// its read deadline not firing).
+func TestPipelinedFlushBatching(t *testing.T) {
+	srv, ln := start(t, Config{Cache: smallCache(), ReadTimeout: 30 * time.Second})
+	defer srv.Shutdown(ln, time.Second)
+	addr := ln.Addr().String()
+
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	// Burst: 50 gets of an absent key in one segment. Replies are 50
+	// "END\r\n" lines (250 bytes, well under the 4096-byte buffer), so
+	// the batching path should coalesce them into very few writes.
+	const burst = 50
+	before := srv.NetCounters().NetWrites
+	if _, err := conn.Write([]byte(strings.Repeat("get nope\r\n", burst))); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Repeat("END\r\n", burst)
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatalf("burst replies corrupted: %q", got)
+	}
+	delta := srv.NetCounters().NetWrites - before
+	if delta > 5 {
+		t.Errorf("pipelined burst of %d requests took %d network writes, want coalesced (<=5)", burst, delta)
+	}
+	if delta == 0 {
+		t.Error("no network writes counted for the burst")
+	}
+
+	// Strict request/reply on a fresh typed client: each reply must be
+	// flushed promptly even though the write buffer is nearly empty —
+	// the 2s read deadline would fire if the server sat on the reply.
+	c, err := kvproto.DialTimeout(addr, 2*time.Second, 2*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		if err := c.Set([]byte("k"), 0, []byte("v")); err != nil {
+			t.Fatalf("strict set %d: %v", i, err)
+		}
+		if v, ok, err := c.Get([]byte("k")); err != nil || !ok || string(v) != "v" {
+			t.Fatalf("strict get %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+// failingConn is a net.Conn stub whose writes always fail, for driving
+// shed()'s error path.
+type failingConn struct {
+	net.Conn // nil; only the methods below are called
+}
+
+func (failingConn) Write([]byte) (int, error)        { return 0, errors.New("injected write failure") }
+func (failingConn) SetWriteDeadline(time.Time) error { return nil }
+func (failingConn) Close() error                     { return nil }
+func (failingConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+
+// TestShedWriteFailureCounted: a shed whose SERVER_ERROR busy reply never
+// reaches the client is still a shed, and the failed write is counted
+// (before the fix the error was silently dropped).
+func TestShedWriteFailureCounted(t *testing.T) {
+	srv := New(Config{Cache: smallCache()})
+	srv.shed(failingConn{})
+	ct := srv.Counters()
+	if ct.ConnsRejected != 1 {
+		t.Errorf("ConnsRejected = %d, want 1", ct.ConnsRejected)
+	}
+	if ct.ShedWriteFailures != 1 {
+		t.Errorf("ShedWriteFailures = %d, want 1", ct.ShedWriteFailures)
+	}
+}
+
+// TestUptimeStartsAtServe: uptime must measure serving time, not object
+// lifetime (before the fix it ticked from New).
+func TestUptimeStartsAtServe(t *testing.T) {
+	srv := New(Config{Cache: smallCache()})
+	time.Sleep(30 * time.Millisecond)
+	if up := srv.uptime(); up != 0 {
+		t.Fatalf("uptime = %v before Serve, want 0", up)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(ln, time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.startNanos.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Serve never stamped the start time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if up := srv.uptime(); up <= 0 {
+		t.Fatalf("uptime = %v after Serve, want > 0", up)
+	}
+}
+
+// TestMetricsExposition drives real traffic and validates the /metrics
+// output end to end: parseable Prometheus text (via metrics.Lint),
+// per-op latency histograms whose counts match the cache's own counters,
+// and non-zero byte accounting.
+func TestMetricsExposition(t *testing.T) {
+	srv, ln := start(t, Config{Cache: smallCache(), ReadTimeout: 5 * time.Second})
+	defer srv.Shutdown(ln, time.Second)
+
+	c, err := kvproto.DialTimeout(ln.Addr().String(), 2*time.Second, 5*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		key := []byte("k" + strconv.Itoa(i%5))
+		if err := c.Set(key, 0, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Delete([]byte("k0"))
+	c.Close()
+
+	// Quiesce: wait for the handler goroutine to finish so counters are
+	// final.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ConnsActive() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection never drained")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rec.Body.Bytes()
+	if err := metrics.Lint(body); err != nil {
+		t.Fatalf("/metrics failed lint: %v\n%s", err, body)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE kv_op_latency_seconds histogram",
+		`kv_op_latency_seconds_count{op="get"} 20`,
+		`kv_op_latency_seconds_count{op="set"} 20`,
+		`kv_op_latency_seconds_count{op="delete"} 1`,
+		`adaptivekv_ops_total{op="get"} 20`,
+		`adaptivekv_shard_items{shard="0"}`,
+		"kv_conns_opened_total 1",
+		"kv_conns_active 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	nc := srv.NetCounters()
+	if nc.BytesIn == 0 || nc.BytesOut == 0 {
+		t.Errorf("byte counters empty: %+v", nc)
+	}
+	if st := srv.Cache().Stats(); srv.OpLatency("get").Count != st.Gets {
+		t.Errorf("get histogram count %d != cache gets %d", srv.OpLatency("get").Count, st.Gets)
+	}
+	if ol := srv.OpLatency("get"); ol.P99 == 0 || ol.P99 > ol.Max || ol.P50 > ol.P99 {
+		t.Errorf("implausible latency summary: %+v", ol)
+	}
+}
