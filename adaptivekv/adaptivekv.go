@@ -22,6 +22,20 @@
 // Stats.HashCollisions. With the default hashers the probability of any
 // collision among a million resident keys is below 1e-7.
 //
+// # Read-side scaling
+//
+// The adaptive policy mutates recency/frequency/shadow state on every
+// hit, which would serialize all readers on the shard lock. Instead, by
+// default Get runs optimistically: it probes an atomic mirror of the
+// directory tags under a per-shard seqlock and resolves the value without
+// touching the engine, then pushes a pending access record into a
+// per-shard ring. The next mutation on the shard (or a ¾-full ring)
+// drains the ring into the engine in one batch, so the engine still sees
+// every access — leader-set learning and the paper's guarantee are
+// preserved with bounded staleness. Config.StrictOrder disables the
+// optimistic path for byte-identical serial determinism, and Stats
+// reports the fastpath/fallback/drop counters. See DESIGN.md §11.
+//
 // Get and Set are allocation-free on the hit path; the hot-path regression
 // harness (cmd/benchregress) enforces this.
 package adaptivekv
@@ -29,6 +43,7 @@ package adaptivekv
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -69,6 +84,18 @@ type Config struct {
 	// directories (default 8, the paper's recommendation; negative selects
 	// full tags).
 	ShadowTagBits int
+
+	// StrictOrder disables the optimistic read path: every Get takes the
+	// shard lock and updates the engine inline, so a serial op sequence
+	// produces byte-identical engine state and stats on every run.
+	// Deterministic replay/determinism tests set this; servers should not.
+	StrictOrder bool
+
+	// PendingRing is the per-shard pending-access ring size in records
+	// (power of two ≥ 8; default 1024). Larger rings tolerate longer
+	// read-only streaks before the ¾-full self-drain; a full ring drops
+	// records (counted in Stats.PendingHitsDropped) rather than block.
+	PendingRing int
 }
 
 // normalized fills defaults and validates.
@@ -101,6 +128,9 @@ func (c Config) normalized() Config {
 	if c.ShadowTagBits == 0 {
 		c.ShadowTagBits = 8
 	}
+	if c.PendingRing == 0 {
+		c.PendingRing = 1024
+	}
 	if c.Shards <= 0 || c.Shards&(c.Shards-1) != 0 {
 		panic(fmt.Sprintf("adaptivekv: Shards %d is not a positive power of two", c.Shards))
 	}
@@ -110,8 +140,14 @@ func (c Config) normalized() Config {
 	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
 		panic(fmt.Sprintf("adaptivekv: Sets %d is not a positive power of two", c.Sets))
 	}
+	if c.Sets > 1<<30 {
+		panic(fmt.Sprintf("adaptivekv: Sets %d exceeds %d", c.Sets, 1<<30))
+	}
 	if c.Ways <= 0 {
 		panic("adaptivekv: Ways must be positive")
+	}
+	if c.PendingRing < 8 || c.PendingRing&(c.PendingRing-1) != 0 {
+		panic(fmt.Sprintf("adaptivekv: PendingRing %d is not a power of two ≥ 8", c.PendingRing))
 	}
 	if c.Mode == ModeSingle && len(c.Components) != 1 {
 		panic("adaptivekv: ModeSingle takes exactly one component")
@@ -168,6 +204,18 @@ type Stats struct {
 	// touched the colliding entry's recency/frequency, so engine-level
 	// stats diverge from user-visible behavior by exactly this count.
 	HashCollisions uint64
+	// OptimisticFastpath counts Gets resolved through the atomic tag
+	// mirror — a lock-free miss, or a hit confirmed under the shared read
+	// lock — without ever taking the shard's engine lock.
+	OptimisticFastpath uint64
+	// OptimisticFallback counts Gets that saw the shard's seqlock version
+	// move mid-probe (a racing writer) and re-probed authoritatively
+	// under the read lock.
+	OptimisticFallback uint64
+	// PendingHitsDropped counts deferred access records discarded because
+	// the pending ring was full. Drops lose a little adaptive signal
+	// (never data); readers are never blocked to preserve it.
+	PendingHitsDropped uint64
 }
 
 // Add accumulates o into s (summing per-shard snapshots into a total).
@@ -181,6 +229,9 @@ func (s *Stats) Add(o Stats) {
 	s.Evictions += o.Evictions
 	s.PolicySwitches += o.PolicySwitches
 	s.HashCollisions += o.HashCollisions
+	s.OptimisticFastpath += o.OptimisticFastpath
+	s.OptimisticFallback += o.OptimisticFallback
+	s.PendingHitsDropped += o.PendingHitsDropped
 }
 
 // HitRatio returns GetHits/Gets, or 0 for an unused cache.
@@ -197,19 +248,45 @@ type entry[K comparable, V any] struct {
 	val V
 }
 
-// shard is one lock stripe: a set-associative entry array plus its
-// decision engine. The trailing pad keeps two shards' mutexes off one
-// cache line.
+// shard is one lock stripe. Two locks split its state:
+//
+//   - mu is the authority lock: the decision engine, the writer-owned
+//     counters, the resident count, and the pending-ring consumer. All
+//     mutations (Set, Delete, batch variants) and all engine reads
+//     (ShardStats, Winner) hold it.
+//   - rmu orders entry/tag-mirror publication against optimistic
+//     readers: writers publish under rmu.Lock inside a seqlock window,
+//     readers confirm hits under rmu.RLock. Ring drains touch only the
+//     engine, so they run under mu alone and never stall readers.
+//
+// Lock order is mu → rmu; rmu is never held across an mu acquisition
+// (notePending's drain uses TryLock and holds no other lock).
+//
+// rtags mirrors the engine's directory tags as atomics, packed tag<<1|1
+// (0 = invalid way), so lock-free readers never touch engine memory.
+// The trailing pad keeps two shards' hot fields off one cache line.
 type shard[K comparable, V any] struct {
-	mu      sync.Mutex
-	eng     *core.Engine
-	entries []entry[K, V] // set*ways+way
+	mu  sync.Mutex
+	eng *core.Engine
 
-	gets, getHits     uint64
+	rmu     sync.RWMutex
+	seq     atomic.Uint64 // seqlock version; odd = publication in progress
+	entries []entry[K, V] // set*ways+way
+	rtags   []atomic.Uint64
+
+	ring    *pendingRing // nil under StrictOrder
+	drainAt uint64       // ring occupancy that triggers a reader-side drain
+
+	// Writer-owned counters, guarded by mu.
 	stores, storeHits uint64
 	deletes, delHits  uint64
-	collisions        uint64
 	resident          int // maintained incrementally; see Len
+
+	// Reader-shared counters, incremented outside mu.
+	gets, getHits      atomic.Uint64
+	collisions         atomic.Uint64
+	fastpath, fallback atomic.Uint64
+	dropped            atomic.Uint64
 
 	_ [64]byte
 }
@@ -217,12 +294,13 @@ type shard[K comparable, V any] struct {
 // Cache is the sharded adaptive key-value cache. The zero value is not
 // usable; construct with New. All methods are safe for concurrent use.
 type Cache[K comparable, V any] struct {
-	cfg      Config
-	shards   []shard[K, V]
-	hash     func(K) uint64
-	setMask  uint64
-	setShift uint
-	ways     int
+	cfg        Config
+	shards     []shard[K, V]
+	hash       func(K) uint64
+	setMask    uint64
+	setShift   uint
+	ways       int
+	optimistic bool
 }
 
 // Option configures a Cache at construction.
@@ -258,10 +336,19 @@ func New[K comparable, V any](cfg Config, opts ...Option[K, V]) *Cache[K, V] {
 			panic(fmt.Sprintf("adaptivekv: no default hasher for key type %T; use WithHasher", *new(K)))
 		}
 	}
+	// With Sets == 1 the tag spans all 64 hash bits and cannot carry the
+	// mirror's validity bit; fall back to locked reads.
+	c.optimistic = !cfg.StrictOrder && c.setShift > 0
 	g := core.EngineGeometry(cfg.Sets, cfg.Ways)
 	for i := range c.shards {
-		c.shards[i].eng = core.NewEngine(g, cfg.buildPolicy())
-		c.shards[i].entries = make([]entry[K, V], cfg.Sets*cfg.Ways)
+		sh := &c.shards[i]
+		sh.eng = core.NewEngine(g, cfg.buildPolicy())
+		sh.entries = make([]entry[K, V], cfg.Sets*cfg.Ways)
+		sh.rtags = make([]atomic.Uint64, cfg.Sets*cfg.Ways)
+		if c.optimistic {
+			sh.ring = newPendingRing(cfg.PendingRing)
+			sh.drainAt = uint64(cfg.PendingRing) * 3 / 4
+		}
 	}
 	return c
 }
@@ -282,51 +369,175 @@ func (c *Cache[K, V]) locate(key K) (sh *shard[K, V], set int, tag uint64) {
 }
 
 // Get returns the value cached under key. The access updates the adaptive
-// machinery (recency, frequency, shadow directories, miss history) but a
-// miss does not reserve space: read-through callers populate via Set.
+// machinery (recency, frequency, shadow directories, miss history) —
+// inline under StrictOrder, deferred through the pending ring otherwise —
+// but a miss does not reserve space: read-through callers populate via
+// Set.
 func (c *Cache[K, V]) Get(key K) (V, bool) {
 	sh, set, tag := c.locate(key)
-	sh.mu.Lock()
-	sh.gets++
+	sh.gets.Add(1)
+	if !c.optimistic {
+		sh.mu.Lock()
+		v, ok := c.lookupLocked(sh, set, tag, key)
+		sh.mu.Unlock()
+		return v, ok
+	}
+	v, ok := c.getOptimistic(sh, set, tag, key)
+	sh.notePending(set, tag)
+	return v, ok
+}
+
+// lookupLocked is the authoritative Get body: engine lookup inline plus
+// key confirmation. Caller holds sh.mu.
+func (c *Cache[K, V]) lookupLocked(sh *shard[K, V], set int, tag uint64, key K) (V, bool) {
 	if way, ok := sh.eng.Lookup(set, tag); ok {
 		e := &sh.entries[set*c.ways+way]
 		if e.key == key {
-			v := e.val
-			sh.getHits++
-			sh.mu.Unlock()
-			return v, true
+			sh.getHits.Add(1)
+			return e.val, true
 		}
 		// 64-bit hash collision between distinct keys: a user-visible
 		// miss, but the engine has already counted a hit and promoted
 		// the colliding entry. Record the divergence.
-		sh.collisions++
+		sh.collisions.Add(1)
 	}
-	sh.mu.Unlock()
 	var zero V
 	return zero, false
 }
 
+// probeShared resolves a Get against the atomic tag mirror and the entry
+// array. Caller holds sh.rmu (either side), which excludes publication,
+// so the plain entry reads are race-free.
+func (c *Cache[K, V]) probeShared(sh *shard[K, V], set int, tag uint64, key K) (V, bool) {
+	base := set * c.ways
+	packed := tag<<1 | 1
+	for w := 0; w < c.ways; w++ {
+		if sh.rtags[base+w].Load() != packed {
+			continue
+		}
+		e := &sh.entries[base+w]
+		if e.key == key {
+			sh.getHits.Add(1)
+			return e.val, true
+		}
+		sh.collisions.Add(1)
+		break // a tag occupies at most one way
+	}
+	var zero V
+	return zero, false
+}
+
+// getOptimistic is the scalable read path. A pass over the tag mirror
+// with the seqlock version even and stable on both sides resolves a miss
+// with no locks at all; a mirror match confirms the hit under rmu.RLock
+// (shared with other readers, never with the engine lock). Only a
+// version shift mid-probe — a racing writer — forces the authoritative
+// re-probe, counted as a fallback.
+func (c *Cache[K, V]) getOptimistic(sh *shard[K, V], set int, tag uint64, key K) (V, bool) {
+	if s1 := sh.seq.Load(); s1&1 == 0 {
+		base := set * c.ways
+		packed := tag<<1 | 1
+		match := false
+		for w := 0; w < c.ways; w++ {
+			if sh.rtags[base+w].Load() == packed {
+				match = true
+				break
+			}
+		}
+		if match {
+			sh.rmu.RLock()
+			v, ok := c.probeShared(sh, set, tag, key)
+			sh.rmu.RUnlock()
+			sh.fastpath.Add(1)
+			return v, ok
+		}
+		if sh.seq.Load() == s1 {
+			sh.fastpath.Add(1)
+			var zero V
+			return zero, false
+		}
+	}
+	sh.fallback.Add(1)
+	sh.rmu.RLock()
+	v, ok := c.probeShared(sh, set, tag, key)
+	sh.rmu.RUnlock()
+	return v, ok
+}
+
+// notePending queues the access for deferred engine replay and self-
+// drains when the ring is running hot and the shard lock happens to be
+// free. A full ring drops the record — adaptive signal is best-effort,
+// reader progress is not.
+func (sh *shard[K, V]) notePending(set int, tag uint64) {
+	if !sh.ring.push(uint32(set), tag) {
+		sh.dropped.Add(1)
+		return
+	}
+	sh.maybeDrain()
+}
+
+// maybeDrain opportunistically drains a ≥¾-full ring without ever
+// blocking: contended shards are drained by their writers anyway.
+func (sh *shard[K, V]) maybeDrain() {
+	if sh.ring.occupancy() >= sh.drainAt && sh.mu.TryLock() {
+		sh.drainPending()
+		sh.mu.Unlock()
+	}
+}
+
+// drainPending replays queued access records into the decision engine.
+// Caller holds sh.mu. Replay uses Lookup — the fill-free probe — which
+// updates recency/frequency/shadow/history state but never moves
+// directory lines, so drains need no rmu and never stall readers.
+func (sh *shard[K, V]) drainPending() {
+	r := sh.ring
+	if r == nil {
+		return
+	}
+	for {
+		set, tag, ok := r.pop()
+		if !ok {
+			break
+		}
+		sh.eng.Lookup(int(set), tag)
+	}
+	r.headPub.Store(r.head)
+}
+
+// publish installs slot's entry and tag mirror inside a seqlock window.
+// Caller holds sh.mu; packed is tag<<1|1, or 0 to invalidate.
+func (sh *shard[K, V]) publish(slot int, e entry[K, V], packed uint64) {
+	sh.rmu.Lock()
+	sh.seq.Add(1) // odd: publication in progress
+	sh.entries[slot] = e
+	sh.rtags[slot].Store(packed)
+	sh.seq.Add(1)
+	sh.rmu.Unlock()
+}
+
 // Set caches val under key, updating in place when key is resident and
 // otherwise filling per the shard's replacement decision — possibly
-// evicting the entry the imitated component policy would evict.
+// evicting the entry the imitated component policy would evict. Every
+// mutation first drains the pending ring, so the engine decides with all
+// observed accesses applied.
 func (c *Cache[K, V]) Set(key K, val V) {
 	sh, set, tag := c.locate(key)
 	sh.mu.Lock()
+	sh.drainPending()
 	sh.stores++
 	res := sh.eng.Store(set, tag)
-	e := &sh.entries[set*c.ways+res.Way]
+	slot := set*c.ways + res.Way
 	if res.Hit {
 		sh.storeHits++
-		if e.key != key {
+		if sh.entries[slot].key != key {
 			// Tag hit on a different key: the store legally overwrites
 			// the colliding entry, but the engine saw an in-place update.
-			sh.collisions++
+			sh.collisions.Add(1)
 		}
 	} else if !res.Evicted {
 		sh.resident++ // filled a previously invalid way
 	}
-	e.key = key
-	e.val = val
+	sh.publish(slot, entry[K, V]{key: key, val: val}, tag<<1|1)
 	sh.mu.Unlock()
 }
 
@@ -336,17 +547,19 @@ func (c *Cache[K, V]) Delete(key K) bool {
 	sh, set, tag := c.locate(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.drainPending()
 	sh.deletes++
 	way, ok := sh.eng.Find(set, tag)
 	if !ok {
 		return false
 	}
-	if sh.entries[set*c.ways+way].key != key {
-		sh.collisions++ // tag present but owned by a colliding key
+	slot := set*c.ways + way
+	if sh.entries[slot].key != key {
+		sh.collisions.Add(1) // tag present but owned by a colliding key
 		return false
 	}
 	sh.eng.Delete(set, tag)
-	sh.entries[set*c.ways+way] = entry[K, V]{} // release references
+	sh.publish(slot, entry[K, V]{}, 0) // release references
 	sh.delHits++
 	sh.resident--
 	return true
@@ -391,15 +604,18 @@ func (c *Cache[K, V]) ShardStats(i int) Stats {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return Stats{
-		Gets:           sh.gets,
-		GetHits:        sh.getHits,
-		Stores:         sh.stores,
-		StoreHits:      sh.storeHits,
-		Deletes:        sh.deletes,
-		DeleteHits:     sh.delHits,
-		Evictions:      sh.eng.Stats().Evictions,
-		PolicySwitches: sh.eng.PolicySwitches(),
-		HashCollisions: sh.collisions,
+		Gets:               sh.gets.Load(),
+		GetHits:            sh.getHits.Load(),
+		Stores:             sh.stores,
+		StoreHits:          sh.storeHits,
+		Deletes:            sh.deletes,
+		DeleteHits:         sh.delHits,
+		Evictions:          sh.eng.Stats().Evictions,
+		PolicySwitches:     sh.eng.PolicySwitches(),
+		HashCollisions:     sh.collisions.Load(),
+		OptimisticFastpath: sh.fastpath.Load(),
+		OptimisticFallback: sh.fallback.Load(),
+		PendingHitsDropped: sh.dropped.Load(),
 	}
 }
 

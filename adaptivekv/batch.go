@@ -1,0 +1,133 @@
+package adaptivekv
+
+// Shard-grouped batch operations. A pipelined server parses a burst of
+// requests into one batch and resolves it here with one lock acquisition
+// per shard per chunk instead of one per key: in the optimistic
+// configuration GetBatch takes each shard's read lock once for its whole
+// key group, and SetBatch amortizes the engine lock and the seqlock
+// publication window the same way. Results land at the key's index, so
+// replies can be emitted in request order regardless of shard grouping.
+
+// batchChunk bounds the keys handled per grouping pass so membership
+// fits in one uint64 bitmask; larger batches are processed in chunks.
+const batchChunk = 64
+
+// GetBatch looks up keys[i] into vals[i], oks[i]. The slices must have
+// equal length (the caller owns and reuses them; GetBatch allocates
+// nothing). Each access updates the adaptive machinery exactly as Get
+// does — inline under StrictOrder, deferred through the pending ring
+// otherwise.
+func (c *Cache[K, V]) GetBatch(keys []K, vals []V, oks []bool) {
+	if len(vals) != len(keys) || len(oks) != len(keys) {
+		panic("adaptivekv: GetBatch slice lengths differ")
+	}
+	for start := 0; start < len(keys); start += batchChunk {
+		end := start + batchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		c.getChunk(keys[start:end], vals[start:end], oks[start:end])
+	}
+}
+
+func (c *Cache[K, V]) getChunk(keys []K, vals []V, oks []bool) {
+	var done uint64
+	for i := range keys {
+		if done&(1<<uint(i)) != 0 {
+			continue
+		}
+		sh, _, _ := c.locate(keys[i])
+		if c.optimistic {
+			sh.rmu.RLock()
+		} else {
+			sh.mu.Lock()
+		}
+		for j := i; j < len(keys); j++ {
+			if done&(1<<uint(j)) != 0 {
+				continue
+			}
+			sh2, set, tag := c.locate(keys[j])
+			if sh2 != sh {
+				continue
+			}
+			done |= 1 << uint(j)
+			sh.gets.Add(1)
+			if c.optimistic {
+				vals[j], oks[j] = c.probeShared(sh, set, tag, keys[j])
+				sh.fastpath.Add(1)
+				if !sh.ring.push(uint32(set), tag) {
+					sh.dropped.Add(1)
+				}
+			} else {
+				vals[j], oks[j] = c.lookupLocked(sh, set, tag, keys[j])
+			}
+		}
+		if c.optimistic {
+			sh.rmu.RUnlock()
+			sh.maybeDrain()
+		} else {
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// SetBatch caches vals[i] under keys[i] with Set's exact per-key
+// semantics, grouped so each shard's engine lock, ring drain, and
+// seqlock publication window are paid once per chunk group rather than
+// once per key. Duplicate keys within a batch behave as sequential Sets
+// (last value wins).
+func (c *Cache[K, V]) SetBatch(keys []K, vals []V) {
+	if len(vals) != len(keys) {
+		panic("adaptivekv: SetBatch slice lengths differ")
+	}
+	for start := 0; start < len(keys); start += batchChunk {
+		end := start + batchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		c.setChunk(keys[start:end], vals[start:end])
+	}
+}
+
+func (c *Cache[K, V]) setChunk(keys []K, vals []V) {
+	var done uint64
+	for i := range keys {
+		if done&(1<<uint(i)) != 0 {
+			continue
+		}
+		sh, _, _ := c.locate(keys[i])
+		sh.mu.Lock()
+		sh.drainPending()
+		// One publication window covers the whole shard group; store and
+		// publish interleave per key so in-batch duplicates and collisions
+		// see each other exactly as sequential Sets would.
+		sh.rmu.Lock()
+		sh.seq.Add(1)
+		for j := i; j < len(keys); j++ {
+			if done&(1<<uint(j)) != 0 {
+				continue
+			}
+			sh2, set, tag := c.locate(keys[j])
+			if sh2 != sh {
+				continue
+			}
+			done |= 1 << uint(j)
+			sh.stores++
+			res := sh.eng.Store(set, tag)
+			slot := set*c.ways + res.Way
+			if res.Hit {
+				sh.storeHits++
+				if sh.entries[slot].key != keys[j] {
+					sh.collisions.Add(1)
+				}
+			} else if !res.Evicted {
+				sh.resident++
+			}
+			sh.entries[slot] = entry[K, V]{key: keys[j], val: vals[j]}
+			sh.rtags[slot].Store(tag<<1 | 1)
+		}
+		sh.seq.Add(1)
+		sh.rmu.Unlock()
+		sh.mu.Unlock()
+	}
+}

@@ -13,6 +13,7 @@
 //	kvloadgen -mix loop -loop 12000 -conns 8
 //	kvloadgen -direct -ops 2000000            # no network, cache API only
 //	kvloadgen -min-ops 100000                 # exit 1 below 100k ops/s
+//	kvloadgen -procs 4 -multiget 16           # 4 Ps, 16-key multiget rounds
 //
 // The report gives aggregate throughput (gets+sets per second), the
 // client-observed hit ratio, and client-observed round-trip latency
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -66,11 +68,23 @@ func main() {
 		vsize  = flag.Int("valuesize", 64, "value payload bytes")
 		seed   = flag.Uint64("seed", 1, "base workload seed (each connection offsets it)")
 		depth  = flag.Int("pipeline", 32, "requests in flight per connection (1 = strict request/reply)")
+		mget   = flag.Int("multiget", 1, "keys per get request (>1 sends multi-key 'get k1 k2 ...'; capped at the protocol limit)")
+		procs  = flag.Int("procs", 0, "pin GOMAXPROCS for the generator (0 = leave ambient)")
 		minOps = flag.Uint64("min-ops", 0, "fail (exit 1) if throughput is below this many ops/s")
 		maxP99 = flag.Duration("max-p99", 0, "fail (exit 1) if client-observed p99 round-trip latency exceeds this (0 = no gate)")
 		direct = flag.Bool("direct", false, "skip the network: drive an in-process adaptivekv cache")
 	)
 	flag.Parse()
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
+	if *mget < 1 {
+		*mget = 1
+	}
+	if *mget > kvproto.MaxGetKeys {
+		log.Printf("kvloadgen: -multiget %d capped at protocol limit %d", *mget, kvproto.MaxGetKeys)
+		*mget = kvproto.MaxGetKeys
+	}
 
 	pats := patterns(*mix, *hot, *skew, *loop)
 	if *conns < 1 || *ops < uint64(*conns) {
@@ -109,7 +123,7 @@ func main() {
 				return
 			}
 			defer c.Close()
-			runClient(st, c, ks, shares[id], payload, *depth, lat)
+			runClient(st, c, ks, shares[id], payload, *depth, *mget, lat)
 		}(w)
 	}
 	wg.Wait()
@@ -135,7 +149,8 @@ func main() {
 	if *direct {
 		target = "direct"
 	}
-	fmt.Printf("kvloadgen: %s mix=%s conns=%d\n", target, *mix, *conns)
+	fmt.Printf("kvloadgen: %s mix=%s conns=%d multiget=%d gomaxprocs=%d\n",
+		target, *mix, *conns, *mget, runtime.GOMAXPROCS(0))
 	fmt.Printf("  %d ops in %.2fs = %.0f ops/s\n", opsDone, elapsed.Seconds(), opsPerSec)
 	fmt.Printf("  gets %d, hit ratio %.4f, sets %d\n", total.gets, hitRatio, total.sets)
 	p99 := lat.Quantile(0.99)
@@ -171,8 +186,11 @@ func splitOps(total uint64, workers int) []uint64 {
 // runClient is the closed read-through loop, batched: each round sends up
 // to depth gets in one write, reads their replies, then sends sets for the
 // misses. Pipelining amortizes both sides' syscalls; depth 1 degenerates
-// to strict request/reply.
-func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint64, payload []byte, depth int, lat *metrics.Histogram) {
+// to strict request/reply. mget > 1 packs the round's keys into
+// multi-key get requests of that size; every key still counts as one get
+// in the tally (and so in the -min-ops gate), since each is one cache
+// lookup server-side.
+func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint64, payload []byte, depth, mget int, lat *metrics.Histogram) {
 	if depth < 1 {
 		depth = 1
 	}
@@ -188,25 +206,58 @@ func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint6
 		}
 		for i := 0; i < b; i++ {
 			keys[i] = strconv.AppendUint(keys[i][:0], ks.Next(), 10)
-			c.SendGet(keys[i])
+		}
+		if mget == 1 {
+			for i := 0; i < b; i++ {
+				c.SendGet(keys[i])
+			}
+		} else {
+			for base := 0; base < b; base += mget {
+				end := base + mget
+				if end > b {
+					end = b
+				}
+				c.SendMultiGet(keys[base:end])
+			}
 		}
 		t0 := time.Now()
 		if st.err = c.Flush(); st.err != nil {
 			return
 		}
 		misses := 0
-		for i := 0; i < b; i++ {
-			_, ok, err := c.ReadGetReply()
-			if err != nil {
-				st.err = err
-				return
+		if mget == 1 {
+			for i := 0; i < b; i++ {
+				_, ok, err := c.ReadGetReply()
+				if err != nil {
+					st.err = err
+					return
+				}
+				miss[i] = !ok
 			}
+		} else {
+			for base := 0; base < b; base += mget {
+				end := base + mget
+				if end > b {
+					end = b
+				}
+				for i := base; i < end; i++ {
+					miss[i] = true
+				}
+				off := base
+				if err := c.ReadMultiGetReply(keys[base:end], func(i int, _ uint32, _ []byte) {
+					miss[off+i] = false
+				}); err != nil {
+					st.err = err
+					return
+				}
+			}
+		}
+		for i := 0; i < b; i++ {
 			st.gets++
-			miss[i] = !ok
-			if ok {
-				st.hits++
-			} else {
+			if miss[i] {
 				misses++
+			} else {
+				st.hits++
 			}
 		}
 		lat.RecordNS(int64(time.Since(t0)))

@@ -309,3 +309,60 @@ func TestEnginePolicySwitches(t *testing.T) {
 			ne.PolicySwitches(), ne.Winner())
 	}
 }
+
+// TestEngineDeferredLookupReplay pins the property the adaptivekv
+// optimistic read path is built on: Lookups recorded into a ring and
+// replayed in order before the next mutation leave the engine in exactly
+// the state inline recording would have — same directory stats, same
+// SBAR winner, same switch count. Lookup must feed the policy's
+// observation hooks on hits and misses alike (shadow arrays and miss
+// history learn from both), and replay order, not replay timing, is
+// what the learning depends on.
+func TestEngineDeferredLookupReplay(t *testing.T) {
+	const sets, ways, ops = 64, 4, 200000
+	mk := func() *Engine {
+		return NewEngine(EngineGeometry(sets, ways),
+			NewSBAR([]ComponentFactory{lruf, lfuf}, WithLeaderSets(8)))
+	}
+	inline, deferred := mk(), mk()
+
+	type rec struct {
+		set int
+		tag uint64
+	}
+	var pending []rec
+	drain := func() {
+		for _, r := range pending {
+			deferred.Lookup(r.set, r.tag)
+		}
+		pending = pending[:0]
+	}
+
+	rng := uint64(99)
+	for i := 0; i < ops; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		set, tag := int(rng%sets), (rng>>16)%512
+		if rng%8 == 0 { // mutation: the deferred engine catches up first
+			drain()
+			inline.Store(set, tag)
+			deferred.Store(set, tag)
+			continue
+		}
+		inline.Lookup(set, tag)
+		pending = append(pending, rec{set, tag})
+	}
+	drain()
+
+	is, ds := inline.Stats(), deferred.Stats()
+	if is != ds {
+		t.Errorf("deferred replay diverged: inline stats %+v, deferred %+v", is, ds)
+	}
+	if iw, dw := inline.Winner(), deferred.Winner(); iw != dw {
+		t.Errorf("deferred replay winner %d, inline %d", dw, iw)
+	}
+	if ip, dp := inline.PolicySwitches(), deferred.PolicySwitches(); ip != dp {
+		t.Errorf("deferred replay switches %d, inline %d", dp, ip)
+	}
+}

@@ -232,6 +232,81 @@ func (c *Client) ReadGetReply() (val []byte, ok bool, err error) {
 	return buf[:size], true, nil
 }
 
+// SendMultiGet queues one multi-key get ("get k1 k2 ...") without
+// flushing. keys must hold 1..MaxGetKeys entries.
+func (c *Client) SendMultiGet(keys [][]byte) {
+	c.bw.WriteString("get")
+	for _, k := range keys {
+		c.bw.WriteByte(' ')
+		c.bw.Write(k)
+	}
+	c.bw.WriteString("\r\n")
+}
+
+// ReadMultiGetReply consumes one multi-key get response for the given
+// request keys. Each hit invokes fn (when non-nil) with the key's index
+// into keys, the stored flags word, and the value; val aliases an
+// internal buffer valid only until fn returns. The server emits hits in
+// request order, so replies match by scanning keys forward; a duplicate
+// key matches its earliest unconsumed index.
+func (c *Client) ReadMultiGetReply(keys [][]byte, fn func(i int, flags uint32, val []byte)) error {
+	next := 0
+	for {
+		c.armRead()
+		line, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		if bytes.Equal(line, replyEnd[:3]) { // "END"
+			return nil
+		}
+		if !bytes.HasPrefix(line, valuePrefix) {
+			return errorFromReply(line)
+		}
+		// VALUE <key> <flags> <bytes>
+		rest := line[len(valuePrefix):]
+		keyB, rest := nextField(rest)
+		flagsB, rest := nextField(rest)
+		sizeB, tail := nextField(rest)
+		flags, okF := parseUint(flagsB)
+		size, okN := parseUint(sizeB)
+		if !okF || !okN || len(tail) != 0 || flags > 0xffffffff || size > MaxValueBytes {
+			return unexpected(line)
+		}
+		for next < len(keys) && !bytes.Equal(keys[next], keyB) {
+			next++
+		}
+		if next == len(keys) {
+			return unexpected(line)
+		}
+		idx := next
+		next++
+		if cap(c.val) < int(size)+2 {
+			c.val = make([]byte, size+2)
+		}
+		buf := c.val[:size+2]
+		if _, err := io.ReadFull(c.br, buf); err != nil {
+			return err
+		}
+		if buf[size] != '\r' || buf[size+1] != '\n' {
+			return unexpected(buf[:size+2])
+		}
+		if fn != nil {
+			fn(idx, uint32(flags), buf[:size])
+		}
+	}
+}
+
+// MultiGet fetches several keys in one round trip; see ReadMultiGetReply
+// for the callback contract.
+func (c *Client) MultiGet(keys [][]byte, fn func(i int, flags uint32, val []byte)) error {
+	c.SendMultiGet(keys)
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	return c.ReadMultiGetReply(keys, fn)
+}
+
 // Set stores val under key with the given flags.
 func (c *Client) Set(key []byte, flags uint32, val []byte) error {
 	c.SendSet(key, flags, val)

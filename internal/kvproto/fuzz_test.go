@@ -18,6 +18,8 @@ func FuzzReaderNext(f *testing.F) {
 		// Valid traffic.
 		"get foo\r\n",
 		"get foo\n",
+		"get a b\r\n",
+		"get a b c d e\r\n",
 		"set bar 7 0 5\r\nhello\r\n",
 		"set bar 0 0 0\r\n\r\n",
 		"delete foo\r\n",
@@ -26,7 +28,7 @@ func FuzzReaderNext(f *testing.F) {
 		"set a 1 2 3\r\nxyz\r\nget a\r\ndelete a\r\nquit\r\n",
 		// Violations that must stay recoverable.
 		"frobnicate\r\n",
-		"get a b\r\n",
+		"get a  b\r\n",
 		"get\r\n",
 		"set k 0 0 nope\r\n",
 		"set k 0 5\r\n",
@@ -52,7 +54,19 @@ func FuzzReaderNext(f *testing.F) {
 			err := rd.Next(&req)
 			if err == nil {
 				switch req.Op {
-				case OpGet, OpDelete:
+				case OpGet:
+					if n := len(req.Keys); n < 1 || n > MaxGetKeys {
+						t.Fatalf("accepted get with %d keys", n)
+					}
+					for _, k := range req.Keys {
+						if !validKey(k) {
+							t.Fatalf("accepted invalid key %q", k)
+						}
+					}
+					if !bytes.Equal(req.Key, req.Keys[0]) {
+						t.Fatalf("Key %q != Keys[0] %q", req.Key, req.Keys[0])
+					}
+				case OpDelete:
 					if !validKey(req.Key) {
 						t.Fatalf("accepted invalid key %q", req.Key)
 					}

@@ -1,13 +1,14 @@
 // Package kvproto implements the subset of the memcached text protocol
-// spoken by cmd/adaptcached and cmd/kvloadgen: get, set, delete, stats,
-// quit. Keys are printable ASCII up to 250 bytes; values are arbitrary
-// bytes up to MaxValueBytes; set's flags and exptime fields are parsed for
-// wire compatibility but not stored (the adaptive cache decides lifetimes,
+// spoken by cmd/adaptcached and cmd/kvloadgen: get (single- and
+// multi-key "get k1 k2 ..."), set, delete, stats, quit. Keys are
+// printable ASCII up to 250 bytes; values are arbitrary bytes up to
+// MaxValueBytes; set's flags and exptime fields are parsed for wire
+// compatibility but not stored (the adaptive cache decides lifetimes,
 // not the client).
 //
-// The server-side Reader reuses its buffers across requests: Request.Key
-// and Request.Value alias internal storage and are valid only until the
-// next call to Next. Recoverable protocol violations (oversized line,
+// The server-side Reader reuses its buffers across requests: Request.Key,
+// Request.Keys and Request.Value alias internal storage and are valid
+// only until the next call to Next. Recoverable protocol violations (oversized line,
 // unknown command, malformed header, oversized value) resynchronize the
 // stream and return a *ClientError that the server reports without
 // dropping the connection; any other error means the stream state is
@@ -25,6 +26,9 @@ import (
 const (
 	MaxKeyBytes   = 250
 	MaxValueBytes = 1 << 20
+	// MaxGetKeys bounds the keys in one multi-key get; the command line
+	// length cap bounds it again in practice.
+	MaxGetKeys = 128
 )
 
 // Op identifies a request type.
@@ -56,13 +60,14 @@ func (o Op) String() string {
 	}
 }
 
-// Request is one parsed client request. Key and Value alias the Reader's
-// internal buffers.
+// Request is one parsed client request. Key, Keys and Value alias the
+// Reader's internal buffers.
 type Request struct {
 	Op    Op
-	Key   []byte
-	Value []byte // OpSet only
-	Flags uint32 // OpSet only; echoed back by convention, not stored
+	Key   []byte   // first (or only) key
+	Keys  [][]byte // OpGet: every key on the line, in order (len ≥ 1)
+	Value []byte   // OpSet only
+	Flags uint32   // OpSet only; echoed back by convention, not stored
 }
 
 // ClientError is a recoverable protocol violation: the Reader has already
@@ -106,6 +111,7 @@ var (
 	errBadCommandLine = &ClientError{Msg: "malformed command line"}
 	errLineTooLong    = &ClientError{Msg: "command line too long"}
 	errBadKey         = &ClientError{Msg: "invalid key"}
+	errTooManyKeys    = &ClientError{Msg: "too many keys"}
 	errObjectTooLarge = &ClientError{Msg: "object too large"}
 )
 
@@ -115,8 +121,9 @@ var ErrCorrupt = errors.New("kvproto: corrupt stream")
 
 // Reader parses requests from a connection.
 type Reader struct {
-	br  *bufio.Reader
-	val []byte // reusable value buffer for OpSet
+	br   *bufio.Reader
+	val  []byte   // reusable value buffer for OpSet
+	keys [][]byte // reusable key-slice buffer for OpGet
 }
 
 // NewReader wraps r. The internal buffer comfortably holds a maximal
@@ -238,11 +245,24 @@ func (rd *Reader) Next(req *Request) error {
 	switch {
 	case commandIs(cmd, "get"):
 		req.Op = OpGet
-		key, tail := nextField(rest)
-		if len(tail) != 0 || !validKey(key) {
-			return errBadKey
+		keys := rd.keys[:0]
+		for {
+			key, tail := nextField(rest)
+			if !validKey(key) {
+				return errBadKey
+			}
+			if len(keys) == MaxGetKeys {
+				return errTooManyKeys
+			}
+			keys = append(keys, key)
+			if len(tail) == 0 {
+				break
+			}
+			rest = tail
 		}
-		req.Key = key
+		rd.keys = keys
+		req.Key = keys[0]
+		req.Keys = keys
 		return nil
 
 	case commandIs(cmd, "delete"):
@@ -369,6 +389,40 @@ func WriteValue(w *bufio.Writer, key []byte, flags uint32, val []byte) {
 	w.Write(crlf)
 }
 
+// WriteValueString is WriteValue for servers holding the key as a
+// string (batched dispatch copies keys out of the parse buffers).
+func WriteValueString(w *bufio.Writer, key string, flags uint32, val []byte) {
+	w.Write(valuePrefix)
+	w.WriteString(key)
+	w.WriteByte(' ')
+	writeUint(w, uint64(flags))
+	w.WriteByte(' ')
+	writeUint(w, uint64(len(val)))
+	w.Write(crlf)
+	w.Write(val)
+	w.Write(crlf)
+}
+
+// AppendValueHeader appends "VALUE <key> <flags> <n>\r\n" to dst and
+// returns the extended slice. Servers shipping large values via
+// vectored writes build the header in caller-pooled scratch with this
+// instead of copying the payload through a bufio.Writer.
+func AppendValueHeader(dst []byte, key string, flags uint32, n int) []byte {
+	dst = append(dst, valuePrefix...)
+	dst = append(dst, key...)
+	dst = append(dst, ' ')
+	dst = appendUint(dst, uint64(flags))
+	dst = append(dst, ' ')
+	dst = appendUint(dst, uint64(n))
+	return append(dst, crlf...)
+}
+
+// EndLine is the raw "END\r\n" terminator, for vectored get replies.
+var EndLine = replyEnd
+
+// CRLF is the raw value terminator, for vectored get replies.
+var CRLF = crlf
+
 // WriteEnd terminates a get or stats response.
 func WriteEnd(w *bufio.Writer) { w.Write(replyEnd) }
 
@@ -431,6 +485,21 @@ func writeUint(w *bufio.Writer, n uint64) {
 		}
 	}
 	w.Write(buf[i:])
+}
+
+// appendUint renders n in decimal onto dst without allocating.
+func appendUint(dst []byte, n uint64) []byte {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return append(dst, buf[i:]...)
 }
 
 // formatUint is writeUint for callers building strings (client side).

@@ -32,6 +32,13 @@ func reqs(t *testing.T, input string) ([]Request, []error) {
 		// Copy aliased slices before the next parse reuses the buffers.
 		req.Key = append([]byte(nil), req.Key...)
 		req.Value = append([]byte(nil), req.Value...)
+		if req.Keys != nil {
+			keys := make([][]byte, len(req.Keys))
+			for i, k := range req.Keys {
+				keys[i] = append([]byte(nil), k...)
+			}
+			req.Keys = keys
+		}
 		out = append(out, req)
 	}
 }
@@ -65,6 +72,40 @@ func TestReaderParsesCommands(t *testing.T) {
 	}
 }
 
+// TestReaderParsesMultiGet: "get k1 k2 ..." yields one OpGet carrying
+// every key in order, with Key aliasing the first for single-key callers.
+func TestReaderParsesMultiGet(t *testing.T) {
+	got, errs := reqs(t, "get a\r\nget a b c\r\nget x y\r\n")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := [][]string{{"a"}, {"a", "b", "c"}, {"x", "y"}}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d requests, want %d", len(got), len(want))
+	}
+	for i, keys := range want {
+		g := got[i]
+		if g.Op != OpGet || len(g.Keys) != len(keys) {
+			t.Fatalf("request %d = %+v, want %d-key get", i, g, len(keys))
+		}
+		for j, k := range keys {
+			if string(g.Keys[j]) != k {
+				t.Errorf("request %d key %d = %q, want %q", i, j, g.Keys[j], k)
+			}
+		}
+		if !bytes.Equal(g.Key, g.Keys[0]) {
+			t.Errorf("request %d Key %q != Keys[0] %q", i, g.Key, g.Keys[0])
+		}
+	}
+	// Exactly MaxGetKeys keys parses; one more is rejected (covered in
+	// TestReaderRecoverableErrors).
+	max := "get" + strings.Repeat(" k", MaxGetKeys) + "\r\n"
+	got, errs = reqs(t, max)
+	if len(errs) != 0 || len(got) != 1 || len(got[0].Keys) != MaxGetKeys {
+		t.Fatalf("MaxGetKeys get: requests=%d errs=%v", len(got), errs)
+	}
+}
+
 func TestReaderBareLFAndEmptyValue(t *testing.T) {
 	got, errs := reqs(t, "set k 0 0 0\n\r\nget k\n")
 	if len(errs) != 0 {
@@ -84,7 +125,8 @@ func TestReaderRecoverableErrors(t *testing.T) {
 	}{
 		{"unknown command", "frobnicate now\r\n"},
 		{"get without key", "get \r\n"},
-		{"get with two keys", "get a b\r\n"},
+		{"get with empty middle key", "get a  b\r\n"},
+		{"get too many keys", "get" + strings.Repeat(" k", MaxGetKeys+1) + "\r\n"},
 		{"key too long", "get " + strings.Repeat("k", MaxKeyBytes+1) + "\r\n"},
 		{"control byte in key", "get a\x01b\r\n"},
 		{"set bad count", "set k 0 0 nope\r\n"},
@@ -178,8 +220,10 @@ func TestClientServerRoundTrip(t *testing.T) {
 			}
 			switch req.Op {
 			case OpGet:
-				if v, ok := store[string(req.Key)]; ok {
-					WriteValue(w, req.Key, 0, []byte(v))
+				for _, k := range req.Keys {
+					if v, ok := store[string(k)]; ok {
+						WriteValue(w, k, 0, []byte(v))
+					}
 				}
 				WriteEnd(w)
 			case OpSet:
@@ -230,6 +274,28 @@ func TestClientServerRoundTrip(t *testing.T) {
 	st, err := c.Stats()
 	if err != nil || st["items"] != "2" || st["version"] != "test" {
 		t.Fatalf("Stats = (%v, %v)", st, err)
+	}
+	// Multiget: a hit, a miss, and a second hit in one round trip; hits
+	// arrive in request order with the right indices.
+	mkeys := [][]byte{[]byte("k"), []byte("missing"), []byte("empty")}
+	var hits []int
+	err = c.MultiGet(mkeys, func(i int, flags uint32, val []byte) {
+		hits = append(hits, i)
+		switch i {
+		case 0:
+			if string(val) != "value-1" {
+				t.Errorf("MultiGet k = %q", val)
+			}
+		case 2:
+			if len(val) != 0 {
+				t.Errorf("MultiGet empty = %q", val)
+			}
+		default:
+			t.Errorf("MultiGet hit on unexpected index %d", i)
+		}
+	})
+	if err != nil || len(hits) != 2 || hits[0] != 0 || hits[1] != 2 {
+		t.Fatalf("MultiGet = (hits %v, %v), want indices [0 2]", hits, err)
 	}
 	if ok, err := c.Delete([]byte("k")); err != nil || !ok {
 		t.Fatalf("Delete(k) = (%v, %v), want hit", ok, err)

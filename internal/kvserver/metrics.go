@@ -46,11 +46,17 @@ type serverMetrics struct {
 
 	// Per-op service time: parse-to-serialized reply, excluding the
 	// network write (slow clients must not pollute service histograms).
+	// Batched gets record one sample per key at the batch's mean.
 	opLat [opCount]*metrics.Histogram
 
-	bytesIn   *metrics.Counter
-	bytesOut  *metrics.Counter
-	netWrites *metrics.Counter
+	// batchedOps observes how many replying ops each explicit flush
+	// coalesced — the pipelining win, 1 for strict request/reply clients.
+	batchedOps *metrics.Histogram
+
+	bytesIn        *metrics.Counter
+	bytesOut       *metrics.Counter
+	netWrites      *metrics.Counter
+	vectoredWrites *metrics.Counter
 
 	connsOpened *metrics.Counter
 	connsClosed *metrics.Counter
@@ -70,9 +76,12 @@ func newServerMetrics() *serverMetrics {
 		m.opLat[i] = reg.Histogram("kv_op_latency_seconds",
 			`op="`+name+`"`, "per-op service time, parse to serialized reply")
 	}
+	m.batchedOps = reg.HistogramUnitless("kv_batched_ops_per_flush", "",
+		"replying ops coalesced into each explicit reply flush")
 	m.bytesIn = reg.Counter("kv_bytes_in_total", "", "bytes read from clients")
 	m.bytesOut = reg.Counter("kv_bytes_out_total", "", "bytes written to clients")
 	m.netWrites = reg.Counter("kv_net_writes_total", "", "network write syscalls (deadline-armed)")
+	m.vectoredWrites = reg.Counter("kv_vectored_writes_total", "", "large replies shipped via writev without buffer copies")
 	m.connsOpened = reg.Counter("kv_conns_opened_total", "", "connections accepted into service")
 	m.connsClosed = reg.Counter("kv_conns_closed_total", "", "connection handlers exited")
 	m.connsActive = reg.Gauge("kv_conns_active", "", "connections currently being served")
@@ -117,6 +126,12 @@ func (s *Server) collectRuntime(e *metrics.Expo) {
 	e.Sample("adaptivekv_policy_switches_total", "", float64(agg.PolicySwitches))
 	e.Family("adaptivekv_hash_collisions_total", "counter", "tag hits on entries owned by a different key")
 	e.Sample("adaptivekv_hash_collisions_total", "", float64(agg.HashCollisions))
+	e.Family("adaptivekv_optimistic_get_fastpath_total", "counter", "gets answered lock-free via the seqlock probe")
+	e.Sample("adaptivekv_optimistic_get_fastpath_total", "", float64(agg.OptimisticFastpath))
+	e.Family("adaptivekv_optimistic_get_fallback_total", "counter", "gets that retried under the shard read lock")
+	e.Sample("adaptivekv_optimistic_get_fallback_total", "", float64(agg.OptimisticFallback))
+	e.Family("adaptivekv_pending_hits_dropped_total", "counter", "deferred access records dropped on pending-ring overflow")
+	e.Sample("adaptivekv_pending_hits_dropped_total", "", float64(agg.PendingHitsDropped))
 	e.Family("adaptivekv_items", "gauge", "resident entries")
 	e.Sample("adaptivekv_items", "", float64(totalOcc))
 	e.Family("adaptivekv_capacity", "gauge", "maximum resident entries")
@@ -189,6 +204,7 @@ func (s *Server) ConnsActive() int64 { return s.m.connsActive.Load() }
 // NetCounters snapshots the network-side counters.
 type NetCounters struct {
 	BytesIn, BytesOut, NetWrites uint64
+	VectoredWrites               uint64
 	ConnsOpened, ConnsClosed     uint64
 	ShedWriteFailures            uint64
 }
@@ -199,6 +215,7 @@ func (s *Server) NetCounters() NetCounters {
 		BytesIn:           s.m.bytesIn.Load(),
 		BytesOut:          s.m.bytesOut.Load(),
 		NetWrites:         s.m.netWrites.Load(),
+		VectoredWrites:    s.m.vectoredWrites.Load(),
 		ConnsOpened:       s.m.connsOpened.Load(),
 		ConnsClosed:       s.m.connsClosed.Load(),
 		ShedWriteFailures: s.m.shedWriteFailures.Load(),

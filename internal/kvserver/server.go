@@ -16,9 +16,19 @@
 //     "SERVER_ERROR object too large" on a still-healthy stream;
 //   - shutdown drains connections and leaks no goroutines.
 //
-// Every network write — explicit flushes and bufio auto-flushes alike —
-// goes through a deadline-armed conn wrapper, so a reply larger than the
-// write buffer cannot wedge its handler on a stalled reader.
+// Every network write — explicit flushes, bufio auto-flushes, and
+// vectored writes alike — goes through a deadline-armed conn wrapper, so
+// a reply larger than the write buffer cannot wedge its handler on a
+// stalled reader.
+//
+// The serving loop is throughput-shaped for pipelining clients: runs of
+// consecutive get requests (including multi-key gets) are parsed ahead
+// while input is buffered, dispatched through adaptivekv.GetBatch with
+// one lock acquisition per shard per run, and answered in exact request
+// order. Values at or above the reply buffer size skip the buffer copy
+// entirely: the VALUE header is assembled into per-connection scratch
+// and header+payload+terminator go out as one vectored write
+// (net.Buffers → writev on TCP).
 //
 // Robustness counters (conns_rejected, panics_recovered, accept_retries,
 // client_errors) are exposed via Counters, the stats command, and
@@ -290,6 +300,116 @@ func (c *connIO) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// WriteBuffers ships a vectored reply (writev on TCP) under the same
+// deadline arming and byte metering as Write. bufs is consumed.
+func (c *connIO) WriteBuffers(bufs *net.Buffers) error {
+	if t := c.s.cfg.WriteTimeout; t > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(t)); err != nil {
+			return err
+		}
+	}
+	n, err := bufs.WriteTo(c.conn)
+	c.s.m.bytesOut.Add(uint64(n))
+	c.s.m.netWrites.Inc()
+	c.s.m.vectoredWrites.Inc()
+	return err
+}
+
+// maxRunKeys caps how many keys one batched get dispatch may carry
+// (four shard-group chunks); past it the run executes and a fresh one
+// starts, bounding reply latency and scratch growth under hostile
+// pipelining.
+const maxRunKeys = 256
+
+// vectorMin is the value size at which replies switch from the bufio
+// copy path to a vectored write. At or above the reply-buffer size the
+// copy is pure overhead: the buffer would auto-flush mid-value anyway.
+const vectorMin = 4096
+
+// getRun accumulates a consecutive run of pipelined get requests for one
+// shard-grouped dispatch. Key bytes are copied out of the parser's
+// buffers (parse-ahead invalidates them); the slices themselves persist
+// for the connection's lifetime, so steady-state runs don't allocate.
+type getRun struct {
+	keys   []string
+	counts []int // keys per queued request, in arrival order
+	vals   []Value
+	oks    []bool
+	hdr    []byte      // scratch for vectored VALUE headers
+	iov    net.Buffers // reused 3-element vector: header, payload, CRLF
+}
+
+func (b *getRun) add(keys [][]byte) {
+	for _, k := range keys {
+		b.keys = append(b.keys, string(k))
+	}
+	b.counts = append(b.counts, len(keys))
+}
+
+func (b *getRun) pending() bool { return len(b.counts) > 0 }
+
+// execGetRun resolves the queued run in one GetBatch — gets grouped by
+// shard, one lock acquisition per shard per chunk — then emits replies
+// in exact request order. Latency is recorded as one sample per key at
+// the run's mean, so histogram counts stay equal to the cache's own
+// per-key op counters. Returns false when the connection is unusable.
+func (s *Server) execGetRun(b *getRun, w *bufio.Writer, cio *connIO, opsInFlush *int) bool {
+	start := time.Now()
+	n := len(b.keys)
+	// A run can overshoot maxRunKeys by one multiget's worth of keys
+	// (the cap is checked before queueing, not after), so size to n.
+	if cap(b.vals) < n {
+		c := maxRunKeys + kvproto.MaxGetKeys
+		if c < n {
+			c = n
+		}
+		b.vals = make([]Value, c)
+		b.oks = make([]bool, c)
+	}
+	vals, oks := b.vals[:n], b.oks[:n]
+	s.cache.GetBatch(b.keys, vals, oks)
+	ok := true
+	idx := 0
+outer:
+	for _, cnt := range b.counts {
+		for j := 0; j < cnt; j++ {
+			if oks[idx] && !s.writeValue(w, cio, b.keys[idx], vals[idx], b) {
+				ok = false
+				break outer
+			}
+			idx++
+		}
+		kvproto.WriteEnd(w)
+		*opsInFlush++
+	}
+	per := int64(time.Since(start)) / int64(n)
+	for i := 0; i < n; i++ {
+		s.m.opLat[0].RecordNS(per)
+	}
+	b.keys = b.keys[:0]
+	b.counts = b.counts[:0]
+	return ok
+}
+
+// writeValue emits one VALUE block. Small values ride the reply buffer;
+// large ones flush it first (replies stay ordered) and go out as a
+// single vectored write of header+payload+terminator, skipping the
+// per-value copy. Returns false on a failed vectored write; bufio write
+// errors are sticky and surface at the next Flush.
+func (s *Server) writeValue(w *bufio.Writer, cio *connIO, key string, v Value, b *getRun) bool {
+	if len(v.Data) < vectorMin {
+		kvproto.WriteValueString(w, key, v.Flags, v.Data)
+		return true
+	}
+	if w.Flush() != nil {
+		return false
+	}
+	b.hdr = kvproto.AppendValueHeader(b.hdr[:0], key, v.Flags, len(v.Data))
+	b.iov = append(b.iov[:0], b.hdr, v.Data, kvproto.CRLF)
+	bufs := b.iov
+	return cio.WriteBuffers(&bufs) == nil
+}
+
 // handle runs one connection's request loop. A panic anywhere in the loop
 // — a handler bug, a hostile request, an injected fault — is recovered,
 // counted, and closes only this connection: isolation is the contract
@@ -317,6 +437,8 @@ func (s *Server) handle(conn net.Conn) {
 	cio := &connIO{conn: conn, s: s}
 	rd := kvproto.NewReader(cio)
 	w := bufio.NewWriterSize(cio, 4096)
+	run := &getRun{}
+	opsInFlush := 0
 	var req kvproto.Request
 	var ce *kvproto.ClientError
 	for {
@@ -326,14 +448,27 @@ func (s *Server) handle(conn net.Conn) {
 		switch err := rd.Next(&req); {
 		case err == nil:
 		case errors.As(err, &ce):
+			// Answer any queued gets first so error replies keep their
+			// place in the request order.
+			if run.pending() && !s.execGetRun(run, w, cio, &opsInFlush) {
+				return
+			}
 			s.m.clientErrors.Inc()
 			kvproto.WriteClientError(w, ce.Msg)
+			opsInFlush++
 			if w.Flush() != nil {
 				return
 			}
+			s.m.batchedOps.RecordNS(int64(opsInFlush))
+			opsInFlush = 0
 			continue
 		default:
-			// Clean close, timeout, or corrupt stream: drop the connection.
+			// Clean close, timeout, or corrupt stream. A pipelining
+			// client may have queued gets then closed its write side:
+			// answer them best-effort before dropping the connection.
+			if run.pending() && s.execGetRun(run, w, cio, &opsInFlush) {
+				w.Flush()
+			}
 			return
 		}
 
@@ -341,38 +476,51 @@ func (s *Server) handle(conn net.Conn) {
 			s.cfg.FaultHook(&req)
 		}
 
-		opStart := time.Now()
-		switch req.Op {
-		case kvproto.OpGet:
-			if v, ok := s.cache.Get(string(req.Key)); ok {
-				kvproto.WriteValue(w, req.Key, v.Flags, v.Data)
+		if req.Op == kvproto.OpGet {
+			run.add(req.Keys)
+			// Parse ahead: while the burst has more requests already
+			// buffered and the run has room, keep queueing — consecutive
+			// gets collapse into one shard-batched dispatch.
+			if rd.Buffered() > 0 && len(run.keys) < maxRunKeys {
+				continue
 			}
-			kvproto.WriteEnd(w)
-		case kvproto.OpSet:
-			if len(req.Value) > maxItem {
-				kvproto.WriteServerError(w, "object too large")
-				break
+			if !s.execGetRun(run, w, cio, &opsInFlush) {
+				return
 			}
-			data := make([]byte, len(req.Value))
-			copy(data, req.Value)
-			s.cache.Set(string(req.Key), Value{Flags: req.Flags, Data: data})
-			kvproto.WriteStored(w)
-		case kvproto.OpDelete:
-			if s.cache.Delete(string(req.Key)) {
-				kvproto.WriteDeleted(w)
-			} else {
-				kvproto.WriteNotFound(w)
+		} else {
+			// A non-get op ends the run; replies stay in request order.
+			if run.pending() && !s.execGetRun(run, w, cio, &opsInFlush) {
+				return
 			}
-		case kvproto.OpStats:
-			s.writeStats(w)
-		case kvproto.OpQuit:
-			w.Flush()
-			return
-		default:
-			kvproto.WriteError(w)
-		}
-		if i := opIndex(req.Op); i >= 0 {
-			s.m.opLat[i].RecordNS(int64(time.Since(opStart)))
+			opStart := time.Now()
+			switch req.Op {
+			case kvproto.OpSet:
+				if len(req.Value) > maxItem {
+					kvproto.WriteServerError(w, "object too large")
+					break
+				}
+				data := make([]byte, len(req.Value))
+				copy(data, req.Value)
+				s.cache.Set(string(req.Key), Value{Flags: req.Flags, Data: data})
+				kvproto.WriteStored(w)
+			case kvproto.OpDelete:
+				if s.cache.Delete(string(req.Key)) {
+					kvproto.WriteDeleted(w)
+				} else {
+					kvproto.WriteNotFound(w)
+				}
+			case kvproto.OpStats:
+				s.writeStats(w)
+			case kvproto.OpQuit:
+				w.Flush()
+				return
+			default:
+				kvproto.WriteError(w)
+			}
+			opsInFlush++
+			if i := opIndex(req.Op); i >= 0 {
+				s.m.opLat[i].RecordNS(int64(time.Since(opStart)))
+			}
 		}
 		// A pipelining client has more requests already buffered; batch the
 		// replies and flush once the input drains (or the buffer fills).
@@ -381,6 +529,10 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		if w.Flush() != nil {
 			return
+		}
+		if opsInFlush > 0 {
+			s.m.batchedOps.RecordNS(int64(opsInFlush))
+			opsInFlush = 0
 		}
 	}
 }
@@ -419,6 +571,9 @@ func (s *Server) writeStats(w *bufio.Writer) {
 	kvproto.WriteStat(w, "evictions", st.Evictions)
 	kvproto.WriteStat(w, "policy_switches", st.PolicySwitches)
 	kvproto.WriteStat(w, "hash_collisions", st.HashCollisions)
+	kvproto.WriteStat(w, "optimistic_get_fastpath", st.OptimisticFastpath)
+	kvproto.WriteStat(w, "optimistic_get_fallback", st.OptimisticFallback)
+	kvproto.WriteStat(w, "pending_hits_dropped", st.PendingHitsDropped)
 	kvproto.WriteStat(w, "conns_rejected", ct.ConnsRejected)
 	kvproto.WriteStat(w, "panics_recovered", ct.PanicsRecovered)
 	kvproto.WriteStat(w, "accept_retries", ct.AcceptRetries)
@@ -426,6 +581,7 @@ func (s *Server) writeStats(w *bufio.Writer) {
 	kvproto.WriteStat(w, "shed_write_failures", ct.ShedWriteFailures)
 	kvproto.WriteStat(w, "bytes_in", nc.BytesIn)
 	kvproto.WriteStat(w, "bytes_out", nc.BytesOut)
+	kvproto.WriteStat(w, "vectored_writes", nc.VectoredWrites)
 	kvproto.WriteStat(w, "conns_opened", nc.ConnsOpened)
 	kvproto.WriteStat(w, "conns_active", uint64(s.ConnsActive()))
 	for _, op := range opNames {

@@ -207,6 +207,7 @@ type entry struct {
 	counter   *Counter
 	gauge     *Gauge
 	hist      *Histogram
+	histRaw   bool // expose bucket bounds/sum in raw units, not ns→seconds
 	collector func(*Expo)
 }
 
@@ -267,10 +268,21 @@ func (r *Registry) Gauge(family, labels, help string) *Gauge {
 	return g
 }
 
-// Histogram registers and returns a histogram series.
+// Histogram registers and returns a histogram series. Observations are
+// nanoseconds; the exposition renders bounds and sum in seconds.
 func (r *Registry) Histogram(family, labels, help string) *Histogram {
 	h := &Histogram{}
 	r.add(&entry{family: family, labels: labels, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// HistogramUnitless registers and returns a histogram series whose
+// observations are dimensionless counts (batch sizes, queue depths)
+// recorded via RecordNS; the exposition renders bounds and sum in the
+// recorded unit instead of converting nanoseconds to seconds.
+func (r *Registry) HistogramUnitless(family, labels, help string) *Histogram {
+	h := &Histogram{}
+	r.add(&entry{family: family, labels: labels, help: help, kind: kindHistogram, hist: h, histRaw: true})
 	return h
 }
 
@@ -313,7 +325,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindGauge:
 			e.Sample(en.family, en.labels, float64(en.gauge.Load()))
 		case kindHistogram:
-			writeHistogram(e, en.family, en.labels, en.hist)
+			writeHistogram(e, en.family, en.labels, en.hist, en.histRaw)
 		}
 	}
 	return e.Flush()
@@ -329,12 +341,17 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // writeHistogram renders one histogram series: cumulative le buckets at
-// power-of-two nanosecond boundaries spanning the observed range (the
-// full sub-octave resolution stays queryable via Quantile; the
-// exposition trades it for a bounded line count), then +Inf, _sum, and
-// _count. Bucket counts come from one pass over the array, so the +Inf
-// bucket always equals _count even while records race the scrape.
-func writeHistogram(e *Expo, family, labels string, h *Histogram) {
+// power-of-two boundaries spanning the observed range (the full
+// sub-octave resolution stays queryable via Quantile; the exposition
+// trades it for a bounded line count), then +Inf, _sum, and _count.
+// Bucket counts come from one pass over the array, so the +Inf bucket
+// always equals _count even while records race the scrape. raw exposes
+// the recorded units as-is; otherwise nanoseconds render as seconds.
+func writeHistogram(e *Expo, family, labels string, h *Histogram, raw bool) {
+	scale := 1e9
+	if raw {
+		scale = 1
+	}
 	var counts [histBuckets]uint64
 	total := uint64(0)
 	lo, hi := -1, -1
@@ -365,11 +382,11 @@ func writeHistogram(e *Expo, family, labels string, h *Histogram) {
 			for ; next < stop && next < histBuckets; next++ {
 				cum += counts[next]
 			}
-			e.SampleLE(family, labels, float64(bound)/1e9, cum)
+			e.SampleLE(family, labels, float64(bound)/scale, cum)
 		}
 	}
 	e.SampleLE(family, labels, math.Inf(1), total)
-	e.Sample(family+"_sum", labels, float64(sumNS)/1e9)
+	e.Sample(family+"_sum", labels, float64(sumNS)/scale)
 	e.Sample(family+"_count", labels, float64(total))
 }
 
