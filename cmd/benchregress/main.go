@@ -31,6 +31,15 @@
 //   - kvserver/loopback/multiget/p4 drives a real server over loopback
 //     TCP with pipelined multi-key gets from 4 client goroutines — the
 //     end-to-end number the per-layer optimizations have to add up to.
+//   - kvrouter/loopback/3node/multiget sends the same client load
+//     through a kvcluster Router fronting 3 in-process nodes, with the
+//     batch tripled so each node still sees ~16 keys per scatter leg.
+//     On hardware with >= 8 CPUs the router must at least match the
+//     single-node row (it has 3 nodes' worth of cache behind it); on
+//     smaller machines every tier timeshares the same cores, the fanout
+//     goroutines are pure overhead, and the ratio is reported for the
+//     record but not gated — same reasoning as the contended scaling
+//     floor below.
 //
 // Contended and loopback rows are recorded for the scaling curve but
 // exempt from the serial ns-vs-baseline and zero-alloc gates (goroutine
@@ -51,6 +60,8 @@ import (
 	"repro/adaptivekv"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/kvcluster"
 	"repro/internal/kvproto"
 	"repro/internal/kvserver"
 	"repro/internal/metrics"
@@ -141,12 +152,15 @@ func realMain(n, macroN uint64, out string, check bool, tol float64, seedNS int6
 			measureContended(n, procs, true),
 			measureContended(n, procs, false))
 	}
-	rep.HotPath = append(rep.HotPath, measureLoopback(n))
+	rep.HotPath = append(rep.HotPath, measureLoopback(n), measureRouterLoopback(n))
 	for _, e := range rep.HotPath {
 		fmt.Printf("%-36s %12.0f acc/s %8.2f ns/acc %8.3f allocs/acc  p%d\n",
 			e.Name, e.AccessesPerSec, e.NSPerAccess, e.AllocsPerAccess, e.Parallelism)
 	}
 	if err := checkScaling(rep.HotPath); err != nil {
+		return err
+	}
+	if err := checkRouterFloor(rep.HotPath); err != nil {
 		return err
 	}
 
@@ -341,32 +355,19 @@ const (
 	loopbackBatch   = 16
 )
 
-// measureLoopback drives a real kvserver over loopback TCP with
-// pipelined multi-key gets: the end-to-end throughput the per-layer
-// optimizations (optimistic reads, shard-batched dispatch, coalesced
-// flushes) have to add up to. Accesses counts keys fetched, not round
-// trips.
-func measureLoopback(n uint64) Entry {
+// driveLoopback runs the shared client load against addr: loopbackClients
+// goroutines, each looping pipelined batch-key multigets over its own
+// pre-stored keyspace, GOMAXPROCS pinned to the client count. Accesses
+// counts keys fetched, not round trips.
+func driveLoopback(name, addr string, batch int, n uint64) Entry {
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(loopbackClients))
-	srv := kvserver.New(kvserver.Config{
-		Cache:        adaptivekv.Config{Shards: 16, Sets: 256, Ways: 4},
-		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 30 * time.Second,
-	})
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		panic(fmt.Sprintf("loopback listen: %v", err))
-	}
-	go srv.Serve(ln)
-	defer srv.Shutdown(ln, time.Second)
-
 	total := n / 8 // network round trips are ~100x slower than cache probes
 	perClient := total / loopbackClients
-	rounds := perClient / loopbackBatch
+	rounds := perClient / uint64(batch)
 	if rounds == 0 {
 		rounds = 1
 	}
-	keysFetched := uint64(loopbackClients) * rounds * loopbackBatch
+	keysFetched := uint64(loopbackClients) * rounds * uint64(batch)
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -375,13 +376,13 @@ func measureLoopback(n uint64) Entry {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			c, err := kvproto.DialTimeout(ln.Addr().String(), 5*time.Second, 30*time.Second, 30*time.Second)
+			c, err := kvproto.DialTimeout(addr, 5*time.Second, 30*time.Second, 30*time.Second)
 			if err != nil {
 				errs <- err
 				return
 			}
 			defer c.Close()
-			keys := make([][]byte, loopbackBatch)
+			keys := make([][]byte, batch)
 			for i := range keys {
 				keys[i] = []byte(fmt.Sprintf("bench-%d-%d", id, i))
 				if err := c.Set(keys[i], 0, []byte("loopback-value")); err != nil {
@@ -405,7 +406,7 @@ func measureLoopback(n uint64) Entry {
 	default:
 	}
 	return Entry{
-		Name:           fmt.Sprintf("kvserver/loopback/multiget/p%d", loopbackClients),
+		Name:           name,
 		Accesses:       keysFetched,
 		WallNS:         wall.Nanoseconds(),
 		NSPerAccess:    float64(wall.Nanoseconds()) / float64(keysFetched),
@@ -413,6 +414,77 @@ func measureLoopback(n uint64) Entry {
 		Parallelism:    loopbackClients,
 		Gate:           gateThroughput,
 	}
+}
+
+// measureLoopback drives a real kvserver over loopback TCP with
+// pipelined multi-key gets: the end-to-end throughput the per-layer
+// optimizations (optimistic reads, shard-batched dispatch, coalesced
+// flushes) have to add up to.
+func measureLoopback(n uint64) Entry {
+	srv := kvserver.New(kvserver.Config{
+		Cache:        adaptivekv.Config{Shards: 16, Sets: 256, Ways: 4},
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("loopback listen: %v", err))
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(ln, time.Second)
+	return driveLoopback(fmt.Sprintf("kvserver/loopback/multiget/p%d", loopbackClients),
+		ln.Addr().String(), loopbackBatch, n)
+}
+
+// Router-row shape: 3 nodes, batch tripled so each node still sees
+// ~loopbackBatch keys per scatter leg; routerFloorRatio is the
+// acceptance floor vs the single-node row where hardware permits.
+const (
+	routerNodes      = 3
+	routerBatch      = loopbackBatch * routerNodes
+	routerFloorRatio = 1.0
+)
+
+// measureRouterLoopback sends the same client load through a kvcluster
+// Router fronting routerNodes in-process kvservers: clients dial the
+// router exactly as they would one node, and every multiget exercises
+// the full scatter-gather path (split by ring owner, concurrent
+// per-node sub-gets, request-order reassembly).
+func measureRouterLoopback(n uint64) Entry {
+	f, err := fleet.Start(routerNodes, func(int) fleet.NodeConfig {
+		return fleet.NodeConfig{Server: kvserver.Config{
+			Cache:        adaptivekv.Config{Shards: 16, Sets: 256, Ways: 4},
+			ReadTimeout:  30 * time.Second,
+			WriteTimeout: 30 * time.Second,
+		}}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("router fleet: %v", err))
+	}
+	defer f.Close()
+	cl, err := kvcluster.New(kvcluster.Config{
+		Nodes:    f.Addrs(),
+		Seed:     1,
+		PoolSize: loopbackClients,
+		Reconnect: kvproto.ReconnectConfig{
+			DialTimeout:  5 * time.Second,
+			ReadTimeout:  30 * time.Second,
+			WriteTimeout: 30 * time.Second,
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("router cluster: %v", err))
+	}
+	cl.Start()
+	defer cl.Close()
+	router := kvcluster.NewRouter(cl, kvcluster.RouterConfig{WriteTimeout: 30 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("router listen: %v", err))
+	}
+	go router.Serve(ln)
+	defer router.Shutdown(ln, time.Second)
+	return driveLoopback("kvrouter/loopback/3node/multiget", ln.Addr().String(), routerBatch, n)
 }
 
 // checkScaling enforces the acceptance floor on a fresh measurement: at
@@ -448,6 +520,40 @@ func checkScaling(entries []Entry) error {
 	fmt.Printf("%-36s %.2fx optimistic vs locked at p8 (floor %.1fx)\n", "kv/Get/contended scaling", ratio, minScalingRatio)
 	if ratio < minScalingRatio {
 		return fmt.Errorf("contended Get scaling %.2fx at p8 is below the %.1fx floor", ratio, minScalingRatio)
+	}
+	return nil
+}
+
+// checkRouterFloor enforces the routing-tier acceptance floor: the
+// router row, with 3 nodes' worth of cache behind it, must at least
+// match the single-node loopback row at the same client parallelism.
+// Like checkScaling, the floor is only meaningful on hardware where the
+// tiers can actually run concurrently: with fewer than 8 CPUs the
+// clients, the router's fanout goroutines, and all three backends
+// timeshare the same cores, the extra hop is pure serialized overhead,
+// and the ratio is reported for the record but not gated.
+func checkRouterFloor(entries []Entry) error {
+	var single, routed *Entry
+	for i := range entries {
+		switch entries[i].Name {
+		case fmt.Sprintf("kvserver/loopback/multiget/p%d", loopbackClients):
+			single = &entries[i]
+		case "kvrouter/loopback/3node/multiget":
+			routed = &entries[i]
+		}
+	}
+	if single == nil || routed == nil {
+		return fmt.Errorf("loopback rows missing; cannot check router floor")
+	}
+	ratio := routed.AccessesPerSec / single.AccessesPerSec
+	if ncpu := runtime.NumCPU(); ncpu < 8 {
+		fmt.Printf("%-36s %.2fx router vs single node (floor %.1fx not enforced: %d CPUs serialize the tiers)\n",
+			"kvrouter/loopback floor", ratio, routerFloorRatio, ncpu)
+		return nil
+	}
+	fmt.Printf("%-36s %.2fx router vs single node (floor %.1fx)\n", "kvrouter/loopback floor", ratio, routerFloorRatio)
+	if ratio < routerFloorRatio {
+		return fmt.Errorf("router multiget throughput is %.2fx the single-node row, below the %.1fx floor", ratio, routerFloorRatio)
 	}
 	return nil
 }

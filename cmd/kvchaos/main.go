@@ -48,6 +48,7 @@ import (
 
 	"repro/adaptivekv"
 	"repro/internal/faultnet"
+	"repro/internal/fleet"
 	"repro/internal/kvproto"
 	"repro/internal/kvserver"
 	"repro/internal/metrics"
@@ -282,7 +283,8 @@ func main() {
 	fmt.Printf("kvchaos: seed %d, %d clients x %d ops, %d keys/client, %d loris\n",
 		*seed, *clients, *ops, *nkeys, *loris)
 
-	// Server with seeded panic injection behind a fault-wrapped listener.
+	// One node via the shared fleet harness: kvserver with seeded panic
+	// injection, behind a fault-wrapped listener, behind a fault proxy.
 	var hookCalls, hookPanics atomic.Uint64
 	hook := func(req *kvproto.Request) {
 		if *panicRate <= 0 || (req.Op != kvproto.OpGet && req.Op != kvproto.OpSet) {
@@ -294,36 +296,31 @@ func main() {
 			panic(fmt.Sprintf("kvchaos: injected handler panic #%d", hookPanics.Load()))
 		}
 	}
-	srv := kvserver.New(kvserver.Config{
-		Cache:        adaptivekv.Config{Shards: 4, Sets: 256, Ways: 8},
-		ReadTimeout:  *readTO,
-		WriteTimeout: 2 * time.Second,
-		MaxConns:     *maxConns,
-		FaultHook:    hook,
-	})
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		fmt.Printf("kvchaos: listen: %v\n", err)
-		os.Exit(1)
-	}
-	faulty := faultnet.Wrap(ln, faultnet.Config{Seed: *seed, AcceptErrorRate: *acceptRate})
-	go srv.Serve(faulty)
-	serverAddr := ln.Addr().String()
-
-	// Fault proxy between the verifying clients and the server.
-	proxy, err := faultnet.NewProxy("127.0.0.1:0", serverAddr, faultnet.Config{
-		Seed:        *seed + 1,
-		ResetRate:   *resetRate,
-		StallRate:   *stallRate,
-		Stall:       *stall,
-		PartialRate: *partial,
-		DelayRate:   *delayRate,
-		Delay:       *delay,
+	node, err := fleet.StartNode(fleet.NodeConfig{
+		Server: kvserver.Config{
+			Cache:        adaptivekv.Config{Shards: 4, Sets: 256, Ways: 8},
+			ReadTimeout:  *readTO,
+			WriteTimeout: 2 * time.Second,
+			MaxConns:     *maxConns,
+			FaultHook:    hook,
+		},
+		ListenFaults: &faultnet.Config{Seed: *seed, AcceptErrorRate: *acceptRate},
+		ProxyFaults: &faultnet.Config{
+			Seed:        *seed + 1,
+			ResetRate:   *resetRate,
+			StallRate:   *stallRate,
+			Stall:       *stall,
+			PartialRate: *partial,
+			DelayRate:   *delayRate,
+			Delay:       *delay,
+		},
 	})
 	if err != nil {
-		fmt.Printf("kvchaos: proxy: %v\n", err)
+		fmt.Printf("kvchaos: node: %v\n", err)
 		os.Exit(1)
 	}
+	srv := node.Server()
+	serverAddr := node.ServerAddr()
 
 	// Soak: verifying clients through the proxy, loris against the server.
 	// All clients (and the post-soak probe) share one ReconnectCounters so
@@ -336,7 +333,7 @@ func main() {
 	ccs := make([]*chaosClient, *clients)
 	var wg sync.WaitGroup
 	for i := range ccs {
-		ccs[i] = newChaosClient(i, proxy.Addr(), splitmix64(*seed+uint64(i)*7919), *nkeys, *vsize, rctrs)
+		ccs[i] = newChaosClient(i, node.Addr(), splitmix64(*seed+uint64(i)*7919), *nkeys, *vsize, rctrs)
 		wg.Add(1)
 		go func(cc *chaosClient) {
 			defer wg.Done()
@@ -376,12 +373,11 @@ func main() {
 
 	agg := srv.Cache().Stats()
 	counters := srv.Counters()
-	lstats := faulty.Stats()
-	pstats := proxy.Stats()
+	lstats := node.ListenStats()
+	pstats := node.ProxyStats()
 
 	// Teardown must leak nothing.
-	proxy.Close()
-	srv.Shutdown(ln, 2*time.Second)
+	node.Close()
 	leakDeadline := time.Now().Add(*graceLeak)
 	leaked := -1
 	for {

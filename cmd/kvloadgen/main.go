@@ -14,6 +14,7 @@
 //	kvloadgen -direct -ops 2000000            # no network, cache API only
 //	kvloadgen -min-ops 100000                 # exit 1 below 100k ops/s
 //	kvloadgen -procs 4 -multiget 16           # 4 Ps, 16-key multiget rounds
+//	kvloadgen -targets a:11311,b:11311,c:11311 # spread conns round-robin, per-target accounting
 //
 // The report gives aggregate throughput (gets+sets per second), the
 // client-observed hit ratio, and client-observed round-trip latency
@@ -29,6 +30,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -58,7 +60,8 @@ func patterns(mix string, hot uint64, skew float64, loop uint64) []workload.Patt
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:11311", "adaptcached address")
+		addr    = flag.String("addr", "127.0.0.1:11311", "adaptcached address")
+		targets = flag.String("targets", "", "comma-separated server addresses; workers spread round-robin and the report breaks ops/errors out per target (overrides -addr)")
 		conns  = flag.Int("conns", 4, "concurrent connections (workers)")
 		ops    = flag.Uint64("ops", 400000, "total operations across all connections")
 		mix    = flag.String("mix", "zipf", "workload mix: zipf|loop")
@@ -81,10 +84,9 @@ func main() {
 	if *mget < 1 {
 		*mget = 1
 	}
-	if *mget > kvproto.MaxGetKeys {
-		log.Printf("kvloadgen: -multiget %d capped at protocol limit %d", *mget, kvproto.MaxGetKeys)
-		*mget = kvproto.MaxGetKeys
-	}
+	// -multiget beyond the protocol's per-request cap is legal: the client
+	// splits the burst with MultiGetChunked, so the knob measures logical
+	// batch size rather than wire-request size.
 
 	pats := patterns(*mix, *hot, *skew, *loop)
 	if *conns < 1 || *ops < uint64(*conns) {
@@ -99,6 +101,21 @@ func main() {
 	var cache *adaptivekv.Cache[string, []byte]
 	if *direct {
 		cache = adaptivekv.New[string, []byte](adaptivekv.Config{})
+	}
+
+	// Target list: -targets spreads workers round-robin over a fleet (or
+	// several routers); without it every worker hits -addr.
+	tgtList := []string{*addr}
+	if *targets != "" {
+		tgtList = tgtList[:0]
+		for _, a := range strings.Split(*targets, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				tgtList = append(tgtList, a)
+			}
+		}
+		if len(tgtList) == 0 {
+			log.Fatal("kvloadgen: -targets given but holds no addresses")
+		}
 	}
 
 	// One shared histogram: Record is atomic and allocation-free, so all
@@ -117,7 +134,7 @@ func main() {
 				runDirect(st, cache, ks, shares[id], payload, lat)
 				return
 			}
-			c, err := kvproto.Dial(*addr)
+			c, err := kvproto.Dial(tgtList[id%len(tgtList)])
 			if err != nil {
 				st.err = err
 				return
@@ -129,11 +146,24 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	// Per-target accounting: workers map onto targets round-robin, so
+	// target t owns workers t, t+len, t+2*len, ...
+	perTgt := make([]connStats, len(tgtList))
+	var errCount int
 	var total connStats
 	for i := range stats {
+		ts := &perTgt[i%len(tgtList)]
 		if stats[i].err != nil {
-			log.Fatalf("kvloadgen: connection %d: %v", i, stats[i].err)
+			errCount++
+			if len(tgtList) == 1 && *targets == "" {
+				log.Fatalf("kvloadgen: connection %d: %v", i, stats[i].err)
+			}
+			log.Printf("kvloadgen: connection %d (%s): %v", i, tgtList[i%len(tgtList)], stats[i].err)
+			ts.err = stats[i].err
 		}
+		ts.gets += stats[i].gets
+		ts.hits += stats[i].hits
+		ts.sets += stats[i].sets
 		total.gets += stats[i].gets
 		total.hits += stats[i].hits
 		total.sets += stats[i].sets
@@ -145,7 +175,7 @@ func main() {
 		hitRatio = float64(total.hits) / float64(total.gets)
 	}
 
-	target := *addr
+	target := strings.Join(tgtList, ",")
 	if *direct {
 		target = "direct"
 	}
@@ -153,10 +183,23 @@ func main() {
 		target, *mix, *conns, *mget, runtime.GOMAXPROCS(0))
 	fmt.Printf("  %d ops in %.2fs = %.0f ops/s\n", opsDone, elapsed.Seconds(), opsPerSec)
 	fmt.Printf("  gets %d, hit ratio %.4f, sets %d\n", total.gets, hitRatio, total.sets)
+	if len(tgtList) > 1 {
+		for ti, ts := range perTgt {
+			status := "ok"
+			if ts.err != nil {
+				status = "ERR " + ts.err.Error()
+			}
+			fmt.Printf("  target %s: %d gets, %d sets, %s\n", tgtList[ti], ts.gets, ts.sets, status)
+		}
+	}
 	p99 := lat.Quantile(0.99)
 	fmt.Printf("  rtt p50 %v p95 %v p99 %v max %v (%d samples)\n",
 		lat.Quantile(0.50), lat.Quantile(0.95), p99, lat.Max(), lat.Count())
 
+	if errCount > 0 {
+		fmt.Printf("  FAIL: %d worker connections errored\n", errCount)
+		os.Exit(1)
+	}
 	if *minOps > 0 && opsPerSec < float64(*minOps) {
 		fmt.Printf("  FAIL: throughput %.0f ops/s below floor %d\n", opsPerSec, *minOps)
 		os.Exit(1)
@@ -207,25 +250,15 @@ func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint6
 		for i := 0; i < b; i++ {
 			keys[i] = strconv.AppendUint(keys[i][:0], ks.Next(), 10)
 		}
+		misses := 0
 		if mget == 1 {
 			for i := 0; i < b; i++ {
 				c.SendGet(keys[i])
 			}
-		} else {
-			for base := 0; base < b; base += mget {
-				end := base + mget
-				if end > b {
-					end = b
-				}
-				c.SendMultiGet(keys[base:end])
+			t0 := time.Now()
+			if st.err = c.Flush(); st.err != nil {
+				return
 			}
-		}
-		t0 := time.Now()
-		if st.err = c.Flush(); st.err != nil {
-			return
-		}
-		misses := 0
-		if mget == 1 {
 			for i := 0; i < b; i++ {
 				_, ok, err := c.ReadGetReply()
 				if err != nil {
@@ -234,7 +267,11 @@ func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint6
 				}
 				miss[i] = !ok
 			}
+			lat.RecordNS(int64(time.Since(t0)))
 		} else {
+			// Each mget-sized group goes out as one chunked burst: the
+			// client splits past the protocol's per-request cap
+			// transparently, so -multiget measures logical batch size.
 			for base := 0; base < b; base += mget {
 				end := base + mget
 				if end > b {
@@ -244,12 +281,14 @@ func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint6
 					miss[i] = true
 				}
 				off := base
-				if err := c.ReadMultiGetReply(keys[base:end], func(i int, _ uint32, _ []byte) {
+				t0 := time.Now()
+				if err := c.MultiGetChunked(keys[base:end], func(i int, _ uint32, _ []byte) {
 					miss[off+i] = false
 				}); err != nil {
 					st.err = err
 					return
 				}
+				lat.RecordNS(int64(time.Since(t0)))
 			}
 		}
 		for i := 0; i < b; i++ {
@@ -260,7 +299,6 @@ func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint6
 				st.hits++
 			}
 		}
-		lat.RecordNS(int64(time.Since(t0)))
 		if misses > 0 {
 			for i := 0; i < b; i++ {
 				if miss[i] {

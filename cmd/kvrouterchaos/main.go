@@ -1,0 +1,537 @@
+// Command kvrouterchaos is the partition-chaos gate for the routing
+// tier: cmd/kvchaos hardens one node, this drill hardens the fleet view.
+// It assembles the full routed topology in one process —
+//
+//	3 × kvserver ← faultnet.Listener (accept faults)
+//	        ↑
+//	kvcluster.Cluster (ring, pools, probers) + kvcluster.Router
+//	        ↑
+//	N kvproto.ReconnectClients speaking plain kvproto to the router
+//
+// — then kills one node mid-soak and later restarts it, asserting the
+// routing tier's failure contract end to end:
+//
+//   - Ejection fires: after the kill, the dead node is ejected (the
+//     kvcluster_node_ejections_total tally moves) and its keyspace fails
+//     fast with SERVER_ERROR instead of queueing behind dial timeouts.
+//   - Surviving keyspace stays available: during the outage, every
+//     operation whose ring owner is a live node must succeed — a single
+//     refusal is a routing bug, not chaos noise.
+//   - Reintegration: once the node returns, probing brings it back and
+//     the whole keyspace serves again (the restarted cache is empty;
+//     misses are always legal, resurrections never are).
+//   - No ambiguous-write replay: every value a get returns must be a
+//     version its single-writer client either had acknowledged or holds
+//     as unacked-pending. A version whose write failed CLEANLY
+//     ("SERVER_ERROR node down" / "backend failure" — the never-sent and
+//     provably-unprocessed cases) appearing in a reply would mean some
+//     layer replayed a write it reported as not applied.
+//   - Unacked tallies reconcile exactly: ambiguous writes counted by the
+//     backend clients == forwarded by the router == observed by clients
+//     as "SERVER_ERROR unacked". Every ambiguity is surfaced, once.
+//   - Clean teardown: router drain, cluster close, fleet close, and no
+//     leaked goroutines.
+//
+// Exit status 0 means every invariant held; 1 reports the violations.
+//
+//	kvrouterchaos -seed 1
+//	kvrouterchaos -seed 7 -clients 3 -ops 800
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/adaptivekv"
+	"repro/internal/faultnet"
+	"repro/internal/fleet"
+	"repro/internal/kvcluster"
+	"repro/internal/kvproto"
+	"repro/internal/kvserver"
+)
+
+// splitmix64 scrambles a counter into an independent-looking draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Soak phases. Expectations differ per phase: healthy and recovered
+// phases tolerate no failures at all; the outage phase tolerates them
+// only for keys the dead node owns.
+const (
+	phaseHealthy = iota
+	phaseOutage
+	phaseRecovered
+)
+
+var phaseNames = [...]string{"healthy", "outage", "recovered"}
+
+// keyState is one key's write history on its single-writer client.
+type keyState struct {
+	acked   uint64              // newest acknowledged version (0 = none)
+	tried   uint64              // newest attempted version
+	pending map[uint64]struct{} // unacked versions that may still land
+	failed  map[uint64]struct{} // cleanly-failed versions that must never land
+}
+
+// routedClient drives one connection's op mix through the router and
+// checks the version-window invariant. Keys are namespaced per client so
+// each key has exactly one writer; owners are precomputed from the ring
+// so the client knows which failures the partition excuses.
+type routedClient struct {
+	id     int
+	rc     *kvproto.ReconnectClient
+	rng    uint64
+	keys   []keyState
+	names  [][]byte
+	owners []int // ring owner per key, static for the drill
+	vsize  int
+
+	phase  int
+	killed int // node index down during phaseOutage, -1 otherwise
+
+	ops, gets, hits, sets, ackedSets uint64
+	unackedSeen                      uint64 // "SERVER_ERROR unacked" replies observed
+	cleanFails, deadOps              uint64
+	violations                       []string
+	fatal                            error
+}
+
+func newRoutedClient(id int, addr string, seed uint64, nkeys, vsize int, cl *kvcluster.Cluster) *routedClient {
+	c := &routedClient{
+		id: id,
+		rc: kvproto.NewReconnect(addr, kvproto.ReconnectConfig{
+			DialTimeout:  2 * time.Second,
+			ReadTimeout:  5 * time.Second,
+			WriteTimeout: 5 * time.Second,
+			MaxAttempts:  8,
+			BaseBackoff:  2 * time.Millisecond,
+			MaxBackoff:   100 * time.Millisecond,
+			Seed:         seed,
+		}),
+		rng:    seed | 1,
+		keys:   make([]keyState, nkeys),
+		names:  make([][]byte, nkeys),
+		owners: make([]int, nkeys),
+		vsize:  vsize,
+		killed: -1,
+	}
+	for j := range c.keys {
+		c.keys[j].pending = make(map[uint64]struct{})
+		c.keys[j].failed = make(map[uint64]struct{})
+		c.names[j] = []byte(fmt.Sprintf("r%dk%d", id, j))
+		c.owners[j] = cl.Ring().OwnerIndex(c.names[j])
+	}
+	return c
+}
+
+func (c *routedClient) next() uint64 {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return c.rng
+}
+
+func (c *routedClient) violate(format string, args ...any) {
+	c.violations = append(c.violations, fmt.Sprintf("client %d [%s]: %s",
+		c.id, phaseNames[c.phase], fmt.Sprintf(format, args...)))
+}
+
+// deadOwner reports whether key j's ring owner is the killed node in the
+// current phase — the only condition under which a failure is legal.
+func (c *routedClient) deadOwner(j int) bool {
+	return c.phase == phaseOutage && c.owners[j] == c.killed
+}
+
+// unackedReply reports an ambiguous-write signal: either the router said
+// "SERVER_ERROR unacked" (backend ambiguity, forwarded) or the client's
+// own connection to the router died mid-write (client-side ambiguity).
+func unackedReply(err error) bool {
+	if errors.Is(err, kvproto.ErrUnacked) {
+		return true
+	}
+	var se *kvproto.ServerError
+	return errors.As(err, &se) && se.Msg == "unacked"
+}
+
+// encodeValue renders "<version>|<key>|xxx..." padded to vsize so the
+// integrity check covers both identity and payload bytes.
+func encodeValue(ver uint64, key []byte, vsize int) []byte {
+	v := make([]byte, 0, vsize+32)
+	v = strconv.AppendUint(v, ver, 10)
+	v = append(v, '|')
+	v = append(v, key...)
+	v = append(v, '|')
+	for len(v) < vsize {
+		v = append(v, 'x')
+	}
+	return v
+}
+
+// decodeValue parses and integrity-checks an encoded value.
+func decodeValue(v []byte) (ver uint64, key []byte, err error) {
+	i := bytes.IndexByte(v, '|')
+	if i < 1 {
+		return 0, nil, errors.New("missing version field")
+	}
+	ver, perr := strconv.ParseUint(string(v[:i]), 10, 64)
+	if perr != nil {
+		return 0, nil, errors.New("bad version field")
+	}
+	rest := v[i+1:]
+	j := bytes.IndexByte(rest, '|')
+	if j < 1 {
+		return 0, nil, errors.New("missing key field")
+	}
+	key = rest[:j]
+	for _, b := range rest[j+1:] {
+		if b != 'x' {
+			return 0, nil, errors.New("corrupt padding")
+		}
+	}
+	return ver, key, nil
+}
+
+func (c *routedClient) run(nops uint64) {
+	for i := uint64(0); i < nops && c.fatal == nil && len(c.violations) < 20; i++ {
+		r := c.next()
+		j := int((r >> 8) % uint64(len(c.keys)))
+		switch {
+		case r%13 == 0:
+			c.doMultiGet(j)
+		case r%5 == 0:
+			c.doSet(j)
+		default:
+			c.doGet(j)
+		}
+		c.ops++
+	}
+}
+
+func (c *routedClient) doSet(j int) {
+	ks := &c.keys[j]
+	ver := ks.tried + 1
+	ks.tried = ver
+	err := c.rc.Set(c.names[j], 0, encodeValue(ver, c.names[j], c.vsize))
+	c.sets++
+	switch {
+	case err == nil:
+		ks.acked = ver
+		c.ackedSets++
+		if c.deadOwner(j) {
+			c.violate("set %s acked while its owner node %d is dead", c.names[j], c.killed)
+		}
+	case unackedReply(err):
+		// Ambiguous: the write may have been applied. Widen the window.
+		ks.pending[ver] = struct{}{}
+		c.unackedSeen++
+	default:
+		// Clean failure: every layer reports this version was never
+		// applied ("node down" fails fast before send; "backend
+		// failure" exhausts only provably-unprocessed attempts). It
+		// must never be read back.
+		ks.failed[ver] = struct{}{}
+		c.cleanFails++
+		if c.deadOwner(j) {
+			c.deadOps++
+			return
+		}
+		c.violate("set %s (owner node %d, alive) failed: %v", c.names[j], c.owners[j], err)
+	}
+}
+
+// checkHit verifies one returned value against key j's version window.
+func (c *routedClient) checkHit(j int, v []byte) {
+	ks := &c.keys[j]
+	ver, key, derr := decodeValue(v)
+	if derr != nil {
+		c.violate("get %s returned corrupt value (%v): %q", c.names[j], derr, v)
+		return
+	}
+	if !bytes.Equal(key, c.names[j]) {
+		c.violate("get %s returned value for key %s", c.names[j], key)
+		return
+	}
+	if _, wasCleanFail := ks.failed[ver]; wasCleanFail {
+		c.violate("get %s returned version %d whose write failed cleanly — a write reported as not applied was replayed",
+			c.names[j], ver)
+		return
+	}
+	if ver == ks.acked {
+		return
+	}
+	if _, inFlight := ks.pending[ver]; inFlight {
+		return
+	}
+	c.violate("get %s returned version %d; acked %d, pending %v — acknowledged write lost or stale value resurrected",
+		c.names[j], ver, ks.acked, ks.pending)
+}
+
+func (c *routedClient) doGet(j int) {
+	v, ok, err := c.rc.Get(c.names[j])
+	c.gets++
+	if err != nil {
+		if c.deadOwner(j) {
+			c.deadOps++
+			return
+		}
+		c.violate("get %s (owner node %d, alive) failed: %v", c.names[j], c.owners[j], err)
+		return
+	}
+	if c.deadOwner(j) {
+		c.violate("get %s answered while its owner node %d is dead", c.names[j], c.killed)
+	}
+	if !ok {
+		return // miss: evicted, lost to a restart, or never written — always legal
+	}
+	c.hits++
+	c.checkHit(j, v)
+}
+
+// doMultiGet fans a contiguous 24-key window through the router's
+// scatter-gather path. The burst succeeds only when every owner is
+// alive; when it includes the dead keyspace the router must terminate
+// with SERVER_ERROR, never fake an END. Retries may replay the burst, so
+// hits are collected last-write-wins and verified only on success.
+func (c *routedClient) doMultiGet(j int) {
+	const span = 24
+	keys := make([][]byte, 0, span)
+	idx := make([]int, 0, span)
+	hasDead := false
+	for o := 0; o < span; o++ {
+		k := (j + o) % len(c.keys)
+		keys = append(keys, c.names[k])
+		idx = append(idx, k)
+		if c.deadOwner(k) {
+			hasDead = true
+		}
+	}
+	hits := make(map[int][]byte, span)
+	err := c.rc.MultiGet(keys, func(i int, _ uint32, val []byte) {
+		hits[i] = append(hits[i][:0], val...)
+	})
+	c.gets++
+	if err != nil {
+		if hasDead {
+			c.deadOps++
+			return
+		}
+		c.violate("multiget [%s..] over live owners failed: %v", keys[0], err)
+		return
+	}
+	if hasDead {
+		c.violate("multiget [%s..] reached END while owner node %d is dead", keys[0], c.killed)
+	}
+	for i, v := range hits {
+		c.hits++
+		c.checkHit(idx[i], v)
+	}
+}
+
+// runPhase drives every client for nops ops concurrently and waits.
+func runPhase(clients []*routedClient, phase, killed int, nops uint64) {
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		c.phase, c.killed = phase, killed
+		wg.Add(1)
+		go func(c *routedClient) {
+			defer wg.Done()
+			c.run(nops)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// awaitEjected polls the cluster's view of node i until it matches want.
+func awaitEjected(cl *kvcluster.Cluster, i int, want bool, deadline time.Duration) bool {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if cl.Ejected(i) == want {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cl.Ejected(i) == want
+}
+
+func main() {
+	var (
+		seed       = flag.Uint64("seed", 1, "workload, placement, and fault seed")
+		nodes      = flag.Int("nodes", 3, "backend cache nodes")
+		clients    = flag.Int("clients", 4, "concurrent verifying clients")
+		ops        = flag.Uint64("ops", 1500, "operations per client per phase (three phases)")
+		nkeys      = flag.Int("keys", 256, "keyspace per client (single writer per key)")
+		vsize      = flag.Int("value-size", 48, "encoded value size in bytes")
+		acceptRate = flag.Float64("accept-error-rate", 0.1, "node listeners: transient accept-error probability")
+		probeIvl   = flag.Duration("probe-interval", 25*time.Millisecond, "cluster health-probe period")
+		graceLeak  = flag.Duration("leak-grace", 5*time.Second, "how long goroutines get to drain after shutdown")
+	)
+	flag.Parse()
+
+	baseline := runtime.NumGoroutine()
+	fmt.Printf("kvrouterchaos: seed %d, %d nodes, %d clients x 3x%d ops, %d keys/client\n",
+		*seed, *nodes, *clients, *ops, *nkeys)
+
+	// Fleet: real kvservers on loopback behind accept-fault injection.
+	// Cache geometry is generous so evictions don't dominate the window
+	// check (misses are legal either way; hits are what exercise it).
+	f, err := fleet.Start(*nodes, func(i int) fleet.NodeConfig {
+		return fleet.NodeConfig{
+			Server: kvserver.Config{
+				Cache:        adaptivekv.Config{Shards: 2, Sets: 512, Ways: 8},
+				ReadTimeout:  2 * time.Second,
+				WriteTimeout: 2 * time.Second,
+			},
+			ListenFaults: &faultnet.Config{
+				Seed:            splitmix64(*seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15),
+				AcceptErrorRate: *acceptRate,
+			},
+		}
+	})
+	if err != nil {
+		fmt.Printf("kvrouterchaos: fleet: %v\n", err)
+		os.Exit(1)
+	}
+
+	cl, err := kvcluster.New(kvcluster.Config{
+		Nodes:           f.Addrs(),
+		Seed:            *seed,
+		PoolSize:        4,
+		ProbeInterval:   *probeIvl,
+		ProbeBackoffMax: 8 * *probeIvl,
+		Reconnect: kvproto.ReconnectConfig{
+			DialTimeout:  500 * time.Millisecond,
+			ReadTimeout:  2 * time.Second,
+			WriteTimeout: 2 * time.Second,
+			MaxAttempts:  4,
+			BaseBackoff:  time.Millisecond,
+			MaxBackoff:   20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		fmt.Printf("kvrouterchaos: cluster: %v\n", err)
+		os.Exit(1)
+	}
+	cl.Start()
+
+	router := kvcluster.NewRouter(cl, kvcluster.RouterConfig{
+		ReadTimeout:  time.Minute,
+		WriteTimeout: 5 * time.Second,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("kvrouterchaos: listen: %v\n", err)
+		os.Exit(1)
+	}
+	go router.Serve(ln)
+
+	ccs := make([]*routedClient, *clients)
+	for i := range ccs {
+		ccs[i] = newRoutedClient(i, ln.Addr().String(), splitmix64(*seed+uint64(i)*7919), *nkeys, *vsize, cl)
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	// Phase 1 — healthy fleet: no operation may fail.
+	runPhase(ccs, phaseHealthy, -1, *ops)
+
+	// Kill one node (seed-chosen) and soak through the outage. Ejection
+	// is driven by both probes and op-path failures; either way the
+	// tally must move and the dead keyspace must fail fast while the
+	// surviving keyspace stays fully available.
+	kill := int(splitmix64(*seed^0x6b696c6c) % uint64(*nodes)) // "kill"
+	fmt.Printf("kvrouterchaos: killing node %d (%s)\n", kill, f.Nodes[kill].Addr())
+	f.Nodes[kill].Kill()
+	runPhase(ccs, phaseOutage, kill, *ops)
+	if !awaitEjected(cl, kill, true, 10*time.Second) {
+		fail("node %d was never ejected after its kill", kill)
+	}
+	if got := cl.Ejections(kill); got < 1 {
+		fail("kvcluster_node_ejections_total for node %d = %d, want >= 1", kill, got)
+	}
+	for i := 0; i < *nodes; i++ {
+		if i != kill && cl.Ejected(i) {
+			fail("healthy node %d was ejected during node %d's outage", i, kill)
+		}
+	}
+
+	// Restart (fresh empty cache) and confirm the probers reintegrate
+	// it, then soak again: the whole keyspace must serve, and nothing
+	// the dead node lost may resurrect.
+	if err := f.Nodes[kill].Restart(); err != nil {
+		fail("restart node %d: %v", kill, err)
+	} else {
+		fmt.Printf("kvrouterchaos: node %d restarted, awaiting reintegration\n", kill)
+		if !awaitEjected(cl, kill, false, 10*time.Second) {
+			fail("node %d was never reintegrated after restart", kill)
+		}
+		runPhase(ccs, phaseRecovered, -1, *ops)
+	}
+
+	// Teardown before reconciliation so every in-flight op has settled.
+	router.Shutdown(ln, 2*time.Second)
+	router.Wait()
+
+	// Unacked tallies must reconcile exactly across all three layers:
+	// backend ambiguity counted once, forwarded once, observed once.
+	var seen, deadOps, cleanFails, totalOps, totalHits uint64
+	for _, c := range ccs {
+		seen += c.unackedSeen
+		deadOps += c.deadOps
+		cleanFails += c.cleanFails
+		totalOps += c.ops
+		totalHits += c.hits
+		if c.fatal != nil {
+			fail("%v", c.fatal)
+		}
+		for _, v := range c.violations {
+			fail("%s", v)
+		}
+	}
+	backendUnacked := cl.BackendCounters().Unacked.Load()
+	forwarded := router.UnackedReplies()
+	if backendUnacked != forwarded || forwarded != seen {
+		fail("unacked tallies diverge: backend counted %d, router forwarded %d, clients observed %d",
+			backendUnacked, forwarded, seen)
+	}
+	cl.Close()
+	f.Close()
+
+	// Goroutine-leak check: everything the drill started must unwind.
+	deadline := time.Now().Add(*graceLeak)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		fail("goroutine leak: %d running after teardown, baseline %d", n, baseline)
+	}
+
+	bc := cl.BackendCounters()
+	fmt.Printf("kvrouterchaos: %d ops, %d hits, %d dead-keyspace failures, %d clean write failures, %d unacked\n",
+		totalOps, totalHits, deadOps, cleanFails, seen)
+	fmt.Printf("kvrouterchaos: backend tallies: %d redials, %d retries, %d unacked, %d exhausted; node %d ejections: %d\n",
+		bc.Redials.Load(), bc.Retries.Load(), bc.Unacked.Load(), bc.Exhausted.Load(), kill, cl.Ejections(kill))
+
+	if len(failures) > 0 {
+		fmt.Printf("kvrouterchaos: FAIL — %d invariant violations:\n", len(failures))
+		for _, v := range failures {
+			fmt.Printf("  - %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("kvrouterchaos: PASS — ejection fired, surviving keyspace stayed available, no ambiguous-write replays, tallies reconcile")
+}

@@ -208,6 +208,110 @@ func TestAdaptcachedKvloadgenEndToEnd(t *testing.T) {
 	}
 }
 
+// TestKvrouterEndToEnd stands up two adaptcached nodes and a kvrouter in
+// front of them, then drives load two ways: through the router (clients
+// see one endpoint, the router owns placement and fanout) and directly
+// at the fleet via kvloadgen -targets (per-target accounting).
+func TestKvrouterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	server := buildCmd(t, "adaptcached")
+	routerBin := buildCmd(t, "kvrouter")
+	loadgen := buildCmd(t, "kvloadgen")
+
+	freeAddr := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		return ln.Addr().String()
+	}
+	awaitUp := func(addr string, out *strings.Builder) {
+		t.Helper()
+		for i := 0; i < 100; i++ {
+			c, err := net.Dial("tcp", addr)
+			if err == nil {
+				c.Close()
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("%s never came up:\n%s", addr, out.String())
+	}
+
+	var nodeAddrs []string
+	for i := 0; i < 2; i++ {
+		addr := freeAddr()
+		var out strings.Builder
+		srv := exec.Command(server, "-addr", addr, "-shards", "4", "-sets", "256", "-drain", "1s")
+		srv.Stdout, srv.Stderr = &out, &out
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Process.Kill()
+		awaitUp(addr, &out)
+		nodeAddrs = append(nodeAddrs, addr)
+	}
+
+	routerAddr := freeAddr()
+	var routerOut strings.Builder
+	router := exec.Command(routerBin, "-addr", routerAddr, "-nodes", strings.Join(nodeAddrs, ","),
+		"-probe-interval", "50ms", "-drain", "1s")
+	router.Stdout, router.Stderr = &routerOut, &routerOut
+	if err := router.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer router.Process.Kill()
+	awaitUp(routerAddr, &routerOut)
+
+	// Through the router: one endpoint, the fleet behind it.
+	out := runCmd(t, loadgen, "-addr", routerAddr, "-conns", "2", "-ops", "20000", "-mix", "zipf", "-multiget", "8")
+	if !strings.Contains(out, "ops/s") || !strings.Contains(out, "hit ratio") {
+		t.Fatalf("routed loadgen output:\n%s", out)
+	}
+
+	// Directly at the fleet: -targets breaks the report out per node.
+	out = runCmd(t, loadgen, "-targets", strings.Join(nodeAddrs, ","), "-conns", "2", "-ops", "10000")
+	for _, addr := range nodeAddrs {
+		if !strings.Contains(out, "target "+addr+":") {
+			t.Fatalf("per-target line for %s missing:\n%s", addr, out)
+		}
+	}
+
+	if err := router.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Wait(); err != nil {
+		t.Fatalf("router exit: %v\n%s", err, routerOut.String())
+	}
+	if got := routerOut.String(); !strings.Contains(got, "backend tallies") {
+		t.Fatalf("router summary missing:\n%s", got)
+	}
+}
+
+// TestKvrouterChaosEndToEnd runs a small fixed-seed partition drill:
+// 3 in-process nodes behind a router, one killed mid-soak and later
+// restarted. The binary checks the invariants (ejection fires, surviving
+// keyspace stays available, no ambiguous-write replays, unacked tallies
+// reconcile) itself and exits nonzero on violation.
+func TestKvrouterChaosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "kvrouterchaos")
+	out := runCmd(t, bin, "-seed", "3", "-clients", "2", "-ops", "400", "-keys", "64")
+	if !strings.Contains(out, "kvrouterchaos: PASS") {
+		t.Fatalf("partition drill did not pass:\n%s", out)
+	}
+	for _, want := range []string{"dead-keyspace failures", "ejections: "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("drill summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestKvchaosEndToEnd runs a small fixed-seed chaos soak: server behind a
 // fault-injecting proxy, retrying clients, slow-loris probe. The binary
 // checks the invariants (no lost acked writes, no escaped panics, no

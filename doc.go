@@ -19,7 +19,18 @@
 //   - internal/sim — experiment wiring plus one function per paper figure
 //     and table.
 //   - internal/kvproto — the memcached-style text protocol spoken by the
-//     key-value binaries.
+//     key-value binaries, including the reconnecting client with its
+//     never-replay-ambiguous-writes contract.
+//   - internal/kvcluster — the routing tier: seeded consistent-hash ring,
+//     per-node connection pools with failure-threshold ejection and probed
+//     reintegration, scatter-gather multi-key gets, and the kvproto Router
+//     served on kvserver's hardened core.
+//   - internal/kvserver — the serving layer: protocol loop, batched
+//     dispatch, and the reusable Core envelope (accept retry, connection
+//     shedding, panic isolation, drain) shared with the router.
+//   - internal/fleet — in-process node fleets with kill/restart for chaos
+//     drivers and tests; internal/faultnet — seeded network fault
+//     injection.
 //   - adaptivekv — a sharded concurrent key-value cache whose replacement
 //     decisions are made by the adaptive engine (the paper's scheme doing
 //     real work, not simulation).
@@ -40,7 +51,17 @@
 //   - cmd/adaptcached — serve adaptivekv over TCP (memcached-style text
 //     protocol) with expvar counters and graceful shutdown.
 //   - cmd/kvloadgen — closed-loop load generator replaying
-//     internal/workload patterns against adaptcached (or in-process).
+//     internal/workload patterns against adaptcached, a kvrouter, or a
+//     fleet via -targets (or in-process with -direct).
+//   - cmd/kvrouter — consistent-hash routing proxy over a fleet of
+//     adaptcached nodes: one kvproto endpoint, scatter-gather multigets,
+//     health ejection and reintegration.
+//   - cmd/kvchaos — seeded single-node chaos soak (fault-injecting
+//     listener and proxy, verifying clients); race-enabled CI gate.
+//   - cmd/kvrouterchaos — seeded partition drill for the routing tier:
+//     kill and restart a node mid-soak, assert ejection, surviving
+//     -keyspace availability, reintegration, and no ambiguous-write
+//     replays; race-enabled CI gate.
 //
 // Runnable examples live in examples/.
 package repro

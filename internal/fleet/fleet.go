@@ -1,0 +1,217 @@
+// Package fleet brings up in-process adaptcached node fleets for chaos
+// drivers, gates, and tests: each node is a real kvserver on a loopback
+// listener, optionally behind faultnet accept-fault wrapping and a
+// faultnet proxy, with kill/restart that keeps the node's address
+// stable across the outage. cmd/kvchaos (single node under fault
+// injection) and cmd/kvrouterchaos (a routed 3-node partition drill)
+// share this harness instead of each growing its own bring-up.
+//
+// Restart deliberately starts a fresh, empty cache: a cache node that
+// lost its memory is the easy failure mode (misses are always legal),
+// and it is exactly what a crashed adaptcached process looks like to
+// the routing tier.
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/kvserver"
+)
+
+// NodeConfig assembles one node.
+type NodeConfig struct {
+	// Server configures the kvserver instance (cache geometry, timeouts,
+	// MaxConns, FaultHook). Reused verbatim on Restart.
+	Server kvserver.Config
+
+	// ListenFaults, when non-nil, wraps the node's listener with
+	// faultnet accept-error injection.
+	ListenFaults *faultnet.Config
+
+	// ProxyFaults, when non-nil, puts a faultnet proxy in front of the
+	// node; Addr() then returns the proxy address, which stays stable
+	// across Kill/Restart while the backend behind it dies and returns.
+	ProxyFaults *faultnet.Config
+}
+
+// Node is one running (or killed) cache server.
+type Node struct {
+	cfg NodeConfig
+
+	mu      sync.Mutex
+	srv     *kvserver.Server
+	ln      net.Listener      // base listener; nil while killed
+	wrapped net.Listener      // fault-wrapped view served from (== ln when unwrapped)
+	proxy   *faultnet.Proxy   // nil unless ProxyFaults
+	addr    string            // server address, stable across restarts
+	flis    *faultnet.Listener // non-nil when ListenFaults wrapped
+}
+
+// StartNode listens on an ephemeral loopback port and serves cfg.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	n := &Node{cfg: cfg}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("fleet: listen: %w", err)
+	}
+	n.addr = ln.Addr().String()
+	n.serveLocked(ln)
+	if cfg.ProxyFaults != nil {
+		p, err := faultnet.NewProxy("127.0.0.1:0", n.addr, *cfg.ProxyFaults)
+		if err != nil {
+			n.Kill()
+			return nil, fmt.Errorf("fleet: proxy: %w", err)
+		}
+		n.proxy = p
+	}
+	return n, nil
+}
+
+// serveLocked builds a fresh server on ln and starts serving. Callers
+// hold no lock during StartNode (unshared) and mu during Restart.
+func (n *Node) serveLocked(ln net.Listener) {
+	n.srv = kvserver.New(n.cfg.Server)
+	n.ln = ln
+	n.wrapped = ln
+	n.flis = nil
+	if n.cfg.ListenFaults != nil {
+		n.flis = faultnet.Wrap(ln, *n.cfg.ListenFaults)
+		n.wrapped = n.flis
+	}
+	go n.srv.Serve(n.wrapped)
+}
+
+// Addr is the address clients should dial: the proxy when one is
+// configured, the server otherwise. Stable across Kill/Restart.
+func (n *Node) Addr() string {
+	if n.proxy != nil {
+		return n.proxy.Addr()
+	}
+	return n.addr
+}
+
+// ServerAddr is the server's own address, bypassing any proxy.
+func (n *Node) ServerAddr() string { return n.addr }
+
+// Server returns the current kvserver instance (a fresh one after each
+// Restart); nil while killed.
+func (n *Node) Server() *kvserver.Server {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.srv
+}
+
+// ListenStats returns the accept-fault injection tallies, zero when the
+// node runs unwrapped.
+func (n *Node) ListenStats() faultnet.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.flis == nil {
+		return faultnet.Stats{}
+	}
+	return n.flis.Stats()
+}
+
+// ProxyStats returns the client-facing proxy's fault tallies, zero when
+// no proxy is configured.
+func (n *Node) ProxyStats() faultnet.Stats {
+	if n.proxy == nil {
+		return faultnet.Stats{}
+	}
+	return n.proxy.Stats()
+}
+
+// Kill stops the node hard: the listener closes (new dials are refused),
+// in-flight connections are force-closed with zero grace, and every
+// handler goroutine exits before Kill returns. The proxy, if any, stays
+// up — its clients see dead-backend behavior, which is the realistic
+// view of a crashed process behind a load balancer.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ln == nil {
+		return
+	}
+	n.srv.Shutdown(n.ln, 0)
+	n.ln = nil
+}
+
+// Restart re-listens on the node's original address with a fresh, empty
+// cache. The port was just released by Kill, but the OS may lag a
+// moment; a short retry loop absorbs that.
+func (n *Node) Restart() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ln != nil {
+		return fmt.Errorf("fleet: node %s already running", n.addr)
+	}
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		ln, err = net.Listen("tcp", n.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("fleet: re-listen on %s: %w", n.addr, err)
+	}
+	n.serveLocked(ln)
+	return nil
+}
+
+// Close tears the node down: proxy first (no new client traffic), then
+// the server with a small grace period.
+func (n *Node) Close() {
+	if n.proxy != nil {
+		n.proxy.Close()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ln != nil {
+		n.srv.Shutdown(n.ln, time.Second)
+		n.ln = nil
+	}
+}
+
+// Fleet is a set of nodes started together.
+type Fleet struct {
+	Nodes []*Node
+}
+
+// Start brings up count nodes; mk supplies each node's config (called
+// with the node index). On any failure the already-started nodes are
+// closed.
+func Start(count int, mk func(i int) NodeConfig) (*Fleet, error) {
+	f := &Fleet{}
+	for i := 0; i < count; i++ {
+		n, err := StartNode(mk(i))
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Nodes = append(f.Nodes, n)
+	}
+	return f, nil
+}
+
+// Addrs returns each node's client-facing address, in index order.
+func (f *Fleet) Addrs() []string {
+	addrs := make([]string, len(f.Nodes))
+	for i, n := range f.Nodes {
+		addrs[i] = n.Addr()
+	}
+	return addrs
+}
+
+// Close tears every node down.
+func (f *Fleet) Close() {
+	for _, n := range f.Nodes {
+		n.Close()
+	}
+}

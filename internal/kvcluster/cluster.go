@@ -1,0 +1,514 @@
+package kvcluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/kvproto"
+	"repro/internal/metrics"
+)
+
+// Config assembles a Cluster. Only Nodes is required.
+type Config struct {
+	// Nodes are the backend addresses; their order fixes node indices
+	// (per-node metrics, Ejected) for the cluster's lifetime.
+	Nodes []string
+
+	VNodes int    // virtual nodes per physical node (default DefaultVNodes)
+	Seed   uint64 // ring + backoff-jitter seed; same seed, same placement
+
+	// PoolSize is the connection budget per node (default 4). Checkout
+	// blocks past it, bounding per-node concurrency.
+	PoolSize int
+
+	// FailThreshold consecutive failures eject a node (default
+	// DefaultFailThreshold).
+	FailThreshold int
+
+	// ProbeInterval is the health-probe period for serving nodes
+	// (default 250ms); ejected nodes are probed with delays doubling
+	// from it up to ProbeBackoffMax (default 2s), so a dead node costs
+	// one probe dial per backoff step instead of a connect storm.
+	ProbeInterval   time.Duration
+	ProbeBackoffMax time.Duration
+
+	// Reconnect tunes the backend clients (timeouts, redial backoff).
+	// Counters and Seed are managed by the cluster.
+	Reconnect kvproto.ReconnectConfig
+
+	// Registry receives the cluster's instruments; nil creates a
+	// private one (exposed via Registry()).
+	Registry *metrics.Registry
+
+	// Logf receives operational messages (ejections, reintegrations);
+	// nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = DefaultFailThreshold
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeBackoffMax <= 0 {
+		c.ProbeBackoffMax = 2 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return c
+}
+
+// op indices for the routed/failed counter families.
+const (
+	ixGet = iota
+	ixSet
+	ixDelete
+	ixOps
+)
+
+var ixNames = [ixOps]string{"get", "set", "delete"}
+
+// clusterMetrics bundles the cluster's instruments: per-node health and
+// latency, fanout shape, routed-vs-failed outcomes, and the aggregated
+// backend retry tallies every ReconnectClient in every pool shares.
+type clusterMetrics struct {
+	nodeUp        []*metrics.Gauge
+	nodeEjections []*metrics.Counter
+	nodeRTT       []*metrics.Histogram
+	fanout        *metrics.Histogram
+	routed        [ixOps]*metrics.Counter
+	failed        [ixOps]*metrics.Counter
+	backend       kvproto.ReconnectCounters
+}
+
+func newClusterMetrics(reg *metrics.Registry, nodes []string) *clusterMetrics {
+	m := &clusterMetrics{
+		nodeUp:        make([]*metrics.Gauge, len(nodes)),
+		nodeEjections: make([]*metrics.Counter, len(nodes)),
+		nodeRTT:       make([]*metrics.Histogram, len(nodes)),
+	}
+	// Each family is registered contiguously across its label set — the
+	// registry enforces exposition-order grouping at construction time.
+	for i, addr := range nodes {
+		m.nodeUp[i] = reg.Gauge("kvcluster_node_up", `node="`+addr+`"`, "1 while the node serves its keyspace, 0 while ejected")
+	}
+	for i, addr := range nodes {
+		m.nodeEjections[i] = reg.Counter("kvcluster_node_ejections_total", `node="`+addr+`"`, "transitions into the ejected state")
+	}
+	for i, addr := range nodes {
+		m.nodeRTT[i] = reg.Histogram("kvcluster_node_rtt_seconds", `node="`+addr+`"`, "backend round-trip time, ops and probes")
+	}
+	m.fanout = reg.HistogramUnitless("kvcluster_fanout_nodes", "", "backend nodes touched per multi-key get")
+	for i, name := range ixNames {
+		m.routed[i] = reg.Counter("kvcluster_ops_routed_total", `op="`+name+`"`, "operations routed to an owner node")
+	}
+	for i, name := range ixNames {
+		m.failed[i] = reg.Counter("kvcluster_ops_failed_total", `op="`+name+`"`, "routed operations that failed (ejected owner, backend error, ambiguous write)")
+	}
+	m.backend = kvproto.ReconnectCounters{
+		Redials:   reg.Counter("kvcluster_backend_redials_total", "", "backend connections (re)established"),
+		Retries:   reg.Counter("kvcluster_backend_retries_total", "", "backend attempts beyond each operation's first"),
+		Unacked:   reg.Counter("kvcluster_backend_unacked_total", "", "writes abandoned as ambiguous (never replayed)"),
+		Exhausted: reg.Counter("kvcluster_backend_exhausted_total", "", "backend operations that ran out of attempts"),
+	}
+	return m
+}
+
+// Cluster routes kvproto operations across a fleet of cache nodes.
+// Routing methods are safe for concurrent use; each call checks its
+// owner's pool for a connection, so concurrency per node is bounded by
+// PoolSize.
+type Cluster struct {
+	cfg   Config
+	ring  *Ring
+	pools []*nodePool
+	m     *clusterMetrics
+
+	scatters sync.Pool // *scatter, reused across MultiGet calls
+
+	startOnce sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a Cluster over cfg.Nodes. Connections are dialed lazily by
+// the first operation against each node; call Start to begin health
+// probing (without it, nodes are only ejected by operation failures and
+// never reintegrated).
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Nodes, cfg.VNodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		cfg:  cfg,
+		ring: ring,
+		m:    newClusterMetrics(cfg.Registry, ring.Nodes()),
+		stop: make(chan struct{}),
+	}
+	for i, addr := range ring.Nodes() {
+		rcfg := cfg.Reconnect
+		rcfg.Counters = &cl.m.backend
+		// Decorrelate each connection's backoff jitter while keeping the
+		// whole schedule a function of cfg.Seed.
+		base := splitmix64(cfg.Seed ^ fnv1a(cfg.Seed, []byte(addr)))
+		mkSeed := base
+		mk := func() *kvproto.ReconnectClient {
+			mkSeed = splitmix64(mkSeed)
+			return kvproto.NewReconnect(addr, withSeed(rcfg, mkSeed))
+		}
+		cl.pools = append(cl.pools, newNodePool(addr, i, cfg.PoolSize,
+			int32(cfg.FailThreshold), cl.m.nodeUp[i], cl.m.nodeEjections[i], mk))
+	}
+	cl.scatters.New = func() any { return &scatter{} }
+	return cl, nil
+}
+
+func withSeed(cfg kvproto.ReconnectConfig, seed uint64) kvproto.ReconnectConfig {
+	cfg.Seed = seed
+	return cfg
+}
+
+func (cl *Cluster) logf(format string, args ...any) {
+	if cl.cfg.Logf != nil {
+		cl.cfg.Logf(format, args...)
+	}
+}
+
+// Registry returns the metrics registry the cluster records into.
+func (cl *Cluster) Registry() *metrics.Registry { return cl.cfg.Registry }
+
+// BackendCounters returns the shared retry tallies every backend client
+// records into — soak drivers reconcile the Unacked count against the
+// ambiguous-write errors their clients observed.
+func (cl *Cluster) BackendCounters() *kvproto.ReconnectCounters { return &cl.m.backend }
+
+// Ring returns the cluster's placement ring.
+func (cl *Cluster) Ring() *Ring { return cl.ring }
+
+// Ejected reports whether node i (in Config.Nodes order) is currently
+// ejected.
+func (cl *Cluster) Ejected(i int) bool { return cl.pools[i].ejected.Load() }
+
+// Ejections returns how many times node i has been ejected — the same
+// tally the kvcluster_node_ejections_total series exposes, for gates
+// that assert the metric fired.
+func (cl *Cluster) Ejections(i int) uint64 { return cl.m.nodeEjections[i].Load() }
+
+// Start launches one health prober per node. Safe to call once.
+func (cl *Cluster) Start() {
+	cl.startOnce.Do(func() {
+		for _, p := range cl.pools {
+			cl.wg.Add(1)
+			go cl.probeLoop(p)
+		}
+	})
+}
+
+// Close stops the probers and closes every pooled connection. Callers
+// must have finished all in-flight operations.
+func (cl *Cluster) Close() {
+	select {
+	case <-cl.stop:
+	default:
+		close(cl.stop)
+	}
+	cl.wg.Wait()
+	for _, p := range cl.pools {
+		for {
+			select {
+			case c := <-p.free:
+				c.Close()
+			default:
+			}
+			if len(p.free) == 0 {
+				break
+			}
+		}
+	}
+}
+
+// probeLoop drives one node's health: a noop round trip per
+// ProbeInterval while serving, delays doubling up to ProbeBackoffMax
+// while ejected. The probe client is dedicated (never from the pool) so
+// probing an ejected node doesn't fight the fail-fast checkout, and
+// single-attempt (the loop owns the retry schedule).
+func (cl *Cluster) probeLoop(p *nodePool) {
+	defer cl.wg.Done()
+	rcfg := cl.cfg.Reconnect
+	rcfg.MaxAttempts = 1
+	rcfg.Seed = splitmix64(cl.cfg.Seed ^ fnv1a(cl.cfg.Seed, []byte(p.addr)) ^ 0x70726f6265) // "probe"
+	c := kvproto.NewReconnect(p.addr, rcfg)
+	defer c.Close()
+
+	delay := cl.cfg.ProbeInterval
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	for {
+		select {
+		case <-cl.stop:
+			return
+		case <-timer.C:
+		}
+		start := time.Now()
+		err := c.Noop()
+		if err == nil {
+			cl.m.nodeRTT[p.idx].Record(time.Since(start))
+			if p.noteSuccess() {
+				cl.logf("kvcluster: node %s reintegrated", p.addr)
+			}
+			delay = cl.cfg.ProbeInterval
+		} else {
+			if p.noteFailure() {
+				cl.logf("kvcluster: node %s ejected: %v", p.addr, err)
+			}
+			if p.ejected.Load() {
+				delay *= 2
+				if delay > cl.cfg.ProbeBackoffMax {
+					delay = cl.cfg.ProbeBackoffMax
+				}
+			} else {
+				delay = cl.cfg.ProbeInterval
+			}
+		}
+		timer.Reset(delay)
+	}
+}
+
+// observe classifies an operation's outcome for node health: nil resets
+// the failure run; a recoverable, non-busy protocol rejection is the
+// caller's mistake, not the node's; anything else (dead stream,
+// exhausted retries, sustained busy shedding, ambiguous write) counts
+// toward ejection.
+func (cl *Cluster) observe(p *nodePool, err error) {
+	if err == nil {
+		p.noteSuccess()
+		return
+	}
+	if kvproto.Recoverable(err) && !kvproto.IsBusy(err) {
+		return
+	}
+	if p.noteFailure() {
+		cl.logf("kvcluster: node %s ejected: %v", p.addr, err)
+	}
+}
+
+// Get fetches key from its owner. The returned value is a fresh copy
+// (safe to retain). An ejected owner fails fast with ErrNodeDown.
+func (cl *Cluster) Get(key []byte) (val []byte, ok bool, err error) {
+	cl.m.routed[ixGet].Inc()
+	p := cl.pools[cl.ring.OwnerIndex(key)]
+	c, err := p.get()
+	if err != nil {
+		cl.m.failed[ixGet].Inc()
+		return nil, false, fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
+	}
+	start := time.Now()
+	v, ok, err := c.Get(key)
+	cl.m.nodeRTT[p.idx].Record(time.Since(start))
+	if ok {
+		val = append([]byte(nil), v...)
+	}
+	p.put(c)
+	cl.observe(p, err)
+	if err != nil {
+		cl.m.failed[ixGet].Inc()
+		return nil, false, fmt.Errorf("kvcluster: get via %s: %w", p.addr, err)
+	}
+	return val, ok, nil
+}
+
+// Set stores val under key on its owner. The backend client never
+// replays an ambiguous write, so an ErrUnacked from it propagates
+// unchanged — the caller owns the idempotency decision, exactly as with
+// a single node.
+func (cl *Cluster) Set(key []byte, flags uint32, val []byte) error {
+	cl.m.routed[ixSet].Inc()
+	p := cl.pools[cl.ring.OwnerIndex(key)]
+	c, err := p.get()
+	if err != nil {
+		cl.m.failed[ixSet].Inc()
+		return fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
+	}
+	start := time.Now()
+	err = c.Set(key, flags, val)
+	cl.m.nodeRTT[p.idx].Record(time.Since(start))
+	p.put(c)
+	cl.observe(p, err)
+	if err != nil {
+		cl.m.failed[ixSet].Inc()
+		return fmt.Errorf("kvcluster: set via %s: %w", p.addr, err)
+	}
+	return nil
+}
+
+// Delete removes key on its owner, with Set's ambiguity contract.
+func (cl *Cluster) Delete(key []byte) (bool, error) {
+	cl.m.routed[ixDelete].Inc()
+	p := cl.pools[cl.ring.OwnerIndex(key)]
+	c, err := p.get()
+	if err != nil {
+		cl.m.failed[ixDelete].Inc()
+		return false, fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
+	}
+	start := time.Now()
+	found, err := c.Delete(key)
+	cl.m.nodeRTT[p.idx].Record(time.Since(start))
+	p.put(c)
+	cl.observe(p, err)
+	if err != nil {
+		cl.m.failed[ixDelete].Inc()
+		return false, fmt.Errorf("kvcluster: delete via %s: %w", p.addr, err)
+	}
+	return found, nil
+}
+
+// valRef records one key's outcome inside a scatter: where its value
+// bytes landed in the owner node's scratch buffer.
+type valRef struct {
+	hit   bool
+	flags uint32
+	node  int
+	off   int
+	n     int
+}
+
+// scatter is the reusable state of one multi-key get: per-node index
+// groups and key slices (disjoint, so node goroutines never share an
+// element), per-node value scratch, and the per-key outcome table.
+type scatter struct {
+	groups [][]int
+	keys   [][][]byte
+	bufs   [][]byte
+	errs   []error
+	refs   []valRef
+}
+
+func (sc *scatter) reset(nodes, nkeys int) {
+	for len(sc.groups) < nodes {
+		sc.groups = append(sc.groups, nil)
+		sc.keys = append(sc.keys, nil)
+		sc.bufs = append(sc.bufs, nil)
+		sc.errs = append(sc.errs, nil)
+	}
+	for i := 0; i < nodes; i++ {
+		sc.groups[i] = sc.groups[i][:0]
+		sc.keys[i] = sc.keys[i][:0]
+		sc.bufs[i] = sc.bufs[i][:0]
+		sc.errs[i] = nil
+	}
+	if cap(sc.refs) < nkeys {
+		sc.refs = make([]valRef, nkeys)
+	}
+	sc.refs = sc.refs[:nkeys]
+	for i := range sc.refs {
+		sc.refs[i] = valRef{}
+	}
+}
+
+// MultiGet fetches any number of keys, splitting the burst by owner
+// node, running the sub-gets concurrently (each chunked at the
+// protocol's MaxGetKeys by the backend client), and delivering hits via
+// fn in exact request order — index i refers to keys[i], and val is
+// valid only until fn returns.
+//
+// If any owner is ejected or its sub-get fails, the hits from healthy
+// owners are still delivered (in order) and MultiGet then returns an
+// error naming the first failed node — the caller knows the answer is
+// partial and can degrade explicitly, the way cmd/kvrouter terminates
+// the reply with SERVER_ERROR instead of END.
+func (cl *Cluster) MultiGet(keys [][]byte, fn func(i int, flags uint32, val []byte)) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	cl.m.routed[ixGet].Add(uint64(len(keys)))
+	sc := cl.scatters.Get().(*scatter)
+	defer cl.scatters.Put(sc)
+	sc.reset(len(cl.pools), len(keys))
+
+	touched := 0
+	for i, k := range keys {
+		n := cl.ring.OwnerIndex(k)
+		if len(sc.groups[n]) == 0 {
+			touched++
+		}
+		sc.groups[n] = append(sc.groups[n], i)
+		sc.keys[n] = append(sc.keys[n], k)
+	}
+	cl.m.fanout.RecordNS(int64(touched))
+
+	if touched == 1 {
+		for n := range sc.groups {
+			if len(sc.groups[n]) > 0 {
+				cl.subGet(sc, n)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for n := range sc.groups {
+			if len(sc.groups[n]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				cl.subGet(sc, n)
+			}(n)
+		}
+		wg.Wait()
+	}
+
+	// Deliver in request order, skipping hits from failed nodes — a
+	// node that died mid-burst may have reported a stale partial run.
+	for i := range sc.refs {
+		r := &sc.refs[i]
+		if r.hit && sc.errs[r.node] == nil {
+			fn(i, r.flags, sc.bufs[r.node][r.off:r.off+r.n])
+		}
+	}
+	for n, err := range sc.errs {
+		if err != nil {
+			cl.m.failed[ixGet].Add(uint64(len(sc.groups[n])))
+			return fmt.Errorf("kvcluster: multiget via %s: %w", cl.pools[n].addr, err)
+		}
+	}
+	return nil
+}
+
+// subGet runs one node's slice of a scatter. It writes only this node's
+// disjoint entries of sc.refs/sc.bufs/sc.errs, so concurrent subGets
+// never race.
+func (cl *Cluster) subGet(sc *scatter, n int) {
+	p := cl.pools[n]
+	c, err := p.get()
+	if err != nil {
+		sc.errs[n] = err
+		return
+	}
+	group := sc.groups[n]
+	start := time.Now()
+	err = c.MultiGet(sc.keys[n], func(j int, flags uint32, val []byte) {
+		// A backend retry replays the whole chunk; appending again and
+		// re-pointing the ref keeps the last run's bytes, which is the
+		// idempotent-callback contract MultiGet documents.
+		gi := group[j]
+		off := len(sc.bufs[n])
+		sc.bufs[n] = append(sc.bufs[n], val...)
+		sc.refs[gi] = valRef{hit: true, flags: flags, node: n, off: off, n: len(val)}
+	})
+	cl.m.nodeRTT[p.idx].Record(time.Since(start))
+	p.put(c)
+	cl.observe(p, err)
+	sc.errs[n] = err
+}

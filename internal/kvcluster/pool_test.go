@@ -1,0 +1,94 @@
+package kvcluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/kvproto"
+	"repro/internal/metrics"
+)
+
+// TestPoolEjectReintegrateHammer drives one node's health state from
+// many goroutines at once — concurrent failure runs, successes, and
+// fail-fast checkouts — the interleaving the router's serving path and
+// the prober produce against a flapping node. Run under -race, the
+// point is that the atomics compose: the gauge always lands on the
+// final ejected state, ejections count transitions (not failure calls),
+// and checkout never hands out a client while ejected without the
+// channel budget surviving intact.
+func TestPoolEjectReintegrateHammer(t *testing.T) {
+	reg := metrics.NewRegistry()
+	up := reg.Gauge("test_up", "", "t")
+	ej := reg.Counter("test_ej", "", "t")
+	const size = 4
+	p := newNodePool("127.0.0.1:1", 0, size, 3, up, ej, func() *kvproto.ReconnectClient {
+		// Never dialed: the hammer only exercises checkout accounting.
+		return kvproto.NewReconnect("127.0.0.1:1", kvproto.ReconnectConfig{})
+	})
+
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+			for i := 0; i < iters; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				switch rng % 4 {
+				case 0:
+					p.noteFailure()
+				case 1:
+					p.noteSuccess()
+				default:
+					c, err := p.get()
+					if err != nil {
+						if !errors.Is(err, ErrNodeDown) {
+							t.Errorf("checkout error: %v", err)
+						}
+						continue
+					}
+					p.put(c)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Settle into a known state and check the instruments agree.
+	for i := 0; i < 3; i++ {
+		p.noteFailure()
+	}
+	if !p.ejected.Load() {
+		t.Fatal("three consecutive failures did not eject")
+	}
+	if up.Load() != 0 {
+		t.Errorf("up gauge %d while ejected, want 0", up.Load())
+	}
+	if _, err := p.get(); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("checkout while ejected: err=%v, want ErrNodeDown", err)
+	}
+	before := ej.Load()
+	if before == 0 {
+		t.Error("no ejections counted across the hammer")
+	}
+	p.noteSuccess()
+	if p.ejected.Load() || up.Load() != 1 {
+		t.Errorf("reintegration failed: ejected=%v up=%d", p.ejected.Load(), up.Load())
+	}
+	// The full connection budget survived the hammer.
+	if got := len(p.free); got != size {
+		t.Errorf("pool holds %d clients, want %d", got, size)
+	}
+	// Eject again: the counter moves exactly once per transition.
+	for i := 0; i < 6; i++ {
+		p.noteFailure()
+	}
+	if ej.Load() != before+1 {
+		t.Errorf("ejections %d after one more outage, want %d", ej.Load(), before+1)
+	}
+}

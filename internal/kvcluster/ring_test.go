@@ -1,0 +1,161 @@
+package kvcluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%08d", i))
+	}
+	return keys
+}
+
+// TestRingDeterministicPlacement: placement is a pure function of
+// (nodes, vnodes, seed) — rebuilding the ring, or building it with the
+// nodes listed in a different order, assigns every key to the same
+// address.
+func TestRingDeterministicPlacement(t *testing.T) {
+	nodes := []string{"10.0.0.1:11211", "10.0.0.2:11211", "10.0.0.3:11211"}
+	r1, err := NewRing(nodes, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(nodes, 0, 42)
+	shuffled, _ := NewRing([]string{nodes[2], nodes[0], nodes[1]}, 0, 42)
+	reseeded, _ := NewRing(nodes, 0, 43)
+
+	keys := testKeys(10_000)
+	diffSeed := 0
+	for _, k := range keys {
+		if a, b := r1.Owner(k), r2.Owner(k); a != b {
+			t.Fatalf("rebuild moved %q: %s -> %s", k, a, b)
+		}
+		if a, b := r1.Owner(k), shuffled.Owner(k); a != b {
+			t.Fatalf("node order changed placement of %q: %s vs %s", k, a, b)
+		}
+		if r1.Owner(k) != reseeded.Owner(k) {
+			diffSeed++
+		}
+	}
+	// A different seed must actually reshuffle the ring, not relabel it.
+	if diffSeed == 0 {
+		t.Fatal("seed 43 placed every key identically to seed 42")
+	}
+}
+
+// TestRingBalance: with DefaultVNodes points per node, no node's share
+// of a large uniform keyspace strays wildly from 1/N.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1"}
+	r, err := NewRing(nodes, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(nodes))
+	keys := testKeys(100_000)
+	for _, k := range keys {
+		counts[r.OwnerIndex(k)]++
+	}
+	for i, c := range counts {
+		share := float64(c) / float64(len(keys))
+		if share < 0.18 || share > 0.50 {
+			t.Errorf("node %s owns %.1f%% of keys (counts %v)", nodes[i], share*100, counts)
+		}
+	}
+}
+
+// TestRingJoinMovesBoundedAndMonotonic: adding a node to an N-node ring
+// moves at most ~1/(N+1) of a 100k-key space (small epsilon for vnode
+// variance), and every moved key lands on the new node — keys never
+// shuffle between survivors.
+func TestRingJoinMovesBoundedAndMonotonic(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1"}
+	before, err := NewRing(nodes, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := before.Add("d:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(100_000)
+	moved := 0
+	for _, k := range keys {
+		a, b := before.Owner(k), after.Owner(k)
+		if a == b {
+			continue
+		}
+		moved++
+		if b != "d:1" {
+			t.Fatalf("join moved %q from %s to surviving node %s", k, a, b)
+		}
+	}
+	// Expected movement is 1/4; allow vnode-placement variance up to 1/4 + 6%.
+	limit := int(float64(len(keys)) * (1.0/4 + 0.06))
+	if moved > limit {
+		t.Errorf("join moved %d/%d keys, limit %d", moved, len(keys), limit)
+	}
+	if moved == 0 {
+		t.Error("join moved no keys at all")
+	}
+}
+
+// TestRingLeaveMovesOnlyOrphans: removing a node moves exactly the keys
+// it owned (~1/N + epsilon), and no key between surviving nodes.
+func TestRingLeaveMovesOnlyOrphans(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1"}
+	before, err := NewRing(nodes, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := before.Remove("b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(100_000)
+	moved := 0
+	for _, k := range keys {
+		a, b := before.Owner(k), after.Owner(k)
+		if a == "b:1" {
+			moved++
+			if b == "b:1" {
+				t.Fatalf("removed node still owns %q", k)
+			}
+			continue
+		}
+		if a != b {
+			t.Fatalf("leave moved %q between survivors: %s -> %s", k, a, b)
+		}
+	}
+	limit := int(float64(len(keys)) * (1.0/4 + 0.06))
+	if moved > limit {
+		t.Errorf("removed node owned %d/%d keys, limit %d", moved, len(keys), limit)
+	}
+	if moved == 0 {
+		t.Error("removed node owned no keys")
+	}
+}
+
+// TestRingConstructionErrors: duplicates, empties, and removing a
+// stranger are refused.
+func TestRingConstructionErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0, 1); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a:1", "a:1"}, 0, 1); err == nil {
+		t.Error("duplicate address accepted")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 0, 1); err == nil {
+		t.Error("empty address accepted")
+	}
+	r, err := NewRing([]string{"a:1"}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Remove("zzz:1"); err == nil {
+		t.Error("removing unknown node accepted")
+	}
+}

@@ -1,0 +1,321 @@
+package kvcluster
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kvproto"
+	"repro/internal/kvserver"
+	"repro/internal/metrics"
+)
+
+// RouterConfig assembles a Router around a Cluster.
+type RouterConfig struct {
+	ReadTimeout  time.Duration // per-request client read deadline (0 = none)
+	WriteTimeout time.Duration // armed before every reply flush (0 = none)
+	MaxConns     int           // client connection bound (0 = unlimited)
+
+	Logf func(format string, args ...any)
+}
+
+// Router serves the kvproto text protocol in front of a Cluster: clients
+// speak to it exactly as they would to one adaptcached node, and the
+// router owns the fanout. It reuses kvserver.Core for the serving
+// envelope — accept retry, MaxConns shedding, panic isolation,
+// drain/force shutdown — so the proxy tier survives the same abuse the
+// cache tier does.
+//
+// Failure semantics are explicit rather than silent: an operation whose
+// owner node is down answers "SERVER_ERROR node down"; a multi-key get
+// that lost an owner delivers the surviving VALUE blocks in request
+// order and then terminates with SERVER_ERROR instead of END (the
+// stream stays parseable — clients classify it as a failed, retryable
+// request, never as a short miss); an ambiguous write is forwarded as
+// "SERVER_ERROR unacked" and never replayed.
+type Router struct {
+	cfg  RouterConfig
+	cl   *Cluster
+	core *kvserver.Core
+	m    *routerMetrics
+
+	startNanos atomic.Int64
+}
+
+// routerMetrics holds the router's own instruments, registered alongside
+// the cluster's in the same registry so one scrape shows both tiers.
+type routerMetrics struct {
+	bytesIn      *metrics.Counter
+	bytesOut     *metrics.Counter
+	clientErrors *metrics.Counter
+	unackedFwd   *metrics.Counter
+	reqLat       *metrics.Histogram
+
+	connsOpened       *metrics.Counter
+	connsClosed       *metrics.Counter
+	connsActive       *metrics.Gauge
+	connsRejected     *metrics.Counter
+	shedWriteFailures *metrics.Counter
+	panicsRecovered   *metrics.Counter
+	acceptRetries     *metrics.Counter
+}
+
+func newRouterMetrics(reg *metrics.Registry) *routerMetrics {
+	m := &routerMetrics{}
+	m.bytesIn = reg.Counter("kvrouter_bytes_in_total", "", "bytes read from clients")
+	m.bytesOut = reg.Counter("kvrouter_bytes_out_total", "", "bytes written to clients")
+	m.clientErrors = reg.Counter("kvrouter_client_errors_total", "", "recoverable protocol violations reported to clients")
+	m.unackedFwd = reg.Counter("kvrouter_unacked_replies_total", "", "ambiguous writes surfaced to clients as SERVER_ERROR unacked")
+	m.reqLat = reg.Histogram("kvrouter_request_seconds", "", "request service time, parse to serialized reply")
+	m.connsOpened = reg.Counter("kvrouter_conns_opened_total", "", "client connections accepted into service")
+	m.connsClosed = reg.Counter("kvrouter_conns_closed_total", "", "client connection handlers exited")
+	m.connsActive = reg.Gauge("kvrouter_conns_active", "", "client connections currently being served")
+	m.connsRejected = reg.Counter("kvrouter_conns_rejected_total", "", "client connections shed with SERVER_ERROR busy")
+	m.shedWriteFailures = reg.Counter("kvrouter_shed_write_failures_total", "", "shed replies that failed to reach the client")
+	m.panicsRecovered = reg.Counter("kvrouter_panics_recovered_total", "", "handler panics isolated to their connection")
+	m.acceptRetries = reg.Counter("kvrouter_accept_retries_total", "", "transient accept errors retried")
+	return m
+}
+
+// NewRouter builds a Router over cl, registering its instruments in the
+// cluster's registry.
+func NewRouter(cl *Cluster, cfg RouterConfig) *Router {
+	r := &Router{cfg: cfg, cl: cl, m: newRouterMetrics(cl.Registry())}
+	r.core = kvserver.NewCore(
+		kvserver.CoreConfig{MaxConns: cfg.MaxConns, Logf: cfg.Logf},
+		kvserver.CoreMetrics{
+			ConnsOpened:       r.m.connsOpened,
+			ConnsClosed:       r.m.connsClosed,
+			ConnsActive:       r.m.connsActive,
+			ConnsRejected:     r.m.connsRejected,
+			ShedWriteFailures: r.m.shedWriteFailures,
+			PanicsRecovered:   r.m.panicsRecovered,
+			AcceptRetries:     r.m.acceptRetries,
+		},
+		r.handle,
+	)
+	return r
+}
+
+// Serve accepts and serves client connections until ln closes.
+func (r *Router) Serve(ln net.Listener) {
+	r.startNanos.CompareAndSwap(0, time.Now().UnixNano())
+	r.core.Serve(ln)
+}
+
+// Shutdown drains like kvserver: stop accepting, grace period, force
+// close. The Cluster is left running — the owner closes it after.
+func (r *Router) Shutdown(ln net.Listener, grace time.Duration) { r.core.Shutdown(ln, grace) }
+
+// Wait blocks until every client connection handler has exited.
+func (r *Router) Wait() { r.core.Wait() }
+
+// Draining reports whether Shutdown has begun.
+func (r *Router) Draining() bool { return r.core.Draining() }
+
+// Healthz serves 200 while accepting, 503 while draining.
+func (r *Router) Healthz(w http.ResponseWriter, _ *http.Request) {
+	if r.core.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// MetricsHandler serves the shared router+cluster registry as Prometheus
+// text exposition.
+func (r *Router) MetricsHandler() http.Handler { return r.cl.Registry().Handler() }
+
+// UnackedReplies returns how many ambiguous writes the router has
+// surfaced to clients as "SERVER_ERROR unacked" — the value behind
+// kvrouter_unacked_replies_total, for gates that reconcile the tally
+// against client-side observations.
+func (r *Router) UnackedReplies() uint64 { return r.m.unackedFwd.Load() }
+
+func (r *Router) uptime() time.Duration {
+	s := r.startNanos.Load()
+	if s == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - s)
+}
+
+// routerIO wraps the client connection: write deadline armed before
+// every network write (including bufio auto-flushes mid-large-reply —
+// the same slow-loris wedge kvserver's connIO fixes), bytes metered in
+// both directions.
+type routerIO struct {
+	conn net.Conn
+	r    *Router
+}
+
+func (c *routerIO) Read(p []byte) (int, error) {
+	n, err := c.conn.Read(p)
+	c.r.m.bytesIn.Add(uint64(n))
+	return n, err
+}
+
+func (c *routerIO) Write(p []byte) (int, error) {
+	if t := c.r.cfg.WriteTimeout; t > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(t)); err != nil {
+			return 0, err
+		}
+	}
+	n, err := c.conn.Write(p)
+	c.r.m.bytesOut.Add(uint64(n))
+	return n, err
+}
+
+// Deterministic failure lines: byte-exact reply tests depend on the
+// router degrading the same way every time.
+const (
+	msgNodeDown = "node down"
+	msgUnacked  = "unacked"
+	msgBackend  = "backend failure"
+)
+
+// failureMsg maps a cluster error onto the reply line's message.
+func (r *Router) failureMsg(err error) string {
+	switch {
+	case errors.Is(err, ErrNodeDown):
+		return msgNodeDown
+	case errors.Is(err, kvproto.ErrUnacked):
+		r.m.unackedFwd.Inc()
+		return msgUnacked
+	default:
+		return msgBackend
+	}
+}
+
+// handle runs one client connection's request loop under Core's
+// isolation contract (Core.run owns recovery, close, bookkeeping).
+func (r *Router) handle(conn net.Conn) {
+	cio := &routerIO{conn: conn, r: r}
+	rd := kvproto.NewReader(cio)
+	w := bufio.NewWriterSize(cio, 4096)
+	var req kvproto.Request
+	var ce *kvproto.ClientError
+	for {
+		if r.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(r.cfg.ReadTimeout))
+		}
+		switch err := rd.Next(&req); {
+		case err == nil:
+		case errors.As(err, &ce):
+			r.m.clientErrors.Inc()
+			kvproto.WriteClientError(w, ce.Msg)
+			if w.Flush() != nil {
+				return
+			}
+			continue
+		default:
+			return
+		}
+
+		start := time.Now()
+		switch req.Op {
+		case kvproto.OpGet:
+			// req.Keys alias the parser's buffer; they stay valid until
+			// the next rd.Next, which is after the whole scatter-gather
+			// completes. Hits arrive in exact request order, so VALUE
+			// blocks stream straight into the reply buffer; a lost owner
+			// turns the terminator into SERVER_ERROR.
+			err := r.cl.MultiGet(req.Keys, func(i int, flags uint32, val []byte) {
+				kvproto.WriteValue(w, req.Keys[i], flags, val)
+			})
+			if err != nil {
+				kvproto.WriteServerError(w, r.failureMsg(err))
+			} else {
+				kvproto.WriteEnd(w)
+			}
+		case kvproto.OpSet:
+			switch err := r.cl.Set(req.Key, req.Flags, req.Value); {
+			case err == nil:
+				kvproto.WriteStored(w)
+			default:
+				kvproto.WriteServerError(w, r.failureMsg(err))
+			}
+		case kvproto.OpDelete:
+			switch found, err := r.cl.Delete(req.Key); {
+			case err == nil && found:
+				kvproto.WriteDeleted(w)
+			case err == nil:
+				kvproto.WriteNotFound(w)
+			default:
+				kvproto.WriteServerError(w, r.failureMsg(err))
+			}
+		case kvproto.OpStats:
+			r.writeStats(w)
+		case kvproto.OpNoop:
+			kvproto.WriteNoop(w)
+		case kvproto.OpQuit:
+			w.Flush()
+			return
+		default:
+			kvproto.WriteError(w)
+		}
+		r.m.reqLat.RecordNS(int64(time.Since(start)))
+
+		// Pipelined input already buffered: batch replies, flush when
+		// the burst drains (or the reply buffer fills).
+		if rd.Buffered() > 0 && w.Available() > 512 {
+			continue
+		}
+		if w.Flush() != nil {
+			return
+		}
+	}
+}
+
+// writeStats answers the stats command with the router's view of the
+// fleet: uptime, per-node health, routed/failed tallies, backend retry
+// behavior.
+func (r *Router) writeStats(w *bufio.Writer) {
+	kvproto.WriteStat(w, "uptime_seconds", uint64(r.uptime()/time.Second))
+	kvproto.WriteStat(w, "nodes", uint64(len(r.cl.pools)))
+	ejected := 0
+	for _, p := range r.cl.pools {
+		if p.ejected.Load() {
+			ejected++
+		}
+	}
+	kvproto.WriteStat(w, "nodes_ejected", uint64(ejected))
+	for i, p := range r.cl.pools {
+		up := uint64(1)
+		if p.ejected.Load() {
+			up = 0
+		}
+		kvproto.WriteStat(w, "node_"+itoa(i)+"_up", up)
+	}
+	for i, name := range ixNames {
+		kvproto.WriteStat(w, "ops_routed_"+name, r.cl.m.routed[i].Load())
+		kvproto.WriteStat(w, "ops_failed_"+name, r.cl.m.failed[i].Load())
+	}
+	kvproto.WriteStat(w, "backend_redials", r.cl.m.backend.Redials.Load())
+	kvproto.WriteStat(w, "backend_retries", r.cl.m.backend.Retries.Load())
+	kvproto.WriteStat(w, "backend_unacked", r.cl.m.backend.Unacked.Load())
+	kvproto.WriteStat(w, "backend_exhausted", r.cl.m.backend.Exhausted.Load())
+	kvproto.WriteStat(w, "unacked_replies", r.m.unackedFwd.Load())
+	kvproto.WriteStat(w, "client_errors", r.m.clientErrors.Load())
+	kvproto.WriteEnd(w)
+}
+
+// itoa formats small non-negative ints without strconv's interface
+// conversions on the stats path.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

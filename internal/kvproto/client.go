@@ -307,6 +307,91 @@ func (c *Client) MultiGet(keys [][]byte, fn func(i int, flags uint32, val []byte
 	return c.ReadMultiGetReply(keys, fn)
 }
 
+// maxGetLineBytes is the client-side budget for one "get ..." command
+// line: the server's Reader parses lines through a 1024-byte buffer and
+// rejects anything longer, so chunks are split on bytes as well as key
+// count (128 keys of 250-byte maximum-length keys would be a 30x
+// overflow otherwise). 1000 leaves headroom for "get" and CRLF.
+const maxGetLineBytes = 1000
+
+// getChunkEnd returns the end of the chunk starting at base: as many
+// keys as fit under both MaxGetKeys and maxGetLineBytes (always at
+// least one — a single valid key never overflows the line).
+func getChunkEnd(keys [][]byte, base int) int {
+	end := base
+	line := len("get")
+	for end < len(keys) && end-base < MaxGetKeys {
+		line += 1 + len(keys[end])
+		if line > maxGetLineBytes && end > base {
+			break
+		}
+		end++
+	}
+	return end
+}
+
+// MultiGetChunked fetches any number of keys, transparently splitting the
+// request into multi-key gets bounded by MaxGetKeys and the server's
+// command-line budget. All chunks are queued and flushed in one write
+// (the server answers them as one pipelined burst), so the split costs
+// no extra round trips. fn receives indexes into the full keys slice;
+// its callback contract is ReadMultiGetReply's. On error the stream
+// position within the burst is unknown and the connection must be
+// discarded unless the error is Recoverable on the final chunk.
+func (c *Client) MultiGetChunked(keys [][]byte, fn func(i int, flags uint32, val []byte)) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if end := getChunkEnd(keys, 0); end == len(keys) {
+		return c.MultiGet(keys, fn)
+	}
+	for base := 0; base < len(keys); base = getChunkEnd(keys, base) {
+		c.SendMultiGet(keys[base:getChunkEnd(keys, base)])
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	for base := 0; base < len(keys); {
+		end := getChunkEnd(keys, base)
+		off := base
+		var inner func(i int, flags uint32, val []byte)
+		if fn != nil {
+			inner = func(i int, flags uint32, val []byte) { fn(off+i, flags, val) }
+		}
+		if err := c.ReadMultiGetReply(keys[base:end], inner); err != nil {
+			return err
+		}
+		base = end
+	}
+	return nil
+}
+
+// SendNoop queues a noop without flushing.
+func (c *Client) SendNoop() { c.bw.WriteString("noop\r\n") }
+
+// ReadNoopReply consumes one noop response.
+func (c *Client) ReadNoopReply() error {
+	c.armRead()
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(line, replyNoop[:4]) { // "NOOP"
+		return errorFromReply(line)
+	}
+	return nil
+}
+
+// Noop performs one empty round trip — the cheapest liveness probe the
+// protocol offers (one line each way, no allocation server-side).
+func (c *Client) Noop() error {
+	c.SendNoop()
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	return c.ReadNoopReply()
+}
+
 // Set stores val under key with the given flags.
 func (c *Client) Set(key []byte, flags uint32, val []byte) error {
 	c.SendSet(key, flags, val)

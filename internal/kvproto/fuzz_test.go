@@ -25,6 +25,8 @@ func FuzzReaderNext(f *testing.F) {
 		"delete foo\r\n",
 		"stats\r\n",
 		"quit\r\n",
+		"noop\r\n",
+		"noop extra\r\n",
 		"set a 1 2 3\r\nxyz\r\nget a\r\ndelete a\r\nquit\r\n",
 		// Violations that must stay recoverable.
 		"frobnicate\r\n",
@@ -77,7 +79,7 @@ func FuzzReaderNext(f *testing.F) {
 					if len(req.Value) > MaxValueBytes {
 						t.Fatalf("accepted %d-byte value", len(req.Value))
 					}
-				case OpStats, OpQuit:
+				case OpStats, OpQuit, OpNoop:
 				default:
 					t.Fatalf("parsed request with op %v", req.Op)
 				}

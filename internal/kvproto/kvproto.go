@@ -1,6 +1,7 @@
 // Package kvproto implements the subset of the memcached text protocol
-// spoken by cmd/adaptcached and cmd/kvloadgen: get (single- and
-// multi-key "get k1 k2 ..."), set, delete, stats, quit. Keys are
+// spoken by cmd/adaptcached, cmd/kvrouter and cmd/kvloadgen: get
+// (single- and multi-key "get k1 k2 ..."), set, delete, stats, quit,
+// plus a one-line noop used by health probes. Keys are
 // printable ASCII up to 250 bytes; values are arbitrary bytes up to
 // MaxValueBytes; set's flags and exptime fields are parsed for wire
 // compatibility but not stored (the adaptive cache decides lifetimes,
@@ -41,6 +42,7 @@ const (
 	OpDelete
 	OpStats
 	OpQuit
+	OpNoop
 )
 
 func (o Op) String() string {
@@ -55,6 +57,8 @@ func (o Op) String() string {
 		return "stats"
 	case OpQuit:
 		return "quit"
+	case OpNoop:
+		return "noop"
 	default:
 		return "invalid"
 	}
@@ -292,6 +296,13 @@ func (rd *Reader) Next(req *Request) error {
 		req.Op = OpQuit
 		return nil
 
+	case commandIs(cmd, "noop"):
+		if len(rest) != 0 {
+			return errBadCommandLine
+		}
+		req.Op = OpNoop
+		return nil
+
 	default:
 		return errUnknownCommand
 	}
@@ -360,6 +371,7 @@ func (rd *Reader) discard(n int64) error {
 // Canonical reply lines.
 var (
 	replyEnd       = []byte("END\r\n")
+	replyNoop      = []byte("NOOP\r\n")
 	replyStored    = []byte("STORED\r\n")
 	replyDeleted   = []byte("DELETED\r\n")
 	replyNotFound  = []byte("NOT_FOUND\r\n")
@@ -425,6 +437,11 @@ var CRLF = crlf
 
 // WriteEnd terminates a get or stats response.
 func WriteEnd(w *bufio.Writer) { w.Write(replyEnd) }
+
+// WriteNoop answers a noop: one line, no allocation, no cache touch. It
+// exists so health probes cost a single line round-trip instead of a
+// full stats map.
+func WriteNoop(w *bufio.Writer) { w.Write(replyNoop) }
 
 // WriteStored acknowledges a set.
 func WriteStored(w *bufio.Writer) { w.Write(replyStored) }

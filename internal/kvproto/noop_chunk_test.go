@@ -1,0 +1,217 @@
+package kvproto
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseNoop: the parser accepts the bare command and rejects
+// arguments, matching stats/quit shape.
+func TestParseNoop(t *testing.T) {
+	rd := NewReader(strings.NewReader("noop\r\nNOOP x\r\nnoop\r\n"))
+	var req Request
+	if err := rd.Next(&req); err != nil || req.Op != OpNoop {
+		t.Fatalf("noop parse: op=%v err=%v", req.Op, err)
+	}
+	// "NOOP x": case-insensitive command, but arguments are malformed.
+	err := rd.Next(&req)
+	var ce *ClientError
+	if !asClientError(err, &ce) {
+		t.Fatalf("noop with args: want ClientError, got %v", err)
+	}
+	// Stream resynchronized: the next noop still parses.
+	if err := rd.Next(&req); err != nil || req.Op != OpNoop {
+		t.Fatalf("post-violation noop: op=%v err=%v", req.Op, err)
+	}
+	if OpNoop.String() != "noop" {
+		t.Fatalf("OpNoop.String() = %q", OpNoop.String())
+	}
+}
+
+func asClientError(err error, ce **ClientError) bool {
+	c, ok := err.(*ClientError)
+	if ok {
+		*ce = c
+	}
+	return ok
+}
+
+// TestNoopRoundTrip drives Client.Noop against scripted replies: the
+// canonical NOOP line succeeds, an error line is classified, a garbage
+// line kills the stream.
+func TestNoopRoundTrip(t *testing.T) {
+	addr := scriptServer(t, true, "NOOP\r\n", false)
+	c, err := DialTimeout(addr, 2*time.Second, 2*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.CloseNow()
+	if err := c.Noop(); err != nil {
+		t.Fatalf("noop: %v", err)
+	}
+
+	addr = scriptServer(t, true, "SERVER_ERROR busy\r\n", false)
+	c2, err := DialTimeout(addr, 2*time.Second, 2*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.CloseNow()
+	if err := c2.Noop(); !IsBusy(err) {
+		t.Fatalf("noop busy reply: want busy classification, got %v", err)
+	}
+}
+
+// chunkServer speaks the server side of the protocol over one accepted
+// connection: every parsed get is answered from store, and the size of
+// each request's key list is recorded so the test can assert the chunk
+// split actually happened on the wire.
+func chunkServer(t *testing.T, store map[string][]byte, reqSizes *[]int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		rd := NewReader(conn)
+		w := bufio.NewWriter(conn)
+		var req Request
+		for {
+			if err := rd.Next(&req); err != nil {
+				return
+			}
+			switch req.Op {
+			case OpGet:
+				*reqSizes = append(*reqSizes, len(req.Keys))
+				for _, k := range req.Keys {
+					if v, ok := store[string(k)]; ok {
+						WriteValue(w, k, 7, v)
+					}
+				}
+				WriteEnd(w)
+			case OpQuit:
+				w.Flush()
+				return
+			}
+			if rd.Buffered() == 0 {
+				if w.Flush() != nil {
+					return
+				}
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestMultiGetChunked fetches 3x the protocol's per-request key cap in
+// one call: the client must split the burst into MaxGetKeys-sized
+// requests, flush them as one pipelined write, and report every hit at
+// its index into the full key slice.
+func TestMultiGetChunked(t *testing.T) {
+	const n = 3*MaxGetKeys + 17
+	store := make(map[string][]byte)
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k%04d", i))
+		if i%3 != 0 { // every third key is a miss
+			store[string(keys[i])] = []byte(fmt.Sprintf("v%d", i))
+		}
+	}
+	var reqSizes []int
+	addr := chunkServer(t, store, &reqSizes)
+	c, err := DialTimeout(addr, 2*time.Second, 5*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.CloseNow()
+
+	got := make(map[int][]byte)
+	err = c.MultiGetChunked(keys, func(i int, flags uint32, val []byte) {
+		if flags != 7 {
+			t.Errorf("key %d: flags %d, want 7", i, flags)
+		}
+		got[i] = append([]byte(nil), val...)
+	})
+	if err != nil {
+		t.Fatalf("MultiGetChunked: %v", err)
+	}
+	for i := range keys {
+		want, hit := store[string(keys[i])]
+		v, found := got[i]
+		if hit != found {
+			t.Fatalf("key %d: hit=%v found=%v", i, hit, found)
+		}
+		if hit && !bytes.Equal(v, want) {
+			t.Fatalf("key %d: value %q, want %q", i, v, want)
+		}
+	}
+	if len(reqSizes) != 4 {
+		t.Fatalf("burst split into %d requests (%v), want 4", len(reqSizes), reqSizes)
+	}
+	for i, sz := range reqSizes {
+		if sz > MaxGetKeys {
+			t.Fatalf("request %d carried %d keys, cap is %d", i, sz, MaxGetKeys)
+		}
+	}
+	if reqSizes[3] != 17 {
+		t.Fatalf("final chunk carried %d keys, want 17", reqSizes[3])
+	}
+}
+
+// TestMultiGetChunkedLongKeys: chunking must respect the server's
+// command-line byte budget, not just the key-count cap — maximum-length
+// keys fit only a handful per request line.
+func TestMultiGetChunkedLongKeys(t *testing.T) {
+	const n = 23
+	store := make(map[string][]byte)
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("long-%03d-%s", i, strings.Repeat("x", 230)))
+		store[string(keys[i])] = []byte(fmt.Sprintf("v%d", i))
+	}
+	var reqSizes []int
+	addr := chunkServer(t, store, &reqSizes)
+	c, err := DialTimeout(addr, 2*time.Second, 5*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.CloseNow()
+
+	seen := 0
+	err = c.MultiGetChunked(keys, func(i int, _ uint32, val []byte) {
+		seen++
+		if want := store[string(keys[i])]; !bytes.Equal(val, want) {
+			t.Errorf("key %d: value %q, want %q", i, val, want)
+		}
+	})
+	if err != nil {
+		t.Fatalf("MultiGetChunked: %v", err)
+	}
+	if seen != n {
+		t.Fatalf("saw %d hits, want %d", seen, n)
+	}
+	total := 0
+	for i, sz := range reqSizes {
+		total += sz
+		line := 3 + sz*(1+len(keys[0]))
+		if line > 1024 {
+			t.Fatalf("request %d would be %d bytes on the wire, over the server's 1024 budget", i, line)
+		}
+	}
+	if total != n {
+		t.Fatalf("requests carried %d keys total, want %d", total, n)
+	}
+	if len(reqSizes) < 2 {
+		t.Fatalf("long keys were not split (%v)", reqSizes)
+	}
+}

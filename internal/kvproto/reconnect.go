@@ -268,6 +268,68 @@ func (rc *ReconnectClient) Delete(key []byte) (bool, error) {
 	return false, fmt.Errorf("kvproto: delete failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
 }
 
+// MultiGet fetches several keys (any count — requests are chunked at
+// MaxGetKeys), retried across connection failures like Get: multi-key
+// gets carry no state, so replaying the burst is always safe. Because a
+// retry replays the whole burst, fn may be invoked more than once for
+// the same index; callers must make the callback idempotent (last write
+// wins is the natural contract). val aliases an internal buffer valid
+// only until fn returns.
+func (rc *ReconnectClient) MultiGet(keys [][]byte, fn func(i int, flags uint32, val []byte)) error {
+	var lastErr error
+	for a := 0; a < rc.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			rc.countRetry()
+			rc.backoff(a - 1)
+		}
+		c, err := rc.client()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = c.MultiGetChunked(keys, fn)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if Recoverable(err) && !IsBusy(err) {
+			return err
+		}
+		rc.drop()
+	}
+	rc.countExhausted()
+	return fmt.Errorf("kvproto: multiget failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
+}
+
+// Noop performs one empty round trip, retried like Get. Health probers
+// typically run it with MaxAttempts 1: the prober owns the retry
+// schedule, the client just reports whether this probe got through.
+func (rc *ReconnectClient) Noop() error {
+	var lastErr error
+	for a := 0; a < rc.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			rc.countRetry()
+			rc.backoff(a - 1)
+		}
+		c, err := rc.client()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = c.Noop()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if Recoverable(err) && !IsBusy(err) {
+			return err
+		}
+		rc.drop()
+	}
+	rc.countExhausted()
+	return fmt.Errorf("kvproto: noop failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
+}
+
 // Stats fetches the server's STAT map, retried like Get (read-only).
 func (rc *ReconnectClient) Stats() (map[string]string, error) {
 	var lastErr error

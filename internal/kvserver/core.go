@@ -1,0 +1,219 @@
+package kvserver
+
+// Core is the hardened connection-serving substrate, extracted from the
+// cache server so cmd/kvrouter's routing front end gets the identical
+// fault envelope without owning a cache: accept-loop retry with capped
+// backoff, MaxConns overload shedding with SERVER_ERROR busy at accept
+// time, per-connection panic isolation, and drain/force shutdown that
+// leaks no goroutines. The per-connection request loop is supplied by
+// the owner; everything around it — lifecycle, bookkeeping, metrics —
+// lives here, behind the same counters both servers expose.
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kvproto"
+	"repro/internal/metrics"
+)
+
+// CoreConfig assembles a Core.
+type CoreConfig struct {
+	// MaxConns bounds concurrent connections; arrivals beyond it are
+	// shed with "SERVER_ERROR busy" and closed. 0 = unlimited.
+	MaxConns int
+
+	// Logf receives operational messages (recovered panics, accept
+	// retries). nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// CoreMetrics wires the lifecycle instruments the Core records into.
+// Any field may be nil (that event is simply not counted); servers wire
+// them to their own registries so cache-server and router expositions
+// carry the same families.
+type CoreMetrics struct {
+	ConnsOpened       *metrics.Counter
+	ConnsClosed       *metrics.Counter
+	ConnsActive       *metrics.Gauge
+	ConnsRejected     *metrics.Counter
+	ShedWriteFailures *metrics.Counter
+	PanicsRecovered   *metrics.Counter
+	AcceptRetries     *metrics.Counter
+}
+
+func coreInc(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func coreAdd(g *metrics.Gauge, d int64) {
+	if g != nil {
+		g.Add(d)
+	}
+}
+
+// Core owns the connection set and the drain state; the handle callback
+// runs one connection's request loop and may panic freely — a panic ends
+// only that connection.
+type Core struct {
+	cfg    CoreConfig
+	m      CoreMetrics
+	handle func(conn net.Conn)
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+	wg    sync.WaitGroup
+	stop  chan struct{} // closed by Shutdown; unblocks accept backoff
+
+	draining atomic.Bool
+}
+
+// NewCore builds a Core around a per-connection handler.
+func NewCore(cfg CoreConfig, m CoreMetrics, handle func(conn net.Conn)) *Core {
+	return &Core{
+		cfg:    cfg,
+		m:      m,
+		handle: handle,
+		conns:  make(map[net.Conn]struct{}),
+		stop:   make(chan struct{}),
+	}
+}
+
+func (c *Core) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (c *Core) Draining() bool { return c.draining.Load() }
+
+// maxAcceptBackoff caps the transient-accept retry delay; 1s matches
+// net/http's accept-loop behavior for sustained EMFILE pressure.
+const maxAcceptBackoff = time.Second
+
+// Serve accepts connections until the listener closes. Transient accept
+// errors (temporary net.Errors and anything else while not draining) are
+// retried with exponential backoff from 5ms to maxAcceptBackoff — a burst
+// of EMFILE or ECONNABORTED must never kill the listener.
+func (c *Core) Serve(ln net.Listener) {
+	var backoff time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if c.draining.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			coreInc(c.m.AcceptRetries)
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > maxAcceptBackoff {
+				backoff = maxAcceptBackoff
+			}
+			c.logf("kvserver: accept error (retrying in %v): %v", backoff, err)
+			select {
+			case <-c.stop:
+				return
+			case <-time.After(backoff):
+			}
+			continue
+		}
+		backoff = 0
+
+		c.mu.Lock()
+		if c.done {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if c.cfg.MaxConns > 0 && len(c.conns) >= c.cfg.MaxConns {
+			c.mu.Unlock()
+			c.shed(conn)
+			continue
+		}
+		c.conns[conn] = struct{}{}
+		c.wg.Add(1)
+		c.mu.Unlock()
+		coreInc(c.m.ConnsOpened)
+		coreAdd(c.m.ConnsActive, 1)
+		go c.run(conn)
+	}
+}
+
+// run wraps one connection's handler with the isolation and bookkeeping
+// contract: a panic anywhere in the handler — a bug, a hostile request,
+// an injected fault — is recovered, counted, and closes only this
+// connection.
+func (c *Core) run(conn net.Conn) {
+	defer func() {
+		if r := recover(); r != nil {
+			coreInc(c.m.PanicsRecovered)
+			c.logf("kvserver: panic isolated to connection %v: %v", conn.RemoteAddr(), r)
+		}
+		conn.Close()
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+		coreInc(c.m.ConnsClosed)
+		coreAdd(c.m.ConnsActive, -1)
+		c.wg.Done()
+	}()
+	c.handle(conn)
+}
+
+// shed refuses a connection over the MaxConns bound: tell the client why
+// (best effort, bounded write) and close. The client sees a well-formed
+// SERVER_ERROR it can classify as retryable-after-backoff. A reply that
+// fails to go out is still a shed, but it leaves the client guessing —
+// count it so sustained failures are visible.
+func (c *Core) shed(conn net.Conn) {
+	coreInc(c.m.ConnsRejected)
+	err := conn.SetWriteDeadline(time.Now().Add(time.Second))
+	if err == nil {
+		_, err = conn.Write(kvproto.BusyLine)
+	}
+	if err != nil {
+		coreInc(c.m.ShedWriteFailures)
+		c.logf("kvserver: shed reply to %v failed: %v", conn.RemoteAddr(), err)
+	}
+	conn.Close()
+}
+
+// Shutdown stops accepting, flips health to draining, gives in-flight
+// requests the grace period, then force-closes whatever remains. After it
+// returns, every connection goroutine has exited.
+func (c *Core) Shutdown(ln net.Listener, grace time.Duration) {
+	c.draining.Store(true)
+	c.mu.Lock()
+	if !c.done {
+		c.done = true
+		close(c.stop)
+	}
+	c.mu.Unlock()
+	ln.Close()
+
+	drained := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(grace):
+		c.mu.Lock()
+		for conn := range c.conns {
+			conn.Close()
+		}
+		c.mu.Unlock()
+		<-drained
+	}
+}
+
+// Wait blocks until every connection goroutine has exited.
+func (c *Core) Wait() { c.wg.Wait() }

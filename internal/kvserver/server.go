@@ -45,7 +45,6 @@ import (
 	"net"
 	"net/http"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -97,18 +96,14 @@ type Counters struct {
 	ShedWriteFailures uint64 // shed replies that never reached the client
 }
 
-// Server owns the cache, the connection set, and the drain state.
+// Server owns the cache and delegates connection lifecycle (accept
+// retry, shedding, panic isolation, drain) to a Core — the same
+// substrate cmd/kvrouter's front end runs on.
 type Server struct {
 	cfg   Config
 	cache *adaptivekv.Cache[string, Value]
 
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-	done  bool
-	wg    sync.WaitGroup
-	stop  chan struct{} // closed by Shutdown; unblocks accept backoff
-
-	draining atomic.Bool
+	core *Core
 
 	m           *serverMetrics
 	shardLabels []string
@@ -123,10 +118,21 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		cache: adaptivekv.New[string, Value](cfg.Cache),
-		conns: make(map[net.Conn]struct{}),
-		stop:  make(chan struct{}),
 		m:     newServerMetrics(),
 	}
+	s.core = NewCore(
+		CoreConfig{MaxConns: cfg.MaxConns, Logf: cfg.Logf},
+		CoreMetrics{
+			ConnsOpened:       s.m.connsOpened,
+			ConnsClosed:       s.m.connsClosed,
+			ConnsActive:       s.m.connsActive,
+			ConnsRejected:     s.m.connsRejected,
+			ShedWriteFailures: s.m.shedWriteFailures,
+			PanicsRecovered:   s.m.panicsRecovered,
+			AcceptRetries:     s.m.acceptRetries,
+		},
+		s.handle,
+	)
 	s.shardLabels = shardLabelSet(s.cache.Shards())
 	s.m.reg.Collect(s.collectRuntime)
 	return s
@@ -156,118 +162,23 @@ func (s *Server) Counters() Counters {
 }
 
 // Draining reports whether Shutdown has begun.
-func (s *Server) Draining() bool { return s.draining.Load() }
+func (s *Server) Draining() bool { return s.core.Draining() }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
-
-// maxAcceptBackoff caps the transient-accept retry delay; 1s matches
-// net/http's accept-loop behavior for sustained EMFILE pressure.
-const maxAcceptBackoff = time.Second
-
-// Serve accepts connections until the listener closes. Transient accept
-// errors (temporary net.Errors and anything else while not draining) are
-// retried with exponential backoff from 5ms to maxAcceptBackoff — a burst
-// of EMFILE or ECONNABORTED must never kill the listener.
+// Serve accepts connections until the listener closes; see Core.Serve
+// for the accept-retry and shedding contract.
 func (s *Server) Serve(ln net.Listener) {
 	s.startNanos.CompareAndSwap(0, time.Now().UnixNano())
-	var backoff time.Duration
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if s.draining.Load() || errors.Is(err, net.ErrClosed) {
-				return
-			}
-			s.m.acceptRetries.Inc()
-			if backoff == 0 {
-				backoff = 5 * time.Millisecond
-			} else if backoff *= 2; backoff > maxAcceptBackoff {
-				backoff = maxAcceptBackoff
-			}
-			s.logf("kvserver: accept error (retrying in %v): %v", backoff, err)
-			select {
-			case <-s.stop:
-				return
-			case <-time.After(backoff):
-			}
-			continue
-		}
-		backoff = 0
-
-		s.mu.Lock()
-		if s.done {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
-			s.mu.Unlock()
-			s.shed(conn)
-			continue
-		}
-		s.conns[conn] = struct{}{}
-		s.wg.Add(1)
-		s.mu.Unlock()
-		s.m.connsOpened.Inc()
-		s.m.connsActive.Add(1)
-		go s.handle(conn)
-	}
-}
-
-// shed refuses a connection over the MaxConns bound: tell the client why
-// (best effort, bounded write) and close. The client sees a well-formed
-// SERVER_ERROR it can classify as retryable-after-backoff. A reply that
-// fails to go out is still a shed, but it leaves the client guessing —
-// count it so sustained failures are visible.
-func (s *Server) shed(conn net.Conn) {
-	s.m.connsRejected.Inc()
-	err := conn.SetWriteDeadline(time.Now().Add(time.Second))
-	if err == nil {
-		_, err = conn.Write(kvproto.BusyLine)
-	}
-	if err != nil {
-		s.m.shedWriteFailures.Inc()
-		s.logf("kvserver: shed reply to %v failed: %v", conn.RemoteAddr(), err)
-	}
-	conn.Close()
+	s.core.Serve(ln)
 }
 
 // Shutdown stops accepting, flips health to draining, gives in-flight
 // requests the grace period, then force-closes whatever remains. After it
 // returns, every connection goroutine has exited.
-func (s *Server) Shutdown(ln net.Listener, grace time.Duration) {
-	s.draining.Store(true)
-	s.mu.Lock()
-	if !s.done {
-		s.done = true
-		close(s.stop)
-	}
-	s.mu.Unlock()
-	ln.Close()
-
-	drained := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(drained)
-	}()
-	select {
-	case <-drained:
-	case <-time.After(grace):
-		s.mu.Lock()
-		for conn := range s.conns {
-			conn.Close()
-		}
-		s.mu.Unlock()
-		<-drained
-	}
-}
+func (s *Server) Shutdown(ln net.Listener, grace time.Duration) { s.core.Shutdown(ln, grace) }
 
 // Wait blocks until every connection goroutine has exited (Serve callers
 // that shut down via signal handlers use it before reading final stats).
-func (s *Server) Wait() { s.wg.Wait() }
+func (s *Server) Wait() { s.core.Wait() }
 
 // connIO routes the handler's I/O through the raw connection with two
 // jobs: arm the write deadline before EVERY network write, and meter
@@ -410,25 +321,11 @@ func (s *Server) writeValue(w *bufio.Writer, cio *connIO, key string, v Value, b
 	return cio.WriteBuffers(&bufs) == nil
 }
 
-// handle runs one connection's request loop. A panic anywhere in the loop
-// — a handler bug, a hostile request, an injected fault — is recovered,
-// counted, and closes only this connection: isolation is the contract
-// that lets one poisoned request degrade one client instead of all.
+// handle runs one connection's request loop under the Core's isolation
+// contract: closing, bookkeeping, and panic recovery belong to Core.run,
+// so a panic here — a handler bug, a hostile request, an injected fault
+// — degrades one client instead of all.
 func (s *Server) handle(conn net.Conn) {
-	defer func() {
-		if r := recover(); r != nil {
-			s.m.panicsRecovered.Inc()
-			s.logf("kvserver: panic isolated to connection %v: %v", conn.RemoteAddr(), r)
-		}
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		s.m.connsClosed.Inc()
-		s.m.connsActive.Add(-1)
-		s.wg.Done()
-	}()
-
 	maxItem := s.cfg.MaxItemSize
 	if maxItem <= 0 {
 		maxItem = kvproto.MaxValueBytes
@@ -511,6 +408,8 @@ func (s *Server) handle(conn net.Conn) {
 				}
 			case kvproto.OpStats:
 				s.writeStats(w)
+			case kvproto.OpNoop:
+				kvproto.WriteNoop(w)
 			case kvproto.OpQuit:
 				w.Flush()
 				return
@@ -541,7 +440,7 @@ func (s *Server) handle(conn net.Conn) {
 // 503 once draining begins, so load balancers stop routing before the
 // listener disappears.
 func (s *Server) Healthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
+	if s.core.Draining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -640,7 +539,7 @@ func (s *Server) ExpvarMap() interface{} {
 		"aggregate":        agg,
 		"hit_ratio":        agg.HitRatio(),
 		"shards":           shards,
-		"draining":         s.draining.Load(),
+		"draining":         s.core.Draining(),
 		"conns_rejected":   ct.ConnsRejected,
 		"panics_recovered": ct.PanicsRecovered,
 		"accept_retries":   ct.AcceptRetries,

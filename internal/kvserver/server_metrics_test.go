@@ -144,7 +144,7 @@ func (failingConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
 // (before the fix the error was silently dropped).
 func TestShedWriteFailureCounted(t *testing.T) {
 	srv := New(Config{Cache: smallCache()})
-	srv.shed(failingConn{})
+	srv.core.shed(failingConn{})
 	ct := srv.Counters()
 	if ct.ConnsRejected != 1 {
 		t.Errorf("ConnsRejected = %d, want 1", ct.ConnsRejected)
