@@ -565,6 +565,49 @@ func (c *Cache[K, V]) Delete(key K) bool {
 	return true
 }
 
+// Flush removes every resident entry and returns how many were dropped.
+// It locks one shard at a time (like the stats collectors), so
+// operations on other shards proceed while a shard is being emptied and
+// the flush is only per-shard atomic, which is all a cache needs: a
+// flush racing a writer keeps either nothing or only entries written
+// after that shard was swept. Entries leave through the engine's Delete
+// path — each freed way becomes fill-preferred within its set — so the
+// learned adaptive state (shadow directories, miss history, SBAR winner)
+// survives and the refilled cache re-converges without relearning from
+// scratch. That asymmetry is deliberate: flushing serves reintegration
+// safety ("cold is safe, stale is not"), and coming back cold in data
+// but warm in policy is the best legal restart.
+func (c *Cache[K, V]) Flush() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.drainPending()
+		removed := 0
+		sh.rmu.Lock()
+		sh.seq.Add(1) // odd: publication in progress
+		for slot := range sh.entries {
+			if sh.rtags[slot].Load() == 0 {
+				continue
+			}
+			// Recompute (set, tag) from the resident key rather than
+			// unpacking the mirror word: with Sets == 1 the packed form
+			// tag<<1|1 has dropped the tag's top bit.
+			_, set, tag := c.locate(sh.entries[slot].key)
+			sh.eng.Delete(set, tag)
+			sh.rtags[slot].Store(0)
+			sh.entries[slot] = entry[K, V]{} // release references
+			removed++
+		}
+		sh.seq.Add(1)
+		sh.rmu.Unlock()
+		sh.resident -= removed
+		sh.mu.Unlock()
+		total += removed
+	}
+	return total
+}
+
 // Len returns the number of resident entries. Each shard maintains its
 // occupancy incrementally (a fill of an invalid way increments, a delete
 // hit decrements, an eviction-replace is net zero), so Len takes one

@@ -40,6 +40,9 @@
 //     goroutines are pure overhead, and the ratio is reported for the
 //     record but not gated — same reasoning as the contended scaling
 //     floor below.
+//   - kvrouter/loopback/3node/replicated repeats the router row with
+//     -replicas 2, recording what R=2 redundancy costs on the healthy
+//     read path; reported for the curve, never gated.
 //
 // Contended and loopback rows are recorded for the scaling curve but
 // exempt from the serial ns-vs-baseline and zero-alloc gates (goroutine
@@ -152,7 +155,8 @@ func realMain(n, macroN uint64, out string, check bool, tol float64, seedNS int6
 			measureContended(n, procs, true),
 			measureContended(n, procs, false))
 	}
-	rep.HotPath = append(rep.HotPath, measureLoopback(n), measureRouterLoopback(n))
+	rep.HotPath = append(rep.HotPath, measureLoopback(n),
+		measureRouterLoopback(n, 1), measureRouterLoopback(n, 2))
 	for _, e := range rep.HotPath {
 		fmt.Printf("%-36s %12.0f acc/s %8.2f ns/acc %8.3f allocs/acc  p%d\n",
 			e.Name, e.AccessesPerSec, e.NSPerAccess, e.AllocsPerAccess, e.Parallelism)
@@ -449,8 +453,13 @@ const (
 // Router fronting routerNodes in-process kvservers: clients dial the
 // router exactly as they would one node, and every multiget exercises
 // the full scatter-gather path (split by ring owner, concurrent
-// per-node sub-gets, request-order reassembly).
-func measureRouterLoopback(n uint64) Entry {
+// per-node sub-gets, request-order reassembly). With replicas > 1 the
+// row records what R=2 redundancy costs on the healthy-path read
+// (replica-set computation per key; the write-side fan-out happens only
+// during the per-client Set preload) — reported for the curve, not
+// gated, since the price of surviving a node loss is a capacity choice,
+// not a regression.
+func measureRouterLoopback(n uint64, replicas int) Entry {
 	f, err := fleet.Start(routerNodes, func(int) fleet.NodeConfig {
 		return fleet.NodeConfig{Server: kvserver.Config{
 			Cache:        adaptivekv.Config{Shards: 16, Sets: 256, Ways: 4},
@@ -466,6 +475,7 @@ func measureRouterLoopback(n uint64) Entry {
 		Nodes:    f.Addrs(),
 		Seed:     1,
 		PoolSize: loopbackClients,
+		Replicas: replicas,
 		Reconnect: kvproto.ReconnectConfig{
 			DialTimeout:  5 * time.Second,
 			ReadTimeout:  30 * time.Second,
@@ -484,7 +494,11 @@ func measureRouterLoopback(n uint64) Entry {
 	}
 	go router.Serve(ln)
 	defer router.Shutdown(ln, time.Second)
-	return driveLoopback("kvrouter/loopback/3node/multiget", ln.Addr().String(), routerBatch, n)
+	name := "kvrouter/loopback/3node/multiget"
+	if replicas > 1 {
+		name = "kvrouter/loopback/3node/replicated"
+	}
+	return driveLoopback(name, ln.Addr().String(), routerBatch, n)
 }
 
 // checkScaling enforces the acceptance floor on a fresh measurement: at

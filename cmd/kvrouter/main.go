@@ -9,6 +9,7 @@
 //
 //	kvrouter -addr 127.0.0.1:11411 -nodes 10.0.0.1:11311,10.0.0.2:11311,10.0.0.3:11311
 //	kvrouter -nodes a:11311,b:11311 -pool 8 -probe-interval 100ms
+//	kvrouter -nodes a:11311,b:11311,c:11311 -replicas 2   # survive one node loss
 //	kvrouter -http 127.0.0.1:8090   # Prometheus at /metrics, health at /healthz
 //
 // Failure semantics (see internal/kvcluster): an ejected owner's
@@ -16,7 +17,11 @@
 // queueing behind a dead peer; a multi-key get that lost an owner
 // delivers the surviving VALUE blocks in request order and terminates
 // with SERVER_ERROR instead of END; an ambiguous write surfaces as
-// "SERVER_ERROR unacked" and is never replayed. The serving envelope is
+// "SERVER_ERROR unacked" and is never replayed. With -replicas 2 each
+// key has two ring owners: writes ack on the first live owner and
+// best-effort copy to the rest, reads fail over to the next live owner,
+// and a recovered node is flushed before reintegration so it can serve
+// misses but never stale values. The serving envelope is
 // kvserver's hardened Core: accept retry with backoff, -max-conns
 // shedding, per-connection panic isolation, graceful drain on
 // SIGINT/SIGTERM.
@@ -46,6 +51,7 @@ func main() {
 		vnodes   = flag.Int("vnodes", kvcluster.DefaultVNodes, "virtual nodes per backend on the hash ring")
 		seed     = flag.Uint64("seed", 1, "ring placement and backoff-jitter seed")
 		pool     = flag.Int("pool", 4, "connections per backend node")
+		replicas = flag.Int("replicas", 1, "ring owners per key; 2 replicates writes and fails reads over to the next live owner")
 		failThr  = flag.Int("fail-threshold", kvcluster.DefaultFailThreshold, "consecutive failures that eject a node")
 		probeIvl = flag.Duration("probe-interval", 250*time.Millisecond, "health probe period per node")
 		probeMax = flag.Duration("probe-backoff-max", 2*time.Second, "probe delay cap while a node is ejected")
@@ -71,6 +77,7 @@ func main() {
 		VNodes:          *vnodes,
 		Seed:            *seed,
 		PoolSize:        *pool,
+		Replicas:        *replicas,
 		FailThreshold:   *failThr,
 		ProbeInterval:   *probeIvl,
 		ProbeBackoffMax: *probeMax,

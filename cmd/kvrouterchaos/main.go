@@ -32,10 +32,34 @@
 //   - Clean teardown: router drain, cluster close, fleet close, and no
 //     leaked goroutines.
 //
+// With -replicas 2 the drill asserts the replicated contract instead:
+// the outage is a network partition (the node's cache stays hot — the
+// hard case), and node loss may cost hit ratio but never availability:
+//
+//   - Zero failed ops: every operation across the whole keyspace must
+//     eventually succeed through the outage — reads fail over to the
+//     replica (kvcluster_failover_reads_total moves), writes ack on the
+//     first live owner; clean write failures in the pre-ejection window
+//     are retried with bounded patience and a final failure is a
+//     violation, not chaos noise.
+//   - Replica divergence is counted: writes during the outage skip the
+//     dead replica and kvcluster_replica_write_failures_total moves.
+//   - Flush-on-reintegrate: the healed node still holds its pre-outage
+//     versions; before the prober marks it up it must be flushed
+//     (kvcluster_reintegration_flushes_total and the node's own flush
+//     tally move), so recovered-phase reads can miss but never serve a
+//     version older than the client's acknowledged history. Running
+//     with -no-reintegrate-flush reproduces the stale-read regression
+//     and must make the gate fail.
+//   - Unacked tallies still reconcile exactly, with best-effort replica
+//     ambiguity (never surfaced to clients) accounted separately:
+//     backend == forwarded + replica-unacked, forwarded == seen.
+//
 // Exit status 0 means every invariant held; 1 reports the violations.
 //
 //	kvrouterchaos -seed 1
 //	kvrouterchaos -seed 7 -clients 3 -ops 800
+//	kvrouterchaos -seed 5 -replicas 2
 package main
 
 import (
@@ -79,10 +103,11 @@ var phaseNames = [...]string{"healthy", "outage", "recovered"}
 
 // keyState is one key's write history on its single-writer client.
 type keyState struct {
-	acked   uint64              // newest acknowledged version (0 = none)
-	tried   uint64              // newest attempted version
-	pending map[uint64]struct{} // unacked versions that may still land
-	failed  map[uint64]struct{} // cleanly-failed versions that must never land
+	acked     uint64              // newest acknowledged version (0 = none)
+	tried     uint64              // newest attempted version
+	pending   map[uint64]struct{} // unacked versions that may still land
+	failed    map[uint64]struct{} // cleanly-failed versions that must never land
+	everAcked map[uint64]struct{} // every version ever acknowledged (replicated-mode window)
 }
 
 // routedClient drives one connection's op mix through the router and
@@ -100,6 +125,15 @@ type routedClient struct {
 
 	phase  int
 	killed int // node index down during phaseOutage, -1 otherwise
+
+	// replicated switches the client onto the R=2 contract: failures are
+	// never excused by a dead owner (zero failed ops), clean write
+	// failures are retried until the routing tier converges on the
+	// replica, and outage-phase reads of dead-primary keys accept any
+	// ever-acked version (a diverged replica legally serves an older
+	// acknowledged write — never a failed or unknown one).
+	replicated    bool
+	retryPatience time.Duration
 
 	ops, gets, hits, sets, ackedSets uint64
 	unackedSeen                      uint64 // "SERVER_ERROR unacked" replies observed
@@ -130,6 +164,7 @@ func newRoutedClient(id int, addr string, seed uint64, nkeys, vsize int, cl *kvc
 	for j := range c.keys {
 		c.keys[j].pending = make(map[uint64]struct{})
 		c.keys[j].failed = make(map[uint64]struct{})
+		c.keys[j].everAcked = make(map[uint64]struct{})
 		c.names[j] = []byte(fmt.Sprintf("r%dk%d", id, j))
 		c.owners[j] = cl.Ring().OwnerIndex(c.names[j])
 	}
@@ -149,9 +184,19 @@ func (c *routedClient) violate(format string, args ...any) {
 }
 
 // deadOwner reports whether key j's ring owner is the killed node in the
-// current phase — the only condition under which a failure is legal.
+// current phase — in single-replica mode, the only condition under which
+// a failure is legal. Replicated mode excuses nothing: the replica must
+// absorb the outage.
 func (c *routedClient) deadOwner(j int) bool {
-	return c.phase == phaseOutage && c.owners[j] == c.killed
+	return !c.replicated && c.phase == phaseOutage && c.owners[j] == c.killed
+}
+
+// failoverWindow reports whether key j's reads are currently served by
+// its replica: primary down, outage phase, replicated mode. Inside the
+// window a read may legally return an older ever-acknowledged version —
+// replica divergence — but still never a failed or never-acked one.
+func (c *routedClient) failoverWindow(j int) bool {
+	return c.replicated && c.phase == phaseOutage && c.owners[j] == c.killed
 }
 
 // unackedReply reports an ambiguous-write signal: either the router said
@@ -223,11 +268,25 @@ func (c *routedClient) doSet(j int) {
 	ks := &c.keys[j]
 	ver := ks.tried + 1
 	ks.tried = ver
-	err := c.rc.Set(c.names[j], 0, encodeValue(ver, c.names[j], c.vsize))
+	val := encodeValue(ver, c.names[j], c.vsize)
+	err := c.rc.Set(c.names[j], 0, val)
 	c.sets++
+	if err != nil && c.replicated && !unackedReply(err) {
+		// Replicated mode promises zero failed ops, but the sync-owner
+		// handoff to the replica needs the ejection to land first. A
+		// clean failure is provably unapplied, so retrying the same
+		// version is safe; only exhausting the patience window is a
+		// violation.
+		deadline := time.Now().Add(c.retryPatience)
+		for err != nil && !unackedReply(err) && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			err = c.rc.Set(c.names[j], 0, val)
+		}
+	}
 	switch {
 	case err == nil:
 		ks.acked = ver
+		ks.everAcked[ver] = struct{}{}
 		c.ackedSets++
 		if c.deadOwner(j) {
 			c.violate("set %s acked while its owner node %d is dead", c.names[j], c.killed)
@@ -273,6 +332,16 @@ func (c *routedClient) checkHit(j int, v []byte) {
 	}
 	if _, inFlight := ks.pending[ver]; inFlight {
 		return
+	}
+	if c.failoverWindow(j) {
+		// The replica may have missed best-effort writes while the
+		// primary was still acking them: an older acknowledged version
+		// is legal divergence inside the failover window. The failed-set
+		// check above stays absolute, and once the window closes
+		// (reintegration flushed the stale copy) the strict rule is back.
+		if _, was := ks.everAcked[ver]; was {
+			return
+		}
 	}
 	c.violate("get %s returned version %d; acked %d, pending %v — acknowledged write lost or stale value resurrected",
 		c.names[j], ver, ks.acked, ks.pending)
@@ -376,12 +445,15 @@ func main() {
 		acceptRate = flag.Float64("accept-error-rate", 0.1, "node listeners: transient accept-error probability")
 		probeIvl   = flag.Duration("probe-interval", 25*time.Millisecond, "cluster health-probe period")
 		graceLeak  = flag.Duration("leak-grace", 5*time.Second, "how long goroutines get to drain after shutdown")
+		replicas   = flag.Int("replicas", 1, "ring owners per key; 2 switches the drill to the replicated-failover contract")
+		noFlush    = flag.Bool("no-reintegrate-flush", false, "disable the flush-on-reintegrate barrier (must make the replicated gate fail)")
 	)
 	flag.Parse()
+	replicated := *replicas > 1
 
 	baseline := runtime.NumGoroutine()
-	fmt.Printf("kvrouterchaos: seed %d, %d nodes, %d clients x 3x%d ops, %d keys/client\n",
-		*seed, *nodes, *clients, *ops, *nkeys)
+	fmt.Printf("kvrouterchaos: seed %d, %d nodes, %d clients x 3x%d ops, %d keys/client, %d replicas\n",
+		*seed, *nodes, *clients, *ops, *nkeys, *replicas)
 
 	// Fleet: real kvservers on loopback behind accept-fault injection.
 	// Cache geometry is generous so evictions don't dominate the window
@@ -405,11 +477,13 @@ func main() {
 	}
 
 	cl, err := kvcluster.New(kvcluster.Config{
-		Nodes:           f.Addrs(),
-		Seed:            *seed,
-		PoolSize:        4,
-		ProbeInterval:   *probeIvl,
-		ProbeBackoffMax: 8 * *probeIvl,
+		Nodes:                     f.Addrs(),
+		Seed:                      *seed,
+		PoolSize:                  4,
+		Replicas:                  *replicas,
+		DisableReintegrationFlush: *noFlush,
+		ProbeInterval:             *probeIvl,
+		ProbeBackoffMax:           8 * *probeIvl,
 		Reconnect: kvproto.ReconnectConfig{
 			DialTimeout:  500 * time.Millisecond,
 			ReadTimeout:  2 * time.Second,
@@ -439,6 +513,8 @@ func main() {
 	ccs := make([]*routedClient, *clients)
 	for i := range ccs {
 		ccs[i] = newRoutedClient(i, ln.Addr().String(), splitmix64(*seed+uint64(i)*7919), *nkeys, *vsize, cl)
+		ccs[i].replicated = replicated
+		ccs[i].retryPatience = 8 * time.Second
 	}
 
 	var failures []string
@@ -449,13 +525,19 @@ func main() {
 	// Phase 1 — healthy fleet: no operation may fail.
 	runPhase(ccs, phaseHealthy, -1, *ops)
 
-	// Kill one node (seed-chosen) and soak through the outage. Ejection
-	// is driven by both probes and op-path failures; either way the
-	// tally must move and the dead keyspace must fail fast while the
-	// surviving keyspace stays fully available.
+	// Take one node down (seed-chosen) and soak through the outage.
+	// Single-replica mode kills it (process death: cache gone, keyspace
+	// fails fast). Replicated mode partitions it instead — the cache
+	// stays hot, which is the hard reintegration case — and the replica
+	// must keep the whole keyspace available.
 	kill := int(splitmix64(*seed^0x6b696c6c) % uint64(*nodes)) // "kill"
-	fmt.Printf("kvrouterchaos: killing node %d (%s)\n", kill, f.Nodes[kill].Addr())
-	f.Nodes[kill].Kill()
+	if replicated {
+		fmt.Printf("kvrouterchaos: partitioning node %d (%s)\n", kill, f.Nodes[kill].Addr())
+		f.Nodes[kill].Partition()
+	} else {
+		fmt.Printf("kvrouterchaos: killing node %d (%s)\n", kill, f.Nodes[kill].Addr())
+		f.Nodes[kill].Kill()
+	}
 	runPhase(ccs, phaseOutage, kill, *ops)
 	if !awaitEjected(cl, kill, true, 10*time.Second) {
 		fail("node %d was never ejected after its kill", kill)
@@ -468,16 +550,39 @@ func main() {
 			fail("healthy node %d was ejected during node %d's outage", i, kill)
 		}
 	}
+	if replicated {
+		if cl.FailoverReads() == 0 {
+			fail("kvcluster_failover_reads_total never moved through a replicated outage")
+		}
+		if cl.ReplicaWriteFailures() == 0 {
+			fail("kvcluster_replica_write_failures_total never moved — divergence went uncounted")
+		}
+	}
 
-	// Restart (fresh empty cache) and confirm the probers reintegrate
-	// it, then soak again: the whole keyspace must serve, and nothing
-	// the dead node lost may resurrect.
-	if err := f.Nodes[kill].Restart(); err != nil {
-		fail("restart node %d: %v", kill, err)
+	// Bring the node back — Restart (fresh empty cache) in single-replica
+	// mode, Heal (pre-outage cache intact) in replicated mode — and
+	// confirm the probers reintegrate it, then soak again: the whole
+	// keyspace must serve, and nothing stale may resurrect.
+	revive := f.Nodes[kill].Restart
+	reviveName := "restarted"
+	if replicated {
+		revive = f.Nodes[kill].Heal
+		reviveName = "healed"
+	}
+	if err := revive(); err != nil {
+		fail("revive node %d: %v", kill, err)
 	} else {
-		fmt.Printf("kvrouterchaos: node %d restarted, awaiting reintegration\n", kill)
+		fmt.Printf("kvrouterchaos: node %d %s, awaiting reintegration\n", kill, reviveName)
 		if !awaitEjected(cl, kill, false, 10*time.Second) {
-			fail("node %d was never reintegrated after restart", kill)
+			fail("node %d was never reintegrated after %s", kill, reviveName)
+		}
+		if replicated && !*noFlush {
+			if cl.ReintegrationFlushes() == 0 {
+				fail("node %d reintegrated without a flush barrier", kill)
+			}
+			if got := f.Nodes[kill].Server().Flushes(); got == 0 {
+				fail("node %d serves again but never applied a flush_all (flushes=%d)", kill, got)
+			}
 		}
 		runPhase(ccs, phaseRecovered, -1, *ops)
 	}
@@ -504,7 +609,20 @@ func main() {
 	}
 	backendUnacked := cl.BackendCounters().Unacked.Load()
 	forwarded := router.UnackedReplies()
-	if backendUnacked != forwarded || forwarded != seen {
+	if replicated {
+		// Best-effort replica writes can also end ambiguous; that ambiguity
+		// is swallowed by the replication fan-out (never surfaced to a
+		// client) and counted separately. Everything that DID reach a
+		// client must still reconcile exactly.
+		replicaUnacked := cl.ReplicaUnacked()
+		if backendUnacked != forwarded+replicaUnacked || forwarded != seen {
+			fail("unacked tallies diverge: backend counted %d, router forwarded %d + replica-side %d, clients observed %d",
+				backendUnacked, forwarded, replicaUnacked, seen)
+		}
+		if deadOps > 0 {
+			fail("replicated mode promised zero failed ops but %d operations failed through the outage", deadOps)
+		}
+	} else if backendUnacked != forwarded || forwarded != seen {
 		fail("unacked tallies diverge: backend counted %d, router forwarded %d, clients observed %d",
 			backendUnacked, forwarded, seen)
 	}
@@ -525,6 +643,10 @@ func main() {
 		totalOps, totalHits, deadOps, cleanFails, seen)
 	fmt.Printf("kvrouterchaos: backend tallies: %d redials, %d retries, %d unacked, %d exhausted; node %d ejections: %d\n",
 		bc.Redials.Load(), bc.Retries.Load(), bc.Unacked.Load(), bc.Exhausted.Load(), kill, cl.Ejections(kill))
+	if replicated {
+		fmt.Printf("kvrouterchaos: replication tallies: %d failover reads, %d replica write failures (%d ambiguous), %d reintegration flushes\n",
+			cl.FailoverReads(), cl.ReplicaWriteFailures(), cl.ReplicaUnacked(), cl.ReintegrationFlushes())
+	}
 
 	if len(failures) > 0 {
 		fmt.Printf("kvrouterchaos: FAIL — %d invariant violations:\n", len(failures))
@@ -533,5 +655,9 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Println("kvrouterchaos: PASS — ejection fired, surviving keyspace stayed available, no ambiguous-write replays, tallies reconcile")
+	if replicated {
+		fmt.Println("kvrouterchaos: PASS — zero failed ops through the partition, reads failed over, reintegration flushed, tallies reconcile")
+	} else {
+		fmt.Println("kvrouterchaos: PASS — ejection fired, surviving keyspace stayed available, no ambiguous-write replays, tallies reconcile")
+	}
 }

@@ -312,6 +312,39 @@ func TestKvrouterChaosEndToEnd(t *testing.T) {
 	}
 }
 
+// TestKvrouterChaosReplicatedEndToEnd runs the same drill under the
+// -replicas 2 contract: the outage becomes a partition the replica must
+// absorb (zero failed ops), the healed node must be flushed before
+// reintegration, and — the regression half — disabling that flush with
+// -no-reintegrate-flush must make the gate fail with a stale-read
+// violation, proving the drill actually detects what the flush prevents.
+func TestKvrouterChaosReplicatedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bin := buildCmd(t, "kvrouterchaos")
+
+	out := runCmd(t, bin, "-seed", "3", "-clients", "2", "-ops", "400", "-keys", "64", "-replicas", "2")
+	if !strings.Contains(out, "kvrouterchaos: PASS") {
+		t.Fatalf("replicated drill did not pass:\n%s", out)
+	}
+	for _, want := range []string{"0 dead-keyspace failures", "failover reads", "reintegration flushes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("replicated summary missing %q:\n%s", want, out)
+		}
+	}
+
+	cmd := exec.Command(bin, "-seed", "3", "-clients", "2", "-ops", "400", "-keys", "64",
+		"-replicas", "2", "-no-reintegrate-flush")
+	tripOut, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("drill passed with flush-on-reintegrate disabled — the gate cannot detect stale reintegration:\n%s", tripOut)
+	}
+	if !strings.Contains(string(tripOut), "stale value resurrected") {
+		t.Fatalf("flushless drill failed for the wrong reason:\n%s", tripOut)
+	}
+}
+
 // TestKvchaosEndToEnd runs a small fixed-seed chaos soak: server behind a
 // fault-injecting proxy, retrying clients, slow-loris probe. The binary
 // checks the invariants (no lost acked writes, no escaped panics, no

@@ -23,8 +23,10 @@
 //     never-replay-ambiguous-writes contract.
 //   - internal/kvcluster — the routing tier: seeded consistent-hash ring,
 //     per-node connection pools with failure-threshold ejection and probed
-//     reintegration, scatter-gather multi-key gets, and the kvproto Router
-//     served on kvserver's hardened core.
+//     reintegration, scatter-gather multi-key gets, optional R=2
+//     replication (sync-owner writes with best-effort replica fan-out,
+//     read failover in ring order, flush-on-reintegrate), and the kvproto
+//     Router served on kvserver's hardened core.
 //   - internal/kvserver — the serving layer: protocol loop, batched
 //     dispatch, and the reusable Core envelope (accept retry, connection
 //     shedding, panic isolation, drain) shared with the router.
@@ -55,13 +57,14 @@
 //     fleet via -targets (or in-process with -direct).
 //   - cmd/kvrouter — consistent-hash routing proxy over a fleet of
 //     adaptcached nodes: one kvproto endpoint, scatter-gather multigets,
-//     health ejection and reintegration.
+//     health ejection and reintegration, -replicas 2 failover.
 //   - cmd/kvchaos — seeded single-node chaos soak (fault-injecting
 //     listener and proxy, verifying clients); race-enabled CI gate.
 //   - cmd/kvrouterchaos — seeded partition drill for the routing tier:
 //     kill and restart a node mid-soak, assert ejection, surviving
 //     -keyspace availability, reintegration, and no ambiguous-write
-//     replays; race-enabled CI gate.
+//     replays; -replicas 2 partitions instead and demands zero failed
+//     ops plus a flush before reintegration; race-enabled CI gate.
 //
 // Runnable examples live in examples/.
 package repro

@@ -42,13 +42,57 @@ type NodeConfig struct {
 type Node struct {
 	cfg NodeConfig
 
-	mu      sync.Mutex
-	srv     *kvserver.Server
-	ln      net.Listener      // base listener; nil while killed
-	wrapped net.Listener      // fault-wrapped view served from (== ln when unwrapped)
-	proxy   *faultnet.Proxy   // nil unless ProxyFaults
-	addr    string            // server address, stable across restarts
-	flis    *faultnet.Listener // non-nil when ListenFaults wrapped
+	mu          sync.Mutex
+	srv         *kvserver.Server
+	ln          net.Listener      // base listener; nil while killed or partitioned
+	wrapped     net.Listener      // fault-wrapped view served from (== ln when unwrapped)
+	proxy       *faultnet.Proxy   // nil unless ProxyFaults
+	addr        string            // server address, stable across restarts
+	flis        *faultnet.Listener // non-nil when ListenFaults wrapped
+	tracker     *connTracker      // outermost listener; lets Partition sever live conns
+	partitioned bool              // true between Partition and Heal
+}
+
+// connTracker records every connection the server accepts so Partition
+// can sever them. Accept returns the connection unwrapped — wrapping
+// would hide *net.TCPConn from net.Buffers.WriteTo and silently disable
+// the server's vectored-write path — so entries are only dropped when
+// severAll closes them or the tracker is replaced; for a test-harness
+// node that is a bounded, short-lived map.
+type connTracker struct {
+	net.Listener
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func newConnTracker(ln net.Listener) *connTracker {
+	return &connTracker{Listener: ln, conns: make(map[net.Conn]struct{})}
+}
+
+func (t *connTracker) Accept() (net.Conn, error) {
+	c, err := t.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.conns[c] = struct{}{}
+	t.mu.Unlock()
+	return c, nil
+}
+
+// severAll force-closes every connection accepted through the tracker.
+// Closing an already-closed conn is a harmless error.
+func (t *connTracker) severAll() {
+	t.mu.Lock()
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	clear(t.conns)
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
 }
 
 // StartNode listens on an ephemeral loopback port and serves cfg.
@@ -75,6 +119,12 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 // hold no lock during StartNode (unshared) and mu during Restart.
 func (n *Node) serveLocked(ln net.Listener) {
 	n.srv = kvserver.New(n.cfg.Server)
+	n.attachLocked(ln)
+}
+
+// attachLocked points the node's existing server at ln (fault wrapping
+// and conn tracking applied) and starts serving from it.
+func (n *Node) attachLocked(ln net.Listener) {
 	n.ln = ln
 	n.wrapped = ln
 	n.flis = nil
@@ -82,7 +132,9 @@ func (n *Node) serveLocked(ln net.Listener) {
 		n.flis = faultnet.Wrap(ln, *n.cfg.ListenFaults)
 		n.wrapped = n.flis
 	}
-	go n.srv.Serve(n.wrapped)
+	n.tracker = newConnTracker(n.wrapped)
+	n.partitioned = false
+	go n.srv.Serve(n.tracker)
 }
 
 // Addr is the address clients should dial: the proxy when one is
@@ -149,19 +201,64 @@ func (n *Node) Restart() error {
 	if n.ln != nil {
 		return fmt.Errorf("fleet: node %s already running", n.addr)
 	}
+	ln, err := n.relistenLocked()
+	if err != nil {
+		return err
+	}
+	n.serveLocked(ln)
+	return nil
+}
+
+// relistenLocked reopens the node's original address, absorbing the
+// OS's release lag with a short retry loop.
+func (n *Node) relistenLocked() (net.Listener, error) {
 	var ln net.Listener
 	var err error
 	for attempt := 0; attempt < 50; attempt++ {
 		ln, err = net.Listen("tcp", n.addr)
 		if err == nil {
-			break
+			return ln, nil
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if err != nil {
-		return fmt.Errorf("fleet: re-listen on %s: %w", n.addr, err)
+	return nil, fmt.Errorf("fleet: re-listen on %s: %w", n.addr, err)
+}
+
+// Partition severs the node from the network without stopping it: the
+// listener closes (the serving loop exits on net.ErrClosed without
+// draining), established connections are force-closed, but the server
+// and its cache stay hot. To the routing tier this is indistinguishable
+// from Kill — dials are refused either way — but unlike a restart the
+// node later returns with its pre-outage contents intact, which is
+// exactly the stale-replica hazard flush-on-reintegrate exists for.
+func (n *Node) Partition() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ln == nil {
+		return
 	}
-	n.serveLocked(ln)
+	n.ln.Close()
+	n.tracker.severAll()
+	n.ln = nil
+	n.partitioned = true
+}
+
+// Heal reopens the listener after a Partition, resuming service from
+// the same server and the same still-populated cache.
+func (n *Node) Heal() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ln != nil {
+		return fmt.Errorf("fleet: node %s already running", n.addr)
+	}
+	if !n.partitioned {
+		return fmt.Errorf("fleet: node %s was killed, not partitioned; use Restart", n.addr)
+	}
+	ln, err := n.relistenLocked()
+	if err != nil {
+		return err
+	}
+	n.attachLocked(ln)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package kvcluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -25,6 +26,24 @@ type Config struct {
 	// FailThreshold consecutive failures eject a node (default
 	// DefaultFailThreshold).
 	FailThreshold int
+
+	// Replicas is the number of distinct ring owners each key lives on
+	// (default 1 — exactly the classic single-owner behavior; clamped to
+	// len(Nodes)). With Replicas > 1, writes go synchronously to the
+	// first non-ejected owner — the client ack is gated only on that ack,
+	// preserving the never-replay-ambiguous-writes contract — and
+	// best-effort to the remaining owners, with every skipped or failed
+	// replica write counted as divergence. Reads route to the primary
+	// and fail over to the next live owner when it is ejected or fails,
+	// so a single node loss costs hit ratio, never availability.
+	Replicas int
+
+	// DisableReintegrationFlush skips the flush_all barrier the cluster
+	// normally runs before marking a recovered node up in replicated
+	// mode. A partitioned-but-not-restarted node then comes back still
+	// holding versions its replica overwrote during the outage — the
+	// stale-read regression the chaos gate exists to catch. Tests only.
+	DisableReintegrationFlush bool
 
 	// ProbeInterval is the health-probe period for serving nodes
 	// (default 250ms); ejected nodes are probed with delays doubling
@@ -62,6 +81,12 @@ func (c Config) withDefaults() Config {
 	if c.ProbeBackoffMax <= 0 {
 		c.ProbeBackoffMax = 2 * time.Second
 	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas > len(c.Nodes) {
+		c.Replicas = len(c.Nodes)
+	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
 	}
@@ -89,6 +114,11 @@ type clusterMetrics struct {
 	routed        [ixOps]*metrics.Counter
 	failed        [ixOps]*metrics.Counter
 	backend       kvproto.ReconnectCounters
+
+	failoverReads        *metrics.Counter
+	replicaWriteFailures *metrics.Counter
+	replicaUnacked       *metrics.Counter
+	reintegrationFlushes *metrics.Counter
 }
 
 func newClusterMetrics(reg *metrics.Registry, nodes []string) *clusterMetrics {
@@ -121,6 +151,14 @@ func newClusterMetrics(reg *metrics.Registry, nodes []string) *clusterMetrics {
 		Unacked:   reg.Counter("kvcluster_backend_unacked_total", "", "writes abandoned as ambiguous (never replayed)"),
 		Exhausted: reg.Counter("kvcluster_backend_exhausted_total", "", "backend operations that ran out of attempts"),
 	}
+	m.failoverReads = reg.Counter("kvcluster_failover_reads_total", "",
+		"reads served by a non-primary replica (primary ejected or failing mid-op)")
+	m.replicaWriteFailures = reg.Counter("kvcluster_replica_write_failures_total", "",
+		"best-effort replica writes skipped or failed — replica divergence repaired only by later writes or reintegration flush")
+	m.replicaUnacked = reg.Counter("kvcluster_replica_unacked_total", "",
+		"replica writes abandoned as ambiguous (subset of backend unacked that never reached a client)")
+	m.reintegrationFlushes = reg.Counter("kvcluster_reintegration_flushes_total", "",
+		"flush_all barriers completed before marking a recovered node up")
 	return m
 }
 
@@ -239,21 +277,52 @@ func (cl *Cluster) Close() {
 	}
 }
 
+// probeSeed derives one node's probe-client seed from the cluster seed,
+// decorrelated from the pool clients' seeds by the "probe" tag.
+func probeSeed(seed uint64, addr string) uint64 {
+	return splitmix64(seed ^ fnv1a(seed, []byte(addr)) ^ 0x70726f6265) // "probe"
+}
+
+// probePhase is a prober's initial delay: a deterministic per-node
+// offset in [0, interval). Without it every prober waited exactly
+// ProbeInterval before its first round trip, so the whole fleet's
+// probes — including the reintegration probes after an outage — fired
+// in lockstep.
+func probePhase(seed uint64, interval time.Duration) time.Duration {
+	if interval <= 0 {
+		return 0
+	}
+	return time.Duration(splitmix64(seed) % uint64(interval))
+}
+
+// needsReintegrationFlush reports whether a recovered node must be
+// flushed before it serves again. Only replicated clusters need the
+// barrier: with a single owner per key, an outage fails that keyspace
+// fast instead of serving older versions from a replica, so nothing a
+// returning node holds can be staler than what clients were acked.
+func (cl *Cluster) needsReintegrationFlush() bool {
+	return cl.cfg.Replicas > 1 && !cl.cfg.DisableReintegrationFlush
+}
+
 // probeLoop drives one node's health: a noop round trip per
 // ProbeInterval while serving, delays doubling up to ProbeBackoffMax
 // while ejected. The probe client is dedicated (never from the pool) so
 // probing an ejected node doesn't fight the fail-fast checkout, and
-// single-attempt (the loop owns the retry schedule).
+// single-attempt (the loop owns the retry schedule). In replicated mode
+// the prober is also the only path back to serving: a recovered node is
+// flushed before it is marked up, because during its outage the
+// surviving replicas kept acking newer versions — cold is safe, stale
+// is not.
 func (cl *Cluster) probeLoop(p *nodePool) {
 	defer cl.wg.Done()
 	rcfg := cl.cfg.Reconnect
 	rcfg.MaxAttempts = 1
-	rcfg.Seed = splitmix64(cl.cfg.Seed ^ fnv1a(cl.cfg.Seed, []byte(p.addr)) ^ 0x70726f6265) // "probe"
+	rcfg.Seed = probeSeed(cl.cfg.Seed, p.addr)
 	c := kvproto.NewReconnect(p.addr, rcfg)
 	defer c.Close()
 
 	delay := cl.cfg.ProbeInterval
-	timer := time.NewTimer(delay)
+	timer := time.NewTimer(probePhase(rcfg.Seed, delay))
 	defer timer.Stop()
 	for {
 		select {
@@ -263,6 +332,18 @@ func (cl *Cluster) probeLoop(p *nodePool) {
 		}
 		start := time.Now()
 		err := c.Noop()
+		if err == nil && p.ejected.Load() && cl.needsReintegrationFlush() {
+			// The node answers again, but if it was partitioned rather
+			// than restarted it still holds whatever it served before the
+			// outage. Flush before marking it up; a failed flush keeps it
+			// ejected and on the backoff schedule.
+			if ferr := c.FlushAll(); ferr != nil {
+				err = ferr
+			} else {
+				cl.m.reintegrationFlushes.Inc()
+				cl.logf("kvcluster: node %s flushed before reintegration", p.addr)
+			}
+		}
 		if err == nil {
 			cl.m.nodeRTT[p.idx].Record(time.Since(start))
 			if p.noteSuccess() {
@@ -293,7 +374,14 @@ func (cl *Cluster) probeLoop(p *nodePool) {
 // toward ejection.
 func (cl *Cluster) observe(p *nodePool, err error) {
 	if err == nil {
-		p.noteSuccess()
+		if cl.cfg.Replicas > 1 {
+			// Replicated clusters reintegrate only through the prober,
+			// which flushes the node first — an op that happens to reach
+			// an ejected node must not mark it up with stale contents.
+			p.noteSuccessKeepEjected()
+		} else {
+			p.noteSuccess()
+		}
 		return
 	}
 	if kvproto.Recoverable(err) && !kvproto.IsBusy(err) {
@@ -304,41 +392,84 @@ func (cl *Cluster) observe(p *nodePool, err error) {
 	}
 }
 
-// Get fetches key from its owner. The returned value is a fresh copy
-// (safe to retain). An ejected owner fails fast with ErrNodeDown.
-func (cl *Cluster) Get(key []byte) (val []byte, ok bool, err error) {
-	cl.m.routed[ixGet].Inc()
-	p := cl.pools[cl.ring.OwnerIndex(key)]
-	c, err := p.get()
-	if err != nil {
-		cl.m.failed[ixGet].Inc()
-		return nil, false, fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
+// ownersFor appends key's replica set (primary first) into buf.
+func (cl *Cluster) ownersFor(buf []int, key []byte) []int {
+	if cl.cfg.Replicas <= 1 {
+		return append(buf, cl.ring.OwnerIndex(key))
 	}
-	start := time.Now()
-	v, ok, err := c.Get(key)
-	cl.m.nodeRTT[p.idx].Record(time.Since(start))
-	if ok {
-		val = append([]byte(nil), v...)
-	}
-	p.put(c)
-	cl.observe(p, err)
-	if err != nil {
-		cl.m.failed[ixGet].Inc()
-		return nil, false, fmt.Errorf("kvcluster: get via %s: %w", p.addr, err)
-	}
-	return val, ok, nil
+	return cl.ring.AppendOwnerIndexes(buf, key, cl.cfg.Replicas)
 }
 
-// Set stores val under key on its owner. The backend client never
-// replays an ambiguous write, so an ErrUnacked from it propagates
-// unchanged — the caller owns the idempotency decision, exactly as with
-// a single node.
-func (cl *Cluster) Set(key []byte, flags uint32, val []byte) error {
-	cl.m.routed[ixSet].Inc()
-	p := cl.pools[cl.ring.OwnerIndex(key)]
+// syncOwner picks the write target: the first non-ejected owner, or -1
+// when the whole replica set is down. Writes never fail over mid-op —
+// an owner that dies between the pick and the ack surfaces as an error
+// rather than silently acking on a node the next read won't prefer.
+func (cl *Cluster) syncOwner(owners []int) int {
+	for _, o := range owners {
+		if !cl.pools[o].ejected.Load() {
+			return o
+		}
+	}
+	return -1
+}
+
+// Get fetches key from its primary owner, failing over to the next
+// live replica when the primary is ejected or fails mid-op. The
+// returned value is a fresh copy (safe to retain). With the whole
+// replica set down it fails fast with ErrNodeDown.
+func (cl *Cluster) Get(key []byte) (val []byte, ok bool, err error) {
+	cl.m.routed[ixGet].Inc()
+	var ownBuf [8]int
+	owners := cl.ownersFor(ownBuf[:0], key)
+	var lastErr error
+	for ai, o := range owners {
+		p := cl.pools[o]
+		if p.ejected.Load() {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
+			}
+			continue
+		}
+		if ai > 0 {
+			cl.m.failoverReads.Inc()
+		}
+		c, cerr := p.get()
+		if cerr != nil {
+			// Lost the race with an ejection between the check and the
+			// checkout; treat it like finding the node already ejected.
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
+			}
+			continue
+		}
+		start := time.Now()
+		v, hit, gerr := c.Get(key)
+		cl.m.nodeRTT[p.idx].Record(time.Since(start))
+		if hit {
+			val = append([]byte(nil), v...)
+		}
+		p.put(c)
+		cl.observe(p, gerr)
+		if gerr == nil {
+			return val, hit, nil
+		}
+		val = nil
+		if kvproto.Recoverable(gerr) && !kvproto.IsBusy(gerr) {
+			// The server rejected the request itself; every replica
+			// would reject it identically, so don't retry sideways.
+			cl.m.failed[ixGet].Inc()
+			return nil, false, fmt.Errorf("kvcluster: get via %s: %w", p.addr, gerr)
+		}
+		lastErr = fmt.Errorf("kvcluster: get via %s: %w", p.addr, gerr)
+	}
+	cl.m.failed[ixGet].Inc()
+	return nil, false, lastErr
+}
+
+// setOn runs one Set against one node's pool, with health accounting.
+func (cl *Cluster) setOn(p *nodePool, key []byte, flags uint32, val []byte) error {
 	c, err := p.get()
 	if err != nil {
-		cl.m.failed[ixSet].Inc()
 		return fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
 	}
 	start := time.Now()
@@ -346,20 +477,14 @@ func (cl *Cluster) Set(key []byte, flags uint32, val []byte) error {
 	cl.m.nodeRTT[p.idx].Record(time.Since(start))
 	p.put(c)
 	cl.observe(p, err)
-	if err != nil {
-		cl.m.failed[ixSet].Inc()
-		return fmt.Errorf("kvcluster: set via %s: %w", p.addr, err)
-	}
-	return nil
+	return err
 }
 
-// Delete removes key on its owner, with Set's ambiguity contract.
-func (cl *Cluster) Delete(key []byte) (bool, error) {
-	cl.m.routed[ixDelete].Inc()
-	p := cl.pools[cl.ring.OwnerIndex(key)]
+// deleteOn runs one Delete against one node's pool, with health
+// accounting.
+func (cl *Cluster) deleteOn(p *nodePool, key []byte) (bool, error) {
 	c, err := p.get()
 	if err != nil {
-		cl.m.failed[ixDelete].Inc()
 		return false, fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
 	}
 	start := time.Now()
@@ -367,10 +492,87 @@ func (cl *Cluster) Delete(key []byte) (bool, error) {
 	cl.m.nodeRTT[p.idx].Record(time.Since(start))
 	p.put(c)
 	cl.observe(p, err)
+	return found, err
+}
+
+// replicate fans a write out to key's non-primary owners after the
+// synchronous ack is already earned. Replica writes are strictly
+// best-effort: a skipped (ejected) or failed replica only bumps the
+// divergence counter — reads prefer the primary, and reintegration
+// flushes close the stale window — and an ambiguous replica write is
+// additionally tallied so unacked reconciliation can subtract writes
+// that never gated a client ack.
+func (cl *Cluster) replicate(owners []int, sync int, do func(p *nodePool) error) {
+	for _, o := range owners {
+		if o == sync {
+			continue
+		}
+		rp := cl.pools[o]
+		if rp.ejected.Load() {
+			cl.m.replicaWriteFailures.Inc()
+			continue
+		}
+		if rerr := do(rp); rerr != nil {
+			cl.m.replicaWriteFailures.Inc()
+			if errors.Is(rerr, kvproto.ErrUnacked) {
+				cl.m.replicaUnacked.Inc()
+			}
+		}
+	}
+}
+
+// Set stores val under key on the first live owner; the ack gates only
+// on that node, then the write is replicated best-effort to the other
+// owners. The backend client never replays an ambiguous write, so an
+// ErrUnacked from the synchronous owner propagates unchanged — the
+// caller owns the idempotency decision, exactly as with a single node.
+func (cl *Cluster) Set(key []byte, flags uint32, val []byte) error {
+	cl.m.routed[ixSet].Inc()
+	var ownBuf [8]int
+	owners := cl.ownersFor(ownBuf[:0], key)
+	sync := cl.syncOwner(owners)
+	if sync < 0 {
+		cl.m.failed[ixSet].Inc()
+		return fmt.Errorf("%w: %s", ErrNodeDown, cl.pools[owners[0]].addr)
+	}
+	p := cl.pools[sync]
+	if err := cl.setOn(p, key, flags, val); err != nil {
+		cl.m.failed[ixSet].Inc()
+		if errors.Is(err, ErrNodeDown) {
+			return err
+		}
+		return fmt.Errorf("kvcluster: set via %s: %w", p.addr, err)
+	}
+	cl.replicate(owners, sync, func(rp *nodePool) error {
+		return cl.setOn(rp, key, flags, val)
+	})
+	return nil
+}
+
+// Delete removes key on the first live owner, with Set's ack and
+// replication contract.
+func (cl *Cluster) Delete(key []byte) (bool, error) {
+	cl.m.routed[ixDelete].Inc()
+	var ownBuf [8]int
+	owners := cl.ownersFor(ownBuf[:0], key)
+	sync := cl.syncOwner(owners)
+	if sync < 0 {
+		cl.m.failed[ixDelete].Inc()
+		return false, fmt.Errorf("%w: %s", ErrNodeDown, cl.pools[owners[0]].addr)
+	}
+	p := cl.pools[sync]
+	found, err := cl.deleteOn(p, key)
 	if err != nil {
 		cl.m.failed[ixDelete].Inc()
+		if errors.Is(err, ErrNodeDown) {
+			return false, err
+		}
 		return false, fmt.Errorf("kvcluster: delete via %s: %w", p.addr, err)
 	}
+	cl.replicate(owners, sync, func(rp *nodePool) error {
+		_, rerr := cl.deleteOn(rp, key)
+		return rerr
+	})
 	return found, nil
 }
 
@@ -417,17 +619,20 @@ func (sc *scatter) reset(nodes, nkeys int) {
 	}
 }
 
-// MultiGet fetches any number of keys, splitting the burst by owner
-// node, running the sub-gets concurrently (each chunked at the
-// protocol's MaxGetKeys by the backend client), and delivering hits via
-// fn in exact request order — index i refers to keys[i], and val is
-// valid only until fn returns.
+// MultiGet fetches any number of keys, splitting the burst by each
+// key's first live owner, running the sub-gets concurrently (each
+// chunked at the protocol's MaxGetKeys by the backend client), and
+// delivering hits via fn in exact request order — index i refers to
+// keys[i], and val is valid only until fn returns.
 //
-// If any owner is ejected or its sub-get fails, the hits from healthy
-// owners are still delivered (in order) and MultiGet then returns an
-// error naming the first failed node — the caller knows the answer is
-// partial and can degrade explicitly, the way cmd/kvrouter terminates
-// the reply with SERVER_ERROR instead of END.
+// In replicated mode a sub-get that fails mid-burst gets a second
+// chance: its keys are regrouped onto their next live replica and
+// retried, and only keys with no live alternative fail. Hits from the
+// retry pass interleave with first-pass hits in exact request order.
+// If any key still has no answer, the surviving hits are delivered and
+// MultiGet returns an error naming the first failed node — the caller
+// knows the answer is partial and can degrade explicitly, the way
+// cmd/kvrouter terminates the reply with SERVER_ERROR instead of END.
 func (cl *Cluster) MultiGet(keys [][]byte, fn func(i int, flags uint32, val []byte)) error {
 	if len(keys) == 0 {
 		return nil
@@ -437,54 +642,214 @@ func (cl *Cluster) MultiGet(keys [][]byte, fn func(i int, flags uint32, val []by
 	defer cl.scatters.Put(sc)
 	sc.reset(len(cl.pools), len(keys))
 
-	touched := 0
+	var ownBuf [8]int
+	touched, failover := 0, 0
 	for i, k := range keys {
-		n := cl.ring.OwnerIndex(k)
+		owners := cl.ownersFor(ownBuf[:0], k)
+		n := owners[0]
+		for _, o := range owners {
+			if !cl.pools[o].ejected.Load() {
+				n = o
+				break
+			}
+		}
+		// All owners ejected: keep the primary so the group fails fast
+		// with the single-owner error shape.
+		if n != owners[0] {
+			failover++
+		}
 		if len(sc.groups[n]) == 0 {
 			touched++
 		}
 		sc.groups[n] = append(sc.groups[n], i)
 		sc.keys[n] = append(sc.keys[n], k)
 	}
+	if failover > 0 {
+		cl.m.failoverReads.Add(uint64(failover))
+	}
 	cl.m.fanout.RecordNS(int64(touched))
 
+	cl.runScatter(sc)
+
+	// Failover retry pass: keys whose node failed mid-burst move to
+	// their next live replica. The retry uses a second scatter so the
+	// first pass's partial bytes stay addressable for delivery checks.
+	var sc2 *scatter
+	var retryNode []int
+	if cl.cfg.Replicas > 1 && cl.scatterFailed(sc) {
+		sc2 = cl.scatters.Get().(*scatter)
+		defer cl.scatters.Put(sc2)
+		sc2.reset(len(cl.pools), len(keys))
+		retryNode = make([]int, len(keys))
+		for i := range retryNode {
+			retryNode[i] = -1
+		}
+		retried := 0
+		for n := range cl.pools {
+			if sc.errs[n] == nil {
+				continue
+			}
+			for j, gi := range sc.groups[n] {
+				k := sc.keys[n][j]
+				owners := cl.ownersFor(ownBuf[:0], k)
+				for _, o := range owners {
+					if o == n || cl.pools[o].ejected.Load() || sc.errs[o] != nil {
+						continue
+					}
+					retryNode[gi] = o
+					sc2.groups[o] = append(sc2.groups[o], gi)
+					sc2.keys[o] = append(sc2.keys[o], k)
+					retried++
+					break
+				}
+			}
+		}
+		if retried > 0 {
+			cl.m.failoverReads.Add(uint64(retried))
+			cl.runScatter(sc2)
+		}
+	}
+
+	// Deliver in request order, skipping hits from failed nodes — a
+	// node that died mid-burst may have reported a stale partial run. A
+	// key whose first-pass node failed delivers from the retry pass
+	// instead; the single index loop keeps exact request order across
+	// the two passes.
+	for i := range sc.refs {
+		if r := &sc.refs[i]; r.hit && sc.errs[r.node] == nil {
+			fn(i, r.flags, sc.bufs[r.node][r.off:r.off+r.n])
+			continue
+		}
+		if sc2 == nil {
+			continue
+		}
+		if r := &sc2.refs[i]; r.hit && sc2.errs[r.node] == nil {
+			fn(i, r.flags, sc2.bufs[r.node][r.off:r.off+r.n])
+		}
+	}
+
+	// A key failed only if its first-pass node failed and no retry
+	// reached a live replica cleanly.
+	failedKeys := 0
+	var firstErr error
+	var firstAddr string
+	for n := range cl.pools {
+		if sc.errs[n] == nil {
+			continue
+		}
+		for _, gi := range sc.groups[n] {
+			if retryNode != nil {
+				if rn := retryNode[gi]; rn >= 0 && sc2.errs[rn] == nil {
+					continue
+				}
+			}
+			failedKeys++
+			if firstErr == nil {
+				firstErr = sc.errs[n]
+				firstAddr = cl.pools[n].addr
+			}
+		}
+	}
+	if failedKeys > 0 {
+		cl.m.failed[ixGet].Add(uint64(failedKeys))
+		return fmt.Errorf("kvcluster: multiget via %s: %w", firstAddr, firstErr)
+	}
+	return nil
+}
+
+// scatterFailed reports whether any populated group of sc errored.
+func (cl *Cluster) scatterFailed(sc *scatter) bool {
+	for n := range cl.pools {
+		if sc.errs[n] != nil && len(sc.groups[n]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runScatter executes every populated group of sc, serially when only
+// one node is touched (no goroutine churn for single-node bursts),
+// concurrently otherwise.
+func (cl *Cluster) runScatter(sc *scatter) {
+	touched := 0
+	for n := range sc.groups {
+		if len(sc.groups[n]) > 0 {
+			touched++
+		}
+	}
 	if touched == 1 {
 		for n := range sc.groups {
 			if len(sc.groups[n]) > 0 {
 				cl.subGet(sc, n)
 			}
 		}
-	} else {
-		var wg sync.WaitGroup
-		for n := range sc.groups {
-			if len(sc.groups[n]) == 0 {
-				continue
-			}
-			wg.Add(1)
-			go func(n int) {
-				defer wg.Done()
-				cl.subGet(sc, n)
-			}(n)
-		}
-		wg.Wait()
+		return
 	}
-
-	// Deliver in request order, skipping hits from failed nodes — a
-	// node that died mid-burst may have reported a stale partial run.
-	for i := range sc.refs {
-		r := &sc.refs[i]
-		if r.hit && sc.errs[r.node] == nil {
-			fn(i, r.flags, sc.bufs[r.node][r.off:r.off+r.n])
+	var wg sync.WaitGroup
+	for n := range sc.groups {
+		if len(sc.groups[n]) == 0 {
+			continue
 		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			cl.subGet(sc, n)
+		}(n)
 	}
-	for n, err := range sc.errs {
-		if err != nil {
-			cl.m.failed[ixGet].Add(uint64(len(sc.groups[n])))
-			return fmt.Errorf("kvcluster: multiget via %s: %w", cl.pools[n].addr, err)
-		}
-	}
-	return nil
+	wg.Wait()
 }
+
+// FlushAll empties every live node in the fleet. Ejected nodes are
+// skipped: in replicated mode that is safe — the reintegration barrier
+// flushes them before they serve again — but with a single replica
+// there is no such barrier, so a skipped node makes the flush partial
+// and is reported as ErrNodeDown after the live nodes are flushed.
+func (cl *Cluster) FlushAll() error {
+	var firstErr error
+	for _, p := range cl.pools {
+		if p.ejected.Load() {
+			if !cl.needsReintegrationFlush() && firstErr == nil {
+				firstErr = fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
+			}
+			continue
+		}
+		c, err := p.get()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
+			}
+			continue
+		}
+		start := time.Now()
+		err = c.FlushAll()
+		cl.m.nodeRTT[p.idx].Record(time.Since(start))
+		p.put(c)
+		cl.observe(p, err)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("kvcluster: flush_all via %s: %w", p.addr, err)
+		}
+	}
+	return firstErr
+}
+
+// FailoverReads reports reads served by a non-primary replica.
+func (cl *Cluster) FailoverReads() uint64 { return cl.m.failoverReads.Load() }
+
+// ReplicaWriteFailures reports best-effort replica writes skipped or
+// failed — the replica-divergence tally.
+func (cl *Cluster) ReplicaWriteFailures() uint64 { return cl.m.replicaWriteFailures.Load() }
+
+// ReplicaUnacked reports replica writes abandoned as ambiguous; soak
+// drivers subtract it from the backend unacked tally to reconcile
+// against the ambiguous errors their clients actually observed.
+func (cl *Cluster) ReplicaUnacked() uint64 { return cl.m.replicaUnacked.Load() }
+
+// ReintegrationFlushes reports flush_all barriers completed before a
+// recovered node was marked up.
+func (cl *Cluster) ReintegrationFlushes() uint64 { return cl.m.reintegrationFlushes.Load() }
+
+// Replicas reports the effective replication factor.
+func (cl *Cluster) Replicas() int { return cl.cfg.Replicas }
 
 // subGet runs one node's slice of a scatter. It writes only this node's
 // disjoint entries of sc.refs/sc.bufs/sc.errs, so concurrent subGets

@@ -1,0 +1,348 @@
+package kvcluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/kvproto"
+)
+
+// replicatedCluster brings up n cache nodes and an R=2 Cluster over
+// them. Probers are not started unless the test starts them; health is
+// flipped by hand otherwise.
+func replicatedCluster(t *testing.T, n int, mut func(*Config)) (*fleet.Fleet, *Cluster) {
+	t.Helper()
+	f, err := fleet.Start(n, func(int) fleet.NodeConfig { return nodeConfig() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	cfg := Config{
+		Nodes:    f.Addrs(),
+		Seed:     42,
+		PoolSize: 2,
+		Replicas: 2,
+		Reconnect: kvproto.ReconnectConfig{
+			DialTimeout: 500 * time.Millisecond,
+			MaxAttempts: 2,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  5 * time.Millisecond,
+		},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return f, cl
+}
+
+// keyWithPrimary returns a key whose replica set is [primary, other...].
+func keyWithPrimary(t *testing.T, cl *Cluster, primary int) []byte {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		k := []byte(fmt.Sprintf("pk-%05d", i))
+		if cl.ring.OwnerIndex(k) == primary {
+			return k
+		}
+	}
+	t.Fatal("no key with the requested primary in 10k tries")
+	return nil
+}
+
+// TestClusterReplicatedWritesLandOnBothOwners: with R=2 over two nodes,
+// a Set is acked by the primary and best-effort copied to the replica —
+// both backends answer the key directly.
+func TestClusterReplicatedWritesLandOnBothOwners(t *testing.T) {
+	f, cl := replicatedCluster(t, 2, nil)
+	key := []byte("both-owners")
+	if err := cl.Set(key, 7, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range f.Nodes {
+		c, err := kvproto.DialTimeout(n.Addr(), 2*time.Second, 5*time.Second, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := c.Get(key)
+		c.Close()
+		if err != nil || !ok || string(v) != "v1" {
+			t.Fatalf("node %d: direct get = (%q, %v, %v), want replicated hit", i, v, ok, err)
+		}
+	}
+	if got := cl.ReplicaWriteFailures(); got != 0 {
+		t.Fatalf("ReplicaWriteFailures = %d with both nodes up", got)
+	}
+}
+
+// TestClusterFailoverReadEjectedPrimary: an ejected primary redirects
+// the read to the replica instead of failing the key, and the failover
+// counter moves. Writes during the outage ack on the replica and count
+// the skipped primary as divergence.
+func TestClusterFailoverReadEjectedPrimary(t *testing.T) {
+	_, cl := replicatedCluster(t, 2, nil)
+	key := keyWithPrimary(t, cl, 0)
+	if err := cl.Set(key, 1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < cl.cfg.FailThreshold; i++ {
+		cl.pools[0].noteFailure()
+	}
+	if !cl.Ejected(0) {
+		t.Fatal("primary not ejected")
+	}
+
+	v, ok, err := cl.Get(key)
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("failover Get = (%q, %v, %v), want v1 from replica", v, ok, err)
+	}
+	if cl.FailoverReads() == 0 {
+		t.Fatal("failover read not counted")
+	}
+
+	// MultiGet groups the key onto the live replica at grouping time.
+	hits := 0
+	err = cl.MultiGet([][]byte{key}, func(i int, fl uint32, val []byte) {
+		hits++
+		if string(val) != "v1" {
+			t.Fatalf("multiget failover value %q", val)
+		}
+	})
+	if err != nil || hits != 1 {
+		t.Fatalf("multiget with ejected primary: hits=%d err=%v", hits, err)
+	}
+
+	// A write during the outage: acked by the replica, divergence counted.
+	before := cl.ReplicaWriteFailures()
+	if err := cl.Set(key, 1, []byte("v2")); err != nil {
+		t.Fatalf("Set with ejected primary: %v", err)
+	}
+	if cl.ReplicaWriteFailures() <= before {
+		t.Fatal("skipped replica write not counted as divergence")
+	}
+	if v, ok, _ := cl.Get(key); !ok || string(v) != "v2" {
+		t.Fatalf("post-outage-write Get = (%q, %v), want v2", v, ok)
+	}
+}
+
+// TestClusterMultiGetFailoverRetry: a node that dies without having
+// been ejected fails its sub-get mid-burst; the retry pass re-routes
+// those keys to their replicas, so the burst still answers every key.
+func TestClusterMultiGetFailoverRetry(t *testing.T) {
+	f, cl := replicatedCluster(t, 2, func(c *Config) {
+		c.FailThreshold = 1000 // stay un-ejected through the whole test
+	})
+	keys, vals, flags := testCorpus(60)
+	for _, k := range keys {
+		if v, ok := vals[string(k)]; ok {
+			if err := cl.Set(k, flags[string(k)], v); err != nil {
+				t.Fatalf("set %q: %v", k, err)
+			}
+		}
+	}
+
+	f.Nodes[1].Kill()
+
+	got := make(map[int][]byte)
+	err := cl.MultiGet(keys, func(i int, fl uint32, val []byte) {
+		got[i] = append([]byte(nil), val...)
+	})
+	if err != nil {
+		t.Fatalf("MultiGet with one dead un-ejected node: %v", err)
+	}
+	for i, k := range keys {
+		want, hit := vals[string(k)]
+		v, found := got[i]
+		if hit != found {
+			t.Fatalf("key %d (%s): hit=%v found=%v", i, k, hit, found)
+		}
+		if hit && !bytes.Equal(v, want) {
+			t.Fatalf("key %d: value %q, want %q", i, v, want)
+		}
+	}
+	if cl.FailoverReads() == 0 {
+		t.Fatal("retry pass not counted as failover reads")
+	}
+
+	// Single-key Get on a dead-primary key fails over mid-op too: the
+	// dial failure surfaces as an attempt error, never a client miss.
+	var key []byte
+	for _, k := range keys {
+		if cl.ring.OwnerIndex(k) == 1 && vals[string(k)] != nil {
+			key = k
+			break
+		}
+	}
+	if key == nil {
+		t.Fatal("corpus has no hit key owned by the killed node")
+	}
+	if v, ok, err := cl.Get(key); err != nil || !ok || !bytes.Equal(v, vals[string(key)]) {
+		t.Fatalf("Get with dead primary = (%q, %v, %v), want mid-op failover hit", v, ok, err)
+	}
+}
+
+// TestClusterFlushOnReintegrate: partition a node (cache stays hot),
+// overwrite its keyspace through the survivor, heal it. The prober must
+// flush the node before marking it up, so post-reintegration reads can
+// miss but can never see the pre-outage version.
+func TestClusterFlushOnReintegrate(t *testing.T) {
+	f, cl := replicatedCluster(t, 2, func(c *Config) {
+		c.ProbeInterval = 20 * time.Millisecond
+		c.ProbeBackoffMax = 100 * time.Millisecond
+	})
+	cl.Start()
+
+	key := keyWithPrimary(t, cl, 0)
+	if err := cl.Set(key, 1, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Nodes[0].Partition()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cl.Ejected(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("partitioned node never ejected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// New version acked by the survivor while node 0 still holds "old".
+	if err := cl.Set(key, 1, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := f.Nodes[0].Heal(); err != nil {
+		t.Fatal(err)
+	}
+	for cl.Ejected(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("healed node never reintegrated")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if cl.ReintegrationFlushes() == 0 {
+		t.Fatal("reintegration flush not counted")
+	}
+	if f.Nodes[0].Server().Flushes() == 0 {
+		t.Fatal("reintegrated node was never flushed")
+	}
+	v, ok, err := cl.Get(key)
+	if err != nil {
+		t.Fatalf("post-reintegration Get: %v", err)
+	}
+	if ok && string(v) == "old" {
+		t.Fatalf("stale read after reintegration: %q", v)
+	}
+}
+
+// TestClusterStaleReadWithoutReintegrationFlush: the regression the
+// barrier prevents, reproduced deliberately — with the flush disabled,
+// a healed (not restarted) node serves its pre-outage version.
+func TestClusterStaleReadWithoutReintegrationFlush(t *testing.T) {
+	f, cl := replicatedCluster(t, 2, func(c *Config) {
+		c.ProbeInterval = 20 * time.Millisecond
+		c.ProbeBackoffMax = 100 * time.Millisecond
+		c.DisableReintegrationFlush = true
+	})
+	cl.Start()
+
+	key := keyWithPrimary(t, cl, 0)
+	if err := cl.Set(key, 1, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Nodes[0].Partition()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cl.Ejected(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("partitioned node never ejected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cl.Set(key, 1, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Nodes[0].Heal(); err != nil {
+		t.Fatal(err)
+	}
+	for cl.Ejected(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("healed node never reintegrated")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	v, ok, err := cl.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get = (%v, %v), want the stale hit this test exists to demonstrate", ok, err)
+	}
+	if string(v) != "old" {
+		t.Fatalf("Get = %q, want the pre-outage %q", v, "old")
+	}
+	if cl.ReintegrationFlushes() != 0 {
+		t.Fatal("flush barrier ran despite being disabled")
+	}
+}
+
+// TestClusterOpPathNeverReintegratesReplicated: in replicated mode a
+// stray op success against an ejected node must not mark it up — only
+// the flushing prober may.
+func TestClusterOpPathNeverReintegratesReplicated(t *testing.T) {
+	_, cl := replicatedCluster(t, 2, nil)
+	for i := 0; i < cl.cfg.FailThreshold; i++ {
+		cl.pools[0].noteFailure()
+	}
+	if !cl.Ejected(0) {
+		t.Fatal("node not ejected")
+	}
+	cl.observe(cl.pools[0], nil)
+	if !cl.Ejected(0) {
+		t.Fatal("op-path success reintegrated an ejected node in replicated mode")
+	}
+	// Single-replica clusters keep the old behavior: any success heals.
+	cl2, err := New(Config{Nodes: cl.cfg.Nodes, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	for i := 0; i < cl2.cfg.FailThreshold; i++ {
+		cl2.pools[0].noteFailure()
+	}
+	cl2.observe(cl2.pools[0], nil)
+	if cl2.Ejected(0) {
+		t.Fatal("op-path success failed to reintegrate in single-replica mode")
+	}
+}
+
+// TestProbePhaseDecorrelated: probers get distinct, in-range initial
+// delays — two nodes sharing a cluster seed must not fire their first
+// probe at the same instant.
+func TestProbePhaseDecorrelated(t *testing.T) {
+	const interval = 250 * time.Millisecond
+	seen := make(map[time.Duration]int)
+	addrs := []string{"a:1", "b:1", "c:1", "d:1", "e:1", "f:1"}
+	for _, addr := range addrs {
+		ph := probePhase(probeSeed(9, addr), interval)
+		if ph < 0 || ph >= interval {
+			t.Fatalf("probePhase(%s) = %v, outside [0, %v)", addr, ph, interval)
+		}
+		seen[ph]++
+	}
+	if len(seen) < len(addrs) {
+		t.Fatalf("probe phases collide: %v", seen)
+	}
+	if probePhase(probeSeed(9, "a:1"), interval) != probePhase(probeSeed(9, "a:1"), interval) {
+		t.Fatal("probePhase not deterministic")
+	}
+	if probePhase(7, 0) != 0 {
+		t.Fatal("probePhase with zero interval should be 0")
+	}
+}

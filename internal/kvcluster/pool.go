@@ -87,6 +87,15 @@ func (p *nodePool) noteSuccess() bool {
 	return false
 }
 
+// noteSuccessKeepEjected records a successful round trip without ever
+// reintegrating: the consecutive-failure run resets, but an ejected
+// node stays ejected. Replicated clusters route op-path successes here
+// so that only the prober — which flushes the node first — can mark a
+// recovered node up.
+func (p *nodePool) noteSuccessKeepEjected() {
+	p.failures.Store(0)
+}
+
 // noteFailure records a failed round trip; crossing the threshold ejects
 // the node. Returns true if this call performed the ejection (exactly
 // one caller wins the CAS, so the counter moves once per outage).

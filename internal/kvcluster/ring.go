@@ -133,6 +133,52 @@ func (r *Ring) OwnerIndex(key []byte) int {
 // Owner returns the address of the node owning key.
 func (r *Ring) Owner(key []byte) string { return r.nodes[r.OwnerIndex(key)] }
 
+// OwnerIndexes returns the first n distinct physical nodes clockwise
+// from key's position: the key's replica set, primary first. Element 0
+// always equals OwnerIndex. n greater than the node count truncates to
+// every node (in ring order for this key). Like OwnerIndex, the result
+// is a pure function of (node addresses, vnodes, seed) — two rings over
+// the same nodes agree on every key's replica set, and a join or leave
+// only changes a replica set whose primary-or-successor arcs the
+// changed node's points land on.
+func (r *Ring) OwnerIndexes(key []byte, n int) []int {
+	return r.AppendOwnerIndexes(nil, key, n)
+}
+
+// AppendOwnerIndexes is OwnerIndexes appending into dst, so hot paths
+// can reuse a scratch slice and stay allocation-free.
+func (r *Ring) AppendOwnerIndexes(dst []int, key []byte, n int) []int {
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	if n <= 0 {
+		return dst
+	}
+	h := r.hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	start := len(dst)
+	// Walk clockwise collecting distinct nodes; every node has at least
+	// one point, so at most one full lap is needed.
+	for scanned := 0; scanned < len(r.points) && len(dst)-start < n; scanned++ {
+		if i == len(r.points) {
+			i = 0
+		}
+		node := r.points[i].node
+		i++
+		dup := false
+		for _, d := range dst[start:] {
+			if d == node {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, node)
+		}
+	}
+	return dst
+}
+
 // Add returns a new ring with node appended (same vnodes and seed).
 // Existing nodes' points are unchanged, so only keys falling on the new
 // node's arcs move — the consistent-hashing monotonicity property the

@@ -139,6 +139,126 @@ func TestRingLeaveMovesOnlyOrphans(t *testing.T) {
 	}
 }
 
+// TestRingOwnerIndexesProperties: for every key, the replica set holds
+// n distinct physical nodes, element 0 is exactly OwnerIndex, n beyond
+// the node count truncates to a permutation of all nodes, and the
+// allocation-free Append variant agrees with the allocating one.
+func TestRingOwnerIndexesProperties(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	r, err := NewRing(nodes, 0, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]int, 0, len(nodes))
+	for _, k := range testKeys(20_000) {
+		for n := 1; n <= len(nodes)+2; n++ {
+			owners := r.OwnerIndexes(k, n)
+			want := n
+			if want > len(nodes) {
+				want = len(nodes)
+			}
+			if len(owners) != want {
+				t.Fatalf("OwnerIndexes(%q, %d) returned %d owners, want %d", k, n, len(owners), want)
+			}
+			if owners[0] != r.OwnerIndex(k) {
+				t.Fatalf("OwnerIndexes(%q)[0] = %d, OwnerIndex = %d", k, owners[0], r.OwnerIndex(k))
+			}
+			seen := make(map[int]bool, len(owners))
+			for _, o := range owners {
+				if o < 0 || o >= len(nodes) {
+					t.Fatalf("OwnerIndexes(%q, %d) returned out-of-range node %d", k, n, o)
+				}
+				if seen[o] {
+					t.Fatalf("OwnerIndexes(%q, %d) repeated node %d: %v", k, n, o, owners)
+				}
+				seen[o] = true
+			}
+			appended := r.AppendOwnerIndexes(scratch[:0], k, n)
+			if len(appended) != len(owners) {
+				t.Fatalf("AppendOwnerIndexes disagrees on length for %q n=%d", k, n)
+			}
+			for i := range owners {
+				if appended[i] != owners[i] {
+					t.Fatalf("AppendOwnerIndexes(%q, %d) = %v, OwnerIndexes = %v", k, n, appended, owners)
+				}
+			}
+		}
+	}
+	if r.OwnerIndexes([]byte("k"), 0) != nil {
+		t.Error("OwnerIndexes(k, 0) should be empty")
+	}
+}
+
+// TestRingOwnerIndexesStability: a key's R=2 replica set only changes
+// when its primary-or-successor arcs change. Concretely, on join the new
+// set is either identical (by address) or includes the joiner; on leave
+// the surviving members of the old set are still in the new set. Keys
+// far from the changed node's arcs keep their replica set untouched.
+func TestRingOwnerIndexesStability(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1"}
+	before, err := NewRing(nodes, 0, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := before.Add("e:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := before.Remove("b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := func(r *Ring, owners []int) []string {
+		out := make([]string, len(owners))
+		for i, o := range owners {
+			out[i] = r.Nodes()[o]
+		}
+		return out
+	}
+	keys := testKeys(100_000)
+	joinChanged, leaveChanged := 0, 0
+	for _, k := range keys {
+		old := addrs(before, before.OwnerIndexes(k, 2))
+
+		// Join: survivors' points are unchanged, so the clockwise walk is
+		// the old walk with e's points spliced in — the new pair either
+		// equals the old pair or contains the joiner.
+		nw := addrs(joined, joined.OwnerIndexes(k, 2))
+		if nw[0] != old[0] || nw[1] != old[1] {
+			joinChanged++
+			if nw[0] != "e:1" && nw[1] != "e:1" {
+				t.Fatalf("join changed %q's replica set %v -> %v without involving the joiner", k, old, nw)
+			}
+		}
+
+		// Leave: removing b's points cannot reorder survivors — members
+		// of the old pair other than b must survive into the new pair.
+		lw := addrs(left, left.OwnerIndexes(k, 2))
+		if lw[0] != old[0] || lw[1] != old[1] {
+			leaveChanged++
+		}
+		for _, a := range old {
+			if a == "b:1" {
+				continue
+			}
+			if lw[0] != a && lw[1] != a {
+				t.Fatalf("leave dropped survivor %s from %q's replica set %v -> %v", a, k, old, lw)
+			}
+		}
+		if lw[0] == "b:1" || lw[1] == "b:1" {
+			t.Fatalf("removed node still in %q's replica set %v", k, lw)
+		}
+	}
+	// Sanity: both events must actually perturb some replica sets, and a
+	// single node's arcs must leave most of the keyspace untouched.
+	if joinChanged == 0 || leaveChanged == 0 {
+		t.Fatalf("join changed %d, leave changed %d replica sets — expected both > 0", joinChanged, leaveChanged)
+	}
+	if max := int(float64(len(keys)) * 0.75); joinChanged > max || leaveChanged > max {
+		t.Errorf("replica churn too high: join %d, leave %d of %d keys", joinChanged, leaveChanged, len(keys))
+	}
+}
+
 // TestRingConstructionErrors: duplicates, empties, and removing a
 // stranger are refused.
 func TestRingConstructionErrors(t *testing.T) {

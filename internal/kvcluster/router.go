@@ -248,6 +248,17 @@ func (r *Router) handle(conn net.Conn) {
 			default:
 				kvproto.WriteServerError(w, r.failureMsg(err))
 			}
+		case kvproto.OpFlushAll:
+			// Fleet-wide flush: every live node empties. In replicated
+			// mode ejected nodes are flushed by the reintegration barrier
+			// before they serve again; single-replica clusters report a
+			// partial flush as an error.
+			switch err := r.cl.FlushAll(); {
+			case err == nil:
+				kvproto.WriteOk(w)
+			default:
+				kvproto.WriteServerError(w, r.failureMsg(err))
+			}
 		case kvproto.OpStats:
 			r.writeStats(w)
 		case kvproto.OpNoop:
@@ -295,6 +306,10 @@ func (r *Router) writeStats(w *bufio.Writer) {
 		kvproto.WriteStat(w, "ops_routed_"+name, r.cl.m.routed[i].Load())
 		kvproto.WriteStat(w, "ops_failed_"+name, r.cl.m.failed[i].Load())
 	}
+	kvproto.WriteStat(w, "replicas", uint64(r.cl.cfg.Replicas))
+	kvproto.WriteStat(w, "failover_reads", r.cl.m.failoverReads.Load())
+	kvproto.WriteStat(w, "replica_write_failures", r.cl.m.replicaWriteFailures.Load())
+	kvproto.WriteStat(w, "reintegration_flushes", r.cl.m.reintegrationFlushes.Load())
 	kvproto.WriteStat(w, "backend_redials", r.cl.m.backend.Redials.Load())
 	kvproto.WriteStat(w, "backend_retries", r.cl.m.backend.Retries.Load())
 	kvproto.WriteStat(w, "backend_unacked", r.cl.m.backend.Unacked.Load())

@@ -122,7 +122,8 @@ func rawBurst(t *testing.T, addr, req string, wantTerms int) []byte {
 		if trimmed == "END" || trimmed == "ERROR" ||
 			strings.HasPrefix(trimmed, "SERVER_ERROR") ||
 			strings.HasPrefix(trimmed, "CLIENT_ERROR") ||
-			trimmed == "STORED" || trimmed == "DELETED" || trimmed == "NOT_FOUND" {
+			trimmed == "STORED" || trimmed == "DELETED" || trimmed == "NOT_FOUND" ||
+			trimmed == "OK" {
 			terms++
 		}
 	}
@@ -202,11 +203,14 @@ func TestRouterEjectedNodeFailsFast(t *testing.T) {
 
 	// A set routed to the dead node fails the same way; a set owned by a
 	// survivor still stores.
+	// aliveKey must be a corpus hit: the set below clobbers its value with
+	// "x", and only keys present in vals get repaired by loadCorpus before
+	// the byte-exact multiget comparison.
 	var aliveKey, deadKey []byte
 	for _, k := range keys {
 		if cl.ring.OwnerIndex(k) == down {
 			deadKey = k
-		} else {
+		} else if _, hit := vals[string(k)]; hit {
 			aliveKey = k
 		}
 	}
@@ -318,6 +322,43 @@ func TestRouterStatsAndNoop(t *testing.T) {
 	}
 	if st["nodes_ejected"] != "1" {
 		t.Fatalf("stats after ejection: nodes_ejected=%q", st["nodes_ejected"])
+	}
+}
+
+// TestRouterFlushAll: flush_all through the router empties every node
+// and replies OK; with an ejected node in a single-replica cluster the
+// flush is partial, so the router reports node down instead of lying.
+func TestRouterFlushAll(t *testing.T) {
+	f, cl, routerAddr := routedCluster(t, 3)
+	keys, vals, flags := testCorpus(60)
+	loadCorpus(t, routerAddr, keys, vals, flags)
+
+	total := 0
+	for _, n := range f.Nodes {
+		total += n.Server().Cache().Len()
+	}
+	if total == 0 {
+		t.Fatal("corpus not loaded")
+	}
+	if got := rawBurst(t, routerAddr, "flush_all\r\n", 1); string(got) != "OK\r\n" {
+		t.Fatalf("flush_all reply = %q", got)
+	}
+	for i, n := range f.Nodes {
+		if l := n.Server().Cache().Len(); l != 0 {
+			t.Fatalf("node %d still holds %d entries after flush_all", i, l)
+		}
+		if n.Server().Flushes() != 1 {
+			t.Fatalf("node %d flushes = %d, want 1", i, n.Server().Flushes())
+		}
+	}
+	if got := rawBurst(t, routerAddr, "get "+string(keys[1])+"\r\n", 1); string(got) != "END\r\n" {
+		t.Fatalf("get after flush_all = %q, want clean miss", got)
+	}
+
+	// Single-replica fleet with an ejected node: partial flush is an error.
+	ejectOwner(cl, keys[1])
+	if got := rawBurst(t, routerAddr, "flush_all\r\n", 1); string(got) != "SERVER_ERROR node down\r\n" {
+		t.Fatalf("partial flush_all reply = %q", got)
 	}
 }
 

@@ -392,6 +392,34 @@ func (c *Client) Noop() error {
 	return c.ReadNoopReply()
 }
 
+// SendFlushAll queues a flush_all without flushing the write buffer.
+func (c *Client) SendFlushAll() { c.bw.WriteString("flush_all\r\n") }
+
+// ReadFlushAllReply consumes one flush_all response.
+func (c *Client) ReadFlushAllReply() error {
+	c.armRead()
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(line, replyOk[:2]) { // "OK"
+		return errorFromReply(line)
+	}
+	return nil
+}
+
+// FlushAll drops every entry the server holds. Flushing is idempotent
+// (an empty cache flushed again is still empty), so callers may retry it
+// freely on ambiguous failures — the property replica reintegration
+// relies on.
+func (c *Client) FlushAll() error {
+	c.SendFlushAll()
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	return c.ReadFlushAllReply()
+}
+
 // Set stores val under key with the given flags.
 func (c *Client) Set(key []byte, flags uint32, val []byte) error {
 	c.SendSet(key, flags, val)

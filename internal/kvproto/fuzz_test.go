@@ -27,6 +27,9 @@ func FuzzReaderNext(f *testing.F) {
 		"quit\r\n",
 		"noop\r\n",
 		"noop extra\r\n",
+		"flush_all\r\n",
+		"FLUSH_ALL\r\n",
+		"flush_all 30\r\n",
 		"set a 1 2 3\r\nxyz\r\nget a\r\ndelete a\r\nquit\r\n",
 		// Violations that must stay recoverable.
 		"frobnicate\r\n",
@@ -79,7 +82,7 @@ func FuzzReaderNext(f *testing.F) {
 					if len(req.Value) > MaxValueBytes {
 						t.Fatalf("accepted %d-byte value", len(req.Value))
 					}
-				case OpStats, OpQuit, OpNoop:
+				case OpStats, OpQuit, OpNoop, OpFlushAll:
 				default:
 					t.Fatalf("parsed request with op %v", req.Op)
 				}

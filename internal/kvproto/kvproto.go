@@ -1,7 +1,9 @@
 // Package kvproto implements the subset of the memcached text protocol
 // spoken by cmd/adaptcached, cmd/kvrouter and cmd/kvloadgen: get
 // (single- and multi-key "get k1 k2 ..."), set, delete, stats, quit,
-// plus a one-line noop used by health probes. Keys are
+// a one-line noop used by health probes, and flush_all (full-cache
+// invalidation, issued by the cluster before reintegrating a recovered
+// node so it can never serve stale versions). Keys are
 // printable ASCII up to 250 bytes; values are arbitrary bytes up to
 // MaxValueBytes; set's flags and exptime fields are parsed for wire
 // compatibility but not stored (the adaptive cache decides lifetimes,
@@ -43,6 +45,7 @@ const (
 	OpStats
 	OpQuit
 	OpNoop
+	OpFlushAll
 )
 
 func (o Op) String() string {
@@ -59,6 +62,8 @@ func (o Op) String() string {
 		return "quit"
 	case OpNoop:
 		return "noop"
+	case OpFlushAll:
+		return "flush_all"
 	default:
 		return "invalid"
 	}
@@ -303,6 +308,16 @@ func (rd *Reader) Next(req *Request) error {
 		req.Op = OpNoop
 		return nil
 
+	case commandIs(cmd, "flush_all"):
+		// memcached's optional delay argument is not supported: a cache
+		// whose reintegration safety depends on flush_all must not be
+		// able to schedule the flush for later.
+		if len(rest) != 0 {
+			return errBadCommandLine
+		}
+		req.Op = OpFlushAll
+		return nil
+
 	default:
 		return errUnknownCommand
 	}
@@ -372,6 +387,7 @@ func (rd *Reader) discard(n int64) error {
 var (
 	replyEnd       = []byte("END\r\n")
 	replyNoop      = []byte("NOOP\r\n")
+	replyOk        = []byte("OK\r\n")
 	replyStored    = []byte("STORED\r\n")
 	replyDeleted   = []byte("DELETED\r\n")
 	replyNotFound  = []byte("NOT_FOUND\r\n")
@@ -442,6 +458,9 @@ func WriteEnd(w *bufio.Writer) { w.Write(replyEnd) }
 // exists so health probes cost a single line round-trip instead of a
 // full stats map.
 func WriteNoop(w *bufio.Writer) { w.Write(replyNoop) }
+
+// WriteOk acknowledges a flush_all.
+func WriteOk(w *bufio.Writer) { w.Write(replyOk) }
 
 // WriteStored acknowledges a set.
 func WriteStored(w *bufio.Writer) { w.Write(replyStored) }

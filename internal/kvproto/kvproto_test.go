@@ -49,6 +49,8 @@ func TestReaderParsesCommands(t *testing.T) {
 		"delete foo\r\n"+
 		"stats\r\n"+
 		"GET foo\r\n"+ // case-insensitive
+		"flush_all\r\n"+
+		"noop\r\n"+
 		"quit\r\n")
 	if len(errs) != 0 {
 		t.Fatalf("unexpected errors: %v", errs)
@@ -59,6 +61,8 @@ func TestReaderParsesCommands(t *testing.T) {
 		{Op: OpDelete, Key: []byte("foo")},
 		{Op: OpStats},
 		{Op: OpGet, Key: []byte("foo")},
+		{Op: OpFlushAll},
+		{Op: OpNoop},
 		{Op: OpQuit},
 	}
 	if len(got) != len(want) {
@@ -133,6 +137,8 @@ func TestReaderRecoverableErrors(t *testing.T) {
 		{"set missing fields", "set k 0 5\r\n"},
 		{"set huge count", "set k 0 0 99999999999999999999999\r\n"},
 		{"line too long", strings.Repeat("x", 5000) + "\r\n"},
+		{"flush_all with delay", "flush_all 30\r\n"},
+		{"flush_all line too long", "flush_all " + strings.Repeat("x", 2000) + "\r\n"},
 		{"set oversized value", "set k 0 0 1048577\r\n" + strings.Repeat("v", 1048577) + "\r\n"},
 		{"set bad key drains chunk", "set a\x02b 0 0 3\r\nxyz\r\n"},
 	}
@@ -240,6 +246,9 @@ func TestClientServerRoundTrip(t *testing.T) {
 				WriteStat(w, "items", uint64(len(store)))
 				WriteStatStr(w, "version", "test")
 				WriteEnd(w)
+			case OpFlushAll:
+				clear(store)
+				WriteOk(w)
 			case OpQuit:
 				w.Flush()
 				return
@@ -302,6 +311,12 @@ func TestClientServerRoundTrip(t *testing.T) {
 	}
 	if ok, err := c.Delete([]byte("k")); err != nil || ok {
 		t.Fatalf("second Delete(k) = (%v, %v), want miss", ok, err)
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if _, ok, err := c.Get([]byte("empty")); err != nil || ok {
+		t.Fatalf("Get(empty) after flush = (_, %v, %v), want miss", ok, err)
 	}
 }
 

@@ -330,6 +330,36 @@ func (rc *ReconnectClient) Noop() error {
 	return fmt.Errorf("kvproto: noop failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
 }
 
+// FlushAll drops every entry the peer holds, retried like Get: flushing
+// is idempotent (flushing an already-empty cache changes nothing), so an
+// ambiguous failure is safely replayed rather than surfaced as
+// ErrUnacked.
+func (rc *ReconnectClient) FlushAll() error {
+	var lastErr error
+	for a := 0; a < rc.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			rc.countRetry()
+			rc.backoff(a - 1)
+		}
+		c, err := rc.client()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = c.FlushAll()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if Recoverable(err) && !IsBusy(err) {
+			return err
+		}
+		rc.drop()
+	}
+	rc.countExhausted()
+	return fmt.Errorf("kvproto: flush_all failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
+}
+
 // Stats fetches the server's STAT map, retried like Get (read-only).
 func (rc *ReconnectClient) Stats() (map[string]string, error) {
 	var lastErr error

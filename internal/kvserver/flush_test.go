@@ -1,0 +1,67 @@
+package kvserver
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kvproto"
+)
+
+// TestFlushAllEndToEnd: flush_all over the wire empties the cache,
+// replies OK, bumps the flushes counter in stats, /metrics and the
+// Flushes accessor, and leaves the connection serving.
+func TestFlushAllEndToEnd(t *testing.T) {
+	srv, ln := start(t, Config{Cache: smallCache()})
+	defer srv.Shutdown(ln, time.Second)
+
+	c, err := kvproto.DialTimeout(ln.Addr().String(), 2*time.Second, 5*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 32; i++ {
+		k := []byte(fmt.Sprintf("k%02d", i))
+		if err := c.Set(k, uint32(i), []byte("payload")); err != nil {
+			t.Fatalf("set %s: %v", k, err)
+		}
+	}
+	if srv.Cache().Len() == 0 {
+		t.Fatal("cache empty before flush")
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if got := srv.Cache().Len(); got != 0 {
+		t.Fatalf("cache holds %d entries after flush_all, want 0", got)
+	}
+	if _, ok, err := c.Get([]byte("k00")); err != nil || ok {
+		t.Fatalf("Get after flush = (_, %v, %v), want clean miss", ok, err)
+	}
+	if got := srv.Flushes(); got != 1 {
+		t.Fatalf("Flushes() = %d, want 1", got)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st["flushes"] != "1" {
+		t.Fatalf("stats flushes = %q, want 1", st["flushes"])
+	}
+	var expo strings.Builder
+	if err := srv.WriteMetrics(&expo); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	if want := "kv_flushes_total 1"; !strings.Contains(expo.String(), want) {
+		t.Fatalf("/metrics missing %q", want)
+	}
+	// The connection is still synchronized: normal traffic resumes.
+	if err := c.Set([]byte("again"), 0, []byte("v")); err != nil {
+		t.Fatalf("set after flush: %v", err)
+	}
+	if v, ok, err := c.Get([]byte("again")); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get(again) = (%q, %v, %v)", v, ok, err)
+	}
+}

@@ -67,6 +67,8 @@ type serverMetrics struct {
 	panicsRecovered   *metrics.Counter
 	acceptRetries     *metrics.Counter
 	clientErrors      *metrics.Counter
+
+	flushes *metrics.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -90,6 +92,7 @@ func newServerMetrics() *serverMetrics {
 	m.panicsRecovered = reg.Counter("kv_panics_recovered_total", "", "handler panics isolated to their connection")
 	m.acceptRetries = reg.Counter("kv_accept_retries_total", "", "transient accept errors retried")
 	m.clientErrors = reg.Counter("kv_client_errors_total", "", "recoverable protocol violations reported")
+	m.flushes = reg.Counter("kv_flushes_total", "", "flush_all commands applied (cache emptied)")
 	return m
 }
 

@@ -161,6 +161,11 @@ func (s *Server) Counters() Counters {
 	}
 }
 
+// Flushes reports how many flush_all commands this server has applied —
+// chaos drills use it to prove a reintegrated node was actually flushed
+// before serving.
+func (s *Server) Flushes() uint64 { return s.m.flushes.Load() }
+
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.core.Draining() }
 
@@ -410,6 +415,10 @@ func (s *Server) handle(conn net.Conn) {
 				s.writeStats(w)
 			case kvproto.OpNoop:
 				kvproto.WriteNoop(w)
+			case kvproto.OpFlushAll:
+				s.cache.Flush()
+				s.m.flushes.Inc()
+				kvproto.WriteOk(w)
 			case kvproto.OpQuit:
 				w.Flush()
 				return
@@ -470,6 +479,7 @@ func (s *Server) writeStats(w *bufio.Writer) {
 	kvproto.WriteStat(w, "evictions", st.Evictions)
 	kvproto.WriteStat(w, "policy_switches", st.PolicySwitches)
 	kvproto.WriteStat(w, "hash_collisions", st.HashCollisions)
+	kvproto.WriteStat(w, "flushes", s.m.flushes.Load())
 	kvproto.WriteStat(w, "optimistic_get_fastpath", st.OptimisticFastpath)
 	kvproto.WriteStat(w, "optimistic_get_fallback", st.OptimisticFallback)
 	kvproto.WriteStat(w, "pending_hits_dropped", st.PendingHitsDropped)
