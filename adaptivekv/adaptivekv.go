@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -96,6 +97,13 @@ type Config struct {
 	// read-only streaks before the ¾-full self-drain; a full ring drops
 	// records (counted in Stats.PendingHitsDropped) rather than block.
 	PendingRing int
+
+	// SweepInterval paces the TTL sweeper (default 100ms): each tick
+	// advances the coarse expiry clock and sweeps one shard, so a full
+	// pass over the cache takes Shards ticks. The sweeper starts lazily
+	// on the first SetTTL with a nonzero deadline; a cache that never
+	// stores a TTL never runs it.
+	SweepInterval time.Duration
 }
 
 // normalized fills defaults and validates.
@@ -130,6 +138,9 @@ func (c Config) normalized() Config {
 	}
 	if c.PendingRing == 0 {
 		c.PendingRing = 1024
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = 100 * time.Millisecond
 	}
 	if c.Shards <= 0 || c.Shards&(c.Shards-1) != 0 {
 		panic(fmt.Sprintf("adaptivekv: Shards %d is not a positive power of two", c.Shards))
@@ -216,6 +227,15 @@ type Stats struct {
 	// the pending ring was full. Drops lose a little adaptive signal
 	// (never data); readers are never blocked to preserve it.
 	PendingHitsDropped uint64
+	// Expired counts entries vacated because their TTL deadline had
+	// passed — lazily by a Get/Set/Delete that found the corpse, or by
+	// the active sweeper. Each expired entry is counted exactly once, at
+	// the moment its slot is reclaimed; an optimistic read that merely
+	// observes an expired entry (and reports a miss) does not count it.
+	Expired uint64
+	// SweepRemoved is the subset of Expired reclaimed by the active
+	// sweeper rather than lazily on an access path.
+	SweepRemoved uint64
 }
 
 // Add accumulates o into s (summing per-shard snapshots into a total).
@@ -232,6 +252,8 @@ func (s *Stats) Add(o Stats) {
 	s.OptimisticFastpath += o.OptimisticFastpath
 	s.OptimisticFallback += o.OptimisticFallback
 	s.PendingHitsDropped += o.PendingHitsDropped
+	s.Expired += o.Expired
+	s.SweepRemoved += o.SweepRemoved
 }
 
 // HitRatio returns GetHits/Gets, or 0 for an unused cache.
@@ -242,10 +264,13 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.GetHits) / float64(s.Gets)
 }
 
-// entry is one resident key-value pair.
+// entry is one resident key-value pair. deadline is the unix-nanosecond
+// TTL deadline, 0 for entries that never expire; expiry is judged
+// against the cache's coarse sweeper-updated clock, never a syscall.
 type entry[K comparable, V any] struct {
-	key K
-	val V
+	key      K
+	val      V
+	deadline int64
 }
 
 // shard is one lock stripe. Two locks split its state:
@@ -280,7 +305,9 @@ type shard[K comparable, V any] struct {
 	// Writer-owned counters, guarded by mu.
 	stores, storeHits uint64
 	deletes, delHits  uint64
-	resident          int // maintained incrementally; see Len
+	expired           uint64 // TTL vacates, lazy + swept; counted at reclaim
+	sweepRemoved      uint64 // subset of expired reclaimed by the sweeper
+	resident          int    // maintained incrementally; see Len
 
 	// Reader-shared counters, incremented outside mu.
 	gets, getHits      atomic.Uint64
@@ -301,6 +328,19 @@ type Cache[K comparable, V any] struct {
 	setShift   uint
 	ways       int
 	optimistic bool
+
+	// TTL machinery. clock is the coarse expiry clock (unix nanos),
+	// seeded at New and advanced only by sweeper ticks, so the hot-path
+	// deadline check is one atomic load and a compare — never a syscall.
+	// ttlInUse flips true on the first SetTTL with a nonzero deadline and
+	// gates the TTL-aware branches on the locked paths, keeping a cache
+	// that never stores a TTL on its original code paths.
+	clock       atomic.Int64
+	ttlInUse    atomic.Bool
+	sweepStart  sync.Once
+	sweepStop   chan struct{}
+	closeOnce   sync.Once
+	sweepPasses atomic.Uint64
 }
 
 // Option configures a Cache at construction.
@@ -319,11 +359,13 @@ func WithHasher[K comparable, V any](h func(K) uint64) Option[K, V] {
 func New[K comparable, V any](cfg Config, opts ...Option[K, V]) *Cache[K, V] {
 	cfg = cfg.normalized()
 	c := &Cache[K, V]{
-		cfg:     cfg,
-		shards:  make([]shard[K, V], cfg.Shards),
-		setMask: uint64(cfg.Sets - 1),
-		ways:    cfg.Ways,
+		cfg:       cfg,
+		shards:    make([]shard[K, V], cfg.Shards),
+		setMask:   uint64(cfg.Sets - 1),
+		ways:      cfg.Ways,
+		sweepStop: make(chan struct{}),
 	}
+	c.clock.Store(time.Now().UnixNano())
 	for s := cfg.Sets; s > 1; s >>= 1 {
 		c.setShift++
 	}
@@ -383,13 +425,42 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 		return v, ok
 	}
 	v, ok := c.getOptimistic(sh, set, tag, key)
-	sh.notePending(set, tag)
+	c.notePending(sh, set, tag)
 	return v, ok
 }
 
+// expiredDeadline reports whether a TTL deadline has passed per the
+// coarse clock: one branch for the common deadline-0 case, one atomic
+// load otherwise. Never a syscall, never an allocation.
+func (c *Cache[K, V]) expiredDeadline(d int64) bool {
+	return d != 0 && c.clock.Load() >= d
+}
+
+// expireLocked vacates an expired entry: engine delete, mirror and
+// entry invalidation, and the exactly-once Expired count. Caller holds
+// sh.mu and has verified the slot holds the expired key.
+func (c *Cache[K, V]) expireLocked(sh *shard[K, V], set int, tag uint64, slot int) {
+	sh.eng.Delete(set, tag)
+	sh.publish(slot, entry[K, V]{}, 0)
+	sh.expired++
+	sh.resident--
+}
+
 // lookupLocked is the authoritative Get body: engine lookup inline plus
-// key confirmation. Caller holds sh.mu.
+// key confirmation. Caller holds sh.mu. When TTLs are in play, an
+// expired resident entry is vacated first and the engine then records a
+// genuine miss — leader-set learning sees the access exactly as if the
+// entry had never been there.
 func (c *Cache[K, V]) lookupLocked(sh *shard[K, V], set int, tag uint64, key K) (V, bool) {
+	if c.ttlInUse.Load() {
+		if way, ok := sh.eng.Find(set, tag); ok {
+			slot := set*c.ways + way
+			e := &sh.entries[slot]
+			if e.key == key && c.expiredDeadline(e.deadline) {
+				c.expireLocked(sh, set, tag, slot)
+			}
+		}
+	}
 	if way, ok := sh.eng.Lookup(set, tag); ok {
 		e := &sh.entries[set*c.ways+way]
 		if e.key == key {
@@ -417,6 +488,12 @@ func (c *Cache[K, V]) probeShared(sh *shard[K, V], set int, tag uint64, key K) (
 		}
 		e := &sh.entries[base+w]
 		if e.key == key {
+			if c.expiredDeadline(e.deadline) {
+				// Expired corpse: a miss to the caller. Readers hold only
+				// rmu, so the slot is reclaimed (and Expired counted) later
+				// by a writer, the ring drain, or the sweeper.
+				break
+			}
 			sh.getHits.Add(1)
 			return e.val, true
 		}
@@ -468,19 +545,19 @@ func (c *Cache[K, V]) getOptimistic(sh *shard[K, V], set int, tag uint64, key K)
 // drains when the ring is running hot and the shard lock happens to be
 // free. A full ring drops the record — adaptive signal is best-effort,
 // reader progress is not.
-func (sh *shard[K, V]) notePending(set int, tag uint64) {
+func (c *Cache[K, V]) notePending(sh *shard[K, V], set int, tag uint64) {
 	if !sh.ring.push(uint32(set), tag) {
 		sh.dropped.Add(1)
 		return
 	}
-	sh.maybeDrain()
+	c.maybeDrain(sh)
 }
 
 // maybeDrain opportunistically drains a ≥¾-full ring without ever
 // blocking: contended shards are drained by their writers anyway.
-func (sh *shard[K, V]) maybeDrain() {
+func (c *Cache[K, V]) maybeDrain(sh *shard[K, V]) {
 	if sh.ring.occupancy() >= sh.drainAt && sh.mu.TryLock() {
-		sh.drainPending()
+		c.drainPending(sh)
 		sh.mu.Unlock()
 	}
 }
@@ -488,16 +565,30 @@ func (sh *shard[K, V]) maybeDrain() {
 // drainPending replays queued access records into the decision engine.
 // Caller holds sh.mu. Replay uses Lookup — the fill-free probe — which
 // updates recency/frequency/shadow/history state but never moves
-// directory lines, so drains need no rmu and never stall readers.
-func (sh *shard[K, V]) drainPending() {
+// directory lines, so non-TTL drains need no rmu and never stall
+// readers. With TTLs in play each record first checks the resident
+// entry's deadline: an expired corpse is vacated (the one rmu window
+// the drain ever takes) *before* the replay, so the engine records the
+// miss the optimistic reader actually experienced rather than a hit on
+// a dead entry.
+func (c *Cache[K, V]) drainPending(sh *shard[K, V]) {
 	r := sh.ring
 	if r == nil {
 		return
 	}
+	ttl := c.ttlInUse.Load()
 	for {
 		set, tag, ok := r.pop()
 		if !ok {
 			break
+		}
+		if ttl {
+			if way, found := sh.eng.Find(int(set), tag); found {
+				slot := int(set)*c.ways + way
+				if c.expiredDeadline(sh.entries[slot].deadline) {
+					c.expireLocked(sh, int(set), tag, slot)
+				}
+			}
 		}
 		sh.eng.Lookup(int(set), tag)
 	}
@@ -515,39 +606,59 @@ func (sh *shard[K, V]) publish(slot int, e entry[K, V], packed uint64) {
 	sh.rmu.Unlock()
 }
 
-// Set caches val under key, updating in place when key is resident and
-// otherwise filling per the shard's replacement decision — possibly
-// evicting the entry the imitated component policy would evict. Every
-// mutation first drains the pending ring, so the engine decides with all
-// observed accesses applied.
-func (c *Cache[K, V]) Set(key K, val V) {
+// Set caches val under key with no expiry, updating in place when key is
+// resident and otherwise filling per the shard's replacement decision —
+// possibly evicting the entry the imitated component policy would evict.
+// Every mutation first drains the pending ring, so the engine decides
+// with all observed accesses applied.
+func (c *Cache[K, V]) Set(key K, val V) { c.SetTTL(key, val, 0) }
+
+// SetTTL is Set with a TTL: deadline is the unix-nanosecond time after
+// which the entry reads as a miss (0 = never expires). The first nonzero
+// deadline stored starts the background sweeper. Overwriting an expired
+// resident entry counts as Expired (the slot was logically vacant), not
+// as a store hit.
+func (c *Cache[K, V]) SetTTL(key K, val V, deadline int64) {
+	if deadline != 0 {
+		c.ensureTTL()
+	}
 	sh, set, tag := c.locate(key)
 	sh.mu.Lock()
-	sh.drainPending()
+	c.drainPending(sh)
 	sh.stores++
 	res := sh.eng.Store(set, tag)
 	slot := set*c.ways + res.Way
 	if res.Hit {
-		sh.storeHits++
-		if sh.entries[slot].key != key {
+		old := &sh.entries[slot]
+		switch {
+		case c.expiredDeadline(old.deadline):
+			// Overwriting a corpse: the new value fills a logically
+			// vacant slot. Count the expiry here — this store is the
+			// reclaim — and not a store hit.
+			sh.expired++
+		case old.key != key:
 			// Tag hit on a different key: the store legally overwrites
 			// the colliding entry, but the engine saw an in-place update.
+			sh.storeHits++
 			sh.collisions.Add(1)
+		default:
+			sh.storeHits++
 		}
 	} else if !res.Evicted {
 		sh.resident++ // filled a previously invalid way
 	}
-	sh.publish(slot, entry[K, V]{key: key, val: val}, tag<<1|1)
+	sh.publish(slot, entry[K, V]{key: key, val: val, deadline: deadline}, tag<<1|1)
 	sh.mu.Unlock()
 }
 
 // Delete removes key, reporting whether it was resident. The freed slot
-// becomes fill-preferred within its set.
+// becomes fill-preferred within its set. Deleting an expired entry
+// reclaims the slot but reports NOT_FOUND — the value was already dead.
 func (c *Cache[K, V]) Delete(key K) bool {
 	sh, set, tag := c.locate(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.drainPending()
+	c.drainPending(sh)
 	sh.deletes++
 	way, ok := sh.eng.Find(set, tag)
 	if !ok {
@@ -556,6 +667,10 @@ func (c *Cache[K, V]) Delete(key K) bool {
 	slot := set*c.ways + way
 	if sh.entries[slot].key != key {
 		sh.collisions.Add(1) // tag present but owned by a colliding key
+		return false
+	}
+	if c.expiredDeadline(sh.entries[slot].deadline) {
+		c.expireLocked(sh, set, tag, slot)
 		return false
 	}
 	sh.eng.Delete(set, tag)
@@ -582,7 +697,7 @@ func (c *Cache[K, V]) Flush() int {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		sh.drainPending()
+		c.drainPending(sh)
 		removed := 0
 		sh.rmu.Lock()
 		sh.seq.Add(1) // odd: publication in progress
@@ -606,6 +721,110 @@ func (c *Cache[K, V]) Flush() int {
 		total += removed
 	}
 	return total
+}
+
+// ensureTTL flips the cache into TTL mode and starts the sweeper,
+// exactly once for the cache's lifetime.
+func (c *Cache[K, V]) ensureTTL() {
+	c.sweepStart.Do(func() {
+		c.ttlInUse.Store(true)
+		c.clock.Store(time.Now().UnixNano())
+		go c.sweepLoop()
+	})
+}
+
+// sweepLoop is the low-duty-cycle active sweeper: each tick advances the
+// coarse expiry clock and reclaims expired entries from one shard, round
+// robin, so dead items stop pinning memory even when nothing reads them.
+// Cache.Close stops it.
+func (c *Cache[K, V]) sweepLoop() {
+	t := time.NewTicker(c.cfg.SweepInterval)
+	defer t.Stop()
+	i := 0
+	for {
+		select {
+		case <-c.sweepStop:
+			return
+		case <-t.C:
+			// Re-check stop first: with both channels ready the outer
+			// select picks randomly, and Close must win promptly.
+			select {
+			case <-c.sweepStop:
+				return
+			default:
+			}
+			c.clock.Store(time.Now().UnixNano())
+			c.sweepShard(i)
+			i = (i + 1) % len(c.shards)
+		}
+	}
+}
+
+// sweepShard reclaims shard i's expired entries under TryLock — a busy
+// shard is skipped rather than contended (its own writers and drains
+// expire lazily anyway) — in one publication window, mirroring Flush's
+// slot walk. Swept entries count as both Expired and SweepRemoved.
+func (c *Cache[K, V]) sweepShard(i int) {
+	sh := &c.shards[i]
+	if !sh.mu.TryLock() {
+		return
+	}
+	defer sh.mu.Unlock()
+	now := c.clock.Load()
+	removed := 0
+	sh.rmu.Lock()
+	sh.seq.Add(1) // odd: publication in progress
+	for slot := range sh.entries {
+		if sh.rtags[slot].Load() == 0 {
+			continue
+		}
+		e := &sh.entries[slot]
+		if e.deadline == 0 || now < e.deadline {
+			continue
+		}
+		// Recompute (set, tag) from the resident key rather than
+		// unpacking the mirror word: with Sets == 1 the packed form
+		// tag<<1|1 has dropped the tag's top bit (same as Flush).
+		_, set, tag := c.locate(e.key)
+		sh.eng.Delete(set, tag)
+		sh.rtags[slot].Store(0)
+		sh.entries[slot] = entry[K, V]{} // release references
+		removed++
+	}
+	sh.seq.Add(1)
+	sh.rmu.Unlock()
+	sh.resident -= removed
+	sh.expired += uint64(removed)
+	sh.sweepRemoved += uint64(removed)
+	c.sweepPasses.Add(1)
+}
+
+// SweepPasses returns how many shard sweeps the TTL sweeper has
+// completed (0 until the first SetTTL with a deadline starts it).
+func (c *Cache[K, V]) SweepPasses() uint64 { return c.sweepPasses.Load() }
+
+// Close stops the TTL sweeper, if it ever started. Idempotent; the
+// cache remains usable afterwards (minus active sweeping), so Close is
+// safe to call during any shutdown ordering.
+func (c *Cache[K, V]) Close() {
+	c.closeOnce.Do(func() { close(c.sweepStop) })
+}
+
+// Deadline reports key's TTL deadline in unix nanoseconds (0 = never
+// expires) and whether the key is resident, without recording an access.
+func (c *Cache[K, V]) Deadline(key K) (int64, bool) {
+	sh, set, tag := c.locate(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	way, ok := sh.eng.Find(set, tag)
+	if !ok {
+		return 0, false
+	}
+	e := &sh.entries[set*c.ways+way]
+	if e.key != key {
+		return 0, false
+	}
+	return e.deadline, true
 }
 
 // Len returns the number of resident entries. Each shard maintains its
@@ -659,6 +878,8 @@ func (c *Cache[K, V]) ShardStats(i int) Stats {
 		OptimisticFastpath: sh.fastpath.Load(),
 		OptimisticFallback: sh.fallback.Load(),
 		PendingHitsDropped: sh.dropped.Load(),
+		Expired:            sh.expired,
+		SweepRemoved:       sh.sweepRemoved,
 	}
 }
 

@@ -64,7 +64,7 @@ func (c *Cache[K, V]) getChunk(keys []K, vals []V, oks []bool) {
 		}
 		if c.optimistic {
 			sh.rmu.RUnlock()
-			sh.maybeDrain()
+			c.maybeDrain(sh)
 		} else {
 			sh.mu.Unlock()
 		}
@@ -97,7 +97,7 @@ func (c *Cache[K, V]) setChunk(keys []K, vals []V) {
 		}
 		sh, _, _ := c.locate(keys[i])
 		sh.mu.Lock()
-		sh.drainPending()
+		c.drainPending(sh)
 		// One publication window covers the whole shard group; store and
 		// publish interleave per key so in-batch duplicates and collisions
 		// see each other exactly as sequential Sets would.
@@ -116,9 +116,14 @@ func (c *Cache[K, V]) setChunk(keys []K, vals []V) {
 			res := sh.eng.Store(set, tag)
 			slot := set*c.ways + res.Way
 			if res.Hit {
-				sh.storeHits++
-				if sh.entries[slot].key != keys[j] {
+				switch {
+				case c.expiredDeadline(sh.entries[slot].deadline):
+					sh.expired++ // overwrote a corpse, not a live entry
+				case sh.entries[slot].key != keys[j]:
+					sh.storeHits++
 					sh.collisions.Add(1)
+				default:
+					sh.storeHits++
 				}
 			} else if !res.Evicted {
 				sh.resident++

@@ -80,7 +80,7 @@ func TestServerConcurrentLoad(t *testing.T) {
 							t.Errorf("Get(%s) returned %q", key, v)
 							return
 						}
-					} else if err := c.Set(key, 0, key); err != nil {
+					} else if err := c.Set(key, 0, 0, key); err != nil {
 						errs <- err
 						return
 					}
@@ -173,7 +173,7 @@ func TestServerGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Set([]byte("k"), 0, []byte("v")); err != nil {
+	if err := c.Set([]byte("k"), 0, 0, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	c.Close()

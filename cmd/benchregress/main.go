@@ -148,7 +148,7 @@ func realMain(n, macroN uint64, out string, check bool, tol float64, seedNS int6
 		GoArch:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		HotPath:    []Entry{measureLRU(n), measureAdaptive(n), measureKVGet(n), measureKVSet(n), measureHistogram(n)},
+		HotPath:    []Entry{measureLRU(n), measureAdaptive(n), measureKVGet(n), measureKVGetTTL(n), measureKVSet(n), measureHistogram(n)},
 	}
 	for _, procs := range []int{1, 2, 4, 8} {
 		rep.HotPath = append(rep.HotPath,
@@ -277,6 +277,24 @@ func measureKVGet(n uint64) Entry {
 	})
 }
 
+// measureKVGetTTL times the same hit path with TTL bookkeeping armed:
+// every entry carries a far-future deadline, so each Get takes the
+// ttlInUse branch and compares the deadline against the coarse clock.
+// The row exists to keep that branch allocation-free and to bound its
+// cost relative to the plain kv/Get row.
+func measureKVGetTTL(n uint64) Entry {
+	c := adaptivekv.New[uint64, uint64](adaptivekv.Config{})
+	defer c.Close()
+	const keys = 4096
+	deadline := time.Now().Add(24 * time.Hour).UnixNano()
+	for k := uint64(0); k < keys; k++ {
+		c.SetTTL(k, k, deadline)
+	}
+	return measure("kv/Get/ttl", n, n/10, func(rng uint64) {
+		c.Get(rng % keys)
+	})
+}
+
 // measureKVSet times steady-state stores over a keyspace several times the
 // cache's capacity, so most iterations run the full adaptive victim path.
 func measureKVSet(n uint64) Entry {
@@ -389,7 +407,7 @@ func driveLoopback(name, addr string, batch int, n uint64) Entry {
 			keys := make([][]byte, batch)
 			for i := range keys {
 				keys[i] = []byte(fmt.Sprintf("bench-%d-%d", id, i))
-				if err := c.Set(keys[i], 0, []byte("loopback-value")); err != nil {
+				if err := c.Set(keys[i], 0, 0, []byte("loopback-value")); err != nil {
 					errs <- err
 					return
 				}

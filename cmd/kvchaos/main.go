@@ -23,6 +23,13 @@
 //     resets and sheds — remove the client's retry logic and the gate fails.
 //   - Slow-loris resistance: a client dribbling bytes forever is reaped by
 //     the read deadline instead of holding its slot indefinitely.
+//   - TTL honesty: a subset of keys is written with a client-computed
+//     absolute expiry deadline. A get answered with a VALUE after that
+//     version's deadline (plus a sweep-granularity grace) is a violation
+//     — an expired value must read as a miss on every path. Misses stay
+//     legal at all times, and when post-deadline misses were observed
+//     with zero capacity evictions, the server's expiry counter must
+//     have moved (the accounting can't be dead).
 //   - Clean teardown: after the soak, a fresh client gets normal service,
 //     the adaptive cache still reports a sane hit ratio, and shutdown
 //     leaks no goroutines.
@@ -62,11 +69,17 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// ttlGrace pads client-side deadline checks: the server's coarse expiry
+// clock advances on sweeper ticks (default 100ms), so a value can
+// legally survive its deadline by one tick plus scheduling noise.
+const ttlGrace = time.Second
+
 // keyState is one key's write history on its single-writer client.
 type keyState struct {
-	acked   uint64              // newest acknowledged version (0 = none)
-	tried   uint64              // newest attempted version
-	pending map[uint64]struct{} // unacked versions that may still land
+	acked     uint64              // newest acknowledged version (0 = none)
+	tried     uint64              // newest attempted version
+	pending   map[uint64]struct{} // unacked versions that may still land
+	deadlines map[uint64]int64    // version -> absolute TTL deadline (unix nanos), TTL keys only
 }
 
 // chaosClient drives one connection's op mix through the fault proxy and
@@ -79,13 +92,15 @@ type chaosClient struct {
 	keys  []keyState
 	names [][]byte
 	vsize int
+	ttl   time.Duration // nonzero: every 4th key is written with this TTL
 
 	ops, gets, hits, sets, ackedSets, unackedSets uint64
+	expiredMisses                                 uint64 // post-deadline reads correctly answered as misses
 	violations                                    []string
 	fatal                                         error
 }
 
-func newChaosClient(id int, addr string, seed uint64, nkeys, vsize int, ctrs *kvproto.ReconnectCounters) *chaosClient {
+func newChaosClient(id int, addr string, seed uint64, nkeys, vsize int, ttl time.Duration, ctrs *kvproto.ReconnectCounters) *chaosClient {
 	cc := &chaosClient{
 		id: id,
 		rc: kvproto.NewReconnect(addr, kvproto.ReconnectConfig{
@@ -102,13 +117,18 @@ func newChaosClient(id int, addr string, seed uint64, nkeys, vsize int, ctrs *kv
 		keys:  make([]keyState, nkeys),
 		names: make([][]byte, nkeys),
 		vsize: vsize,
+		ttl:   ttl,
 	}
 	for j := range cc.keys {
 		cc.keys[j].pending = make(map[uint64]struct{})
+		cc.keys[j].deadlines = make(map[uint64]int64)
 		cc.names[j] = []byte(fmt.Sprintf("c%dk%d", id, j))
 	}
 	return cc
 }
+
+// ttlKey reports whether key j carries a TTL on every write.
+func (cc *chaosClient) ttlKey(j int) bool { return cc.ttl > 0 && j%4 == 0 }
 
 func (cc *chaosClient) next() uint64 {
 	cc.rng ^= cc.rng << 13
@@ -176,7 +196,18 @@ func (cc *chaosClient) doSet(j int) {
 	ks := &cc.keys[j]
 	ver := ks.tried + 1
 	ks.tried = ver
-	err := cc.rc.Set(cc.names[j], 0, encodeValue(ver, cc.names[j], cc.vsize))
+	var exptime int64
+	if cc.ttlKey(j) {
+		// Client-computed ABSOLUTE deadline in unix seconds (always above
+		// the relative/absolute pivot), so every layer — reconnect
+		// replays included — carries the same expiry instant verbatim.
+		expSec := time.Now().Add(cc.ttl).Unix() + 1
+		exptime = expSec
+		// Recorded per version, acked or not: an unacked write landing
+		// late still dies at the same absolute instant.
+		ks.deadlines[ver] = expSec * int64(time.Second)
+	}
+	err := cc.rc.Set(cc.names[j], 0, exptime, encodeValue(ver, cc.names[j], cc.vsize))
 	cc.sets++
 	switch {
 	case err == nil:
@@ -194,6 +225,7 @@ func (cc *chaosClient) doSet(j int) {
 
 func (cc *chaosClient) doGet(j int) {
 	ks := &cc.keys[j]
+	sent := time.Now() // taken BEFORE the get: the server processed it no earlier
 	v, ok, err := cc.rc.Get(cc.names[j])
 	if err != nil {
 		cc.fatal = fmt.Errorf("client %d: get %s: %w", cc.id, cc.names[j], err)
@@ -201,7 +233,13 @@ func (cc *chaosClient) doGet(j int) {
 	}
 	cc.gets++
 	if !ok {
-		return // miss: evicted or never written — always legal
+		// Miss: always legal. Note when it is the expected outcome of a
+		// read past the acked version's deadline — those misses are what
+		// the expiry-accounting cross-check below feeds on.
+		if d, has := ks.deadlines[ks.acked]; has && sent.UnixNano() > d+int64(ttlGrace) {
+			cc.expiredMisses++
+		}
+		return
 	}
 	cc.hits++
 	ver, key, derr := decodeValue(v)
@@ -211,6 +249,13 @@ func (cc *chaosClient) doGet(j int) {
 	}
 	if !bytes.Equal(key, cc.names[j]) {
 		cc.violate("get %s returned value for key %s", cc.names[j], key)
+		return
+	}
+	// TTL honesty: ANY value returned after its version's deadline is a
+	// violation, regardless of the version window — expired means miss.
+	if d, has := ks.deadlines[ver]; has && sent.UnixNano() > d+int64(ttlGrace) {
+		cc.violate("get %s returned version %d at %v past its TTL deadline — expired value served",
+			cc.names[j], ver, time.Duration(sent.UnixNano()-d))
 		return
 	}
 	if ver == ks.acked {
@@ -268,6 +313,8 @@ func main() {
 		delay      = flag.Duration("delay", time.Millisecond, "proxy: injected latency")
 		acceptRate = flag.Float64("accept-error-rate", 0.25, "server listener: transient accept-error probability")
 		panicRate  = flag.Float64("panic-rate", 0.001, "server: per-request injected handler panic probability")
+
+		ttl       = flag.Duration("ttl", time.Second, "TTL written on every 4th key per client (0 disables the TTL invariant)")
 
 		readTO    = flag.Duration("read-timeout", 500*time.Millisecond, "server read deadline (reaps slow loris)")
 		maxConns  = flag.Int("max-conns", 0, "server connection bound (0 = clients+slowloris+3)")
@@ -333,7 +380,7 @@ func main() {
 	ccs := make([]*chaosClient, *clients)
 	var wg sync.WaitGroup
 	for i := range ccs {
-		ccs[i] = newChaosClient(i, node.Addr(), splitmix64(*seed+uint64(i)*7919), *nkeys, *vsize, rctrs)
+		ccs[i] = newChaosClient(i, node.Addr(), splitmix64(*seed+uint64(i)*7919), *nkeys, *vsize, *ttl, rctrs)
 		wg.Add(1)
 		go func(cc *chaosClient) {
 			defer wg.Done()
@@ -364,10 +411,52 @@ func main() {
 	// ordinary service, and an acknowledged write must read back.
 	probeKey, probeVal := []byte("kvchaos-probe"), []byte("alive")
 	probe := kvproto.NewReconnect(serverAddr, kvproto.ReconnectConfig{Seed: *seed + 99, Counters: rctrs})
-	if err := probe.Set(probeKey, 0, probeVal); err != nil {
+	if err := probe.Set(probeKey, 0, 0, probeVal); err != nil {
 		failures = append(failures, fmt.Sprintf("post-soak liveness: set: %v", err))
 	} else if v, ok, err := probe.Get(probeKey); err != nil || !ok || !bytes.Equal(v, probeVal) {
 		failures = append(failures, fmt.Sprintf("post-soak liveness: get ok=%v err=%v", ok, err))
+	}
+
+	// Deterministic expiry drill: the soak can outrun its own TTLs on a
+	// fast machine, so prove the end-to-end contract directly — a 1s-TTL
+	// set must be readable now, unreadable within the acceptance window,
+	// and counted by the server's expiry books.
+	if *ttl > 0 {
+		ttlProbeKey := []byte("kvchaos-ttl-probe")
+		expSec := time.Now().Add(time.Second).Unix() + 1
+		if err := probe.Set(ttlProbeKey, 0, expSec, []byte("dying")); err != nil {
+			failures = append(failures, fmt.Sprintf("ttl probe: set: %v", err))
+		} else {
+			if v, ok, err := probe.Get(ttlProbeKey); err != nil || !ok || !bytes.Equal(v, []byte("dying")) {
+				failures = append(failures, fmt.Sprintf("ttl probe: pre-deadline get ok=%v err=%v", ok, err))
+			}
+			patience := time.Now().Add(5 * time.Second)
+			expired := false
+			for time.Now().Before(patience) {
+				if _, ok, err := probe.Get(ttlProbeKey); err == nil && !ok {
+					expired = true
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if !expired {
+				failures = append(failures, "ttl probe: value still readable 4s past a 1s TTL")
+			} else {
+				// The miss may be observed lazily before the reclaim is
+				// counted; give the sweeper one full shard cycle.
+				counted := false
+				for time.Now().Before(patience) {
+					if srv.Cache().Stats().Expired > 0 {
+						counted = true
+						break
+					}
+					time.Sleep(50 * time.Millisecond)
+				}
+				if !counted {
+					failures = append(failures, "ttl probe: value expired but kv_expired_total never moved")
+				}
+			}
+		}
 	}
 	probe.Close()
 
@@ -395,7 +484,7 @@ func main() {
 
 	// Aggregate client results and verdicts. The reconnect tallies include
 	// the probe: it shares rctrs, so the fleet sums must too.
-	var tOps, tGets, tHits, tAcked, tUnacked uint64
+	var tOps, tGets, tHits, tAcked, tUnacked, tExpiredMisses uint64
 	tRedials, tRetries, tUnackedOps, tExhausted := probe.Redials, probe.Retries, probe.Unacked, probe.Exhausted
 	for _, cc := range ccs {
 		tOps += cc.ops
@@ -403,6 +492,7 @@ func main() {
 		tHits += cc.hits
 		tAcked += cc.ackedSets
 		tUnacked += cc.unackedSets
+		tExpiredMisses += cc.expiredMisses
 		tRedials += cc.rc.Redials
 		tRetries += cc.rc.Retries
 		tUnackedOps += cc.rc.Unacked
@@ -423,6 +513,8 @@ func main() {
 		counters.ConnsRejected, counters.ClientErrors)
 	fmt.Printf("  cache: hit ratio %.4f, %d evictions, %d policy switches\n",
 		agg.HitRatio(), agg.Evictions, agg.PolicySwitches)
+	fmt.Printf("  ttl: %d post-deadline reads answered as misses; server expired %d (%d swept, %d sweep passes)\n",
+		tExpiredMisses, agg.Expired, agg.SweepRemoved, srv.Cache().SweepPasses())
 
 	if counters.PanicsRecovered != hookPanics.Load() {
 		failures = append(failures, fmt.Sprintf("panic accounting: %d injected, %d recovered",
@@ -437,6 +529,14 @@ func main() {
 	}
 	if leaked != 0 {
 		failures = append(failures, fmt.Sprintf("goroutine leak: %d above baseline after shutdown", leaked))
+	}
+	// Expiry accounting: clients observed reads past an acked deadline
+	// coming back as misses. With zero capacity evictions, the only legal
+	// way those entries vanished is the expiry path, which counts.
+	if *ttl > 0 && tExpiredMisses > 0 && agg.Evictions == 0 && agg.Expired == 0 {
+		failures = append(failures, fmt.Sprintf(
+			"TTL accounting dead: %d post-deadline misses observed, zero evictions, yet kv_expired_total is 0",
+			tExpiredMisses))
 	}
 
 	// Metric invariants, checked only after shutdown drains every handler:

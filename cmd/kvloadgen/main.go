@@ -21,6 +21,12 @@
 // percentiles (p50/p95/p99/max, one sample per pipelined batch — per
 // operation at -pipeline 1). -min-ops and -max-p99 turn the run into a
 // pass/fail CI gate on throughput and tail latency.
+//
+// -ttl gives half the keyspace (even keys) a finite TTL while the other
+// half never expires — a mixed stream that exercises the server's lazy
+// and swept expiry paths under load. Each worker remembers the
+// deadlines of its own TTL'd sets and the report counts the misses
+// explained by expiry ("expired reads") separately from cold misses.
 package main
 
 import (
@@ -43,7 +49,54 @@ import (
 // connStats is one worker's tally.
 type connStats struct {
 	gets, hits, sets uint64
+	expiredReads     uint64 // misses on keys this worker had set with a now-passed TTL
 	err              error
+}
+
+// ttlTracker classifies a worker's misses: it remembers the deadline of
+// every TTL'd set the worker issued, so a later miss on that key can be
+// attributed to expiry rather than eviction or cold start. Workers
+// share the keyspace, so another worker's refresh can mask an expiry —
+// the tally is a floor, not an exact census.
+type ttlTracker struct {
+	ttl       time.Duration
+	deadlines map[string]time.Time
+}
+
+// exptimeFor splits the stream: even keys carry the finite TTL (as
+// relative seconds on the wire), odd keys never expire.
+func (tt *ttlTracker) exptimeFor(key []byte) int64 {
+	if tt == nil || len(key) == 0 || key[len(key)-1]%2 != 0 {
+		return 0
+	}
+	secs := int64(tt.ttl / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// noteSet records the deadline for a TTL'd set (no-op for infinite keys).
+func (tt *ttlTracker) noteSet(key []byte, exptime int64) {
+	if tt == nil || exptime == 0 {
+		return
+	}
+	tt.deadlines[string(key)] = time.Now().Add(time.Duration(exptime) * time.Second)
+}
+
+// expiredMiss reports whether a miss on key is explained by a passed
+// deadline from this worker's own writes. One second of grace covers
+// the server's sweep granularity and the wire's second-rounding.
+func (tt *ttlTracker) expiredMiss(key []byte) bool {
+	if tt == nil {
+		return false
+	}
+	d, ok := tt.deadlines[string(key)]
+	if !ok || time.Since(d) < time.Second {
+		return false
+	}
+	delete(tt.deadlines, string(key))
+	return true
 }
 
 func patterns(mix string, hot uint64, skew float64, loop uint64) []workload.Pattern {
@@ -76,6 +129,7 @@ func main() {
 		minOps = flag.Uint64("min-ops", 0, "fail (exit 1) if throughput is below this many ops/s")
 		maxP99 = flag.Duration("max-p99", 0, "fail (exit 1) if client-observed p99 round-trip latency exceeds this (0 = no gate)")
 		direct = flag.Bool("direct", false, "skip the network: drive an in-process adaptivekv cache")
+		ttlDur = flag.Duration("ttl", 0, "finite TTL for the even half of the keyspace (0 = nothing expires); expired reads are reported")
 	)
 	flag.Parse()
 	if *procs > 0 {
@@ -130,8 +184,12 @@ func main() {
 			defer wg.Done()
 			st := &stats[id]
 			ks := workload.NewKeyStream(*seed+uint64(id)*1000003, pats)
+			var tt *ttlTracker
+			if *ttlDur > 0 {
+				tt = &ttlTracker{ttl: *ttlDur, deadlines: make(map[string]time.Time)}
+			}
 			if *direct {
-				runDirect(st, cache, ks, shares[id], payload, lat)
+				runDirect(st, cache, ks, shares[id], payload, lat, tt)
 				return
 			}
 			c, err := kvproto.Dial(tgtList[id%len(tgtList)])
@@ -140,7 +198,7 @@ func main() {
 				return
 			}
 			defer c.Close()
-			runClient(st, c, ks, shares[id], payload, *depth, *mget, lat)
+			runClient(st, c, ks, shares[id], payload, *depth, *mget, lat, tt)
 		}(w)
 	}
 	wg.Wait()
@@ -167,6 +225,7 @@ func main() {
 		total.gets += stats[i].gets
 		total.hits += stats[i].hits
 		total.sets += stats[i].sets
+		total.expiredReads += stats[i].expiredReads
 	}
 	opsDone := total.gets + total.sets
 	opsPerSec := float64(opsDone) / elapsed.Seconds()
@@ -183,6 +242,10 @@ func main() {
 		target, *mix, *conns, *mget, runtime.GOMAXPROCS(0))
 	fmt.Printf("  %d ops in %.2fs = %.0f ops/s\n", opsDone, elapsed.Seconds(), opsPerSec)
 	fmt.Printf("  gets %d, hit ratio %.4f, sets %d\n", total.gets, hitRatio, total.sets)
+	if *ttlDur > 0 {
+		fmt.Printf("  ttl %v on even keys: %d expired reads (misses explained by a passed deadline)\n",
+			*ttlDur, total.expiredReads)
+	}
 	if len(tgtList) > 1 {
 		for ti, ts := range perTgt {
 			status := "ok"
@@ -233,7 +296,7 @@ func splitOps(total uint64, workers int) []uint64 {
 // multi-key get requests of that size; every key still counts as one get
 // in the tally (and so in the -min-ops gate), since each is one cache
 // lookup server-side.
-func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint64, payload []byte, depth, mget int, lat *metrics.Histogram) {
+func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint64, payload []byte, depth, mget int, lat *metrics.Histogram, tt *ttlTracker) {
 	if depth < 1 {
 		depth = 1
 	}
@@ -295,6 +358,9 @@ func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint6
 			st.gets++
 			if miss[i] {
 				misses++
+				if tt.expiredMiss(keys[i]) {
+					st.expiredReads++
+				}
 			} else {
 				st.hits++
 			}
@@ -302,7 +368,9 @@ func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint6
 		if misses > 0 {
 			for i := 0; i < b; i++ {
 				if miss[i] {
-					c.SendSet(keys[i], 0, payload)
+					exptime := tt.exptimeFor(keys[i])
+					c.SendSet(keys[i], 0, exptime, payload)
+					tt.noteSet(keys[i], exptime)
 				}
 			}
 			t1 := time.Now()
@@ -324,7 +392,7 @@ func runClient(st *connStats, c *kvproto.Client, ks *workload.KeyStream, n uint6
 // runDirect is the same loop against the cache API, for baselining the
 // protocol + network overhead away. Latency is recorded per operation
 // (there are no batches without a network).
-func runDirect(st *connStats, cache *adaptivekv.Cache[string, []byte], ks *workload.KeyStream, n uint64, payload []byte, lat *metrics.Histogram) {
+func runDirect(st *connStats, cache *adaptivekv.Cache[string, []byte], ks *workload.KeyStream, n uint64, payload []byte, lat *metrics.Histogram, tt *ttlTracker) {
 	key := make([]byte, 0, 32)
 	for i := uint64(0); i < n; i++ {
 		key = strconv.AppendUint(key[:0], ks.Next(), 10)
@@ -335,7 +403,16 @@ func runDirect(st *connStats, cache *adaptivekv.Cache[string, []byte], ks *workl
 			lat.RecordNS(int64(time.Since(t0)))
 			continue
 		}
-		cache.Set(string(key), payload)
+		if tt.expiredMiss(key) {
+			st.expiredReads++
+		}
+		exptime := tt.exptimeFor(key)
+		if exptime > 0 {
+			cache.SetTTL(string(key), payload, time.Now().Add(time.Duration(exptime)*time.Second).UnixNano())
+			tt.noteSet(key, exptime)
+		} else {
+			cache.Set(string(key), payload)
+		}
 		st.sets++
 		lat.RecordNS(int64(time.Since(t0)))
 	}

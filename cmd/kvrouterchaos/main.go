@@ -29,6 +29,13 @@
 //   - Unacked tallies reconcile exactly: ambiguous writes counted by the
 //     backend clients == forwarded by the router == observed by clients
 //     as "SERVER_ERROR unacked". Every ambiguity is surfaced, once.
+//   - TTL honesty through the routing tier: a subset of keys is written
+//     with a client-computed absolute expiry deadline. Any VALUE
+//     returned after that version's deadline (plus a sweep-granularity
+//     grace) is a violation on every path — direct, scattered, and
+//     failover reads alike. A diverged replica may serve an OLDER acked
+//     version, but never an expired one: the cluster propagates the
+//     same absolute deadline to every owner.
 //   - Clean teardown: router drain, cluster close, fleet close, and no
 //     leaked goroutines.
 //
@@ -101,6 +108,11 @@ const (
 
 var phaseNames = [...]string{"healthy", "outage", "recovered"}
 
+// ttlGrace pads client-side deadline checks: each backend's coarse
+// expiry clock advances on sweeper ticks (default 100ms), so a value can
+// legally survive its deadline by one tick plus scheduling noise.
+const ttlGrace = time.Second
+
 // keyState is one key's write history on its single-writer client.
 type keyState struct {
 	acked     uint64              // newest acknowledged version (0 = none)
@@ -108,6 +120,7 @@ type keyState struct {
 	pending   map[uint64]struct{} // unacked versions that may still land
 	failed    map[uint64]struct{} // cleanly-failed versions that must never land
 	everAcked map[uint64]struct{} // every version ever acknowledged (replicated-mode window)
+	deadlines map[uint64]int64    // version -> absolute TTL deadline (unix nanos), TTL keys only
 }
 
 // routedClient drives one connection's op mix through the router and
@@ -134,6 +147,7 @@ type routedClient struct {
 	// acknowledged write — never a failed or unknown one).
 	replicated    bool
 	retryPatience time.Duration
+	ttl           time.Duration // nonzero: every 4th key is written with this TTL
 
 	ops, gets, hits, sets, ackedSets uint64
 	unackedSeen                      uint64 // "SERVER_ERROR unacked" replies observed
@@ -165,11 +179,15 @@ func newRoutedClient(id int, addr string, seed uint64, nkeys, vsize int, cl *kvc
 		c.keys[j].pending = make(map[uint64]struct{})
 		c.keys[j].failed = make(map[uint64]struct{})
 		c.keys[j].everAcked = make(map[uint64]struct{})
+		c.keys[j].deadlines = make(map[uint64]int64)
 		c.names[j] = []byte(fmt.Sprintf("r%dk%d", id, j))
 		c.owners[j] = cl.Ring().OwnerIndex(c.names[j])
 	}
 	return c
 }
+
+// ttlKey reports whether key j carries a TTL on every write.
+func (c *routedClient) ttlKey(j int) bool { return c.ttl > 0 && j%4 == 0 }
 
 func (c *routedClient) next() uint64 {
 	c.rng ^= c.rng << 13
@@ -269,18 +287,28 @@ func (c *routedClient) doSet(j int) {
 	ver := ks.tried + 1
 	ks.tried = ver
 	val := encodeValue(ver, c.names[j], c.vsize)
-	err := c.rc.Set(c.names[j], 0, val)
+	var exptime int64
+	if c.ttlKey(j) {
+		// Client-computed ABSOLUTE deadline in unix seconds (always above
+		// the relative/absolute pivot): the router, the cluster fan-out,
+		// and any reconnect replay all carry the same expiry instant, so
+		// both owners of a replicated key agree on when it dies.
+		expSec := time.Now().Add(c.ttl).Unix() + 1
+		exptime = expSec
+		ks.deadlines[ver] = expSec * int64(time.Second)
+	}
+	err := c.rc.Set(c.names[j], 0, exptime, val)
 	c.sets++
 	if err != nil && c.replicated && !unackedReply(err) {
 		// Replicated mode promises zero failed ops, but the sync-owner
 		// handoff to the replica needs the ejection to land first. A
 		// clean failure is provably unapplied, so retrying the same
 		// version is safe; only exhausting the patience window is a
-		// violation.
+		// violation. The replayed exptime is the SAME absolute instant.
 		deadline := time.Now().Add(c.retryPatience)
 		for err != nil && !unackedReply(err) && time.Now().Before(deadline) {
 			time.Sleep(10 * time.Millisecond)
-			err = c.rc.Set(c.names[j], 0, val)
+			err = c.rc.Set(c.names[j], 0, exptime, val)
 		}
 	}
 	switch {
@@ -311,7 +339,10 @@ func (c *routedClient) doSet(j int) {
 }
 
 // checkHit verifies one returned value against key j's version window.
-func (c *routedClient) checkHit(j int, v []byte) {
+// sent is the time the read was issued — the serving node processed it
+// no earlier, so a deadline already past at send time makes any VALUE
+// reply a TTL violation.
+func (c *routedClient) checkHit(j int, v []byte, sent time.Time) {
 	ks := &c.keys[j]
 	ver, key, derr := decodeValue(v)
 	if derr != nil {
@@ -320,6 +351,14 @@ func (c *routedClient) checkHit(j int, v []byte) {
 	}
 	if !bytes.Equal(key, c.names[j]) {
 		c.violate("get %s returned value for key %s", c.names[j], key)
+		return
+	}
+	// TTL honesty outranks every version-window allowance below: an
+	// expired version must read as a miss even from a diverged replica
+	// inside the failover window.
+	if d, has := ks.deadlines[ver]; has && sent.UnixNano() > d+int64(ttlGrace) {
+		c.violate("get %s returned version %d at %v past its TTL deadline — expired value served",
+			c.names[j], ver, time.Duration(sent.UnixNano()-d))
 		return
 	}
 	if _, wasCleanFail := ks.failed[ver]; wasCleanFail {
@@ -348,6 +387,7 @@ func (c *routedClient) checkHit(j int, v []byte) {
 }
 
 func (c *routedClient) doGet(j int) {
+	sent := time.Now()
 	v, ok, err := c.rc.Get(c.names[j])
 	c.gets++
 	if err != nil {
@@ -365,7 +405,7 @@ func (c *routedClient) doGet(j int) {
 		return // miss: evicted, lost to a restart, or never written — always legal
 	}
 	c.hits++
-	c.checkHit(j, v)
+	c.checkHit(j, v, sent)
 }
 
 // doMultiGet fans a contiguous 24-key window through the router's
@@ -387,6 +427,7 @@ func (c *routedClient) doMultiGet(j int) {
 		}
 	}
 	hits := make(map[int][]byte, span)
+	sent := time.Now()
 	err := c.rc.MultiGet(keys, func(i int, _ uint32, val []byte) {
 		hits[i] = append(hits[i][:0], val...)
 	})
@@ -404,7 +445,7 @@ func (c *routedClient) doMultiGet(j int) {
 	}
 	for i, v := range hits {
 		c.hits++
-		c.checkHit(idx[i], v)
+		c.checkHit(idx[i], v, sent)
 	}
 }
 
@@ -446,6 +487,7 @@ func main() {
 		probeIvl   = flag.Duration("probe-interval", 25*time.Millisecond, "cluster health-probe period")
 		graceLeak  = flag.Duration("leak-grace", 5*time.Second, "how long goroutines get to drain after shutdown")
 		replicas   = flag.Int("replicas", 1, "ring owners per key; 2 switches the drill to the replicated-failover contract")
+		ttl        = flag.Duration("ttl", time.Second, "TTL written on every 4th key per client (0 disables the TTL invariant)")
 		noFlush    = flag.Bool("no-reintegrate-flush", false, "disable the flush-on-reintegrate barrier (must make the replicated gate fail)")
 	)
 	flag.Parse()
@@ -515,6 +557,7 @@ func main() {
 		ccs[i] = newRoutedClient(i, ln.Addr().String(), splitmix64(*seed+uint64(i)*7919), *nkeys, *vsize, cl)
 		ccs[i].replicated = replicated
 		ccs[i].retryPatience = 8 * time.Second
+		ccs[i].ttl = *ttl
 	}
 
 	var failures []string

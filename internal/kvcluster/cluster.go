@@ -467,13 +467,15 @@ func (cl *Cluster) Get(key []byte) (val []byte, ok bool, err error) {
 }
 
 // setOn runs one Set against one node's pool, with health accounting.
-func (cl *Cluster) setOn(p *nodePool, key []byte, flags uint32, val []byte) error {
+// exptime arrives already normalized to its absolute form by Set, so the
+// synchronous owner and every replica store the same deadline.
+func (cl *Cluster) setOn(p *nodePool, key []byte, flags uint32, exptime int64, val []byte) error {
 	c, err := p.get()
 	if err != nil {
 		return fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
 	}
 	start := time.Now()
-	err = c.Set(key, flags, val)
+	err = c.Set(key, flags, exptime, val)
 	cl.m.nodeRTT[p.idx].Record(time.Since(start))
 	p.put(c)
 	cl.observe(p, err)
@@ -526,8 +528,14 @@ func (cl *Cluster) replicate(owners []int, sync int, do func(p *nodePool) error)
 // owners. The backend client never replays an ambiguous write, so an
 // ErrUnacked from the synchronous owner propagates unchanged — the
 // caller owns the idempotency decision, exactly as with a single node.
-func (cl *Cluster) Set(key []byte, flags uint32, val []byte) error {
+//
+// A relative exptime is normalized to its absolute form once at entry,
+// so the synchronous owner, every replica, and any backend-level retry
+// all carry the identical deadline — replication lag can never extend a
+// value's life on one owner relative to another.
+func (cl *Cluster) Set(key []byte, flags uint32, exptime int64, val []byte) error {
 	cl.m.routed[ixSet].Inc()
+	exptime = kvproto.AbsoluteExptime(exptime, time.Now())
 	var ownBuf [8]int
 	owners := cl.ownersFor(ownBuf[:0], key)
 	sync := cl.syncOwner(owners)
@@ -536,7 +544,7 @@ func (cl *Cluster) Set(key []byte, flags uint32, val []byte) error {
 		return fmt.Errorf("%w: %s", ErrNodeDown, cl.pools[owners[0]].addr)
 	}
 	p := cl.pools[sync]
-	if err := cl.setOn(p, key, flags, val); err != nil {
+	if err := cl.setOn(p, key, flags, exptime, val); err != nil {
 		cl.m.failed[ixSet].Inc()
 		if errors.Is(err, ErrNodeDown) {
 			return err
@@ -544,7 +552,7 @@ func (cl *Cluster) Set(key []byte, flags uint32, val []byte) error {
 		return fmt.Errorf("kvcluster: set via %s: %w", p.addr, err)
 	}
 	cl.replicate(owners, sync, func(rp *nodePool) error {
-		return cl.setOn(rp, key, flags, val)
+		return cl.setOn(rp, key, flags, exptime, val)
 	})
 	return nil
 }

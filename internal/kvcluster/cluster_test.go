@@ -62,7 +62,7 @@ func keyWithPrimary(t *testing.T, cl *Cluster, primary int) []byte {
 func TestClusterReplicatedWritesLandOnBothOwners(t *testing.T) {
 	f, cl := replicatedCluster(t, 2, nil)
 	key := []byte("both-owners")
-	if err := cl.Set(key, 7, []byte("v1")); err != nil {
+	if err := cl.Set(key, 7, 0, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 	for i, n := range f.Nodes {
@@ -88,7 +88,7 @@ func TestClusterReplicatedWritesLandOnBothOwners(t *testing.T) {
 func TestClusterFailoverReadEjectedPrimary(t *testing.T) {
 	_, cl := replicatedCluster(t, 2, nil)
 	key := keyWithPrimary(t, cl, 0)
-	if err := cl.Set(key, 1, []byte("v1")); err != nil {
+	if err := cl.Set(key, 1, 0, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -121,7 +121,7 @@ func TestClusterFailoverReadEjectedPrimary(t *testing.T) {
 
 	// A write during the outage: acked by the replica, divergence counted.
 	before := cl.ReplicaWriteFailures()
-	if err := cl.Set(key, 1, []byte("v2")); err != nil {
+	if err := cl.Set(key, 1, 0, []byte("v2")); err != nil {
 		t.Fatalf("Set with ejected primary: %v", err)
 	}
 	if cl.ReplicaWriteFailures() <= before {
@@ -142,7 +142,7 @@ func TestClusterMultiGetFailoverRetry(t *testing.T) {
 	keys, vals, flags := testCorpus(60)
 	for _, k := range keys {
 		if v, ok := vals[string(k)]; ok {
-			if err := cl.Set(k, flags[string(k)], v); err != nil {
+			if err := cl.Set(k, flags[string(k)], 0, v); err != nil {
 				t.Fatalf("set %q: %v", k, err)
 			}
 		}
@@ -200,7 +200,7 @@ func TestClusterFlushOnReintegrate(t *testing.T) {
 	cl.Start()
 
 	key := keyWithPrimary(t, cl, 0)
-	if err := cl.Set(key, 1, []byte("old")); err != nil {
+	if err := cl.Set(key, 1, 0, []byte("old")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -214,7 +214,7 @@ func TestClusterFlushOnReintegrate(t *testing.T) {
 	}
 
 	// New version acked by the survivor while node 0 still holds "old".
-	if err := cl.Set(key, 1, []byte("new")); err != nil {
+	if err := cl.Set(key, 1, 0, []byte("new")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -255,7 +255,7 @@ func TestClusterStaleReadWithoutReintegrationFlush(t *testing.T) {
 	cl.Start()
 
 	key := keyWithPrimary(t, cl, 0)
-	if err := cl.Set(key, 1, []byte("old")); err != nil {
+	if err := cl.Set(key, 1, 0, []byte("old")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -267,7 +267,7 @@ func TestClusterStaleReadWithoutReintegrationFlush(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if err := cl.Set(key, 1, []byte("new")); err != nil {
+	if err := cl.Set(key, 1, 0, []byte("new")); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Nodes[0].Heal(); err != nil {

@@ -233,7 +233,7 @@ func (r *Router) handle(conn net.Conn) {
 				kvproto.WriteEnd(w)
 			}
 		case kvproto.OpSet:
-			switch err := r.cl.Set(req.Key, req.Flags, req.Value); {
+			switch err := r.cl.Set(req.Key, req.Flags, req.Exptime, req.Value); {
 			case err == nil:
 				kvproto.WriteStored(w)
 			default:

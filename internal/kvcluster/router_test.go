@@ -88,7 +88,7 @@ func loadCorpus(t *testing.T, addr string, keys [][]byte, vals map[string][]byte
 		if !ok {
 			continue
 		}
-		if err := c.Set(k, flags[string(k)], v); err != nil {
+		if err := c.Set(k, flags[string(k)], 0, v); err != nil {
 			t.Fatalf("set %q: %v", k, err)
 		}
 	}
@@ -269,7 +269,7 @@ func TestClusterMultiGetWideBurst(t *testing.T) {
 	// Load through the cluster directly.
 	for _, k := range keys {
 		if v, ok := vals[string(k)]; ok {
-			if err := cl.Set(k, flags[string(k)], v); err != nil {
+			if err := cl.Set(k, flags[string(k)], 0, v); err != nil {
 				t.Fatalf("set %q: %v", k, err)
 			}
 		}

@@ -157,13 +157,16 @@ func (c *Client) SendGet(key []byte) {
 	c.bw.WriteString("\r\n")
 }
 
-// SendSet queues a set without flushing.
-func (c *Client) SendSet(key []byte, flags uint32, val []byte) {
+// SendSet queues a set without flushing. exptime carries memcached TTL
+// semantics (0 = never expire; see the package doc).
+func (c *Client) SendSet(key []byte, flags uint32, exptime int64, val []byte) {
 	c.bw.WriteString("set ")
 	c.bw.Write(key)
 	c.bw.WriteByte(' ')
 	writeUint(c.bw, uint64(flags))
-	c.bw.WriteString(" 0 ")
+	c.bw.WriteByte(' ')
+	writeInt(c.bw, exptime)
+	c.bw.WriteByte(' ')
 	writeUint(c.bw, uint64(len(val)))
 	c.bw.WriteString("\r\n")
 	c.bw.Write(val)
@@ -420,9 +423,9 @@ func (c *Client) FlushAll() error {
 	return c.ReadFlushAllReply()
 }
 
-// Set stores val under key with the given flags.
-func (c *Client) Set(key []byte, flags uint32, val []byte) error {
-	c.SendSet(key, flags, val)
+// Set stores val under key with the given flags and exptime.
+func (c *Client) Set(key []byte, flags uint32, exptime int64, val []byte) error {
+	c.SendSet(key, flags, exptime, val)
 	if err := c.Flush(); err != nil {
 		return err
 	}

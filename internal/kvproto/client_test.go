@@ -125,7 +125,7 @@ func TestErrorReplyClassification(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.CloseNow()
-	err = c.Set([]byte("k"), 0, []byte("v"))
+	err = c.Set([]byte("k"), 0, 0, []byte("v"))
 	var se *ServerError
 	if !errors.As(err, &se) || se.Msg != "busy" {
 		t.Fatalf("want ServerError busy, got %v", err)
@@ -140,7 +140,7 @@ func TestErrorReplyClassification(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.CloseNow()
-	err = c2.Set([]byte("k"), 0, []byte("v"))
+	err = c2.Set([]byte("k"), 0, 0, []byte("v"))
 	var ce *ClientError
 	if !errors.As(err, &ce) || ce.Msg != "invalid key" {
 		t.Fatalf("want ClientError, got %v", err)
@@ -155,7 +155,7 @@ func TestErrorReplyClassification(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c3.CloseNow()
-	if err = c3.Set([]byte("k"), 0, []byte("v")); err == nil || Recoverable(err) {
+	if err = c3.Set([]byte("k"), 0, 0, []byte("v")); err == nil || Recoverable(err) {
 		t.Fatalf("garbage reply must be non-recoverable, got %v", err)
 	}
 }

@@ -31,7 +31,16 @@ func FuzzReaderNext(f *testing.F) {
 		"FLUSH_ALL\r\n",
 		"flush_all 30\r\n",
 		"set a 1 2 3\r\nxyz\r\nget a\r\ndelete a\r\nquit\r\n",
+		// TTL pivots: never-expires, the relative/absolute boundary, and
+		// immediate expiry via negative exptime.
+		"set k 0 -1 1\r\nx\r\n",
+		"set k 0 0 1\r\nx\r\n",
+		"set k 0 2592000 1\r\nx\r\n",
+		"set k 0 2592001 1\r\nx\r\n",
 		// Violations that must stay recoverable.
+		"set k 0 4294967296 1\r\n",
+		"set k 0 18446744073709551616 1\r\n",
+		"set k 0 - 1\r\n",
 		"frobnicate\r\n",
 		"get a  b\r\n",
 		"get\r\n",

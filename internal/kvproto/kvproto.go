@@ -5,9 +5,10 @@
 // invalidation, issued by the cluster before reintegrating a recovered
 // node so it can never serve stale versions). Keys are
 // printable ASCII up to 250 bytes; values are arbitrary bytes up to
-// MaxValueBytes; set's flags and exptime fields are parsed for wire
-// compatibility but not stored (the adaptive cache decides lifetimes,
-// not the client).
+// MaxValueBytes; set's flags are echoed back on get, and exptime
+// carries memcached TTL semantics (0 = never expire, values up to 30
+// days are relative seconds, larger values are an absolute unix time,
+// negative means already expired) which the cache honors end to end.
 //
 // The server-side Reader reuses its buffers across requests: Request.Key,
 // Request.Keys and Request.Value alias internal storage and are valid
@@ -22,6 +23,7 @@ import (
 	"bufio"
 	"errors"
 	"io"
+	"time"
 )
 
 // Protocol limits. MaxKeyBytes matches memcached; MaxValueBytes keeps one
@@ -72,11 +74,12 @@ func (o Op) String() string {
 // Request is one parsed client request. Key, Keys and Value alias the
 // Reader's internal buffers.
 type Request struct {
-	Op    Op
-	Key   []byte   // first (or only) key
-	Keys  [][]byte // OpGet: every key on the line, in order (len ≥ 1)
-	Value []byte   // OpSet only
-	Flags uint32   // OpSet only; echoed back by convention, not stored
+	Op      Op
+	Key     []byte   // first (or only) key
+	Keys    [][]byte // OpGet: every key on the line, in order (len ≥ 1)
+	Value   []byte   // OpSet only
+	Flags   uint32   // OpSet only; echoed back on get
+	Exptime int64    // OpSet only; memcached TTL semantics (see package doc)
 }
 
 // ClientError is a recoverable protocol violation: the Reader has already
@@ -111,6 +114,49 @@ func IsBusy(err error) bool {
 // connection must be discarded.
 func Recoverable(err error) bool {
 	return errors.As(err, new(*ClientError)) || errors.As(err, new(*ServerError))
+}
+
+// RelativeLimit is the memcached TTL pivot: an exptime at or below 30
+// days of seconds is relative to now, anything larger is an absolute
+// unix time.
+const RelativeLimit = 60 * 60 * 24 * 30
+
+// AbsoluteExptime normalizes an exptime to its absolute form: 0 stays 0
+// (never expires), any negative collapses to -1 (already expired), a
+// relative value becomes now's unix time plus the offset, and an
+// already-absolute value passes through unchanged. The function is
+// idempotent — a normalized value above RelativeLimit re-normalizes to
+// itself — so a retry or a replica fan-out can normalize again without
+// re-relativizing the deadline.
+func AbsoluteExptime(exptime int64, now time.Time) int64 {
+	switch {
+	case exptime == 0:
+		return 0
+	case exptime < 0:
+		return -1
+	case exptime <= RelativeLimit:
+		return now.Unix() + exptime
+	default:
+		return exptime
+	}
+}
+
+// DeadlineNanos converts an exptime to the unix-nanosecond deadline the
+// cache stores: 0 means never, any negative yields 1 (a deadline in the
+// distant past, i.e. already expired), and positive values resolve per
+// the RelativeLimit pivot. Exptime magnitudes are bounded to 32 bits by
+// parseSet, so the nanosecond conversion cannot overflow int64.
+func DeadlineNanos(exptime int64, now time.Time) int64 {
+	switch {
+	case exptime == 0:
+		return 0
+	case exptime < 0:
+		return 1
+	case exptime <= RelativeLimit:
+		return now.Add(time.Duration(exptime) * time.Second).UnixNano()
+	default:
+		return exptime * int64(time.Second)
+	}
 }
 
 // Pre-built recoverable errors for the non-parameterized violations, so
@@ -324,8 +370,12 @@ func (rd *Reader) Next(req *Request) error {
 }
 
 // parseSet handles "set <key> <flags> <exptime> <bytes>" plus the
-// following data chunk. On an oversized value the chunk is drained so the
-// error is recoverable; on a missing CRLF terminator the stream is corrupt.
+// following data chunk. exptime follows memcached: 0 never expires,
+// magnitudes up to 32 bits are accepted (relative seconds up to
+// RelativeLimit, absolute unix time above it), and an optional leading
+// '-' marks the value already expired. On an oversized value the chunk
+// is drained so the error is recoverable; on a missing CRLF terminator
+// the stream is corrupt.
 func (rd *Reader) parseSet(req *Request, rest []byte) error {
 	key, rest := nextField(rest)
 	flagsB, rest := nextField(rest)
@@ -334,10 +384,15 @@ func (rd *Reader) parseSet(req *Request, rest []byte) error {
 	if len(tail) != 0 {
 		return errBadCommandLine
 	}
+	negExp := false
+	if len(exptimeB) > 1 && exptimeB[0] == '-' {
+		negExp = true
+		exptimeB = exptimeB[1:]
+	}
 	flags, okF := parseUint(flagsB)
-	_, okE := parseUint(exptimeB)
+	exptime, okE := parseUint(exptimeB)
 	size, okB := parseUint(bytesB)
-	if !okF || !okE || !okB || flags > 0xffffffff {
+	if !okF || !okE || !okB || flags > 0xffffffff || exptime > 0xffffffff {
 		return errBadCommandLine
 	}
 	keyOK := validKey(key)
@@ -366,6 +421,10 @@ func (rd *Reader) parseSet(req *Request, rest []byte) error {
 	}
 	req.Key = key
 	req.Flags = uint32(flags)
+	req.Exptime = int64(exptime)
+	if negExp {
+		req.Exptime = -req.Exptime
+	}
 	req.Value = buf[:size]
 	return nil
 }
@@ -521,6 +580,17 @@ func writeUint(w *bufio.Writer, n uint64) {
 		}
 	}
 	w.Write(buf[i:])
+}
+
+// writeInt renders n in signed decimal without allocating (client-side
+// exptime serialization; negative exptimes mean already expired).
+func writeInt(w *bufio.Writer, n int64) {
+	if n < 0 {
+		w.WriteByte('-')
+		writeUint(w, uint64(-n))
+		return
+	}
+	writeUint(w, uint64(n))
 }
 
 // appendUint renders n in decimal onto dst without allocating.

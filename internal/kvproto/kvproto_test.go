@@ -268,13 +268,13 @@ func TestClientServerRoundTrip(t *testing.T) {
 	if _, ok, err := c.Get([]byte("missing")); err != nil || ok {
 		t.Fatalf("Get(missing) = (_, %v, %v), want miss", ok, err)
 	}
-	if err := c.Set([]byte("k"), 3, []byte("value-1")); err != nil {
+	if err := c.Set([]byte("k"), 3, 0, []byte("value-1")); err != nil {
 		t.Fatalf("Set: %v", err)
 	}
 	if v, ok, err := c.Get([]byte("k")); err != nil || !ok || string(v) != "value-1" {
 		t.Fatalf("Get(k) = (%q, %v, %v), want value-1", v, ok, err)
 	}
-	if err := c.Set([]byte("empty"), 0, nil); err != nil {
+	if err := c.Set([]byte("empty"), 0, 0, nil); err != nil {
 		t.Fatalf("Set(empty): %v", err)
 	}
 	if v, ok, err := c.Get([]byte("empty")); err != nil || !ok || len(v) != 0 {

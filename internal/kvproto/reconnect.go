@@ -202,7 +202,13 @@ func (rc *ReconnectClient) Get(key []byte) (val []byte, ok bool, err error) {
 // Set stores val under key. Attempts are retried only while the request
 // provably never ran (dial failure, busy shed). An I/O failure after the
 // request may have been flushed returns ErrUnacked without replaying.
-func (rc *ReconnectClient) Set(key []byte, flags uint32, val []byte) error {
+//
+// A relative exptime is normalized to its absolute form once, before the
+// first attempt, so retries carry the same deadline the original attempt
+// would have set — a retry seconds later must not re-relativize the TTL
+// and silently extend the value's life.
+func (rc *ReconnectClient) Set(key []byte, flags uint32, exptime int64, val []byte) error {
+	exptime = AbsoluteExptime(exptime, time.Now())
 	var lastErr error
 	for a := 0; a < rc.cfg.MaxAttempts; a++ {
 		if a > 0 {
@@ -214,7 +220,7 @@ func (rc *ReconnectClient) Set(key []byte, flags uint32, val []byte) error {
 			lastErr = err // nothing sent: safe to retry
 			continue
 		}
-		err = c.Set(key, flags, val)
+		err = c.Set(key, flags, exptime, val)
 		switch {
 		case err == nil:
 			return nil

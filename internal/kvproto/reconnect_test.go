@@ -92,12 +92,12 @@ func TestReconnectSetAmbiguityNotReplayed(t *testing.T) {
 	})
 	defer rc.Close()
 
-	err := rc.Set([]byte("k"), 0, []byte("v"))
+	err := rc.Set([]byte("k"), 0, 0, []byte("v"))
 	if !errors.Is(err, ErrUnacked) {
 		t.Fatalf("want ErrUnacked, got %v", err)
 	}
 	before := accepted.Load()
-	if err := rc.Set([]byte("k"), 0, []byte("v")); err != nil {
+	if err := rc.Set([]byte("k"), 0, 0, []byte("v")); err != nil {
 		t.Fatalf("set after reconnect: %v", err)
 	}
 	if accepted.Load() <= before {
@@ -151,7 +151,7 @@ func TestReconnectBusyRetried(t *testing.T) {
 		Seed:        11,
 	})
 	defer rc.Close()
-	if err := rc.Set([]byte("k"), 0, []byte("v")); err != nil {
+	if err := rc.Set([]byte("k"), 0, 0, []byte("v")); err != nil {
 		t.Fatalf("set through busy sheds: %v", err)
 	}
 	if n.Load() < 3 {
@@ -256,7 +256,7 @@ func TestReconnectCountersWired(t *testing.T) {
 	// Force a fresh dial so the set lands on the next odd (doomed)
 	// connection and becomes ambiguous.
 	rc.drop()
-	if err := rc.Set([]byte("k"), 0, []byte("v")); !errors.Is(err, ErrUnacked) {
+	if err := rc.Set([]byte("k"), 0, 0, []byte("v")); !errors.Is(err, ErrUnacked) {
 		t.Fatalf("want ErrUnacked, got %v", err)
 	}
 	if unacked.Load() != 1 || rc.Unacked != 1 {

@@ -1,0 +1,228 @@
+package kvproto
+
+// TTL parsing and normalization tests: parseSet's exptime field
+// (bounds, sign), the AbsoluteExptime/DeadlineNanos helpers, and the
+// retry contract that a replayed set carries the original absolute
+// deadline rather than re-relativizing it.
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseSetExptime(t *testing.T) {
+	cases := []struct {
+		name  string
+		field string
+		want  int64
+	}{
+		{"never", "0", 0},
+		{"relative", "300", 300},
+		{"relative limit", "2592000", RelativeLimit},
+		{"absolute pivot", "2592001", RelativeLimit + 1},
+		{"max 32-bit", "4294967295", 0xffffffff},
+		{"negative", "-1", -1},
+		{"negative zero", "-0", 0},
+		{"negative large", "-4294967295", -0xffffffff},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, errs := reqs(t, "set k 0 "+tc.field+" 1\r\nx\r\n")
+			if len(errs) != 0 || len(got) != 1 {
+				t.Fatalf("requests=%d errs=%v", len(got), errs)
+			}
+			if got[0].Exptime != tc.want {
+				t.Fatalf("Exptime = %d, want %d", got[0].Exptime, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSetExptimeRejected(t *testing.T) {
+	cases := []struct {
+		name  string
+		field string
+	}{
+		{"over 32 bits", "4294967296"},
+		{"negative over 32 bits", "-4294967296"},
+		{"64-bit overflow", "18446744073709551616"},
+		{"bare minus", "-"},
+		{"not a number", "soon"},
+		{"embedded sign", "1-2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// No value chunk follows: a malformed header aborts the set
+			// before the byte count is known, and the parser resyncs at
+			// the next line.
+			got, errs := reqs(t, "set k 0 "+tc.field+" 1\r\nget sentinel\r\n")
+			if len(errs) != 1 {
+				t.Fatalf("errors = %v, want exactly one", errs)
+			}
+			var ce *ClientError
+			if !errors.As(errs[0], &ce) {
+				t.Fatalf("error %v is not a *ClientError", errs[0])
+			}
+			if len(got) != 1 || got[0].Op != OpGet || string(got[0].Key) != "sentinel" {
+				t.Fatalf("stream not resynchronized: parsed %+v", got)
+			}
+		})
+	}
+}
+
+func TestAbsoluteExptime(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	cases := []struct {
+		name    string
+		exptime int64
+		want    int64
+	}{
+		{"zero stays zero", 0, 0},
+		{"negative collapses", -1, -1},
+		{"negative large collapses", -12345, -1},
+		{"relative becomes absolute", 300, now.Unix() + 300},
+		{"limit is still relative", RelativeLimit, now.Unix() + RelativeLimit},
+		{"above limit passes through", RelativeLimit + 1, RelativeLimit + 1},
+		{"unix time passes through", 1_700_000_600, 1_700_000_600},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := AbsoluteExptime(tc.exptime, now)
+			if got != tc.want {
+				t.Fatalf("AbsoluteExptime(%d) = %d, want %d", tc.exptime, got, tc.want)
+			}
+			// Idempotent: normalizing a normalized value is a no-op even
+			// at a later wall time, so layered callers (cluster then
+			// reconnect client) can each normalize safely.
+			later := now.Add(time.Hour)
+			if again := AbsoluteExptime(got, later); again != got {
+				t.Fatalf("AbsoluteExptime not idempotent: %d -> %d", got, again)
+			}
+		})
+	}
+}
+
+func TestDeadlineNanos(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	cases := []struct {
+		name    string
+		exptime int64
+		want    int64
+	}{
+		{"zero means never", 0, 0},
+		{"negative means already expired", -1, 1},
+		{"relative seconds", 300, now.Add(300 * time.Second).UnixNano()},
+		{"limit relative", RelativeLimit, now.Add(RelativeLimit * time.Second).UnixNano()},
+		{"absolute unix seconds", 1_700_000_600, 1_700_000_600 * int64(time.Second)},
+		{"max 32-bit absolute", 0xffffffff, 0xffffffff * int64(time.Second)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := DeadlineNanos(tc.exptime, now); got != tc.want {
+				t.Fatalf("DeadlineNanos(%d) = %d, want %d", tc.exptime, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestClientSendSetExptimeWire: the wire line carries the exptime field
+// verbatim, including negative values.
+func TestClientSendSetExptimeWire(t *testing.T) {
+	var sb strings.Builder
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 256)
+		for {
+			n, err := srv.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil || strings.HasSuffix(sb.String(), "v\r\n") {
+				srv.Write([]byte("STORED\r\n"))
+				return
+			}
+		}
+	}()
+	c := NewClient(cli)
+	if err := c.Set([]byte("k"), 5, -1, []byte("v")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	<-done
+	cli.Close()
+	if got, want := sb.String(), "set k 5 -1 1\r\nv\r\n"; got != want {
+		t.Fatalf("wire = %q, want %q", got, want)
+	}
+}
+
+// TestReconnectSetRetainsAbsoluteDeadline: a relative exptime is
+// normalized to an absolute unix time once, before the first attempt,
+// and every retry replays that exact value — a retry after a delay must
+// not extend the TTL by re-relativizing.
+func TestReconnectSetRetainsAbsoluteDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var n atomic.Int64
+	seen := make(chan int64, 4)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				rd := NewReader(conn)
+				var req Request
+				for {
+					conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+					if err := rd.Next(&req); err != nil {
+						return
+					}
+					if req.Op != OpSet {
+						return
+					}
+					seen <- req.Exptime
+					if n.Add(1) <= 2 {
+						// Shed after reading: busy is not an ack, so the
+						// client backs off and replays the same set.
+						conn.Write(BusyLine)
+						return
+					}
+					conn.Write([]byte("STORED\r\n"))
+				}
+			}(conn)
+		}
+	}()
+
+	rc := NewReconnect(ln.Addr().String(), ReconnectConfig{
+		ReadTimeout: 2 * time.Second,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Seed:        12,
+	})
+	defer rc.Close()
+
+	before := time.Now().Unix()
+	if err := rc.Set([]byte("k"), 0, 60, []byte("v")); err != nil {
+		t.Fatalf("set through busy sheds: %v", err)
+	}
+	after := time.Now().Unix()
+
+	first := <-seen
+	if first < before+60 || first > after+60 {
+		t.Fatalf("first attempt exptime %d not an absolute deadline near now+60", first)
+	}
+	for i := 0; i < 2; i++ {
+		if replay := <-seen; replay != first {
+			t.Fatalf("retry %d sent exptime %d, want the original %d", i+1, replay, first)
+		}
+	}
+}

@@ -24,7 +24,7 @@ func TestFlushAllEndToEnd(t *testing.T) {
 
 	for i := 0; i < 32; i++ {
 		k := []byte(fmt.Sprintf("k%02d", i))
-		if err := c.Set(k, uint32(i), []byte("payload")); err != nil {
+		if err := c.Set(k, uint32(i), 0, []byte("payload")); err != nil {
 			t.Fatalf("set %s: %v", k, err)
 		}
 	}
@@ -58,7 +58,7 @@ func TestFlushAllEndToEnd(t *testing.T) {
 		t.Fatalf("/metrics missing %q", want)
 	}
 	// The connection is still synchronized: normal traffic resumes.
-	if err := c.Set([]byte("again"), 0, []byte("v")); err != nil {
+	if err := c.Set([]byte("again"), 0, 0, []byte("v")); err != nil {
 		t.Fatalf("set after flush: %v", err)
 	}
 	if v, ok, err := c.Get([]byte("again")); err != nil || !ok || string(v) != "v" {

@@ -135,6 +135,12 @@ func (s *Server) collectRuntime(e *metrics.Expo) {
 	e.Sample("adaptivekv_optimistic_get_fallback_total", "", float64(agg.OptimisticFallback))
 	e.Family("adaptivekv_pending_hits_dropped_total", "counter", "deferred access records dropped on pending-ring overflow")
 	e.Sample("adaptivekv_pending_hits_dropped_total", "", float64(agg.PendingHitsDropped))
+	e.Family("kv_expired_total", "counter", "entries vacated because their TTL deadline passed (lazy + swept)")
+	e.Sample("kv_expired_total", "", float64(agg.Expired))
+	e.Family("kv_ttl_sweep_removed_total", "counter", "expired entries reclaimed by the active sweeper")
+	e.Sample("kv_ttl_sweep_removed_total", "", float64(agg.SweepRemoved))
+	e.Family("kv_ttl_sweep_passes_total", "counter", "shard sweeps completed by the TTL sweeper")
+	e.Sample("kv_ttl_sweep_passes_total", "", float64(s.cache.SweepPasses()))
 	e.Family("adaptivekv_items", "gauge", "resident entries")
 	e.Sample("adaptivekv_items", "", float64(totalOcc))
 	e.Family("adaptivekv_capacity", "gauge", "maximum resident entries")

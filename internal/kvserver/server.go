@@ -178,8 +178,12 @@ func (s *Server) Serve(ln net.Listener) {
 
 // Shutdown stops accepting, flips health to draining, gives in-flight
 // requests the grace period, then force-closes whatever remains. After it
-// returns, every connection goroutine has exited.
-func (s *Server) Shutdown(ln net.Listener, grace time.Duration) { s.core.Shutdown(ln, grace) }
+// returns, every connection goroutine has exited — including the cache's
+// TTL sweeper, stopped once the last request is done with the cache.
+func (s *Server) Shutdown(ln net.Listener, grace time.Duration) {
+	s.core.Shutdown(ln, grace)
+	s.cache.Close()
+}
 
 // Wait blocks until every connection goroutine has exited (Serve callers
 // that shut down via signal handlers use it before reading final stats).
@@ -403,7 +407,8 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				data := make([]byte, len(req.Value))
 				copy(data, req.Value)
-				s.cache.Set(string(req.Key), Value{Flags: req.Flags, Data: data})
+				deadline := kvproto.DeadlineNanos(req.Exptime, opStart)
+				s.cache.SetTTL(string(req.Key), Value{Flags: req.Flags, Data: data}, deadline)
 				kvproto.WriteStored(w)
 			case kvproto.OpDelete:
 				if s.cache.Delete(string(req.Key)) {
@@ -483,6 +488,9 @@ func (s *Server) writeStats(w *bufio.Writer) {
 	kvproto.WriteStat(w, "optimistic_get_fastpath", st.OptimisticFastpath)
 	kvproto.WriteStat(w, "optimistic_get_fallback", st.OptimisticFallback)
 	kvproto.WriteStat(w, "pending_hits_dropped", st.PendingHitsDropped)
+	kvproto.WriteStat(w, "expired", st.Expired)
+	kvproto.WriteStat(w, "sweep_removed", st.SweepRemoved)
+	kvproto.WriteStat(w, "sweep_passes", s.cache.SweepPasses())
 	kvproto.WriteStat(w, "conns_rejected", ct.ConnsRejected)
 	kvproto.WriteStat(w, "panics_recovered", ct.PanicsRecovered)
 	kvproto.WriteStat(w, "accept_retries", ct.AcceptRetries)

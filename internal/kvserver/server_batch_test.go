@@ -101,7 +101,7 @@ func TestMultigetMetrics(t *testing.T) {
 		k := []byte{'k', byte('0' + i)}
 		keys[i] = k
 		if i%2 == 0 {
-			if err := c.Set(k, uint32(i), []byte("v")); err != nil {
+			if err := c.Set(k, uint32(i), 0, []byte("v")); err != nil {
 				t.Fatalf("set %d: %v", i, err)
 			}
 		}

@@ -39,7 +39,7 @@ func TestWriteDeadlineCoversLargeReplies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Set([]byte("big"), 0, big); err != nil {
+	if err := c.Set([]byte("big"), 0, 0, big); err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
@@ -119,7 +119,7 @@ func TestPipelinedFlushBatching(t *testing.T) {
 	}
 	defer c.Close()
 	for i := 0; i < 5; i++ {
-		if err := c.Set([]byte("k"), 0, []byte("v")); err != nil {
+		if err := c.Set([]byte("k"), 0, 0, []byte("v")); err != nil {
 			t.Fatalf("strict set %d: %v", i, err)
 		}
 		if v, ok, err := c.Get([]byte("k")); err != nil || !ok || string(v) != "v" {
@@ -194,7 +194,7 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	for i := 0; i < 20; i++ {
 		key := []byte("k" + strconv.Itoa(i%5))
-		if err := c.Set(key, 0, []byte("v")); err != nil {
+		if err := c.Set(key, 0, 0, []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 		if _, _, err := c.Get(key); err != nil {

@@ -51,7 +51,7 @@ func TestAcceptRetrySurvivesTransientErrors(t *testing.T) {
 		if err != nil {
 			t.Fatalf("dial %d: %v", i, err)
 		}
-		if err := c.Set([]byte("k"), 0, []byte("v")); err != nil {
+		if err := c.Set([]byte("k"), 0, 0, []byte("v")); err != nil {
 			t.Fatalf("set on conn %d: %v", i, err)
 		}
 		c.Close()
@@ -73,7 +73,7 @@ func TestOverloadShedding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c1.Set([]byte("k"), 0, []byte("v")); err != nil {
+	if err := c1.Set([]byte("k"), 0, 0, []byte("v")); err != nil {
 		t.Fatal(err) // proves c1 is registered, not sitting in the backlog
 	}
 
@@ -153,7 +153,7 @@ func TestPanicIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer healthy.Close()
-	if err := healthy.Set([]byte("k"), 0, []byte("v")); err != nil {
+	if err := healthy.Set([]byte("k"), 0, 0, []byte("v")); err != nil {
 		t.Fatalf("server unhealthy after isolated panic: %v", err)
 	}
 	if got := srv.Counters().PanicsRecovered; got != 1 {
@@ -174,7 +174,7 @@ func TestMaxItemSizeAdmission(t *testing.T) {
 	}
 	defer c.Close()
 
-	err = c.Set([]byte("big"), 0, bytes.Repeat([]byte("x"), 17))
+	err = c.Set([]byte("big"), 0, 0, bytes.Repeat([]byte("x"), 17))
 	var se *kvproto.ServerError
 	if !errors.As(err, &se) || !strings.Contains(se.Msg, "too large") {
 		t.Fatalf("oversized set: %v, want SERVER_ERROR object too large", err)
@@ -185,7 +185,7 @@ func TestMaxItemSizeAdmission(t *testing.T) {
 	if _, ok, err := c.Get([]byte("big")); err != nil || ok {
 		t.Fatalf("oversized value admitted: ok=%v err=%v", ok, err)
 	}
-	if err := c.Set([]byte("small"), 0, []byte("0123456789abcdef")); err != nil {
+	if err := c.Set([]byte("small"), 0, 0, []byte("0123456789abcdef")); err != nil {
 		t.Fatalf("boundary-sized set on same conn: %v", err)
 	}
 	if v, ok, err := c.Get([]byte("small")); err != nil || !ok || len(v) != 16 {
@@ -209,7 +209,7 @@ func TestGoroutineLeakAcrossLifecycle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Set([]byte("k"), 0, []byte("v")); err != nil {
+		if err := c.Set([]byte("k"), 0, 0, []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 		c.Close()

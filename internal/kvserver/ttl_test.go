@@ -1,0 +1,145 @@
+package kvserver
+
+// End-to-end TTL expiry through the protocol: set with exptime, watch
+// the value disappear, and check the accounting shows up everywhere it
+// should — the stats command, the Prometheus exposition, and the
+// sweeper counters.
+
+import (
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/adaptivekv"
+	"repro/internal/kvproto"
+)
+
+func TestTTLExpiryEndToEnd(t *testing.T) {
+	cache := smallCache()
+	cache.SweepInterval = 10 * time.Millisecond
+	srv, ln := start(t, Config{Cache: cache})
+	defer srv.Shutdown(ln, time.Second)
+
+	c, err := kvproto.DialTimeout(ln.Addr().String(), 2*time.Second, 5*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Negative exptime: stored, but dead on arrival.
+	if err := c.Set([]byte("doa"), 0, -1, []byte("v")); err != nil {
+		t.Fatalf("set doa: %v", err)
+	}
+	if _, ok, err := c.Get([]byte("doa")); err != nil || ok {
+		t.Fatalf("get doa = ok=%v err=%v, want immediate miss", ok, err)
+	}
+
+	// One-second relative TTL: visible now, gone within the acceptance
+	// window (deadline plus sweeper granularity).
+	if err := c.Set([]byte("soon"), 3, 1, []byte("value")); err != nil {
+		t.Fatalf("set soon: %v", err)
+	}
+	if v, ok, err := c.Get([]byte("soon")); err != nil || !ok || string(v) != "value" {
+		t.Fatalf("get soon before deadline = %q ok=%v err=%v", v, ok, err)
+	}
+	// No-TTL control key must survive everything below.
+	if err := c.Set([]byte("keep"), 0, 0, []byte("forever")); err != nil {
+		t.Fatalf("set keep: %v", err)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	expiredAt := time.Time{}
+	for time.Now().Before(deadline) {
+		if _, ok, err := c.Get([]byte("soon")); err != nil {
+			t.Fatalf("get soon: %v", err)
+		} else if !ok {
+			expiredAt = time.Now()
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if expiredAt.IsZero() {
+		t.Fatal("soon still readable 3s after a 1s TTL")
+	}
+
+	// Accounting: the stats command reports the expiries (doa + soon)
+	// and the sweeper has been running. A read can observe the miss
+	// before the sweeper reclaims (and counts) the corpse, so poll.
+	var stats map[string]string
+	for {
+		if stats, err = c.Stats(); err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := strconv.ParseUint(stats["expired"], 10, 64); n >= 2 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("STAT expired = %q, want >= 2", stats["expired"])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, ok := stats["sweep_removed"]; !ok {
+		t.Fatal("STAT sweep_removed missing")
+	}
+	passes, err := strconv.ParseUint(stats["sweep_passes"], 10, 64)
+	if err != nil || passes == 0 {
+		t.Fatalf("STAT sweep_passes = %q, want > 0", stats["sweep_passes"])
+	}
+
+	// The Prometheus exposition carries the same counters.
+	rec := httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	text := string(body)
+	for _, family := range []string{"kv_expired_total", "kv_ttl_sweep_removed_total", "kv_ttl_sweep_passes_total"} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("/metrics missing %s:\n%s", family, text)
+		}
+	}
+	if strings.Contains(text, "kv_expired_total 0\n") {
+		t.Fatal("/metrics kv_expired_total still 0 after observed expiries")
+	}
+
+	if v, ok, err := c.Get([]byte("keep")); err != nil || !ok || string(v) != "forever" {
+		t.Fatalf("no-TTL key lost: %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+// TestTTLShutdownStopsSweeper: Shutdown must stop the TTL sweeper
+// goroutine — the goroutine-leak checks in the chaos harnesses depend
+// on it.
+func TestTTLShutdownStopsSweeper(t *testing.T) {
+	cache := adaptivekv.Config{Shards: 2, Sets: 16, Ways: 4, SweepInterval: 5 * time.Millisecond}
+	srv, ln := start(t, Config{Cache: cache})
+
+	c, err := kvproto.DialTimeout(ln.Addr().String(), 2*time.Second, 5*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set([]byte("k"), 0, 60, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if srv.Cache().SweepPasses() == 0 {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) && srv.Cache().SweepPasses() == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if srv.Cache().SweepPasses() == 0 {
+		t.Fatal("sweeper never ran")
+	}
+	srv.Shutdown(ln, time.Second)
+
+	// After Shutdown the sweeper is stopped: passes stop advancing once
+	// any in-flight tick has finished.
+	time.Sleep(20 * time.Millisecond)
+	after := srv.Cache().SweepPasses()
+	time.Sleep(50 * time.Millisecond)
+	if got := srv.Cache().SweepPasses(); got != after {
+		t.Fatalf("sweeper still running after Shutdown: %d -> %d passes", after, got)
+	}
+}
