@@ -236,6 +236,13 @@ type Stats struct {
 	// SweepRemoved is the subset of Expired reclaimed by the active
 	// sweeper rather than lazily on an access path.
 	SweepRemoved uint64
+	// CAS outcome counters. CompareAndSwap operations are tallied here
+	// and nowhere else — they do not bump Gets or Stores — so the
+	// "service-time histogram count == engine op count" invariants the
+	// soak harness asserts stay exact per op family.
+	CasStored    uint64 // swaps applied: the presented unique matched
+	CasConflicts uint64 // unique mismatch on a live entry (EXISTS)
+	CasMisses    uint64 // key absent, expired, or hash-collided (NOT_FOUND)
 }
 
 // Add accumulates o into s (summing per-shard snapshots into a total).
@@ -254,7 +261,13 @@ func (s *Stats) Add(o Stats) {
 	s.PendingHitsDropped += o.PendingHitsDropped
 	s.Expired += o.Expired
 	s.SweepRemoved += o.SweepRemoved
+	s.CasStored += o.CasStored
+	s.CasConflicts += o.CasConflicts
+	s.CasMisses += o.CasMisses
 }
+
+// CasOps returns the total CompareAndSwap operations in the snapshot.
+func (s Stats) CasOps() uint64 { return s.CasStored + s.CasConflicts + s.CasMisses }
 
 // HitRatio returns GetHits/Gets, or 0 for an unused cache.
 func (s Stats) HitRatio() float64 {
@@ -267,10 +280,15 @@ func (s Stats) HitRatio() float64 {
 // entry is one resident key-value pair. deadline is the unix-nanosecond
 // TTL deadline, 0 for entries that never expire; expiry is judged
 // against the cache's coarse sweeper-updated clock, never a syscall.
+// casid is the entry's compare-and-swap unique: every store path draws a
+// fresh value from the shard's monotonic counter, so any overwrite —
+// plain set, batch set, or winning cas — invalidates outstanding
+// uniques. IDs start at 1; 0 is never issued.
 type entry[K comparable, V any] struct {
 	key      K
 	val      V
 	deadline int64
+	casid    uint64
 }
 
 // shard is one lock stripe. Two locks split its state:
@@ -308,6 +326,12 @@ type shard[K comparable, V any] struct {
 	expired           uint64 // TTL vacates, lazy + swept; counted at reclaim
 	sweepRemoved      uint64 // subset of expired reclaimed by the sweeper
 	resident          int    // maintained incrementally; see Len
+
+	// casSeq is the shard's monotonic cas-unique source: pre-incremented
+	// on every store so IDs start at 1 and never repeat within a shard.
+	// Guarded by mu, like the cas outcome counters below.
+	casSeq                             uint64
+	casStored, casConflicts, casMisses uint64
 
 	// Reader-shared counters, incremented outside mu.
 	gets, getHits      atomic.Uint64
@@ -416,17 +440,27 @@ func (c *Cache[K, V]) locate(key K) (sh *shard[K, V], set int, tag uint64) {
 // but a miss does not reserve space: read-through callers populate via
 // Set.
 func (c *Cache[K, V]) Get(key K) (V, bool) {
+	v, _, ok := c.GetCas(key)
+	return v, ok
+}
+
+// GetCas is Get returning, additionally, the entry's cas unique — the
+// token a later CompareAndSwap must present. On the optimistic path the
+// unique is read inside the same seqlock window as the value, so the
+// (value, unique) pair is always coherent. A miss returns unique 0,
+// which no resident entry ever carries.
+func (c *Cache[K, V]) GetCas(key K) (V, uint64, bool) {
 	sh, set, tag := c.locate(key)
 	sh.gets.Add(1)
 	if !c.optimistic {
 		sh.mu.Lock()
-		v, ok := c.lookupLocked(sh, set, tag, key)
+		v, id, ok := c.lookupLocked(sh, set, tag, key)
 		sh.mu.Unlock()
-		return v, ok
+		return v, id, ok
 	}
-	v, ok := c.getOptimistic(sh, set, tag, key)
+	v, id, ok := c.getOptimistic(sh, set, tag, key)
 	c.notePending(sh, set, tag)
-	return v, ok
+	return v, id, ok
 }
 
 // expiredDeadline reports whether a TTL deadline has passed per the
@@ -451,7 +485,7 @@ func (c *Cache[K, V]) expireLocked(sh *shard[K, V], set int, tag uint64, slot in
 // expired resident entry is vacated first and the engine then records a
 // genuine miss — leader-set learning sees the access exactly as if the
 // entry had never been there.
-func (c *Cache[K, V]) lookupLocked(sh *shard[K, V], set int, tag uint64, key K) (V, bool) {
+func (c *Cache[K, V]) lookupLocked(sh *shard[K, V], set int, tag uint64, key K) (V, uint64, bool) {
 	if c.ttlInUse.Load() {
 		if way, ok := sh.eng.Find(set, tag); ok {
 			slot := set*c.ways + way
@@ -465,7 +499,7 @@ func (c *Cache[K, V]) lookupLocked(sh *shard[K, V], set int, tag uint64, key K) 
 		e := &sh.entries[set*c.ways+way]
 		if e.key == key {
 			sh.getHits.Add(1)
-			return e.val, true
+			return e.val, e.casid, true
 		}
 		// 64-bit hash collision between distinct keys: a user-visible
 		// miss, but the engine has already counted a hit and promoted
@@ -473,13 +507,13 @@ func (c *Cache[K, V]) lookupLocked(sh *shard[K, V], set int, tag uint64, key K) 
 		sh.collisions.Add(1)
 	}
 	var zero V
-	return zero, false
+	return zero, 0, false
 }
 
 // probeShared resolves a Get against the atomic tag mirror and the entry
 // array. Caller holds sh.rmu (either side), which excludes publication,
 // so the plain entry reads are race-free.
-func (c *Cache[K, V]) probeShared(sh *shard[K, V], set int, tag uint64, key K) (V, bool) {
+func (c *Cache[K, V]) probeShared(sh *shard[K, V], set int, tag uint64, key K) (V, uint64, bool) {
 	base := set * c.ways
 	packed := tag<<1 | 1
 	for w := 0; w < c.ways; w++ {
@@ -495,13 +529,13 @@ func (c *Cache[K, V]) probeShared(sh *shard[K, V], set int, tag uint64, key K) (
 				break
 			}
 			sh.getHits.Add(1)
-			return e.val, true
+			return e.val, e.casid, true
 		}
 		sh.collisions.Add(1)
 		break // a tag occupies at most one way
 	}
 	var zero V
-	return zero, false
+	return zero, 0, false
 }
 
 // getOptimistic is the scalable read path. A pass over the tag mirror
@@ -510,7 +544,7 @@ func (c *Cache[K, V]) probeShared(sh *shard[K, V], set int, tag uint64, key K) (
 // (shared with other readers, never with the engine lock). Only a
 // version shift mid-probe — a racing writer — forces the authoritative
 // re-probe, counted as a fallback.
-func (c *Cache[K, V]) getOptimistic(sh *shard[K, V], set int, tag uint64, key K) (V, bool) {
+func (c *Cache[K, V]) getOptimistic(sh *shard[K, V], set int, tag uint64, key K) (V, uint64, bool) {
 	if s1 := sh.seq.Load(); s1&1 == 0 {
 		base := set * c.ways
 		packed := tag<<1 | 1
@@ -523,22 +557,22 @@ func (c *Cache[K, V]) getOptimistic(sh *shard[K, V], set int, tag uint64, key K)
 		}
 		if match {
 			sh.rmu.RLock()
-			v, ok := c.probeShared(sh, set, tag, key)
+			v, id, ok := c.probeShared(sh, set, tag, key)
 			sh.rmu.RUnlock()
 			sh.fastpath.Add(1)
-			return v, ok
+			return v, id, ok
 		}
 		if sh.seq.Load() == s1 {
 			sh.fastpath.Add(1)
 			var zero V
-			return zero, false
+			return zero, 0, false
 		}
 	}
 	sh.fallback.Add(1)
 	sh.rmu.RLock()
-	v, ok := c.probeShared(sh, set, tag, key)
+	v, id, ok := c.probeShared(sh, set, tag, key)
 	sh.rmu.RUnlock()
-	return v, ok
+	return v, id, ok
 }
 
 // notePending queues the access for deferred engine replay and self-
@@ -647,8 +681,75 @@ func (c *Cache[K, V]) SetTTL(key K, val V, deadline int64) {
 	} else if !res.Evicted {
 		sh.resident++ // filled a previously invalid way
 	}
-	sh.publish(slot, entry[K, V]{key: key, val: val, deadline: deadline}, tag<<1|1)
+	sh.casSeq++
+	sh.publish(slot, entry[K, V]{key: key, val: val, deadline: deadline, casid: sh.casSeq}, tag<<1|1)
 	sh.mu.Unlock()
+}
+
+// CasResult is the outcome of a CompareAndSwap.
+type CasResult uint8
+
+const (
+	// CasStored: the presented unique matched and the value was swapped.
+	CasStored CasResult = iota
+	// CasExists: the key is resident but its unique differs — a
+	// concurrent write won the race since the GetCas that produced the
+	// token. The caller re-reads and retries.
+	CasExists
+	// CasNotFound: the key is absent (never stored, evicted, deleted, or
+	// TTL-expired). Memcached semantics: an expired entry is
+	// indistinguishable from one that was never there.
+	CasNotFound
+)
+
+// CompareAndSwap atomically replaces key's value iff the entry's cas
+// unique still equals casid (obtained from a prior GetCas); deadline is
+// the new TTL deadline, as in SetTTL. A TTL corpse is vacated first and
+// reported CasNotFound, and the engine sees the op as one real access —
+// a hit when the key is live, a recorded miss otherwise — so adaptive
+// learning observes cas traffic exactly like get traffic. A winning swap
+// updates the entry in place (no directory movement, no eviction) and
+// stamps a fresh unique. The op counts only into the Cas* stats, never
+// Gets or Stores.
+func (c *Cache[K, V]) CompareAndSwap(key K, val V, casid uint64, deadline int64) CasResult {
+	if deadline != 0 {
+		c.ensureTTL()
+	}
+	sh, set, tag := c.locate(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c.drainPending(sh)
+	if c.ttlInUse.Load() {
+		if way, ok := sh.eng.Find(set, tag); ok {
+			slot := set*c.ways + way
+			e := &sh.entries[slot]
+			if e.key == key && c.expiredDeadline(e.deadline) {
+				c.expireLocked(sh, set, tag, slot)
+			}
+		}
+	}
+	way, ok := sh.eng.Lookup(set, tag) // the op's one real engine access
+	if !ok {
+		sh.casMisses++
+		return CasNotFound
+	}
+	slot := set*c.ways + way
+	e := &sh.entries[slot]
+	if e.key != key {
+		// Hash collision: user-visible NOT_FOUND, engine already counted
+		// a hit on the colliding entry (same divergence as Get).
+		sh.collisions.Add(1)
+		sh.casMisses++
+		return CasNotFound
+	}
+	if e.casid != casid {
+		sh.casConflicts++
+		return CasExists
+	}
+	sh.casStored++
+	sh.casSeq++
+	sh.publish(slot, entry[K, V]{key: key, val: val, deadline: deadline, casid: sh.casSeq}, tag<<1|1)
+	return CasStored
 }
 
 // Delete removes key, reporting whether it was resident. The freed slot
@@ -880,6 +981,9 @@ func (c *Cache[K, V]) ShardStats(i int) Stats {
 		PendingHitsDropped: sh.dropped.Load(),
 		Expired:            sh.expired,
 		SweepRemoved:       sh.sweepRemoved,
+		CasStored:          sh.casStored,
+		CasConflicts:       sh.casConflicts,
+		CasMisses:          sh.casMisses,
 	}
 }
 

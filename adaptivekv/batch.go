@@ -26,11 +26,29 @@ func (c *Cache[K, V]) GetBatch(keys []K, vals []V, oks []bool) {
 		if end > len(keys) {
 			end = len(keys)
 		}
-		c.getChunk(keys[start:end], vals[start:end], oks[start:end])
+		c.getChunk(keys[start:end], vals[start:end], nil, oks[start:end])
 	}
 }
 
-func (c *Cache[K, V]) getChunk(keys []K, vals []V, oks []bool) {
+// GetBatchCas is GetBatch returning, additionally, each hit's cas unique
+// into casids[i] (0 on a miss). Each (value, unique) pair is read in one
+// coherent window, exactly as GetCas does per key.
+func (c *Cache[K, V]) GetBatchCas(keys []K, vals []V, casids []uint64, oks []bool) {
+	if len(vals) != len(keys) || len(casids) != len(keys) || len(oks) != len(keys) {
+		panic("adaptivekv: GetBatchCas slice lengths differ")
+	}
+	for start := 0; start < len(keys); start += batchChunk {
+		end := start + batchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		c.getChunk(keys[start:end], vals[start:end], casids[start:end], oks[start:end])
+	}
+}
+
+// getChunk resolves one ≤batchChunk key group; casids may be nil when the
+// caller has no use for cas uniques.
+func (c *Cache[K, V]) getChunk(keys []K, vals []V, casids []uint64, oks []bool) {
 	var done uint64
 	for i := range keys {
 		if done&(1<<uint(i)) != 0 {
@@ -52,14 +70,18 @@ func (c *Cache[K, V]) getChunk(keys []K, vals []V, oks []bool) {
 			}
 			done |= 1 << uint(j)
 			sh.gets.Add(1)
+			var id uint64
 			if c.optimistic {
-				vals[j], oks[j] = c.probeShared(sh, set, tag, keys[j])
+				vals[j], id, oks[j] = c.probeShared(sh, set, tag, keys[j])
 				sh.fastpath.Add(1)
 				if !sh.ring.push(uint32(set), tag) {
 					sh.dropped.Add(1)
 				}
 			} else {
-				vals[j], oks[j] = c.lookupLocked(sh, set, tag, keys[j])
+				vals[j], id, oks[j] = c.lookupLocked(sh, set, tag, keys[j])
+			}
+			if casids != nil {
+				casids[j] = id
 			}
 		}
 		if c.optimistic {
@@ -128,7 +150,8 @@ func (c *Cache[K, V]) setChunk(keys []K, vals []V) {
 			} else if !res.Evicted {
 				sh.resident++
 			}
-			sh.entries[slot] = entry[K, V]{key: keys[j], val: vals[j]}
+			sh.casSeq++
+			sh.entries[slot] = entry[K, V]{key: keys[j], val: vals[j], casid: sh.casSeq}
 			sh.rtags[slot].Store(tag<<1 | 1)
 		}
 		sh.seq.Add(1)

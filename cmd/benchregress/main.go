@@ -28,6 +28,12 @@
 //     default optimistic seqlock read path. The p8 pair carries the
 //     scaling gate: optimistic throughput must be >= minScalingRatio x
 //     the locked path at the same parallelism.
+//   - kv/Cas/contended/p8 runs gets/cas read-modify-write loops against
+//     a single hot shard from 8 goroutines: every CompareAndSwap takes
+//     the shard lock, so the row records what contended atomic RMW costs
+//     next to the optimistic plain-read rows. Scaling class: recorded
+//     for the curve, exempt from the serial ns gate, and compare()
+//     skips it against baselines written before the row existed.
 //   - kvserver/loopback/multiget/p4 drives a real server over loopback
 //     TCP with pipelined multi-key gets from 4 client goroutines — the
 //     end-to-end number the per-layer optimizations have to add up to.
@@ -155,6 +161,7 @@ func realMain(n, macroN uint64, out string, check bool, tol float64, seedNS int6
 			measureContended(n, procs, true),
 			measureContended(n, procs, false))
 	}
+	rep.HotPath = append(rep.HotPath, measureContendedCas(n, 8))
 	rep.HotPath = append(rep.HotPath, measureLoopback(n),
 		measureRouterLoopback(n, 1), measureRouterLoopback(n, 2))
 	for _, e := range rep.HotPath {
@@ -351,6 +358,68 @@ func measureContended(n uint64, procs int, strict bool) Entry {
 			for i := uint64(0); i < per; i++ {
 				rng = xorshift(rng)
 				c.Get(rng % keys)
+			}
+		}(uint64(g)*0x9e3779b97f4a7c15 + 1)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	return Entry{
+		Name:            name,
+		Accesses:        total,
+		WallNS:          wall.Nanoseconds(),
+		NSPerAccess:     float64(wall.Nanoseconds()) / float64(total),
+		AccessesPerSec:  float64(total) / wall.Seconds(),
+		AllocsPerAccess: float64(allocs) / float64(total),
+		Parallelism:     procs,
+		Gate:            gateScaling,
+	}
+}
+
+// measureContendedCas hammers gets/cas read-modify-write loops on a
+// single hot shard from procs goroutines: GetCas reads the value with
+// its unique, CompareAndSwap attempts the increment, and conflicts are
+// simply counted as attempts — a benchmark retry loop would measure the
+// conflict rate, not the operation cost. Every CompareAndSwap serializes
+// on the shard lock, so this is the write-side counterpart of the
+// contended Get rows. One access = one RMW attempt (a GetCas plus a
+// CompareAndSwap).
+func measureContendedCas(n uint64, procs int) Entry {
+	name := fmt.Sprintf("kv/Cas/contended/p%d", procs)
+	c := adaptivekv.New[uint64, uint64](adaptivekv.Config{
+		Shards: 1, Sets: 1024, Ways: 4,
+	})
+	const keys = 64 // far under capacity: every key stays resident
+	for k := uint64(0); k < keys; k++ {
+		c.Set(k, 0)
+	}
+	rmw := func(rng uint64) {
+		k := rng % keys
+		if v, id, ok := c.GetCas(k); ok {
+			c.CompareAndSwap(k, v+1, id, 0)
+		}
+	}
+	for i, rng := uint64(0), uint64(1); i < n/10; i++ { // warm serially
+		rng = xorshift(rng)
+		rmw(rng)
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	per := n / uint64(procs)
+	total := per * uint64(procs)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(rng uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				rng = xorshift(rng)
+				rmw(rng)
 			}
 		}(uint64(g)*0x9e3779b97f4a7c15 + 1)
 	}

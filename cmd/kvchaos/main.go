@@ -30,6 +30,12 @@
 //     legal at all times, and when post-deadline misses were observed
 //     with zero capacity evictions, the server's expiry counter must
 //     have moved (the accounting can't be dead).
+//   - CAS atomicity (the ledger): after the soak, N workers increment one
+//     shared counter key through gets/cas retry loops, direct against the
+//     server so no attempt is ambiguous. The final counter value must
+//     equal exactly the number of acknowledged STORED swaps — a lost or
+//     double-applied increment is a violation — and the server's cas
+//     books (cas histogram, CasStored) must reconcile against it.
 //   - Clean teardown: after the soak, a fresh client gets normal service,
 //     the adaptive cache still reports a sane hit ratio, and shutdown
 //     leaks no goroutines.
@@ -268,6 +274,112 @@ func (cc *chaosClient) doGet(j int) {
 		cc.names[j], ver, ks.acked, ks.pending)
 }
 
+// runCasLedger is the end-to-end read-modify-write atomicity gate:
+// workers concurrently increment one shared counter key through gets/cas
+// retry loops, connected directly to the server (not through the fault
+// proxy — a cas here is never ambiguous, so strict equality must hold).
+// Every increment retries on EXISTS until its swap is acknowledged
+// STORED; the final counter value must equal exactly the acknowledged
+// swap count. NOT_FOUND on the resident counter is a violation.
+func runCasLedger(addr string, workers, increments int) (stored uint64, failures []string) {
+	key := []byte("kvchaos-cas-counter")
+	dial := func() (*kvproto.Client, error) {
+		return kvproto.DialTimeout(addr, 2*time.Second, 5*time.Second, 5*time.Second)
+	}
+	c, err := dial()
+	if err != nil {
+		return 0, []string{fmt.Sprintf("cas ledger: dial: %v", err)}
+	}
+	if err := c.Set(key, 0, 0, []byte("0")); err != nil {
+		c.Close()
+		return 0, []string{fmt.Sprintf("cas ledger: seed set: %v", err)}
+	}
+	c.Close()
+
+	var acked atomic.Uint64
+	var mu sync.Mutex
+	var errs []string
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		errs = append(errs, "cas ledger: "+fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := dial()
+			if err != nil {
+				fail("worker %d: dial: %v", w, err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < increments; i++ {
+				for attempt := 0; ; attempt++ {
+					if attempt > 100000 {
+						fail("worker %d: increment %d starved after %d conflicts", w, i, attempt)
+						return
+					}
+					v, _, id, ok, err := c.Gets(key)
+					if err != nil {
+						fail("worker %d: gets: %v", w, err)
+						return
+					}
+					if !ok {
+						fail("worker %d: counter key vanished (gets answered miss)", w)
+						return
+					}
+					n, perr := strconv.ParseUint(string(v), 10, 64)
+					if perr != nil {
+						fail("worker %d: corrupt counter value %q", w, v)
+						return
+					}
+					st, err := c.Cas(key, 0, 0, id, []byte(strconv.FormatUint(n+1, 10)))
+					if err != nil {
+						fail("worker %d: cas: %v", w, err)
+						return
+					}
+					if st == kvproto.CasStored {
+						acked.Add(1)
+						break
+					}
+					if st != kvproto.CasExists {
+						fail("worker %d: cas on the resident counter answered %v", w, st)
+						return
+					}
+					// EXISTS: another worker won the race — re-read, retry.
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	c, err = dial()
+	if err != nil {
+		return acked.Load(), append(errs, fmt.Sprintf("cas ledger: final read dial: %v", err))
+	}
+	v, _, _, ok, err := c.Gets(key)
+	c.Close()
+	if err != nil || !ok {
+		return acked.Load(), append(errs, fmt.Sprintf("cas ledger: final read ok=%v err=%v", ok, err))
+	}
+	final, perr := strconv.ParseUint(string(v), 10, 64)
+	if perr != nil {
+		return acked.Load(), append(errs, fmt.Sprintf("cas ledger: corrupt final value %q", v))
+	}
+	if final != acked.Load() {
+		errs = append(errs, fmt.Sprintf(
+			"cas ledger: counter ended at %d but %d swaps were acknowledged STORED — increments lost or double-applied",
+			final, acked.Load()))
+	}
+	if want := uint64(workers * increments); acked.Load() != want {
+		errs = append(errs, fmt.Sprintf("cas ledger: %d swaps acknowledged, want %d (every increment loops until STORED)",
+			acked.Load(), want))
+	}
+	return acked.Load(), errs
+}
+
 // runLoris dribbles a never-terminated command at the server one byte at
 // a time and waits to be reaped: a hardened server cuts the connection
 // when its read deadline fires mid-line. Returns nil once the disconnect
@@ -316,6 +428,9 @@ func main() {
 
 		ttl       = flag.Duration("ttl", time.Second, "TTL written on every 4th key per client (0 disables the TTL invariant)")
 
+		casWorkers    = flag.Int("cas-workers", 4, "post-soak cas ledger workers incrementing one shared counter (0 disables)")
+		casIncrements = flag.Int("cas-increments", 200, "increments per cas ledger worker")
+
 		readTO    = flag.Duration("read-timeout", 500*time.Millisecond, "server read deadline (reaps slow loris)")
 		maxConns  = flag.Int("max-conns", 0, "server connection bound (0 = clients+slowloris+3)")
 		minHit    = flag.Float64("min-hit-ratio", 0.2, "fail if the server-side hit ratio ends below this")
@@ -323,8 +438,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// The connection bound must admit the run's planned load: soak clients,
+	// loris aggressors, the post-soak cas ledger workers (their connections
+	// overlap the soak clients' only briefly, but the bound has to cover
+	// the worst case), and slack for the probes.
 	if *maxConns == 0 {
-		*maxConns = *clients + *loris + 3
+		*maxConns = *clients + *loris + *casWorkers + 3
 	}
 	baseline := runtime.NumGoroutine()
 	fmt.Printf("kvchaos: seed %d, %d clients x %d ops, %d keys/client, %d loris\n",
@@ -460,6 +579,18 @@ func main() {
 	}
 	probe.Close()
 
+	// CAS ledger: concurrent increments of one shared counter via gets/cas
+	// retry loops, direct at the server so no swap is ambiguous. It runs
+	// after the soak (whose clients issue no cas), so the ledger is this
+	// run's only cas traffic and the server's cas books must reconcile
+	// against it exactly.
+	var casStored uint64
+	if *casWorkers > 0 {
+		var ledgerFails []string
+		casStored, ledgerFails = runCasLedger(serverAddr, *casWorkers, *casIncrements)
+		failures = append(failures, ledgerFails...)
+	}
+
 	agg := srv.Cache().Stats()
 	counters := srv.Counters()
 	lstats := node.ListenStats()
@@ -515,6 +646,10 @@ func main() {
 		agg.HitRatio(), agg.Evictions, agg.PolicySwitches)
 	fmt.Printf("  ttl: %d post-deadline reads answered as misses; server expired %d (%d swept, %d sweep passes)\n",
 		tExpiredMisses, agg.Expired, agg.SweepRemoved, srv.Cache().SweepPasses())
+	if *casWorkers > 0 {
+		fmt.Printf("  cas ledger: %d workers x %d increments, %d swaps acknowledged STORED\n",
+			*casWorkers, *casIncrements, casStored)
+	}
 
 	if counters.PanicsRecovered != hookPanics.Load() {
 		failures = append(failures, fmt.Sprintf("panic accounting: %d injected, %d recovered",
@@ -546,12 +681,26 @@ func main() {
 	// would race.
 	final := srv.Cache().Stats()
 	getLat, setLat, delLat := srv.OpLatency("get"), srv.OpLatency("set"), srv.OpLatency("delete")
+	getsLat, casLat := srv.OpLatency("gets"), srv.OpLatency("cas")
 	nc := srv.NetCounters()
 	fmt.Printf("  metrics: %d/%d/%d get/set/delete dispatches recorded, get p99 %v, %d B in, %d B out, %d redials, %d retries\n",
 		getLat.Count, setLat.Count, delLat.Count, getLat.P99, nc.BytesIn, nc.BytesOut, redials.Load(), retries.Load())
-	if getLat.Count != final.Gets {
-		failures = append(failures, fmt.Sprintf("metric drift: get histogram recorded %d ops, cache served %d",
-			getLat.Count, final.Gets))
+	// get and gets both resolve through the cache's get path (gets records
+	// one histogram sample per key looked up), so together they must cover
+	// the engine's Gets tally exactly.
+	if getLat.Count+getsLat.Count != final.Gets {
+		failures = append(failures, fmt.Sprintf("metric drift: get+gets histograms recorded %d ops, cache served %d",
+			getLat.Count+getsLat.Count, final.Gets))
+	}
+	if casLat.Count != final.CasOps() {
+		failures = append(failures, fmt.Sprintf("metric drift: cas histogram recorded %d ops, cache saw %d",
+			casLat.Count, final.CasOps()))
+	}
+	// The ledger is the run's only cas source, so its acked swaps are the
+	// engine's entire CasStored book.
+	if *casWorkers > 0 && casStored != final.CasStored {
+		failures = append(failures, fmt.Sprintf("cas accounting: ledger acked %d swaps, cache counted %d CasStored",
+			casStored, final.CasStored))
 	}
 	// Every dispatched set under the admission bound reaches the cache;
 	// kvchaos values are far below it, so the counts must match exactly.

@@ -19,13 +19,17 @@
 //   - internal/sim — experiment wiring plus one function per paper figure
 //     and table.
 //   - internal/kvproto — the memcached-style text protocol spoken by the
-//     key-value binaries, including the reconnecting client with its
-//     never-replay-ambiguous-writes contract.
+//     key-value binaries (get/gets/set/cas/delete/stats/quit), including
+//     the reconnecting client with its never-replay-ambiguous-writes
+//     contract (ambiguous cas is never replayed at all: a replay could
+//     consume its own unique and report a false EXISTS).
 //   - internal/kvcluster — the routing tier: seeded consistent-hash ring,
 //     per-node connection pools with failure-threshold ejection and probed
 //     reintegration, scatter-gather multi-key gets, optional R=2
 //     replication (sync-owner writes with best-effort replica fan-out,
-//     read failover in ring order, flush-on-reintegrate), and the kvproto
+//     read failover in ring order, flush-on-reintegrate), node-local cas
+//     uniques (cas gates on the sync owner; a unique that survived a
+//     failover answers EXISTS, never a lost update), and the kvproto
 //     Router served on kvserver's hardened core.
 //   - internal/kvserver — the serving layer: protocol loop, batched
 //     dispatch, and the reusable Core envelope (accept retry, connection
@@ -35,7 +39,8 @@
 //     injection.
 //   - adaptivekv — a sharded concurrent key-value cache whose replacement
 //     decisions are made by the adaptive engine (the paper's scheme doing
-//     real work, not simulation).
+//     real work, not simulation), with per-entry cas uniques for atomic
+//     read-modify-write (GetCas/CompareAndSwap, allocation-free).
 //
 // The benchmarks in bench_test.go regenerate each figure of the paper's
 // evaluation; see EXPERIMENTS.md for paper-vs-measured results and
@@ -59,7 +64,9 @@
 //     adaptcached nodes: one kvproto endpoint, scatter-gather multigets,
 //     health ejection and reintegration, -replicas 2 failover.
 //   - cmd/kvchaos — seeded single-node chaos soak (fault-injecting
-//     listener and proxy, verifying clients); race-enabled CI gate.
+//     listener and proxy, verifying clients) plus the post-soak cas
+//     ledger (concurrent gets/cas increments must balance exactly);
+//     race-enabled CI gate.
 //   - cmd/kvrouterchaos — seeded partition drill for the routing tier:
 //     kill and restart a node mid-soak, assert ejection, surviving
 //     -keyspace availability, reintegration, and no ambiguous-write

@@ -98,10 +98,12 @@ const (
 	ixGet = iota
 	ixSet
 	ixDelete
+	ixGets
+	ixCas
 	ixOps
 )
 
-var ixNames = [ixOps]string{"get", "set", "delete"}
+var ixNames = [ixOps]string{"get", "set", "delete", "gets", "cas"}
 
 // clusterMetrics bundles the cluster's instruments: per-node health and
 // latency, fanout shape, routed-vs-failed outcomes, and the aggregated
@@ -466,6 +468,66 @@ func (cl *Cluster) Get(key []byte) (val []byte, ok bool, err error) {
 	return nil, false, lastErr
 }
 
+// Gets fetches key together with its flags and cas unique, with Get's
+// exact routing: primary owner first, failing over to the next live
+// replica when the primary is ejected or fails mid-op. The returned
+// value is a fresh copy (safe to retain).
+//
+// Cas uniques are node-local: the unique returned here identifies a
+// version on whichever node answered. A later Cas gates on the replica
+// set's current synchronous owner, so a unique fetched from a failover
+// replica (or from a primary that was ejected in between) will not match
+// that owner's counter and the cas answers EXISTS — the caller re-reads
+// and retries, and a stale swap is never silently applied.
+func (cl *Cluster) Gets(key []byte) (val []byte, flags uint32, casid uint64, ok bool, err error) {
+	cl.m.routed[ixGets].Inc()
+	var ownBuf [8]int
+	owners := cl.ownersFor(ownBuf[:0], key)
+	var lastErr error
+	for ai, o := range owners {
+		p := cl.pools[o]
+		if p.ejected.Load() {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
+			}
+			continue
+		}
+		if ai > 0 {
+			cl.m.failoverReads.Inc()
+		}
+		c, cerr := p.get()
+		if cerr != nil {
+			// Lost the race with an ejection between the check and the
+			// checkout; treat it like finding the node already ejected.
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
+			}
+			continue
+		}
+		start := time.Now()
+		v, f, id, hit, gerr := c.Gets(key)
+		cl.m.nodeRTT[p.idx].Record(time.Since(start))
+		if hit {
+			val = append([]byte(nil), v...)
+		}
+		p.put(c)
+		cl.observe(p, gerr)
+		if gerr == nil {
+			return val, f, id, hit, nil
+		}
+		val = nil
+		if kvproto.Recoverable(gerr) && !kvproto.IsBusy(gerr) {
+			// The server rejected the request itself; every replica
+			// would reject it identically, so don't retry sideways.
+			cl.m.failed[ixGets].Inc()
+			return nil, 0, 0, false, fmt.Errorf("kvcluster: gets via %s: %w", p.addr, gerr)
+		}
+		lastErr = fmt.Errorf("kvcluster: gets via %s: %w", p.addr, gerr)
+	}
+	cl.m.failed[ixGets].Inc()
+	return nil, 0, 0, false, lastErr
+}
+
 // setOn runs one Set against one node's pool, with health accounting.
 // exptime arrives already normalized to its absolute form by Set, so the
 // synchronous owner and every replica store the same deadline.
@@ -555,6 +617,66 @@ func (cl *Cluster) Set(key []byte, flags uint32, exptime int64, val []byte) erro
 		return cl.setOn(rp, key, flags, exptime, val)
 	})
 	return nil
+}
+
+// casOn runs one Cas against one node's pool, with health accounting.
+// exptime arrives already normalized to its absolute form by Cas.
+func (cl *Cluster) casOn(p *nodePool, key []byte, flags uint32, exptime int64, casid uint64, val []byte) (kvproto.CasStatus, error) {
+	c, err := p.get()
+	if err != nil {
+		return kvproto.CasNotFound, fmt.Errorf("%w: %s", ErrNodeDown, p.addr)
+	}
+	start := time.Now()
+	st, err := c.Cas(key, flags, exptime, casid, val)
+	cl.m.nodeRTT[p.idx].Record(time.Since(start))
+	p.put(c)
+	cl.observe(p, err)
+	return st, err
+}
+
+// Cas atomically replaces key's value iff its cas unique — from a prior
+// Gets — still matches, with Set's ack contract: the operation gates on
+// the replica set's current synchronous owner alone and never fails over
+// sideways mid-op. Because cas uniques are node-local, a unique obtained
+// before a failover cannot match the new owner's counter: the cas
+// answers CasExists and the caller's read-modify-write loop re-reads,
+// which is exactly the safe outcome — a conflict is reported instead of
+// a lost update being applied.
+//
+// A winning cas is replicated to the remaining owners as a plain set of
+// the stored value (best-effort, like Set): replica cas uniques would
+// never match anyway, and the replicas' job is only to hold the newest
+// acked value for failover reads. CasExists/CasNotFound outcomes change
+// nothing and are not replicated.
+//
+// An ambiguous attempt surfaces as ErrUnacked and is never replayed — a
+// replayed winning cas would consume its own unique and falsely report
+// a conflict.
+func (cl *Cluster) Cas(key []byte, flags uint32, exptime int64, casid uint64, val []byte) (kvproto.CasStatus, error) {
+	cl.m.routed[ixCas].Inc()
+	exptime = kvproto.AbsoluteExptime(exptime, time.Now())
+	var ownBuf [8]int
+	owners := cl.ownersFor(ownBuf[:0], key)
+	sync := cl.syncOwner(owners)
+	if sync < 0 {
+		cl.m.failed[ixCas].Inc()
+		return kvproto.CasNotFound, fmt.Errorf("%w: %s", ErrNodeDown, cl.pools[owners[0]].addr)
+	}
+	p := cl.pools[sync]
+	st, err := cl.casOn(p, key, flags, exptime, casid, val)
+	if err != nil {
+		cl.m.failed[ixCas].Inc()
+		if errors.Is(err, ErrNodeDown) {
+			return kvproto.CasNotFound, err
+		}
+		return kvproto.CasNotFound, fmt.Errorf("kvcluster: cas via %s: %w", p.addr, err)
+	}
+	if st == kvproto.CasStored {
+		cl.replicate(owners, sync, func(rp *nodePool) error {
+			return cl.setOn(rp, key, flags, exptime, val)
+		})
+	}
+	return st, nil
 }
 
 // Delete removes key on the first live owner, with Set's ack and

@@ -132,6 +132,82 @@ func TestClusterFailoverReadEjectedPrimary(t *testing.T) {
 	}
 }
 
+// TestClusterCasFailoverYieldsExists documents the CAS failover
+// contract: cas uniques are node-local, so a unique fetched from the
+// primary before an outage cannot match the counter on the replica that
+// becomes the synchronous owner — the cas answers CasExists instead of
+// applying a stale swap. Failover costs a conflicted round trip, never
+// a lost update. The caller's standard read-modify-write loop then
+// converges on its own: a fresh Gets (a failover read answered by the
+// replica) returns that node's unique, and the retry swaps cleanly.
+func TestClusterCasFailoverYieldsExists(t *testing.T) {
+	f, cl := replicatedCluster(t, 2, nil)
+	key := keyWithPrimary(t, cl, 0)
+	if err := cl.Set(key, 3, 0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Desynchronize the two owners' cas counters the way any real history
+	// does (each node's counter advances with its own store traffic): one
+	// extra direct store against the primary alone.
+	c, err := kvproto.DialTimeout(f.Nodes[0].Addr(), 2*time.Second, 5*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(key, 3, 0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// gets before the outage answers from the primary.
+	_, _, id, ok, err := cl.Gets(key)
+	if err != nil || !ok || id == 0 {
+		t.Fatalf("pre-outage Gets = (id=%d, ok=%v, err=%v)", id, ok, err)
+	}
+
+	for i := 0; i < cl.cfg.FailThreshold; i++ {
+		cl.pools[0].noteFailure()
+	}
+	if !cl.Ejected(0) {
+		t.Fatal("primary not ejected")
+	}
+
+	// The cas gates on the new synchronous owner; the primary's unique
+	// cannot match there, so the stale swap is refused.
+	st, err := cl.Cas(key, 3, 0, id, []byte("lost-update"))
+	if err != nil {
+		t.Fatalf("failover Cas: %v", err)
+	}
+	if st != kvproto.CasExists {
+		t.Fatalf("failover Cas with pre-outage unique = %v, want CasExists", st)
+	}
+	if v, ok, _ := cl.Get(key); !ok || string(v) != "v1" {
+		t.Fatalf("value after refused swap = (%q, %v), want v1 untouched", v, ok)
+	}
+
+	// RMW retry: re-read (failover read from the replica), swap with the
+	// fresh unique. The winning cas replicates as a plain set, and the
+	// skipped ejected primary is counted as divergence like any Set's.
+	divBefore := cl.ReplicaWriteFailures()
+	_, _, id2, ok, err := cl.Gets(key)
+	if err != nil || !ok || id2 == 0 {
+		t.Fatalf("failover Gets = (id=%d, ok=%v, err=%v)", id2, ok, err)
+	}
+	if cl.FailoverReads() == 0 {
+		t.Fatal("failover gets not counted as a failover read")
+	}
+	st, err = cl.Cas(key, 3, 0, id2, []byte("v2"))
+	if err != nil || st != kvproto.CasStored {
+		t.Fatalf("retry Cas = (%v, %v), want CasStored", st, err)
+	}
+	if cl.ReplicaWriteFailures() <= divBefore {
+		t.Fatal("winning cas did not count the skipped primary as divergence")
+	}
+	if v, ok, _ := cl.Get(key); !ok || string(v) != "v2" {
+		t.Fatalf("post-retry Get = (%q, %v), want v2", v, ok)
+	}
+}
+
 // TestClusterMultiGetFailoverRetry: a node that dies without having
 // been ejected fails its sub-get mid-burst; the retry pass re-routes
 // those keys to their replicas, so the burst still answers every key.

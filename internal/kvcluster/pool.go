@@ -62,11 +62,22 @@ func newNodePool(addr string, idx, size int, threshold int32, up *metrics.Gauge,
 // get checks out a client, failing fast if the node is ejected. The
 // caller must return the client with put (or discard it with drop after
 // closing) — the channel's capacity is the connection budget.
+//
+// The ejection check runs again after the (possibly long) wait on the
+// free channel: a caller that blocked behind a full pool while the node
+// was ejected would otherwise check out a client and burn a full
+// operation timeout against a peer already known dead. The client goes
+// straight back so the pool never leaks capacity on the fail-fast path.
 func (p *nodePool) get() (*kvproto.ReconnectClient, error) {
 	if p.ejected.Load() {
 		return nil, ErrNodeDown
 	}
-	return <-p.free, nil
+	c := <-p.free
+	if p.ejected.Load() {
+		p.free <- c
+		return nil, ErrNodeDown
+	}
+	return c, nil
 }
 
 // put returns a checked-out client.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/kvproto"
 	"repro/internal/metrics"
@@ -90,5 +91,68 @@ func TestPoolEjectReintegrateHammer(t *testing.T) {
 	}
 	if ej.Load() != before+1 {
 		t.Errorf("ejections %d after one more outage, want %d", ej.Load(), before+1)
+	}
+}
+
+// TestPoolBlockedWaiterFailsFastOnEjection: a checkout that blocked
+// behind a full pool while the node was healthy must fail fast with
+// ErrNodeDown when the ejection lands mid-wait, not check out a client
+// and burn a full operation timeout against a peer already known dead.
+// Regression test: get() used to check ejected only before blocking on
+// the free channel, so a waiter that entered the wait pre-ejection got a
+// client post-ejection. Run under -race alongside the hammer.
+func TestPoolBlockedWaiterFailsFastOnEjection(t *testing.T) {
+	const size = 2
+	p := newNodePool("127.0.0.1:1", 0, size, 3, nil, nil, func() *kvproto.ReconnectClient {
+		// Never dialed: the test only exercises checkout accounting.
+		return kvproto.NewReconnect("127.0.0.1:1", kvproto.ReconnectConfig{})
+	})
+
+	// Drain the pool so the next get() blocks on the channel.
+	held := make([]*kvproto.ReconnectClient, 0, size)
+	for i := 0; i < size; i++ {
+		c, err := p.get()
+		if err != nil {
+			t.Fatalf("warm checkout %d: %v", i, err)
+		}
+		held = append(held, c)
+	}
+
+	type result struct {
+		c   *kvproto.ReconnectClient
+		err error
+	}
+	got := make(chan result, 1)
+	go func() {
+		c, err := p.get()
+		got <- result{c, err}
+	}()
+
+	// Let the waiter reach the channel receive, then eject and return one
+	// client. The waiter wakes holding a client for a dead node — the fix
+	// makes it put the client back and fail fast.
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		p.noteFailure()
+	}
+	p.put(held[0])
+
+	select {
+	case r := <-got:
+		if !errors.Is(r.err, ErrNodeDown) {
+			t.Fatalf("blocked waiter got (%v, %v), want ErrNodeDown", r.c, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked waiter neither failed fast nor checked out")
+	}
+
+	// The fail-fast path must not leak capacity: the returned client went
+	// back to the channel, so the budget is intact (1 free + 1 held).
+	if free := len(p.free); free != 1 {
+		t.Fatalf("pool holds %d free clients after fail-fast, want 1", free)
+	}
+	p.put(held[1])
+	if free := len(p.free); free != size {
+		t.Fatalf("pool holds %d free clients after returns, want %d", free, size)
 	}
 }

@@ -232,12 +232,45 @@ func (r *Router) handle(conn net.Conn) {
 			} else {
 				kvproto.WriteEnd(w)
 			}
+		case kvproto.OpGets:
+			// gets routes per key through the single-key path: the cas
+			// unique each VALUE line carries is node-local, so every key
+			// must answer from its own current owner. A failed key turns
+			// the terminator into SERVER_ERROR, exactly like a lost owner
+			// mid-multiget.
+			var gerr error
+			for _, k := range req.Keys {
+				val, flags, casid, ok, err := r.cl.Gets(k)
+				if err != nil {
+					gerr = err
+					break
+				}
+				if ok {
+					kvproto.WriteValueCas(w, k, flags, casid, val)
+				}
+			}
+			if gerr != nil {
+				kvproto.WriteServerError(w, r.failureMsg(gerr))
+			} else {
+				kvproto.WriteEnd(w)
+			}
 		case kvproto.OpSet:
 			switch err := r.cl.Set(req.Key, req.Flags, req.Exptime, req.Value); {
 			case err == nil:
 				kvproto.WriteStored(w)
 			default:
 				kvproto.WriteServerError(w, r.failureMsg(err))
+			}
+		case kvproto.OpCas:
+			switch st, err := r.cl.Cas(req.Key, req.Flags, req.Exptime, req.Cas, req.Value); {
+			case err != nil:
+				kvproto.WriteServerError(w, r.failureMsg(err))
+			case st == kvproto.CasStored:
+				kvproto.WriteStored(w)
+			case st == kvproto.CasExists:
+				kvproto.WriteExists(w)
+			default:
+				kvproto.WriteNotFound(w)
 			}
 		case kvproto.OpDelete:
 			switch found, err := r.cl.Delete(req.Key); {
@@ -309,6 +342,7 @@ func (r *Router) writeStats(w *bufio.Writer) {
 	kvproto.WriteStat(w, "replicas", uint64(r.cl.cfg.Replicas))
 	kvproto.WriteStat(w, "failover_reads", r.cl.m.failoverReads.Load())
 	kvproto.WriteStat(w, "replica_write_failures", r.cl.m.replicaWriteFailures.Load())
+	kvproto.WriteStat(w, "replica_unacked", r.cl.m.replicaUnacked.Load())
 	kvproto.WriteStat(w, "reintegration_flushes", r.cl.m.reintegrationFlushes.Load())
 	kvproto.WriteStat(w, "backend_redials", r.cl.m.backend.Redials.Load())
 	kvproto.WriteStat(w, "backend_retries", r.cl.m.backend.Retries.Load())

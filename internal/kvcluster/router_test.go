@@ -122,8 +122,8 @@ func rawBurst(t *testing.T, addr, req string, wantTerms int) []byte {
 		if trimmed == "END" || trimmed == "ERROR" ||
 			strings.HasPrefix(trimmed, "SERVER_ERROR") ||
 			strings.HasPrefix(trimmed, "CLIENT_ERROR") ||
-			trimmed == "STORED" || trimmed == "DELETED" || trimmed == "NOT_FOUND" ||
-			trimmed == "OK" {
+			trimmed == "STORED" || trimmed == "EXISTS" || trimmed == "DELETED" ||
+			trimmed == "NOT_FOUND" || trimmed == "OK" {
 			terms++
 		}
 	}
@@ -165,6 +165,84 @@ func TestRouterMultiGetByteExact(t *testing.T) {
 	}
 	if !bytes.Contains(got, []byte("VALUE ")) {
 		t.Fatal("reply contained no VALUE blocks; corpus not loaded?")
+	}
+}
+
+// getsRec is one parsed VALUE block of a gets reply.
+type getsRec struct {
+	key   string
+	flags uint32
+	casid uint64
+	val   string
+}
+
+// parseGetsReply splits a raw gets reply into its VALUE records and the
+// terminator line. Test values never contain CRLF, so line framing is
+// unambiguous.
+func parseGetsReply(t *testing.T, raw []byte) ([]getsRec, string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\r\n"), "\r\n")
+	var recs []getsRec
+	for i := 0; i < len(lines); i++ {
+		ln := lines[i]
+		if !strings.HasPrefix(ln, "VALUE ") {
+			return recs, ln
+		}
+		var rec getsRec
+		var size int
+		if _, err := fmt.Sscanf(ln, "VALUE %s %d %d %d", &rec.key, &rec.flags, &size, &rec.casid); err != nil {
+			t.Fatalf("bad gets VALUE line %q: %v", ln, err)
+		}
+		i++
+		if i >= len(lines) || len(lines[i]) != size {
+			t.Fatalf("VALUE %s: data line does not match advertised size %d", rec.key, size)
+		}
+		rec.val = lines[i]
+		recs = append(recs, rec)
+	}
+	t.Fatalf("gets reply has no terminator: %q", raw)
+	return nil, ""
+}
+
+// TestRouterGetsCasRoundTrip: the full read-modify-write cycle through
+// the router behaves outcome-for-outcome like a single node — gets
+// returns the corpus value with a nonzero cas unique, cas with that
+// unique swaps exactly once (STORED), replaying the consumed unique
+// conflicts (EXISTS), and cas on an absent key answers NOT_FOUND. Cas
+// uniques are node-local so the raw bytes can't be oracle-compared, but
+// each side's own unique must drive the identical outcome sequence.
+func TestRouterGetsCasRoundTrip(t *testing.T) {
+	_, _, routerAddr := routedCluster(t, 3)
+	oracle := oracleNode(t)
+	keys, vals, flags := testCorpus(30)
+	loadCorpus(t, routerAddr, keys, vals, flags)
+	loadCorpus(t, oracle, keys, vals, flags)
+
+	hot := string(keys[1])  // corpus hit (1%3 != 0)
+	miss := string(keys[0]) // corpus miss
+	for _, addr := range []string{routerAddr, oracle} {
+		recs, term := parseGetsReply(t, rawBurst(t, addr, "gets "+hot+"\r\n", 1))
+		if term != "END" || len(recs) != 1 {
+			t.Fatalf("gets via %s: recs=%v term=%q", addr, recs, term)
+		}
+		r := recs[0]
+		if r.key != hot || r.flags != flags[hot] || r.val != string(vals[hot]) || r.casid == 0 {
+			t.Fatalf("gets via %s = %+v, want corpus value with nonzero unique", addr, r)
+		}
+		casReq := fmt.Sprintf("cas %s %d 0 3 %d\r\nnew\r\n", hot, r.flags, r.casid)
+		if got := rawBurst(t, addr, casReq, 1); string(got) != "STORED\r\n" {
+			t.Fatalf("winning cas via %s = %q", addr, got)
+		}
+		if got := rawBurst(t, addr, casReq, 1); string(got) != "EXISTS\r\n" {
+			t.Fatalf("replayed unique via %s = %q, want EXISTS", addr, got)
+		}
+		recs, _ = parseGetsReply(t, rawBurst(t, addr, "gets "+hot+"\r\n", 1))
+		if len(recs) != 1 || recs[0].val != "new" || recs[0].casid == r.casid {
+			t.Fatalf("post-swap gets via %s = %v, want exactly one applied swap with a fresh unique", addr, recs)
+		}
+		if got := rawBurst(t, addr, "cas "+miss+" 0 0 1 7\r\nx\r\n", 1); string(got) != "NOT_FOUND\r\n" {
+			t.Fatalf("cas on absent key via %s = %q", addr, got)
+		}
 	}
 }
 
@@ -359,6 +437,132 @@ func TestRouterFlushAll(t *testing.T) {
 	ejectOwner(cl, keys[1])
 	if got := rawBurst(t, routerAddr, "flush_all\r\n", 1); string(got) != "SERVER_ERROR node down\r\n" {
 		t.Fatalf("partial flush_all reply = %q", got)
+	}
+}
+
+// TestRouterGetsCasEjectedOwner: gets and cas on a dead keyspace answer
+// the same deterministic fail-fast line as get and set; a gets burst
+// spanning the outage delivers the surviving VALUE blocks in request
+// order up to the dead key and then degrades explicitly with
+// SERVER_ERROR instead of END; the surviving keyspace keeps swapping;
+// reintegration restores the full burst.
+func TestRouterGetsCasEjectedOwner(t *testing.T) {
+	_, cl, routerAddr := routedCluster(t, 3)
+	keys, vals, flags := testCorpus(60)
+	loadCorpus(t, routerAddr, keys, vals, flags)
+
+	down := ejectOwner(cl, keys[1]) // keys[1] is a hit (1%3 != 0)
+	if got := rawBurst(t, routerAddr, "gets "+string(keys[1])+"\r\n", 1); string(got) != "SERVER_ERROR node down\r\n" {
+		t.Fatalf("ejected-owner gets = %q", got)
+	}
+	if got := rawBurst(t, routerAddr, "cas "+string(keys[1])+" 0 0 1 9\r\nx\r\n", 1); string(got) != "SERVER_ERROR node down\r\n" {
+		t.Fatalf("ejected-owner cas = %q", got)
+	}
+
+	// Burst spanning the outage: the router resolves gets key by key in
+	// request order, so hits stream until the first dead-owned key, then
+	// the terminator flips to SERVER_ERROR.
+	var sb strings.Builder
+	sb.WriteString("gets")
+	for _, k := range keys {
+		sb.WriteByte(' ')
+		sb.Write(k)
+	}
+	sb.WriteString("\r\n")
+	recs, term := parseGetsReply(t, rawBurst(t, routerAddr, sb.String(), 1))
+	if term != "SERVER_ERROR node down" {
+		t.Fatalf("spanning gets terminator = %q", term)
+	}
+	wantRecs := 0
+	for _, k := range keys {
+		if cl.ring.OwnerIndex(k) == down {
+			break
+		}
+		if _, hit := vals[string(k)]; hit {
+			wantRecs++
+		}
+	}
+	if len(recs) != wantRecs {
+		t.Fatalf("spanning gets delivered %d VALUE blocks before failing, want %d", len(recs), wantRecs)
+	}
+	for _, r := range recs {
+		if r.val != string(vals[r.key]) || r.flags != flags[r.key] || r.casid == 0 {
+			t.Fatalf("surviving VALUE block %+v disagrees with corpus", r)
+		}
+	}
+
+	// Reintegrate: the same burst answers every hit and terminates END.
+	cl.pools[down].noteSuccess()
+	recs, term = parseGetsReply(t, rawBurst(t, routerAddr, sb.String(), 1))
+	if term != "END" || len(recs) != len(vals) {
+		t.Fatalf("post-reintegration gets: %d VALUE blocks, term %q, want %d and END", len(recs), term, len(vals))
+	}
+
+	// And the read-modify-write cycle still works end to end.
+	one, term := parseGetsReply(t, rawBurst(t, routerAddr, "gets "+string(keys[1])+"\r\n", 1))
+	if term != "END" || len(one) != 1 {
+		t.Fatalf("post-reintegration single gets: %v %q", one, term)
+	}
+	casReq := fmt.Sprintf("cas %s %d 0 3 %d\r\nnew\r\n", keys[1], one[0].flags, one[0].casid)
+	if got := rawBurst(t, routerAddr, casReq, 1); string(got) != "STORED\r\n" {
+		t.Fatalf("post-reintegration cas = %q", got)
+	}
+}
+
+// TestRouterStatsMetricsParity: every unlabeled kvcluster counter the
+// registry scrapes has a stats-command mirror (kvcluster_<name>_total →
+// <name>), so operators see the same fleet truth through memcached
+// stats and /metrics. Regression test: writeStats omitted
+// replica_unacked while kvcluster_replica_unacked_total was exposed —
+// and this fails again whenever a future unlabeled counter lands in
+// only one of the two views.
+func TestRouterStatsMetricsParity(t *testing.T) {
+	_, cl, routerAddr := routedCluster(t, 3)
+	c, err := kvproto.DialTimeout(routerAddr, 2*time.Second, 5*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := cl.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, ln := range strings.Split(buf.String(), "\n") {
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		name, _, _ := strings.Cut(ln, " ")
+		if strings.Contains(name, "{") {
+			// Labeled families (per-node, per-op) surface through their own
+			// dedicated stats lines, checked below for the op families.
+			continue
+		}
+		if !strings.HasPrefix(name, "kvcluster_") || !strings.HasSuffix(name, "_total") {
+			continue
+		}
+		statKey := strings.TrimSuffix(strings.TrimPrefix(name, "kvcluster_"), "_total")
+		if _, ok := st[statKey]; !ok {
+			t.Errorf("metric %s has no %q line in the stats reply", name, statKey)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no unlabeled kvcluster counters found in the exposition; parity check is vacuous")
+	}
+	// Per-op routed/failed mirrors exist for every op the cluster routes,
+	// including gets and cas.
+	for _, name := range ixNames {
+		for _, k := range []string{"ops_routed_" + name, "ops_failed_" + name} {
+			if _, ok := st[k]; !ok {
+				t.Errorf("stats reply missing %q", k)
+			}
+		}
 	}
 }
 

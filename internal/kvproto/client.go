@@ -235,6 +235,126 @@ func (c *Client) ReadGetReply() (val []byte, ok bool, err error) {
 	return buf[:size], true, nil
 }
 
+// SendGets queues a gets (get-with-cas-unique) without flushing.
+func (c *Client) SendGets(key []byte) {
+	c.bw.WriteString("gets ")
+	c.bw.Write(key)
+	c.bw.WriteString("\r\n")
+}
+
+// ReadGetsReply consumes one gets response, returning the value, its
+// stored flags word, and the entry's cas unique. The returned slice is
+// valid until the next Client call.
+func (c *Client) ReadGetsReply() (val []byte, flags uint32, casid uint64, ok bool, err error) {
+	c.armRead()
+	line, err := c.readLine()
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	if bytes.Equal(line, replyEnd[:3]) { // "END"
+		return nil, 0, 0, false, nil
+	}
+	if !bytes.HasPrefix(line, valuePrefix) {
+		return nil, 0, 0, false, errorFromReply(line)
+	}
+	// VALUE <key> <flags> <bytes> <casid>
+	rest := line[len(valuePrefix):]
+	_, rest = nextField(rest) // key (trusted: single-request protocol)
+	flagsB, rest := nextField(rest)
+	sizeB, rest := nextField(rest)
+	casB, tail := nextField(rest)
+	flags64, okF := parseUint(flagsB)
+	size, okN := parseUint(sizeB)
+	casid, okC := parseUint(casB)
+	if !okF || !okN || !okC || flags64 > 0xffffffff || len(tail) != 0 || size > MaxValueBytes {
+		return nil, 0, 0, false, unexpected(line)
+	}
+	if cap(c.val) < int(size)+2 {
+		c.val = make([]byte, size+2)
+	}
+	buf := c.val[:size+2]
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, 0, 0, false, err
+	}
+	end, err := c.readLine()
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	if !bytes.Equal(end, replyEnd[:3]) {
+		return nil, 0, 0, false, unexpected(end)
+	}
+	return buf[:size], uint32(flags64), casid, true, nil
+}
+
+// Gets fetches key together with its flags and cas unique, the token a
+// later Cas must present. The returned slice is valid until the next
+// Client call.
+func (c *Client) Gets(key []byte) (val []byte, flags uint32, casid uint64, ok bool, err error) {
+	c.SendGets(key)
+	if err := c.Flush(); err != nil {
+		return nil, 0, 0, false, err
+	}
+	return c.ReadGetsReply()
+}
+
+// CasStatus is the outcome of a cas operation. Callers must check the
+// error first: on a non-nil error the status is meaningless.
+type CasStatus uint8
+
+const (
+	CasStored   CasStatus = iota // swapped: the unique matched
+	CasExists                    // key resident but modified since the gets
+	CasNotFound                  // key absent (or expired)
+)
+
+// SendCas queues a cas without flushing. casid is the unique returned by
+// a prior gets; exptime carries memcached TTL semantics.
+func (c *Client) SendCas(key []byte, flags uint32, exptime int64, casid uint64, val []byte) {
+	c.bw.WriteString("cas ")
+	c.bw.Write(key)
+	c.bw.WriteByte(' ')
+	writeUint(c.bw, uint64(flags))
+	c.bw.WriteByte(' ')
+	writeInt(c.bw, exptime)
+	c.bw.WriteByte(' ')
+	writeUint(c.bw, uint64(len(val)))
+	c.bw.WriteByte(' ')
+	writeUint(c.bw, casid)
+	c.bw.WriteString("\r\n")
+	c.bw.Write(val)
+	c.bw.WriteString("\r\n")
+}
+
+// ReadCasReply consumes one cas response.
+func (c *Client) ReadCasReply() (CasStatus, error) {
+	c.armRead()
+	line, err := c.readLine()
+	if err != nil {
+		return CasNotFound, err
+	}
+	switch {
+	case bytes.Equal(line, replyStored[:6]): // "STORED"
+		return CasStored, nil
+	case bytes.Equal(line, replyExists[:6]): // "EXISTS"
+		return CasExists, nil
+	case bytes.Equal(line, replyNotFound[:9]): // "NOT_FOUND"
+		return CasNotFound, nil
+	default:
+		return CasNotFound, errorFromReply(line)
+	}
+}
+
+// Cas atomically replaces key's value iff its cas unique still equals
+// casid (from a prior Gets). CasExists means a concurrent write won the
+// race; the caller re-reads and retries.
+func (c *Client) Cas(key []byte, flags uint32, exptime int64, casid uint64, val []byte) (CasStatus, error) {
+	c.SendCas(key, flags, exptime, casid, val)
+	if err := c.Flush(); err != nil {
+		return CasNotFound, err
+	}
+	return c.ReadCasReply()
+}
+
 // SendMultiGet queues one multi-key get ("get k1 k2 ...") without
 // flushing. keys must hold 1..MaxGetKeys entries.
 func (c *Client) SendMultiGet(keys [][]byte) {

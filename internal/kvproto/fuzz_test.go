@@ -22,6 +22,16 @@ func FuzzReaderNext(f *testing.F) {
 		"get a b c d e\r\n",
 		"set bar 7 0 5\r\nhello\r\n",
 		"set bar 0 0 0\r\n\r\n",
+		"gets foo\r\n",
+		"gets a b\r\n",
+		"cas bar 7 0 5 42\r\nhello\r\n",
+		// cas unique boundaries: zero, max uint64, one past max (overflow).
+		"cas k 0 0 1 0\r\nx\r\n",
+		"cas k 0 0 1 18446744073709551615\r\nx\r\n",
+		"cas k 0 0 1 18446744073709551616\r\nx\r\n",
+		// cas with a missing unique and with trailing junk.
+		"cas k 0 0 1\r\nx\r\n",
+		"cas k 0 0 1 7 junk\r\nx\r\n",
 		"delete foo\r\n",
 		"stats\r\n",
 		"quit\r\n",
@@ -49,9 +59,13 @@ func FuzzReaderNext(f *testing.F) {
 		"set k 0 0 99999999999999999999\r\nx\r\n",
 		// Truncations: mid-line, mid-header, mid-chunk, missing terminator.
 		"get fo",
+		"gets fo",
 		"set bar 7 0 5",
 		"set bar 7 0 5\r\nhel",
 		"set bar 7 0 5\r\nhelloXY",
+		"cas bar 7 0 5 4",
+		"cas bar 7 0 5 42\r\nhel",
+		"cas bar 7 0 5 42\r\nhelloXY",
 		"\r\n",
 		"\n",
 		"",
@@ -68,9 +82,9 @@ func FuzzReaderNext(f *testing.F) {
 			err := rd.Next(&req)
 			if err == nil {
 				switch req.Op {
-				case OpGet:
+				case OpGet, OpGets:
 					if n := len(req.Keys); n < 1 || n > MaxGetKeys {
-						t.Fatalf("accepted get with %d keys", n)
+						t.Fatalf("accepted %v with %d keys", req.Op, n)
 					}
 					for _, k := range req.Keys {
 						if !validKey(k) {
@@ -84,9 +98,9 @@ func FuzzReaderNext(f *testing.F) {
 					if !validKey(req.Key) {
 						t.Fatalf("accepted invalid key %q", req.Key)
 					}
-				case OpSet:
+				case OpSet, OpCas:
 					if !validKey(req.Key) {
-						t.Fatalf("accepted invalid set key %q", req.Key)
+						t.Fatalf("accepted invalid %v key %q", req.Op, req.Key)
 					}
 					if len(req.Value) > MaxValueBytes {
 						t.Fatalf("accepted %d-byte value", len(req.Value))

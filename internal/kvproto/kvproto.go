@@ -1,6 +1,9 @@
 // Package kvproto implements the subset of the memcached text protocol
 // spoken by cmd/adaptcached, cmd/kvrouter and cmd/kvloadgen: get
-// (single- and multi-key "get k1 k2 ..."), set, delete, stats, quit,
+// (single- and multi-key "get k1 k2 ..."), gets (the same, with each
+// VALUE line carrying the entry's 64-bit cas unique), set, cas
+// (compare-and-swap against a unique obtained from gets, replying
+// STORED, EXISTS, or NOT_FOUND), delete, stats, quit,
 // a one-line noop used by health probes, and flush_all (full-cache
 // invalidation, issued by the cluster before reintegrating a recovered
 // node so it can never serve stale versions). Keys are
@@ -48,14 +51,20 @@ const (
 	OpQuit
 	OpNoop
 	OpFlushAll
+	OpGets
+	OpCas
 )
 
 func (o Op) String() string {
 	switch o {
 	case OpGet:
 		return "get"
+	case OpGets:
+		return "gets"
 	case OpSet:
 		return "set"
+	case OpCas:
+		return "cas"
 	case OpDelete:
 		return "delete"
 	case OpStats:
@@ -76,10 +85,11 @@ func (o Op) String() string {
 type Request struct {
 	Op      Op
 	Key     []byte   // first (or only) key
-	Keys    [][]byte // OpGet: every key on the line, in order (len ≥ 1)
-	Value   []byte   // OpSet only
-	Flags   uint32   // OpSet only; echoed back on get
-	Exptime int64    // OpSet only; memcached TTL semantics (see package doc)
+	Keys    [][]byte // OpGet/OpGets: every key on the line, in order (len ≥ 1)
+	Value   []byte   // OpSet/OpCas only
+	Flags   uint32   // OpSet/OpCas only; echoed back on get
+	Exptime int64    // OpSet/OpCas only; memcached TTL semantics (see package doc)
+	Cas     uint64   // OpCas only: the unique obtained from a prior gets
 }
 
 // ClientError is a recoverable protocol violation: the Reader has already
@@ -300,25 +310,11 @@ func (rd *Reader) Next(req *Request) error {
 	switch {
 	case commandIs(cmd, "get"):
 		req.Op = OpGet
-		keys := rd.keys[:0]
-		for {
-			key, tail := nextField(rest)
-			if !validKey(key) {
-				return errBadKey
-			}
-			if len(keys) == MaxGetKeys {
-				return errTooManyKeys
-			}
-			keys = append(keys, key)
-			if len(tail) == 0 {
-				break
-			}
-			rest = tail
-		}
-		rd.keys = keys
-		req.Key = keys[0]
-		req.Keys = keys
-		return nil
+		return rd.parseKeys(req, rest)
+
+	case commandIs(cmd, "gets"):
+		req.Op = OpGets
+		return rd.parseKeys(req, rest)
 
 	case commandIs(cmd, "delete"):
 		req.Op = OpDelete
@@ -331,7 +327,11 @@ func (rd *Reader) Next(req *Request) error {
 
 	case commandIs(cmd, "set"):
 		req.Op = OpSet
-		return rd.parseSet(req, rest)
+		return rd.parseStore(req, rest, false)
+
+	case commandIs(cmd, "cas"):
+		req.Op = OpCas
+		return rd.parseStore(req, rest, true)
 
 	case commandIs(cmd, "stats"):
 		if len(rest) != 0 {
@@ -369,18 +369,48 @@ func (rd *Reader) Next(req *Request) error {
 	}
 }
 
-// parseSet handles "set <key> <flags> <exptime> <bytes>" plus the
-// following data chunk. exptime follows memcached: 0 never expires,
-// magnitudes up to 32 bits are accepted (relative seconds up to
-// RelativeLimit, absolute unix time above it), and an optional leading
-// '-' marks the value already expired. On an oversized value the chunk
-// is drained so the error is recoverable; on a missing CRLF terminator
-// the stream is corrupt.
-func (rd *Reader) parseSet(req *Request, rest []byte) error {
+// parseKeys handles the key list shared by "get" and "gets": one or more
+// space-delimited keys, each validated, capped at MaxGetKeys.
+func (rd *Reader) parseKeys(req *Request, rest []byte) error {
+	keys := rd.keys[:0]
+	for {
+		key, tail := nextField(rest)
+		if !validKey(key) {
+			return errBadKey
+		}
+		if len(keys) == MaxGetKeys {
+			return errTooManyKeys
+		}
+		keys = append(keys, key)
+		if len(tail) == 0 {
+			break
+		}
+		rest = tail
+	}
+	rd.keys = keys
+	req.Key = keys[0]
+	req.Keys = keys
+	return nil
+}
+
+// parseStore handles "set <key> <flags> <exptime> <bytes>" and
+// "cas <key> <flags> <exptime> <bytes> <casid>" plus the following data
+// chunk. exptime follows memcached: 0 never expires, magnitudes up to 32
+// bits are accepted (relative seconds up to RelativeLimit, absolute unix
+// time above it), and an optional leading '-' marks the value already
+// expired. The cas unique is a full 64-bit decimal; overflow, a missing
+// field, or trailing junk reject the line before any chunk is consumed.
+// On an oversized value the chunk is drained so the error is recoverable;
+// on a missing CRLF terminator the stream is corrupt.
+func (rd *Reader) parseStore(req *Request, rest []byte, wantCas bool) error {
 	key, rest := nextField(rest)
 	flagsB, rest := nextField(rest)
 	exptimeB, rest := nextField(rest)
 	bytesB, tail := nextField(rest)
+	var casB []byte
+	if wantCas {
+		casB, tail = nextField(tail)
+	}
 	if len(tail) != 0 {
 		return errBadCommandLine
 	}
@@ -394,6 +424,14 @@ func (rd *Reader) parseSet(req *Request, rest []byte) error {
 	size, okB := parseUint(bytesB)
 	if !okF || !okE || !okB || flags > 0xffffffff || exptime > 0xffffffff {
 		return errBadCommandLine
+	}
+	var casid uint64
+	if wantCas {
+		var okC bool
+		casid, okC = parseUint(casB)
+		if !okC {
+			return errBadCommandLine
+		}
 	}
 	keyOK := validKey(key)
 	if !keyOK || size > MaxValueBytes {
@@ -426,6 +464,7 @@ func (rd *Reader) parseSet(req *Request, rest []byte) error {
 		req.Exptime = -req.Exptime
 	}
 	req.Value = buf[:size]
+	req.Cas = casid
 	return nil
 }
 
@@ -448,6 +487,7 @@ var (
 	replyNoop      = []byte("NOOP\r\n")
 	replyOk        = []byte("OK\r\n")
 	replyStored    = []byte("STORED\r\n")
+	replyExists    = []byte("EXISTS\r\n")
 	replyDeleted   = []byte("DELETED\r\n")
 	replyNotFound  = []byte("NOT_FOUND\r\n")
 	replyError     = []byte("ERROR\r\n")
@@ -490,6 +530,39 @@ func WriteValueString(w *bufio.Writer, key string, flags uint32, val []byte) {
 	w.Write(crlf)
 }
 
+// WriteValueCas writes "VALUE <key> <flags> <len> <casid>\r\n<val>\r\n" —
+// the gets reply form, carrying the entry's cas unique. The caller
+// terminates the response with WriteEnd.
+func WriteValueCas(w *bufio.Writer, key []byte, flags uint32, casid uint64, val []byte) {
+	w.Write(valuePrefix)
+	w.Write(key)
+	w.WriteByte(' ')
+	writeUint(w, uint64(flags))
+	w.WriteByte(' ')
+	writeUint(w, uint64(len(val)))
+	w.WriteByte(' ')
+	writeUint(w, casid)
+	w.Write(crlf)
+	w.Write(val)
+	w.Write(crlf)
+}
+
+// WriteValueCasString is WriteValueCas for servers holding the key as a
+// string (batched dispatch copies keys out of the parse buffers).
+func WriteValueCasString(w *bufio.Writer, key string, flags uint32, casid uint64, val []byte) {
+	w.Write(valuePrefix)
+	w.WriteString(key)
+	w.WriteByte(' ')
+	writeUint(w, uint64(flags))
+	w.WriteByte(' ')
+	writeUint(w, uint64(len(val)))
+	w.WriteByte(' ')
+	writeUint(w, casid)
+	w.Write(crlf)
+	w.Write(val)
+	w.Write(crlf)
+}
+
 // AppendValueHeader appends "VALUE <key> <flags> <n>\r\n" to dst and
 // returns the extended slice. Servers shipping large values via
 // vectored writes build the header in caller-pooled scratch with this
@@ -501,6 +574,20 @@ func AppendValueHeader(dst []byte, key string, flags uint32, n int) []byte {
 	dst = appendUint(dst, uint64(flags))
 	dst = append(dst, ' ')
 	dst = appendUint(dst, uint64(n))
+	return append(dst, crlf...)
+}
+
+// AppendValueCasHeader is AppendValueHeader with the cas unique as the
+// fourth field — the gets reply form, for vectored writes.
+func AppendValueCasHeader(dst []byte, key string, flags uint32, n int, casid uint64) []byte {
+	dst = append(dst, valuePrefix...)
+	dst = append(dst, key...)
+	dst = append(dst, ' ')
+	dst = appendUint(dst, uint64(flags))
+	dst = append(dst, ' ')
+	dst = appendUint(dst, uint64(n))
+	dst = append(dst, ' ')
+	dst = appendUint(dst, casid)
 	return append(dst, crlf...)
 }
 
@@ -521,8 +608,12 @@ func WriteNoop(w *bufio.Writer) { w.Write(replyNoop) }
 // WriteOk acknowledges a flush_all.
 func WriteOk(w *bufio.Writer) { w.Write(replyOk) }
 
-// WriteStored acknowledges a set.
+// WriteStored acknowledges a set (or a winning cas).
 func WriteStored(w *bufio.Writer) { w.Write(replyStored) }
+
+// WriteExists answers a cas whose unique no longer matches: the entry was
+// modified since the gets that produced the id.
+func WriteExists(w *bufio.Writer) { w.Write(replyExists) }
 
 // WriteDeleted acknowledges a successful delete.
 func WriteDeleted(w *bufio.Writer) { w.Write(replyDeleted) }

@@ -12,8 +12,9 @@ import (
 // server but whose acknowledgment was never read: the operation may or
 // may not have been applied. ReconnectClient never replays such
 // operations — replaying a set or delete the server already applied would
-// silently reorder writes — so the ambiguity is surfaced to the caller,
-// who owns the idempotency decision.
+// silently reorder writes, and a replayed winning cas would falsely
+// report EXISTS — so the ambiguity is surfaced to the caller, who owns
+// the idempotency decision.
 var ErrUnacked = errors.New("kvproto: request sent but not acknowledged")
 
 // ReconnectConfig tunes ReconnectClient's redial and retry behavior.
@@ -75,10 +76,10 @@ func (c ReconnectConfig) withDefaults() ReconnectConfig {
 
 // ReconnectClient is a Client that survives a flaky peer: it redials on
 // dead-stream errors with capped exponential backoff plus deterministic
-// jitter, transparently retries idempotent operations (Get, Stats), and
-// retries non-idempotent ones (Set, Delete) only while the request
-// provably never reached processing (dial failure, SERVER_ERROR busy
-// shed). Once a set or delete becomes ambiguous it fails with ErrUnacked
+// jitter, transparently retries idempotent operations (Get, Gets, Stats),
+// and retries non-idempotent ones (Set, Delete, Cas) only while the
+// request provably never reached processing (dial failure, SERVER_ERROR
+// busy shed). Once a write becomes ambiguous it fails with ErrUnacked
 // and the next operation runs on a fresh connection.
 //
 // Like Client, a ReconnectClient serves one goroutine.
@@ -197,6 +198,73 @@ func (rc *ReconnectClient) Get(key []byte) (val []byte, ok bool, err error) {
 	}
 	rc.countExhausted()
 	return nil, false, fmt.Errorf("kvproto: get failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
+}
+
+// Gets fetches key with its flags and cas unique, retried across
+// connection failures like Get: a gets carries no state, so replaying it
+// is always safe. The returned slice is valid until the next call.
+func (rc *ReconnectClient) Gets(key []byte) (val []byte, flags uint32, casid uint64, ok bool, err error) {
+	var lastErr error
+	for a := 0; a < rc.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			rc.countRetry()
+			rc.backoff(a - 1)
+		}
+		c, err := rc.client()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		val, flags, casid, ok, err = c.Gets(key)
+		if err == nil {
+			return val, flags, casid, ok, nil
+		}
+		lastErr = err
+		if Recoverable(err) && !IsBusy(err) {
+			return nil, 0, 0, false, err
+		}
+		rc.drop()
+	}
+	rc.countExhausted()
+	return nil, 0, 0, false, fmt.Errorf("kvproto: gets failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
+}
+
+// Cas swaps key's value iff its unique still equals casid, under the same
+// never-replay contract as Set — and with more at stake: a replayed cas
+// that the server had already applied would consume its own unique and
+// come back EXISTS, reporting a false conflict for a swap that actually
+// won. An ambiguous attempt therefore fails as ErrUnacked, never replays.
+func (rc *ReconnectClient) Cas(key []byte, flags uint32, exptime int64, casid uint64, val []byte) (CasStatus, error) {
+	exptime = AbsoluteExptime(exptime, time.Now())
+	var lastErr error
+	for a := 0; a < rc.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			rc.countRetry()
+			rc.backoff(a - 1)
+		}
+		c, err := rc.client()
+		if err != nil {
+			lastErr = err // nothing sent: safe to retry
+			continue
+		}
+		st, err := c.Cas(key, flags, exptime, casid, val)
+		switch {
+		case err == nil:
+			return st, nil
+		case IsBusy(err):
+			rc.drop() // shed before processing: not applied, safe to retry
+			lastErr = err
+			continue
+		case Recoverable(err):
+			return CasNotFound, err // server rejected it; replaying cannot succeed
+		default:
+			rc.drop()
+			rc.countUnacked()
+			return CasNotFound, fmt.Errorf("%w (cas): %v", ErrUnacked, err)
+		}
+	}
+	rc.countExhausted()
+	return CasNotFound, fmt.Errorf("kvproto: cas failed after %d attempts: %w", rc.cfg.MaxAttempts, lastErr)
 }
 
 // Set stores val under key. Attempts are retried only while the request

@@ -18,23 +18,34 @@ import (
 	"repro/internal/metrics"
 )
 
-// opCount latency histograms cover the four replying ops.
-const opCount = 4
+// opCount latency histograms cover the six replying ops.
+const opCount = 6
 
 // opNames index the latency histograms; opIndex maps protocol ops onto
-// them (-1 for ops with no service time: quit, invalid).
-var opNames = [opCount]string{"get", "set", "delete", "stats"}
+// them (-1 for ops with no service time: quit, invalid). gets and cas
+// were appended so the original indices (execGetRun hardcodes 0) hold.
+var opNames = [opCount]string{"get", "set", "delete", "stats", "gets", "cas"}
+
+// Histogram indices the serving path records into directly.
+const (
+	opGetIdx  = 0
+	opGetsIdx = 4
+)
 
 func opIndex(op kvproto.Op) int {
 	switch op {
 	case kvproto.OpGet:
-		return 0
+		return opGetIdx
 	case kvproto.OpSet:
 		return 1
 	case kvproto.OpDelete:
 		return 2
 	case kvproto.OpStats:
 		return 3
+	case kvproto.OpGets:
+		return opGetsIdx
+	case kvproto.OpCas:
+		return 5
 	}
 	return -1
 }
@@ -68,6 +79,13 @@ type serverMetrics struct {
 	acceptRetries     *metrics.Counter
 	clientErrors      *metrics.Counter
 
+	// setsRejected counts stores (set and cas alike) refused at admission
+	// for exceeding MaxItemSize. Rejected stores never reach the cache,
+	// record no service latency, and do not count as replying ops — they
+	// live here and nowhere else, keeping the "histogram count == engine
+	// op count" invariant exact.
+	setsRejected *metrics.Counter
+
 	flushes *metrics.Counter
 }
 
@@ -92,6 +110,7 @@ func newServerMetrics() *serverMetrics {
 	m.panicsRecovered = reg.Counter("kv_panics_recovered_total", "", "handler panics isolated to their connection")
 	m.acceptRetries = reg.Counter("kv_accept_retries_total", "", "transient accept errors retried")
 	m.clientErrors = reg.Counter("kv_client_errors_total", "", "recoverable protocol violations reported")
+	m.setsRejected = reg.Counter("kv_sets_rejected_total", "", "stores (set/cas) refused at admission: object too large")
 	m.flushes = reg.Counter("kv_flushes_total", "", "flush_all commands applied (cache emptied)")
 	return m
 }
@@ -123,6 +142,12 @@ func (s *Server) collectRuntime(e *metrics.Expo) {
 	e.Sample("adaptivekv_hits_total", `op="get"`, float64(agg.GetHits))
 	e.Sample("adaptivekv_hits_total", `op="set"`, float64(agg.StoreHits))
 	e.Sample("adaptivekv_hits_total", `op="delete"`, float64(agg.DeleteHits))
+	e.Family("kv_cas_hits_total", "counter", "cas operations that swapped (unique matched)")
+	e.Sample("kv_cas_hits_total", "", float64(agg.CasStored))
+	e.Family("kv_cas_conflicts_total", "counter", "cas operations refused EXISTS (unique mismatch)")
+	e.Sample("kv_cas_conflicts_total", "", float64(agg.CasConflicts))
+	e.Family("kv_cas_misses_total", "counter", "cas operations on absent or expired keys (NOT_FOUND)")
+	e.Sample("kv_cas_misses_total", "", float64(agg.CasMisses))
 	e.Family("adaptivekv_evictions_total", "counter", "capacity evictions decided by the policy")
 	e.Sample("adaptivekv_evictions_total", "", float64(agg.Evictions))
 	e.Family("adaptivekv_policy_switches_total", "counter", "SBAR global-winner changes")
@@ -188,8 +213,8 @@ type OpLatency struct {
 	P50, P95, P99, Max time.Duration
 }
 
-// OpLatency returns the summary for op ("get", "set", "delete", "stats"),
-// or a zero summary for unknown ops.
+// OpLatency returns the summary for op ("get", "set", "delete", "stats",
+// "gets", "cas"), or a zero summary for unknown ops.
 func (s *Server) OpLatency(op string) OpLatency {
 	for i, name := range opNames {
 		if name == op {

@@ -166,6 +166,11 @@ func (s *Server) Counters() Counters {
 // before serving.
 func (s *Server) Flushes() uint64 { return s.m.flushes.Load() }
 
+// SetsRejected reports how many stores (set and cas) were refused at
+// admission for exceeding MaxItemSize — ops that never reached the cache
+// and recorded no service latency.
+func (s *Server) SetsRejected() uint64 { return s.m.setsRejected.Load() }
+
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.core.Draining() }
 
@@ -254,6 +259,7 @@ type getRun struct {
 	keys   []string
 	counts []int // keys per queued request, in arrival order
 	vals   []Value
+	casids []uint64 // gets only; sized lazily by execGets
 	oks    []bool
 	hdr    []byte      // scratch for vectored VALUE headers
 	iov    net.Buffers // reused 3-element vector: header, payload, CRLF
@@ -304,10 +310,52 @@ outer:
 	}
 	per := int64(time.Since(start)) / int64(n)
 	for i := 0; i < n; i++ {
-		s.m.opLat[0].RecordNS(per)
+		s.m.opLat[opGetIdx].RecordNS(per)
 	}
 	b.keys = b.keys[:0]
 	b.counts = b.counts[:0]
+	return ok
+}
+
+// execGets resolves one gets request — a batched lookup surfacing each
+// hit's cas unique — and emits 4-field VALUE blocks plus END. The run's
+// scratch is reused (a gets always executes with the run empty: any
+// non-get op flushes it first). Latency lands as one sample per key at
+// the request's mean, mirroring execGetRun, so the get+gets histogram
+// counts together equal the cache's Gets counter. Returns false when the
+// connection is unusable.
+func (s *Server) execGets(b *getRun, reqKeys [][]byte, w *bufio.Writer, cio *connIO) bool {
+	start := time.Now()
+	n := len(reqKeys)
+	b.keys = b.keys[:0]
+	for _, k := range reqKeys {
+		b.keys = append(b.keys, string(k))
+	}
+	if cap(b.vals) < n {
+		c := maxRunKeys + kvproto.MaxGetKeys
+		b.vals = make([]Value, c)
+		b.oks = make([]bool, c)
+	}
+	if cap(b.casids) < n {
+		b.casids = make([]uint64, maxRunKeys+kvproto.MaxGetKeys)
+	}
+	vals, oks, casids := b.vals[:n], b.oks[:n], b.casids[:n]
+	s.cache.GetBatchCas(b.keys, vals, casids, oks)
+	ok := true
+	for i := 0; i < n; i++ {
+		if oks[i] && !s.writeValueCas(w, cio, b.keys[i], vals[i], casids[i], b) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		kvproto.WriteEnd(w)
+	}
+	per := int64(time.Since(start)) / int64(n)
+	for i := 0; i < n; i++ {
+		s.m.opLat[opGetsIdx].RecordNS(per)
+	}
+	b.keys = b.keys[:0]
 	return ok
 }
 
@@ -325,6 +373,23 @@ func (s *Server) writeValue(w *bufio.Writer, cio *connIO, key string, v Value, b
 		return false
 	}
 	b.hdr = kvproto.AppendValueHeader(b.hdr[:0], key, v.Flags, len(v.Data))
+	b.iov = append(b.iov[:0], b.hdr, v.Data, kvproto.CRLF)
+	bufs := b.iov
+	return cio.WriteBuffers(&bufs) == nil
+}
+
+// writeValueCas is writeValue for gets replies: the VALUE header carries
+// the entry's cas unique as a fourth field, with the same small/vectored
+// split.
+func (s *Server) writeValueCas(w *bufio.Writer, cio *connIO, key string, v Value, casid uint64, b *getRun) bool {
+	if len(v.Data) < vectorMin {
+		kvproto.WriteValueCasString(w, key, v.Flags, casid, v.Data)
+		return true
+	}
+	if w.Flush() != nil {
+		return false
+	}
+	b.hdr = kvproto.AppendValueCasHeader(b.hdr[:0], key, v.Flags, len(v.Data), casid)
 	b.iov = append(b.iov[:0], b.hdr, v.Data, kvproto.CRLF)
 	bufs := b.iov
 	return cio.WriteBuffers(&bufs) == nil
@@ -399,10 +464,19 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			opStart := time.Now()
+			// rejected marks an op refused at admission: it wrote an error
+			// reply but never touched the cache, so it must not record
+			// service latency or count as a replying op — the per-op
+			// histogram counts stay equal to the engine's op counts (the
+			// invariant the chaos harness asserts). Rejects are tallied in
+			// kv_sets_rejected_total instead.
+			rejected := false
 			switch req.Op {
 			case kvproto.OpSet:
 				if len(req.Value) > maxItem {
 					kvproto.WriteServerError(w, "object too large")
+					s.m.setsRejected.Inc()
+					rejected = true
 					break
 				}
 				data := make([]byte, len(req.Value))
@@ -410,6 +484,28 @@ func (s *Server) handle(conn net.Conn) {
 				deadline := kvproto.DeadlineNanos(req.Exptime, opStart)
 				s.cache.SetTTL(string(req.Key), Value{Flags: req.Flags, Data: data}, deadline)
 				kvproto.WriteStored(w)
+			case kvproto.OpGets:
+				if !s.execGets(run, req.Keys, w, cio) {
+					return
+				}
+			case kvproto.OpCas:
+				if len(req.Value) > maxItem {
+					kvproto.WriteServerError(w, "object too large")
+					s.m.setsRejected.Inc()
+					rejected = true
+					break
+				}
+				data := make([]byte, len(req.Value))
+				copy(data, req.Value)
+				deadline := kvproto.DeadlineNanos(req.Exptime, opStart)
+				switch s.cache.CompareAndSwap(string(req.Key), Value{Flags: req.Flags, Data: data}, req.Cas, deadline) {
+				case adaptivekv.CasStored:
+					kvproto.WriteStored(w)
+				case adaptivekv.CasExists:
+					kvproto.WriteExists(w)
+				default:
+					kvproto.WriteNotFound(w)
+				}
 			case kvproto.OpDelete:
 				if s.cache.Delete(string(req.Key)) {
 					kvproto.WriteDeleted(w)
@@ -430,9 +526,12 @@ func (s *Server) handle(conn net.Conn) {
 			default:
 				kvproto.WriteError(w)
 			}
-			opsInFlush++
-			if i := opIndex(req.Op); i >= 0 {
-				s.m.opLat[i].RecordNS(int64(time.Since(opStart)))
+			if !rejected {
+				opsInFlush++
+				// gets records its own per-key samples inside execGets.
+				if i := opIndex(req.Op); i >= 0 && req.Op != kvproto.OpGets {
+					s.m.opLat[i].RecordNS(int64(time.Since(opStart)))
+				}
 			}
 		}
 		// A pipelining client has more requests already buffered; batch the
@@ -479,6 +578,11 @@ func (s *Server) writeStats(w *bufio.Writer) {
 	kvproto.WriteStat(w, "get_hits", st.GetHits)
 	kvproto.WriteStat(w, "get_misses", st.Gets-st.GetHits)
 	kvproto.WriteStat(w, "cmd_set", st.Stores)
+	kvproto.WriteStat(w, "cmd_cas", st.CasOps())
+	kvproto.WriteStat(w, "cas_hits", st.CasStored)
+	kvproto.WriteStat(w, "cas_badval", st.CasConflicts)
+	kvproto.WriteStat(w, "cas_misses", st.CasMisses)
+	kvproto.WriteStat(w, "sets_rejected", s.m.setsRejected.Load())
 	kvproto.WriteStat(w, "cmd_delete", st.Deletes)
 	kvproto.WriteStat(w, "delete_hits", st.DeleteHits)
 	kvproto.WriteStat(w, "evictions", st.Evictions)
